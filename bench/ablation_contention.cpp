@@ -1,0 +1,106 @@
+// Ablation: which contention mechanism drives which result.
+//
+// The emulator models four distinct thread-contention mechanisms (DESIGN.md
+// §5.3): accelerator-management occupancy, live-thread background noise,
+// oversubscription efficiency loss, and the per-call wake/signal taxes.
+// This harness switches each one off individually and reports its effect
+// on the two headline results it supports:
+//   A) Fig. 10a @ 8 FFTs — execution time of the AV workload (occupancy)
+//   B) Fig. 6 saturated API-vs-DAG exec gap (noise/penalty/wake taxes)
+
+#include "bench_util.h"
+
+using namespace cedr;
+
+namespace {
+
+double av_exec(const sim::SimCosts& costs, std::size_t ffts,
+               const bench::Options& opts) {
+  const sim::SimApp pd = sim::make_pulse_doppler_model();
+  const sim::SimApp tx = sim::make_wifi_tx_model();
+  const sim::SimApp ld = sim::make_lane_detection_model(opts.ld_scale);
+  const auto streams = bench::av_streams(ld, pd, tx);
+  sim::SimConfig config;
+  config.platform = platform::zcu102(3, ffts, 0);
+  config.scheduler = "RR";
+  config.model = sim::ProgrammingModel::kApiBased;
+  config.costs = costs;
+  auto result = workload::run_point(config, streams, 300.0, opts.trials, 42);
+  return result.ok() ? result->mean.avg_execution_time * 1e3 : -1.0;
+}
+
+double pdtx_exec(const sim::SimCosts& costs, sim::ProgrammingModel model,
+                 const bench::Options& opts) {
+  const sim::SimApp pd = sim::make_pulse_doppler_model();
+  const sim::SimApp tx = sim::make_wifi_tx_model();
+  const auto streams = bench::pdtx_streams(pd, tx);
+  sim::SimConfig config;
+  config.platform = platform::zcu102(3, 1, 1);
+  config.scheduler = "EFT";
+  config.model = model;
+  config.costs = costs;
+  auto result = workload::run_point(config, streams, 1000.0, opts.trials, 42);
+  return result.ok() ? result->mean.avg_execution_time * 1e3 : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parse_options(argc, argv);
+  const sim::SimCosts base;
+
+  std::printf("=== A) Fig. 10a mechanism: accelerator management occupancy ===\n");
+  std::printf("%24s %12s %12s %12s\n", "occupancy factor", "0 FFT (ms)",
+              "8 FFT (ms)", "8/0 ratio");
+  for (const double occupancy : {1.0, 2.0, 3.0, 4.0}) {
+    sim::SimCosts costs = base;
+    costs.accel_occupancy = occupancy;
+    const double e0 = av_exec(costs, 0, opts);
+    const double e8 = av_exec(costs, 8, opts);
+    std::printf("%24.1f %12.1f %12.1f %12.2f\n", occupancy, e0, e8, e8 / e0);
+  }
+  std::printf("(paper Fig. 10a needs ratio > 1: accelerators *hurt*; the\n"
+              " default occupancy=3 reproduces that, occupancy=1 does not)\n");
+
+  std::printf("\n=== B) Fig. 6 mechanism: API-mode thread taxes ===\n");
+  std::printf("%34s %10s %10s %10s\n", "configuration", "DAG (ms)", "API (ms)",
+              "API/DAG");
+  struct Variant {
+    const char* name;
+    sim::SimCosts costs;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full model (default)", base});
+  {
+    sim::SimCosts costs = base;
+    costs.thread_noise = 0.0;
+    variants.push_back({"no live-thread noise", costs});
+  }
+  {
+    sim::SimCosts costs = base;
+    costs.signal_overhead = 0.0;
+    costs.wake_overhead = 0.0;
+    variants.push_back({"no wake/signal taxes", costs});
+  }
+  {
+    sim::SimCosts costs = base;
+    costs.oversubscription_penalty = 0.0;
+    variants.push_back({"no oversubscription loss", costs});
+  }
+  {
+    sim::SimCosts costs = base;
+    costs.thread_noise = 0.0;
+    costs.signal_overhead = 0.0;
+    costs.wake_overhead = 0.0;
+    costs.oversubscription_penalty = 0.0;
+    variants.push_back({"all contention off", costs});
+  }
+  for (const Variant& v : variants) {
+    const double dag = pdtx_exec(v.costs, sim::ProgrammingModel::kDagBased, opts);
+    const double api = pdtx_exec(v.costs, sim::ProgrammingModel::kApiBased, opts);
+    std::printf("%34s %10.1f %10.1f %10.2f\n", v.name, dag, api, api / dag);
+  }
+  std::printf("(paper §IV-A needs API/DAG > 1 on the 3-core ZCU102; the full\n"
+              " model reproduces it, and removing the taxes flips it)\n");
+  return 0;
+}

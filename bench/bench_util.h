@@ -1,0 +1,151 @@
+#pragma once
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Every fig*_ binary sweeps a workload through the discrete-event emulator
+// and prints the series the corresponding paper figure plots, plus the
+// headline statistic its text quotes. Flags common to all binaries:
+//   --trials N    trials averaged per point (default 5; paper uses 25)
+//   --full        sweep all 29 paper injection rates instead of a 10-point
+//                 subset (slower, same shapes)
+//   --ld-scale N  divide Lane Detection's transform counts by N (default 4;
+//                 1 reproduces the paper's 16384/8192 instances)
+//   --csv PATH    also write the table as CSV
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cedr/sim/model.h"
+#include "cedr/sim/simulator.h"
+#include "cedr/workload/workload.h"
+
+namespace cedr::bench {
+
+struct Options {
+  std::size_t trials = 5;
+  bool full_sweep = false;
+  std::size_t ld_scale = 4;
+  std::string csv_path;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--trials") {
+      if (const char* v = next()) opts.trials = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--full") {
+      opts.full_sweep = true;
+    } else if (arg == "--ld-scale") {
+      if (const char* v = next()) opts.ld_scale = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--csv") {
+      if (const char* v = next()) opts.csv_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--trials N] [--full] [--ld-scale N] [--csv PATH]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  if (opts.trials == 0) opts.trials = 1;
+  if (opts.ld_scale == 0) opts.ld_scale = 1;
+  return opts;
+}
+
+/// Injection rates to sweep: the paper's 29 points or a 10-point subset.
+inline std::vector<double> rates_for(const Options& opts) {
+  if (opts.full_sweep) return workload::injection_rate_sweep();
+  return {10, 25, 50, 100, 200, 400, 700, 1000, 1500, 2000};
+}
+
+/// A printable table: one row per x value, one column per series.
+class Table {
+ public:
+  Table(std::string title, std::string x_label,
+        std::vector<std::string> columns)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        columns_(std::move(columns)) {}
+
+  void add_row(double x, std::vector<double> values) {
+    rows_.push_back({x, std::move(values)});
+  }
+
+  void print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%12s", x_label_.c_str());
+    for (const std::string& c : columns_) std::printf(" %14s", c.c_str());
+    std::printf("\n");
+    for (const auto& [x, values] : rows_) {
+      std::printf("%12.1f", x);
+      for (const double v : values) std::printf(" %14.3f", v);
+      std::printf("\n");
+    }
+  }
+
+  void write_csv(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::trunc);
+    out << x_label_;
+    for (const std::string& c : columns_) out << ',' << c;
+    out << '\n';
+    for (const auto& [x, values] : rows_) {
+      out << x;
+      for (const double v : values) out << ',' << v;
+      out << '\n';
+    }
+    std::printf("[csv written to %s]\n", path.c_str());
+  }
+
+  /// Mean of one column over rows with x >= threshold (the paper's
+  /// "saturated region" statistics).
+  [[nodiscard]] double saturated_mean(std::size_t column,
+                                      double x_threshold) const {
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const auto& [x, values] : rows_) {
+      if (x >= x_threshold && column < values.size()) {
+        total += values[column];
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : total / static_cast<double>(n);
+  }
+
+ private:
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// PD + TX workload of §IV-A (5 instances each).
+inline std::vector<workload::Stream> pdtx_streams(const sim::SimApp& pd,
+                                                  const sim::SimApp& tx) {
+  return {{.app = &pd, .instances = 5, .start_offset_s = 0.0},
+          {.app = &tx, .instances = 5, .start_offset_s = 0.0}};
+}
+
+/// Autonomous-vehicle workload of §IV-B: one long-latency Lane Detection
+/// plus dynamically arriving PD and TX instances.
+inline std::vector<workload::Stream> av_streams(const sim::SimApp& ld,
+                                                const sim::SimApp& pd,
+                                                const sim::SimApp& tx) {
+  return {{.app = &ld, .instances = 1, .start_offset_s = 0.0},
+          {.app = &pd, .instances = 5, .start_offset_s = 0.0},
+          {.app = &tx, .instances = 5, .start_offset_s = 0.0}};
+}
+
+inline const char* kSchedulers[] = {"RR", "EFT", "ETF", "HEFT_RT"};
+
+}  // namespace cedr::bench

@@ -1,0 +1,31 @@
+// A CEDR application packaged as a submittable shared object.
+//
+// This is the artifact the Fig. 3 workflow produces: the application is
+// compiled as a shared object that does NOT link the API implementations;
+// the daemon dlopens it, launches cedr_app_main on an application thread,
+// and every CEDR_* call inside resolves against the runtime
+// (libcedr-rt.so path). Submit it with:
+//
+//   cedr_daemon /tmp/cedr.sock &
+//   cedr_submit /tmp/cedr.sock ./libipc_app.so
+
+#include <cstdio>
+
+#include "cedr/apps/pulse_doppler.h"
+
+extern "C" void cedr_app_main() {
+  cedr::apps::PulseDopplerConfig config;
+  config.params.num_pulses = 32;
+  config.params.samples_per_pulse = 128;
+  config.nonblocking = true;
+  config.seed = 99;
+  const auto result = cedr::apps::run_pulse_doppler(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "[ipc_app] pulse doppler failed: %s\n",
+                 result.status().to_string().c_str());
+    return;
+  }
+  std::printf("[ipc_app] velocity=%.2f m/s (truth %.2f), range bin %zu\n",
+              result->estimate.velocity_mps, result->truth.velocity_mps,
+              result->estimate.range_bin);
+}

@@ -1,0 +1,92 @@
+// Pulse Doppler radar pipeline demo (paper workload #1).
+//
+// Runs the full PD application — synthetic echo, FFT range compression,
+// Doppler processing, peak extraction — three ways and compares:
+//   1. standalone blocking APIs (the bring-up flow),
+//   2. under a CEDR runtime with blocking APIs,
+//   3. under a CEDR runtime with non-blocking APIs (overlapped pulses).
+// Prints the recovered range/velocity against ground truth each time.
+
+#include <cstdio>
+
+#include "cedr/apps/pulse_doppler.h"
+#include "cedr/common/stopwatch.h"
+#include "cedr/runtime/runtime.h"
+
+using namespace cedr;
+
+namespace {
+
+apps::PulseDopplerConfig demo_config(bool nonblocking) {
+  apps::PulseDopplerConfig config;
+  config.params.num_pulses = 64;
+  config.params.samples_per_pulse = 256;
+  config.truth = {.range_bin = 77, .doppler_hz = 1875.0, .magnitude = 3.0};
+  config.noise_stddev = 0.05;
+  config.seed = 2026;
+  config.nonblocking = nonblocking;
+  return config;
+}
+
+void report(const char* label, const StatusOr<apps::PulseDopplerResult>& r,
+            double seconds) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", label,
+                 r.status().to_string().c_str());
+    return;
+  }
+  std::printf(
+      "%-28s range_bin=%3zu (truth %3zu)  velocity=%+8.2f m/s (truth "
+      "%+8.2f)  |err|=%.2f m/s  wall=%.1f ms\n",
+      label, r->estimate.range_bin, r->truth.range_bin,
+      r->estimate.velocity_mps, r->truth.velocity_mps,
+      r->velocity_error_mps, seconds * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Pulse Doppler: %u pulses x %u samples, 256-point FFT chain\n\n",
+              64, 256);
+
+  {
+    Stopwatch timer;
+    const auto result = apps::run_pulse_doppler(demo_config(false));
+    report("standalone blocking", result, timer.elapsed());
+  }
+
+  rt::RuntimeConfig rt_config;
+  rt_config.platform = platform::host(/*cpus=*/2, /*ffts=*/1);
+  rt_config.scheduler = "EFT";
+  rt::Runtime runtime(rt_config);
+  if (const Status s = runtime.start(); !s.ok()) {
+    std::fprintf(stderr, "runtime start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  for (const bool nonblocking : {false, true}) {
+    Stopwatch timer;
+    StatusOr<apps::PulseDopplerResult> result =
+        apps::PulseDopplerResult{};  // overwritten below
+    auto instance = runtime.submit_api(
+        nonblocking ? "pd_nonblocking" : "pd_blocking",
+        [&result, nonblocking] {
+          result = apps::run_pulse_doppler(demo_config(nonblocking));
+        });
+    if (!instance.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   instance.status().to_string().c_str());
+      return 1;
+    }
+    (void)runtime.wait_app(*instance);
+    report(nonblocking ? "runtime non-blocking APIs" : "runtime blocking APIs",
+           result, timer.elapsed());
+  }
+
+  std::printf("\nruntime scheduled %llu kernel calls across %zu PEs\n",
+              static_cast<unsigned long long>(
+                  runtime.counters().get("kernels_enqueued")),
+              runtime.config().platform.pes.size());
+  (void)runtime.shutdown();
+  return 0;
+}

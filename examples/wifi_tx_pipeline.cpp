@@ -1,0 +1,70 @@
+// WiFi TX pipeline demo (paper workload #2).
+//
+// Builds a frame of packets through the full chain — scramble, K=7
+// convolutional FEC, interleave, QPSK, 128-point OFDM IFFT — under a CEDR
+// runtime, then loops every transmitted symbol back through the receiver
+// oracle (FFT, slice, deinterleave, Viterbi, descramble) to prove the chain
+// is lossless.
+
+#include <cstdio>
+
+#include "cedr/apps/wifi_tx.h"
+#include "cedr/common/stopwatch.h"
+#include "cedr/runtime/runtime.h"
+
+using namespace cedr;
+
+int main() {
+  apps::WifiTxConfig config;
+  config.num_packets = 50;
+  config.payload_bits = 64;
+  config.seed = 7;
+  config.nonblocking = true;
+
+  rt::RuntimeConfig rt_config;
+  rt_config.platform = platform::host(/*cpus=*/2, /*ffts=*/1);
+  rt_config.scheduler = "HEFT_RT";
+  rt::Runtime runtime(rt_config);
+  if (const Status s = runtime.start(); !s.ok()) {
+    std::fprintf(stderr, "runtime start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  StatusOr<apps::WifiTxResult> tx = apps::WifiTxResult{};
+  Stopwatch timer;
+  auto instance = runtime.submit_api(
+      "wifi_tx", [&tx, &config] { tx = apps::run_wifi_tx(config); });
+  if (!instance.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 instance.status().to_string().c_str());
+    return 1;
+  }
+  (void)runtime.wait_all();
+  const double tx_time = timer.elapsed();
+  (void)runtime.shutdown();
+
+  if (!tx.ok()) {
+    std::fprintf(stderr, "WiFi TX failed: %s\n",
+                 tx.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("transmitted %zu packets (%zu payload bits each) in %.1f ms\n",
+              tx->symbols.size(), config.payload_bits, tx_time * 1e3);
+
+  // Receiver-side verification: every payload must decode exactly.
+  std::size_t decoded_ok = 0;
+  for (std::size_t p = 0; p < tx->symbols.size(); ++p) {
+    const auto decoded = apps::decode_wifi_symbol(tx->symbols[p], config);
+    if (decoded.ok() && *decoded == tx->payloads[p]) ++decoded_ok;
+  }
+  std::printf("receiver oracle recovered %zu/%zu payloads bit-exactly\n",
+              decoded_ok, tx->symbols.size());
+
+  // Show one packet's journey.
+  std::printf("packet 0 payload bits: ");
+  for (std::size_t i = 0; i < 16; ++i) std::printf("%d", tx->payloads[0][i]);
+  std::printf("...  first OFDM samples: (%.3f,%.3f) (%.3f,%.3f)\n",
+              tx->symbols[0][0].real(), tx->symbols[0][0].imag(),
+              tx->symbols[0][1].real(), tx->symbols[0][1].imag());
+  return decoded_ok == tx->symbols.size() ? 0 : 1;
+}

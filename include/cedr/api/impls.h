@@ -1,0 +1,47 @@
+#pragma once
+// libCEDR module implementations: per-PE-class task functions.
+//
+// This is the "libCEDR Modules" layer of Fig. 3: for every high-level API
+// there is, at minimum, a standard C/C++ implementation (the libcedr.a
+// path), and per-accelerator implementations that drive the platform's
+// emulated MMIO devices (the libcedr-rt.so path). The factories below build
+// the full per-PE-class implementation array for one API invocation over
+// caller-owned buffers; both the API layer (api.cpp) and DAG-based
+// application builders (apps/) use them, so CPU and accelerator execution
+// paths are bit-identical across programming models.
+//
+// Buffer lifetime: the returned TaskFns capture raw pointers; the caller
+// must keep the buffers alive until the task completes (for blocking APIs
+// that is automatic; for non-blocking APIs it is the user contract).
+
+#include <array>
+
+#include "cedr/common/math_util.h"
+#include "cedr/kernels/zip.h"
+#include "cedr/task/task.h"
+
+namespace cedr::api {
+
+using ImplArray = std::array<task::TaskFn, platform::kNumPeClasses>;
+
+/// FFT/IFFT of `n` points from `in` to `out` (may alias). CPU impl uses
+/// kernels::fft; FFT-accelerator and GPU impls drive ctx.device through the
+/// MMIO protocol (DMA in -> configure -> start -> poll -> DMA out).
+ImplArray make_fft_impls(const cfloat* in, cfloat* out, std::size_t n,
+                         bool inverse);
+
+/// Element-wise ZIP of `n` points.
+ImplArray make_zip_impls(const cfloat* a, const cfloat* b, cfloat* out,
+                         std::size_t n, kernels::ZipOp op);
+
+/// GEMM C(m x n) = A(m x k) * B(k x n).
+ImplArray make_mmult_impls(const float* a, const float* b, float* c,
+                           std::size_t m, std::size_t k, std::size_t n);
+
+/// Opaque CPU-only work: runs `fn` (may be empty) and, when `fn` is empty,
+/// spins for roughly `work_units` nanoseconds of reference-core time so DAG
+/// glue nodes have realistic service times in functional runs.
+ImplArray make_generic_impls(std::function<void()> fn,
+                             std::size_t work_units = 0);
+
+}  // namespace cedr::api

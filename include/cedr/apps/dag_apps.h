@@ -1,0 +1,48 @@
+#pragma once
+// DAG-based application variants (the pre-CEDR-API programming model).
+//
+// These builders produce the shared-object + JSON-DAG equivalent of the
+// API-based applications: every schedulable operation is one DAG node with
+// per-PE-class implementations bound (Task::impls), and temporal
+// dependencies are explicit edges. They exist so the repository can compare
+// the two programming models functionally (tests) and in timing (sim/,
+// bench/) exactly as the paper does.
+//
+// Each call returns a fresh descriptor with freshly allocated working
+// buffers captured inside the task implementations, so one descriptor
+// corresponds to one application instance (as in CEDR, where each submitted
+// instance gets its own state).
+
+#include <memory>
+
+#include "cedr/apps/pulse_doppler.h"
+#include "cedr/apps/wifi_tx.h"
+#include "cedr/common/status.h"
+#include "cedr/task/task.h"
+
+namespace cedr::apps {
+
+/// A DAG application plus an accessor for its end-to-end result, readable
+/// after the instance completes.
+struct PulseDopplerDag {
+  std::shared_ptr<const task::AppDescriptor> descriptor;
+  /// Valid after the runtime reports the instance complete.
+  std::function<PulseDopplerResult()> result;
+};
+
+/// Pulse Doppler as a DAG:
+///   chirp_fft -> {fft_p -> zip_p -> ifft_p} per pulse -> corner_turn
+///   -> doppler_fft per range bin -> peak_search
+/// Node count: 2 + 3*pulses + samples_per_pulse.
+StatusOr<PulseDopplerDag> make_pulse_doppler_dag(const PulseDopplerConfig& cfg);
+
+struct WifiTxDag {
+  std::shared_ptr<const task::AppDescriptor> descriptor;
+  std::function<WifiTxResult()> result;
+};
+
+/// WiFi TX as a DAG: {packet_glue_p -> ifft_p} per packet.
+/// Node count: 2*num_packets.
+StatusOr<WifiTxDag> make_wifi_tx_dag(const WifiTxConfig& cfg);
+
+}  // namespace cedr::apps

@@ -1,0 +1,61 @@
+#pragma once
+// Lane Detection application (paper workload #3, autonomous vehicles).
+//
+// "Lane Detection is a convolution intensive routine from [the] autonomous
+// vehicles domain" whose convolution runs in the frequency domain via FFT
+// and pointwise-product (ZIP) operations (§III). The CEDR-API pipeline:
+//   CPU glue: RGB -> grayscale
+//   Gaussian smoothing as frequency-domain convolution, decomposed into
+//     row/column 1-D transforms so every transform is one schedulable task:
+//       CEDR_FFT per padded row, corner turn, CEDR_FFT per padded column,
+//       CEDR_ZIP against the precomputed kernel spectrum,
+//       CEDR_IFFT per column, corner turn, CEDR_IFFT per row
+//   CPU glue: Sobel gradients -> threshold -> Hough transform -> lane fit.
+// For the paper's 960x540 frame this issues 2x1024 forward and 2x1024
+// inverse 1024-point transforms per smoothing pass; repeated passes (the
+// paper's multi-filter pipeline reaches 16384/8192) are configurable via
+// `smoothing_passes`.
+
+#include "cedr/common/rng.h"
+#include "cedr/common/status.h"
+#include "cedr/kernels/image.h"
+
+namespace cedr::apps {
+
+struct LaneDetectionConfig {
+  std::size_t rows = 540;
+  std::size_t cols = 960;
+  std::size_t gaussian_ksize = 7;
+  double gaussian_sigma = 1.5;
+  /// Number of smoothing passes; >1 models deeper convolution stacks.
+  std::size_t smoothing_passes = 1;
+  float edge_threshold = 0.9f;
+  double noise_stddev = 0.02;
+  std::uint64_t seed = 1;
+  bool nonblocking = false;
+};
+
+struct LaneDetectionResult {
+  kernels::LaneResult lanes;
+  kernels::RoadTruth truth;
+  /// Estimated slopes (dx/dy) recovered from the detected Hough lines.
+  double left_slope_error = 0.0;
+  double right_slope_error = 0.0;
+  bool both_lanes_found = false;
+  /// Total CEDR_FFT/CEDR_IFFT calls issued (for workload accounting).
+  std::size_t fft_calls = 0;
+  std::size_t ifft_calls = 0;
+};
+
+/// Runs lane detection on a synthesized road frame through the CEDR APIs.
+StatusOr<LaneDetectionResult> run_lane_detection(const LaneDetectionConfig& cfg);
+
+/// The smoothing stage alone (exposed for tests): frequency-domain Gaussian
+/// blur of `in` using CEDR calls; counts transforms into the two counters.
+StatusOr<kernels::GrayImage> gaussian_blur_cedr(const kernels::GrayImage& in,
+                                                std::size_t ksize, double sigma,
+                                                bool nonblocking,
+                                                std::size_t& fft_calls,
+                                                std::size_t& ifft_calls);
+
+}  // namespace cedr::apps

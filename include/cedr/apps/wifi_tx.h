@@ -1,0 +1,45 @@
+#pragma once
+// WiFi TX application (paper workload #2).
+//
+// "WiFi TX generates packets of 64 bits and prepares for transmission over
+// an arbitrary channel through scrambler, encoder, modulation, and forward
+// error correction processes. WiFi TX relies on 128-point inverse FFT for
+// each packet transmitted." (§III). Per packet:
+//   CPU glue: scramble -> convolutional encode -> interleave -> QPSK map
+//   CEDR_IFFT(128): OFDM symbol synthesis
+// A frame of num_packets packets issues num_packets IFFTs; the paper's
+// "number of FFTs scaling to 100" corresponds to num_packets = 100.
+
+#include <vector>
+
+#include "cedr/common/math_util.h"
+#include "cedr/common/status.h"
+
+namespace cedr::apps {
+
+struct WifiTxConfig {
+  std::size_t num_packets = 100;
+  std::size_t payload_bits = 64;   ///< per packet, pre-FEC
+  std::size_t ofdm_size = 128;     ///< IFFT length
+  std::uint8_t scrambler_seed = 0x5D;
+  std::uint64_t seed = 1;
+  bool nonblocking = false;
+};
+
+struct WifiTxResult {
+  /// One time-domain OFDM symbol per packet, ofdm_size samples each.
+  std::vector<std::vector<cfloat>> symbols;
+  /// Original payload bits per packet (for receiver-side verification).
+  std::vector<std::vector<std::uint8_t>> payloads;
+};
+
+/// Builds and "transmits" a frame of packets through the CEDR APIs.
+StatusOr<WifiTxResult> run_wifi_tx(const WifiTxConfig& cfg);
+
+/// Receiver-side oracle: demodulates one transmitted symbol back to payload
+/// bits (FFT -> QPSK slice -> deinterleave -> Viterbi -> descramble).
+/// Used by tests to prove the TX chain is lossless.
+StatusOr<std::vector<std::uint8_t>> decode_wifi_symbol(
+    const std::vector<cfloat>& symbol, const WifiTxConfig& cfg);
+
+}  // namespace cedr::apps

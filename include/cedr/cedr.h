@@ -1,0 +1,103 @@
+#pragma once
+// cedr.h — the public libCEDR API (CEDR-API programming model).
+//
+// "APIs for use in application code are exposed to developers through the
+// cedr.h header file. This header contains high level kernel declarations
+// that do not contain any implementation details of the underlying
+// operation." (paper §II-C)
+//
+// Two execution modes, selected automatically per calling thread:
+//
+//   Standalone (the libcedr.a path): the calling thread is not bound to a
+//   CEDR runtime; every API executes its standard C/C++ implementation
+//   inline. This is the rapid bring-up flow — develop and validate the
+//   application as an ordinary CPU program.
+//
+//   Runtime-attached (the libcedr-rt.so path): the calling thread is an
+//   application thread spawned by rt::Runtime::submit_api. Each API call
+//   packages a task, enqueues it with the runtime (enqueue_kernel), and —
+//   for the blocking forms — sleeps on a condition variable until the
+//   worker thread executing the task signals completion (paper Fig. 4).
+//
+// Non-blocking forms (_NB suffix) return a cedr_handle_t immediately so
+// "performance programmers [can] maximally exploit opportunities for
+// parallelism"; synchronize with CEDR_WAIT / CEDR_BARRIER. Input and output
+// buffers must stay alive and unmodified until the handle is waited on.
+//
+// All APIs return a Status (OK in the overwhelming case); the paper's
+// void-returning style maps to ignoring it.
+
+#include <complex>
+#include <cstddef>
+
+#include "cedr/common/status.h"
+
+namespace cedr {
+
+/// Complex sample type shared by the signal-processing APIs.
+using cedr_cplx = std::complex<float>;
+
+/// Element-wise operation selector for CEDR_ZIP (matches kernels::ZipOp).
+enum class CedrZipOp : int {
+  kMultiply = 0,
+  kConjugateMultiply = 1,
+  kAdd = 2,
+  kSubtract = 3,
+};
+
+/// Opaque completion handle returned by non-blocking APIs.
+struct cedr_handle;
+using cedr_handle_t = cedr_handle*;
+
+// --- Blocking APIs ---------------------------------------------------------
+
+/// size-point forward FFT from input to output (may alias).
+/// size must be a power of two.
+Status CEDR_FFT(const cedr_cplx* input, cedr_cplx* output, std::size_t size);
+
+/// size-point inverse FFT (normalized so IFFT(FFT(x)) == x).
+Status CEDR_IFFT(const cedr_cplx* input, cedr_cplx* output, std::size_t size);
+
+/// Element-wise op over two size-point vectors.
+Status CEDR_ZIP(const cedr_cplx* a, const cedr_cplx* b, cedr_cplx* output,
+                std::size_t size, CedrZipOp op = CedrZipOp::kMultiply);
+
+/// Row-major GEMM: C(m x n) = A(m x k) * B(k x n).
+Status CEDR_MMULT(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n);
+
+// --- Non-blocking APIs -----------------------------------------------------
+
+/// Non-blocking variants: enqueue and return a handle. In standalone mode
+/// the operation executes inline and the handle is already complete. A null
+/// return means the request was rejected (invalid arguments).
+cedr_handle_t CEDR_FFT_NB(const cedr_cplx* input, cedr_cplx* output,
+                          std::size_t size);
+cedr_handle_t CEDR_IFFT_NB(const cedr_cplx* input, cedr_cplx* output,
+                           std::size_t size);
+cedr_handle_t CEDR_ZIP_NB(const cedr_cplx* a, const cedr_cplx* b,
+                          cedr_cplx* output, std::size_t size,
+                          CedrZipOp op = CedrZipOp::kMultiply);
+cedr_handle_t CEDR_MMULT_NB(const float* a, const float* b, float* c,
+                            std::size_t m, std::size_t k, std::size_t n);
+
+/// Blocks until the task behind `handle` completes, releases the handle and
+/// returns the task's status. Each handle must be waited on exactly once
+/// (CEDR_BARRIER counts).
+Status CEDR_WAIT(cedr_handle_t handle);
+
+/// Waits on `count` handles, releasing each; returns the first non-OK
+/// status encountered (after waiting on all).
+Status CEDR_BARRIER(cedr_handle_t* handles, std::size_t count);
+
+/// Non-blocking completion poll; the handle remains live.
+bool CEDR_POLL(cedr_handle_t handle);
+
+namespace api {
+
+/// True when the calling thread is bound to a CEDR runtime (i.e. it is an
+/// application thread spawned by Runtime::submit_api).
+bool runtime_attached() noexcept;
+
+}  // namespace api
+}  // namespace cedr

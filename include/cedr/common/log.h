@@ -1,0 +1,50 @@
+#pragma once
+// Minimal leveled logger.
+//
+// The CEDR daemon is long-running and multi-threaded; log emission is
+// serialized by an internal mutex and each record carries a monotonic
+// timestamp and the emitting thread id, mirroring the diagnostic logs of the
+// original runtime. Logging defaults to kWarn so benchmarks stay quiet.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cedr::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level; records below it are dropped.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits one record. Thread-safe.
+void write(Level level, std::string_view component, std::string_view message);
+
+/// Stream-style builder: LogLine(Level::kInfo, "runtime") << "x=" << x;
+class LogLine {
+ public:
+  LogLine(Level level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cedr::log
+
+#define CEDR_LOG(severity, component)                               \
+  if (::cedr::log::Level::severity < ::cedr::log::level()) {        \
+  } else                                                            \
+    ::cedr::log::LogLine(::cedr::log::Level::severity, component)

@@ -1,0 +1,79 @@
+#pragma once
+// Small numeric helpers shared by kernels, platform models and benchmarks.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace cedr {
+
+using cfloat = std::complex<float>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// True when n is a power of two (n >= 1).
+constexpr bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// log2 of a power of two. Precondition: is_power_of_two(n).
+constexpr unsigned log2_exact(std::size_t n) noexcept {
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+/// Smallest power of two >= n (n >= 1).
+constexpr std::size_t next_power_of_two(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Arithmetic mean; 0 for an empty range.
+inline double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+inline double stddev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+/// Maximum |a[i] - b[i]| across two equal-length ranges.
+inline float max_abs_diff(std::span<const cfloat> a,
+                          std::span<const cfloat> b) noexcept {
+  assert(a.size() == b.size());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+/// Sum of |x|^2 (signal energy), used for Parseval property checks.
+inline double energy(std::span<const cfloat> x) noexcept {
+  double acc = 0.0;
+  for (const auto& v : x) acc += static_cast<double>(std::norm(v));
+  return acc;
+}
+
+/// Clamps v to [lo, hi].
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) noexcept {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace cedr

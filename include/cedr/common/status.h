@@ -1,0 +1,137 @@
+#pragma once
+// Lightweight Status / StatusOr error-reporting types.
+//
+// CEDR's public surface crosses a C ABI (cedr.h) and several thread
+// boundaries, so exceptions are confined to construction-time failures of
+// internal objects; every fallible operation on the public surface reports
+// through Status instead.
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cedr {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kResourceExhausted,
+  kAborted,
+};
+
+/// Human-readable name for a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// Result of a fallible operation: a code plus an optional message.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "CODE_NAME: message" rendering for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status Aborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+
+/// Either a value of type T or a non-OK Status describing why it is absent.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(rep_).ok() && "OK status carries no value");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT implicit
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(rep_);
+  }
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+  /// Precondition: ok().
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] T&& operator*() && { return std::move(*this).value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define CEDR_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::cedr::Status cedr_status_ = (expr);            \
+    if (!cedr_status_.ok()) return cedr_status_;     \
+  } while (false)
+
+}  // namespace cedr

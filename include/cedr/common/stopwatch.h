@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock stopwatch for overhead accounting in the threaded runtime.
+
+#include <chrono>
+
+namespace cedr {
+
+/// Monotonic stopwatch; elapsed() reports seconds since construction/reset.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since the last reset.
+  [[nodiscard]] double elapsed() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since the last reset.
+  [[nodiscard]] double elapsed_us() const noexcept { return elapsed() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cedr

@@ -1,0 +1,90 @@
+#pragma once
+// IPC submission flow (paper Fig. 1).
+//
+// CEDR runs as a daemon; applications are submitted to it over
+// inter-process communication and a shutdown command makes it serialize its
+// logs. This module implements that flow over a Unix-domain stream socket
+// with a line-oriented protocol:
+//
+//   SUBMIT <path-to-shared-object> [app-name]   -> OK <instance-id> | ERR msg
+//   SUBMITDAG <path-to-dag-json> [app-name]      -> OK <instance-id> | ERR msg
+//   STATUS                                      -> OK submitted=N completed=M
+//   WAIT                                        -> OK            (drains apps)
+//   SHUTDOWN                                    -> OK            (stops daemon)
+//
+// A submitted shared object must export  extern "C" void cedr_app_main(void);
+// The daemon dlopens it and launches cedr_app_main as an API-mode
+// application thread, so every CEDR_* call inside it is scheduled by the
+// daemon's runtime — exactly the libcedr-rt.so execution path of Fig. 3.
+
+#include <string>
+#include <thread>
+
+#include "cedr/common/status.h"
+#include "cedr/runtime/runtime.h"
+
+namespace cedr::ipc {
+
+/// Server half: accepts submissions for an existing runtime.
+class IpcServer {
+ public:
+  /// `trace_path`: where execution logs are serialized on SHUTDOWN
+  /// (empty string disables serialization).
+  IpcServer(rt::Runtime& runtime, std::string socket_path,
+            std::string trace_path = "");
+  IpcServer(const IpcServer&) = delete;
+  IpcServer& operator=(const IpcServer&) = delete;
+  ~IpcServer();
+
+  /// Binds the socket and starts the accept loop.
+  Status start();
+  /// Stops accepting and joins the accept thread. Idempotent.
+  void stop();
+  /// Blocks until a SHUTDOWN command has been processed.
+  void wait_for_shutdown();
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return socket_path_;
+  }
+
+ private:
+  void accept_loop();
+  std::string handle_command(const std::string& line);
+
+  rt::Runtime& runtime_;
+  std::string socket_path_;
+  std::string trace_path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  std::vector<void*> loaded_objects_;  ///< dlopen handles, closed in dtor
+  std::mutex objects_mutex_;
+};
+
+/// Client half: one round-trip per call.
+class IpcClient {
+ public:
+  explicit IpcClient(std::string socket_path)
+      : socket_path_(std::move(socket_path)) {}
+
+  /// Submits a shared-object application; returns the instance id.
+  StatusOr<std::uint64_t> submit(const std::string& so_path,
+                                 const std::string& app_name = "");
+  /// Submits an executable JSON DAG application (apps/executable_dag.h).
+  StatusOr<std::uint64_t> submit_dag(const std::string& json_path);
+  /// Returns (submitted, completed).
+  StatusOr<std::pair<std::uint64_t, std::uint64_t>> status();
+  /// Blocks server-side until all submitted applications complete.
+  Status wait_all();
+  /// Asks the daemon to serialize logs and exit its accept loop.
+  Status shutdown();
+
+ private:
+  StatusOr<std::string> round_trip(const std::string& command);
+  std::string socket_path_;
+};
+
+}  // namespace cedr::ipc

@@ -1,0 +1,114 @@
+#pragma once
+// Self-contained JSON value model, parser and serializer.
+//
+// CEDR's DAG-based application format, runtime configuration files and
+// serialized execution traces are all JSON documents; this module is the
+// single implementation behind those paths. It supports the full JSON
+// grammar (RFC 8259) including \uXXXX escapes (with surrogate pairs),
+// reports parse errors with line/column positions, and round-trips numbers
+// as either int64 or double.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cedr/common/status.h"
+
+namespace cedr::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Object members sorted by key; CEDR documents never depend on member order.
+using Object = std::map<std::string, Value, std::less<>>;
+
+/// Discriminator for Value.
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// A JSON document node. Integers and doubles are kept distinct so task ids
+/// and counts survive round-trips exactly.
+class Value {
+ public:
+  Value() noexcept : type_(Type::kNull) {}
+  Value(std::nullptr_t) noexcept : type_(Type::kNull) {}  // NOLINT implicit
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(int i) noexcept : type_(Type::kInt), int_(i) {}  // NOLINT
+  Value(std::int64_t i) noexcept : type_(Type::kInt), int_(i) {}  // NOLINT
+  Value(std::size_t i) noexcept  // NOLINT implicit
+      : type_(Type::kInt), int_(static_cast<std::int64_t>(i)) {}
+  Value(double d) noexcept : type_(Type::kDouble), double_(d) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_int() const noexcept { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_double() const noexcept { return type_ == Type::kDouble; }
+  [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; preconditions enforced by assert in debug builds.
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const noexcept {
+    return is_double() ? static_cast<std::int64_t>(double_) : int_;
+  }
+  [[nodiscard]] double as_double() const noexcept {
+    return is_int() ? static_cast<double>(int_) : double_;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept { return string_; }
+  [[nodiscard]] const Array& as_array() const noexcept { return array_; }
+  [[nodiscard]] Array& as_array() noexcept { return array_; }
+  [[nodiscard]] const Object& as_object() const noexcept { return object_; }
+  [[nodiscard]] Object& as_object() noexcept { return object_; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// Typed member lookups with defaults, for tolerant config parsing.
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const noexcept;
+  [[nodiscard]] double get_double(std::string_view key,
+                                  double fallback) const noexcept;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const noexcept;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+
+  /// Serializes compactly (no whitespace).
+  [[nodiscard]] std::string dump() const;
+  /// Serializes with 2-space indentation.
+  [[nodiscard]] std::string dump_pretty() const;
+
+  friend bool operator==(const Value& a, const Value& b) noexcept;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace is an error.
+StatusOr<Value> parse(std::string_view text);
+
+/// Reads and parses a JSON file.
+StatusOr<Value> parse_file(const std::string& path);
+
+/// Writes `value` to `path`, pretty-printed.
+Status write_file(const std::string& path, const Value& value);
+
+}  // namespace cedr::json

@@ -1,0 +1,48 @@
+#pragma once
+// Convolution kernels: direct and frequency-domain.
+//
+// Lane Detection implements its convolutions in the frequency domain
+// (FFT -> pointwise product -> IFFT) following Abtahi et al. [11 in the
+// paper], which is what makes the application FFT-accelerator friendly.
+// Direct spatial convolution is kept as the correctness oracle and as the
+// CPU-only fallback path.
+
+#include <span>
+#include <vector>
+
+#include "cedr/common/math_util.h"
+#include "cedr/common/status.h"
+
+namespace cedr::kernels {
+
+/// Full linear convolution of two real sequences (output length a+b-1),
+/// computed directly in O(len(a)*len(b)).
+std::vector<float> conv1d_direct(std::span<const float> a,
+                                 std::span<const float> b);
+
+/// Same result computed via zero-padded FFTs in O(N log N).
+StatusOr<std::vector<float>> conv1d_fft(std::span<const float> a,
+                                        std::span<const float> b);
+
+/// Circular (cyclic) convolution of equal-length complex sequences via FFT.
+Status circular_conv_fft(std::span<const cfloat> a, std::span<const cfloat> b,
+                         std::span<cfloat> out);
+
+/// 2-D "same"-size convolution of an image (rows x cols, row-major) with a
+/// square kernel (ksize odd), zero padding at borders, computed directly.
+Status conv2d_direct(std::span<const float> image, std::size_t rows,
+                     std::size_t cols, std::span<const float> kernel,
+                     std::size_t ksize, std::span<float> out);
+
+/// Same contract as conv2d_direct but computed with row/column 1-D FFT
+/// passes over zero-padded tiles. This is the decomposition Lane Detection
+/// dispatches to the FFT accelerator: each row/column transform is one
+/// schedulable CEDR task in the application.
+Status conv2d_fft(std::span<const float> image, std::size_t rows,
+                  std::size_t cols, std::span<const float> kernel,
+                  std::size_t ksize, std::span<float> out);
+
+/// Normalized ksize x ksize Gaussian kernel with standard deviation sigma.
+std::vector<float> gaussian_kernel(std::size_t ksize, double sigma);
+
+}  // namespace cedr::kernels

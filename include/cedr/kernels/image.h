@@ -1,0 +1,96 @@
+#pragma once
+// Image-processing kernels for the Lane Detection application.
+//
+// Lane Detection is "a convolution intensive routine from autonomous
+// vehicles domain" whose convolutions run in the frequency domain
+// (FFT + ZIP). The pipeline implemented here: RGB -> grayscale -> Gaussian
+// smoothing (FFT convolution) -> Sobel gradients -> magnitude threshold ->
+// Hough transform -> left/right lane-line extraction. A synthetic road-image
+// generator provides ground truth, substituting for the paper's camera
+// frames (see DESIGN.md §2).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cedr/common/rng.h"
+#include "cedr/common/status.h"
+
+namespace cedr::kernels {
+
+/// Row-major single-channel float image.
+struct GrayImage {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> pixels;  ///< rows * cols, values nominally in [0, 1]
+
+  GrayImage() = default;
+  GrayImage(std::size_t r, std::size_t c) : rows(r), cols(c), pixels(r * c) {}
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return pixels[r * cols + c];
+  }
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+    return pixels[r * cols + c];
+  }
+};
+
+/// Row-major interleaved RGB image, 8 bits per channel.
+struct RgbImage {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint8_t> pixels;  ///< rows * cols * 3
+
+  RgbImage() = default;
+  RgbImage(std::size_t r, std::size_t c) : rows(r), cols(c), pixels(r * c * 3) {}
+};
+
+/// A detected line in Hough normal form: x cos(theta) + y sin(theta) = rho,
+/// with x = column and y = row.
+struct HoughLine {
+  double rho = 0.0;    ///< signed distance from origin, in pixels
+  double theta = 0.0;  ///< normal angle in radians, [0, pi)
+  std::uint32_t votes = 0;
+};
+
+/// Result of the full lane-detection pipeline.
+struct LaneResult {
+  std::optional<HoughLine> left;   ///< line with negative image slope
+  std::optional<HoughLine> right;  ///< line with positive image slope
+  std::size_t edge_pixels = 0;     ///< pixels surviving the threshold
+};
+
+/// ITU-R BT.601 luma conversion to [0, 1] floats.
+GrayImage rgb_to_gray(const RgbImage& rgb);
+
+/// Gaussian smoothing via frequency-domain convolution (kernels/conv.h).
+StatusOr<GrayImage> gaussian_blur_fft(const GrayImage& in, std::size_t ksize,
+                                      double sigma);
+
+/// 3x3 Sobel operator; returns the gradient magnitude image.
+GrayImage sobel_magnitude(const GrayImage& in);
+
+/// Binary threshold: out = in >= threshold ? 1 : 0.
+GrayImage threshold(const GrayImage& in, float level);
+
+/// Hough line transform over nonzero pixels of a binary image.
+/// Returns up to `max_lines` peak lines sorted by votes (descending), with
+/// non-maximum suppression over a (rho, theta) neighborhood.
+std::vector<HoughLine> hough_lines(const GrayImage& binary,
+                                   std::size_t max_lines,
+                                   std::uint32_t min_votes);
+
+/// Ground truth for the synthetic road generator.
+struct RoadTruth {
+  double left_slope = 0.0;    ///< dx/dy of the left lane marking
+  double left_offset = 0.0;   ///< column of the left marking at the bottom row
+  double right_slope = 0.0;
+  double right_offset = 0.0;
+};
+
+/// Renders a synthetic straight-road scene: dark asphalt, two bright lane
+/// markings converging toward a vanishing point, plus optional noise.
+RgbImage synthesize_road(std::size_t rows, std::size_t cols, RoadTruth& truth,
+                         double noise_stddev, Rng& rng);
+
+}  // namespace cedr::kernels

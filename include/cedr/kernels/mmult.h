@@ -1,0 +1,29 @@
+#pragma once
+// Matrix multiplication kernels.
+//
+// The Fig. 6/7 hardware configuration includes an MMULT accelerator on the
+// ZCU102 fabric; this is its CPU reference implementation (row-major GEMM)
+// plus the cache-blocked variant used for larger operands.
+
+#include <span>
+
+#include "cedr/common/status.h"
+
+namespace cedr::kernels {
+
+/// C(m x n) = A(m x k) * B(k x n), row-major, single precision.
+/// Span sizes must match the stated shapes exactly.
+Status mmult(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n);
+
+/// Cache-blocked GEMM with the same contract as mmult(). `block` of 0 picks
+/// a default (64).
+Status mmult_blocked(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t m, std::size_t k,
+                     std::size_t n, std::size_t block = 0);
+
+/// out(n x m) = transpose of in(m x n).
+void transpose(std::span<const float> in, std::span<float> out, std::size_t m,
+               std::size_t n);
+
+}  // namespace cedr::kernels

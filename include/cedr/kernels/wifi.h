@@ -1,0 +1,63 @@
+#pragma once
+// WiFi TX baseband chain (802.11a-style).
+//
+// The paper's WiFi TX application "generates packets of 64 bits and prepares
+// for transmission over an arbitrary channel through scrambler, encoder,
+// modulation, and forward error correction processes" and "relies on a
+// 128-point inverse FFT for each packet transmitted". These are the stage
+// kernels; the end-to-end pipeline lives in apps/. The receive-side inverses
+// (descrambler, deinterleaver, Viterbi decoder, QPSK slicer) are implemented
+// as correctness oracles for round-trip property tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cedr/common/math_util.h"
+#include "cedr/common/status.h"
+
+namespace cedr::kernels {
+
+/// Bits are one bool per element throughout this module.
+using BitVec = std::vector<std::uint8_t>;
+
+/// 802.11 frame-synchronous scrambler, polynomial x^7 + x^4 + 1.
+/// Self-inverse: scramble(scramble(x, s), s) == x. `seed` is the 7-bit
+/// initial LFSR state (nonzero).
+BitVec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed);
+
+/// Rate-1/2, constraint-length-7 convolutional encoder with the standard
+/// generator polynomials 133/171 (octal). Output is 2*len(input) bits; the
+/// encoder is flushed with 6 tail zeros by the caller if termination is
+/// desired.
+BitVec convolutional_encode(std::span<const std::uint8_t> bits);
+
+/// Hard-decision Viterbi decoder matching convolutional_encode. Input length
+/// must be even. Decodes len(input)/2 bits assuming the encoder started in
+/// state 0; a terminated trellis (6 tail zeros encoded) gives exact recovery.
+StatusOr<BitVec> viterbi_decode(std::span<const std::uint8_t> coded);
+
+/// Block interleaver: writes row-major into a (len/depth) x depth matrix and
+/// reads column-major. `bits.size()` must be divisible by depth.
+StatusOr<BitVec> interleave(std::span<const std::uint8_t> bits,
+                            std::size_t depth);
+/// Inverse of interleave with identical constraints.
+StatusOr<BitVec> deinterleave(std::span<const std::uint8_t> bits,
+                              std::size_t depth);
+
+/// Maps bit pairs to Gray-coded QPSK symbols (unit energy). Input length
+/// must be even.
+StatusOr<std::vector<cfloat>> qpsk_modulate(std::span<const std::uint8_t> bits);
+
+/// Nearest-symbol hard demapper, inverse of qpsk_modulate.
+BitVec qpsk_demodulate(std::span<const cfloat> symbols);
+
+/// IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320) over whole bytes.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Packs bits (LSB-first per byte) into bytes; size must be a multiple of 8.
+StatusOr<std::vector<std::uint8_t>> pack_bits(std::span<const std::uint8_t> bits);
+/// Unpacks bytes into bits, LSB-first.
+BitVec unpack_bytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace cedr::kernels

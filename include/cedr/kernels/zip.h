@@ -1,0 +1,33 @@
+#pragma once
+// ZIP: element-wise ("zipped") vector operations.
+//
+// The paper uses ZIP — pointwise complex product — as the second
+// accelerator-backed kernel besides FFT (frequency-domain convolution in
+// Lane Detection is FFT -> ZIP -> IFFT). CEDR's ZIP family also covers the
+// other pointwise ops the applications need.
+
+#include <span>
+
+#include "cedr/common/math_util.h"
+#include "cedr/common/status.h"
+
+namespace cedr::kernels {
+
+/// Element-wise operation selector for zip().
+enum class ZipOp {
+  kMultiply,          ///< out[i] = a[i] * b[i]
+  kConjugateMultiply, ///< out[i] = a[i] * conj(b[i]) (matched filtering)
+  kAdd,               ///< out[i] = a[i] + b[i]
+  kSubtract,          ///< out[i] = a[i] - b[i]
+};
+
+/// Applies `op` element-wise. All three spans must be the same length;
+/// `out` may alias `a` or `b`.
+Status zip(std::span<const cfloat> a, std::span<const cfloat> b,
+           std::span<cfloat> out, ZipOp op);
+
+/// out[i] = a[i] * scale.
+void scale(std::span<const cfloat> a, cfloat scale_factor,
+           std::span<cfloat> out);
+
+}  // namespace cedr::kernels

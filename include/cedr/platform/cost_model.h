@@ -1,0 +1,63 @@
+#pragma once
+// Per-(kernel, PE class) execution cost model.
+//
+// CEDR's EFT/ETF/HEFT_RT heuristics need expected execution times for every
+// (task, PE) pairing; the original framework obtains them from offline
+// profiling tables. Here the same tables are analytic: cost(kernel, n, pe) =
+// fixed + per_point * n + per_nlogn * n*log2(n), plus a data-movement term
+// for accelerator classes (DMA over AXI4-Stream on the ZCU102,
+// cudaMemcpy over PCIe on the Jetson). Constants are calibrated against the
+// magnitudes the paper reports; see platform.cpp for provenance notes.
+
+#include <array>
+#include <cstddef>
+
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/platform/kernel_id.h"
+#include "cedr/platform/pe.h"
+
+namespace cedr::platform {
+
+/// Cost coefficients for one (kernel, PE class) pairing.
+struct KernelCost {
+  double fixed_s = 0.0;      ///< per-invocation overhead (dispatch/setup)
+  double per_point_s = 0.0;  ///< marginal seconds per element
+  double per_nlogn_s = 0.0;  ///< marginal seconds per n*log2(n)
+
+  /// Evaluates the polynomial at problem size n.
+  [[nodiscard]] double eval(std::size_t n) const noexcept;
+};
+
+/// Full profiling table for a platform.
+class CostModel {
+ public:
+  CostModel();
+
+  /// Sets the coefficients for one pairing.
+  void set(KernelId kernel, PeClass cls, KernelCost cost) noexcept;
+  [[nodiscard]] const KernelCost& get(KernelId kernel,
+                                      PeClass cls) const noexcept;
+
+  /// Per-byte transfer cost to/from a PE class (0 for CPUs).
+  void set_transfer(PeClass cls, double seconds_per_byte,
+                    double fixed_s) noexcept;
+
+  /// Expected execution time of `kernel` at problem size `n` on `cls`,
+  /// including the data transfer of `bytes` for accelerator classes.
+  /// Unsupported pairings return +infinity (schedulers treat them as
+  /// unmappable).
+  [[nodiscard]] double estimate(KernelId kernel, PeClass cls, std::size_t n,
+                                std::size_t bytes) const noexcept;
+
+  /// Serialization for runtime-configuration files.
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<CostModel> from_json(const json::Value& value);
+
+ private:
+  std::array<std::array<KernelCost, kNumPeClasses>, kNumKernelIds> table_{};
+  std::array<double, kNumPeClasses> transfer_per_byte_{};
+  std::array<double, kNumPeClasses> transfer_fixed_{};
+};
+
+}  // namespace cedr::platform

@@ -1,0 +1,33 @@
+#pragma once
+// Identifiers for the schedulable kernel APIs exposed through cedr.h.
+//
+// Every libCEDR API call carries one of these ids; the runtime uses the id
+// to look up (a) which PEs can execute the call and (b) the expected cost
+// of each (kernel, PE) pairing from the platform profiling tables.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cedr::platform {
+
+/// Hardware-agnostic kernel identity.
+enum class KernelId : std::uint8_t {
+  kFft = 0,    ///< forward complex FFT
+  kIfft,       ///< inverse complex FFT
+  kZip,        ///< element-wise complex vector op
+  kMmult,      ///< single-precision GEMM
+  kGeneric,    ///< opaque CPU-only computation (DAG glue nodes)
+  kCount,      ///< number of kernel ids (not a kernel)
+};
+
+inline constexpr std::size_t kNumKernelIds =
+    static_cast<std::size_t>(KernelId::kCount);
+
+/// Stable string name ("FFT", "IFFT", "ZIP", "MMULT", "GENERIC").
+std::string_view kernel_name(KernelId id) noexcept;
+
+/// Inverse of kernel_name; nullopt for unknown names.
+std::optional<KernelId> kernel_from_name(std::string_view name) noexcept;
+
+}  // namespace cedr::platform

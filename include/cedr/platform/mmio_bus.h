@@ -1,0 +1,60 @@
+#pragma once
+// Address-mapped MMIO bus.
+//
+// On the real ZCU102, libCEDR's platform.h "provides global information
+// about the platform in use such as base addresses for accelerators' AXI4
+// interfaces to enable driverless memory-mapped I/O control" (paper §II-C).
+// MmioBus is that address map in emulated form: devices are registered at
+// base addresses and accessed by absolute address, exactly as a driverless
+// userspace runtime would after mmap()ing /dev/mem. Each device occupies a
+// fixed-size window; register offsets within the window follow DeviceReg.
+//
+// The bus complements direct MmioDevice handles: the runtime's workers hold
+// device pointers (fast path), while the bus supports address-oriented
+// code — platform bring-up tools, address-map validation, and tests that
+// exercise decoding errors (unmapped or misaligned accesses).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "cedr/common/status.h"
+#include "cedr/platform/mmio_device.h"
+
+namespace cedr::platform {
+
+/// Bytes of address space each device window occupies.
+inline constexpr std::uint64_t kDeviceWindowBytes = 0x1000;  // 4 KiB, AXI-lite
+/// Word size of the register file (addresses must be word aligned).
+inline constexpr std::uint64_t kRegisterBytes = 4;
+
+/// An address decoder over a set of emulated devices.
+class MmioBus {
+ public:
+  /// Maps `device` at `base`. Fails if the 4 KiB window overlaps an
+  /// existing mapping or the base is not window-aligned. The bus takes
+  /// ownership.
+  Status map(std::uint64_t base, std::unique_ptr<MmioDevice> device);
+
+  /// Device lookup by base address (nullptr when unmapped).
+  [[nodiscard]] MmioDevice* at(std::uint64_t base) const noexcept;
+
+  /// Register access by absolute address: base + word offset of DeviceReg.
+  Status write_word(std::uint64_t address, std::uint32_t value);
+  StatusOr<std::uint32_t> read_word(std::uint64_t address);
+
+  /// Number of mapped devices.
+  [[nodiscard]] std::size_t size() const noexcept { return devices_.size(); }
+
+  /// Base addresses in ascending order (the platform.h address table).
+  [[nodiscard]] std::vector<std::uint64_t> bases() const;
+
+ private:
+  /// Resolves an absolute address to (device, register). Errors on
+  /// unmapped windows, misalignment, or out-of-window register offsets.
+  StatusOr<std::pair<MmioDevice*, DeviceReg>> decode(std::uint64_t address);
+
+  std::map<std::uint64_t, std::unique_ptr<MmioDevice>> devices_;
+};
+
+}  // namespace cedr::platform

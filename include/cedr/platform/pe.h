@@ -1,0 +1,51 @@
+#pragma once
+// Processing-element descriptions.
+//
+// A CEDR platform is a pool of processing elements: general-purpose CPU
+// cores plus fixed-function accelerators (FPGA FFT/MMULT IP on the ZCU102,
+// CUDA-dispatched FFT/ZIP on the Jetson's GPU). Each PE is paired with a
+// worker thread; accelerator workers run *on* a CPU core and coordinate
+// configuration and data transfer for their device (paper §II-A).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cedr/platform/kernel_id.h"
+
+namespace cedr::platform {
+
+/// Broad class of a processing element; cost tables key on this.
+enum class PeClass : std::uint8_t {
+  kCpu = 0,
+  kFftAccel,
+  kMmultAccel,
+  kGpu,
+  kCount,
+};
+
+inline constexpr std::size_t kNumPeClasses =
+    static_cast<std::size_t>(PeClass::kCount);
+
+/// Stable string name ("cpu", "fft", "mmult", "gpu").
+std::string_view pe_class_name(PeClass cls) noexcept;
+
+/// One processing element in the resource pool.
+struct PeDescriptor {
+  std::string name;          ///< unique, e.g. "cpu1", "fft0"
+  PeClass cls = PeClass::kCpu;
+  double clock_hz = 1.0e9;   ///< nominal clock, informs cost scaling
+  /// Per-PE throughput relative to its class's cost table (1.0 = table
+  /// speed). Enables heterogeneous CPU pools — the paper's future-work
+  /// big.LITTLE proposal models LITTLE cores as speed_factor < 1.
+  double speed_factor = 1.0;
+  /// Which kernels this PE can execute. CPU cores execute everything; the
+  /// FFT accelerator executes kFft/kIfft; MMULT executes kMmult; the GPU
+  /// executes kFft/kIfft/kZip (the CUDA kernels the paper implements).
+  [[nodiscard]] bool supports(KernelId kernel) const noexcept;
+};
+
+/// True when `cls` can execute `kernel` (the support matrix above).
+bool pe_class_supports(PeClass cls, KernelId kernel) noexcept;
+
+}  // namespace cedr::platform

@@ -1,0 +1,65 @@
+#pragma once
+// Platform configuration: the resource pool plus its profiling tables.
+//
+// This is the in-memory analogue of the paper's platform.h + Runtime
+// Configuration pair: it enumerates the PEs composed onto the emulated SoC,
+// how many physical CPU cores back them, and the cost model the schedulers
+// consult. Presets reproduce the paper's two testbeds:
+//   - zcu102(): 4 ARM cores @ 1.2 GHz (one reserved for the CEDR runtime),
+//     0-8 FFT accelerators @ 300 MHz on fabric, optional MMULT accelerator.
+//   - jetson(): 8 ARM cores @ 2.3 GHz (one reserved), Volta GPU @ 1.3 GHz.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/platform/cost_model.h"
+#include "cedr/platform/pe.h"
+
+namespace cedr::platform {
+
+/// Complete description of an emulated SoC configuration.
+struct PlatformConfig {
+  std::string name;
+  /// Physical CPU cores available to *worker/application* threads. The
+  /// paper reserves one core per board for the CEDR main thread; that core
+  /// is excluded from this count and tracked separately.
+  std::size_t worker_cores = 3;
+  /// Extra cores available to application (non-kernel) threads beyond the
+  /// worker pool — on the Jetson the OS spreads app threads over all 7
+  /// non-runtime cores regardless of how many worker threads exist.
+  std::size_t total_app_cores = 3;
+  std::vector<PeDescriptor> pes;
+  CostModel costs;
+
+  [[nodiscard]] std::size_t count(PeClass cls) const noexcept;
+  /// Validates invariants: nonempty unique PE names, nonzero core counts.
+  [[nodiscard]] Status validate() const;
+
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<PlatformConfig> from_json(const json::Value& value);
+};
+
+/// ZCU102 preset with `cpus` CPU worker PEs (max 3 usable), `ffts` FFT
+/// accelerators (paper uses 0-8) and `mmults` MMULT accelerators.
+PlatformConfig zcu102(std::size_t cpus, std::size_t ffts, std::size_t mmults);
+
+/// Jetson AGX Xavier preset with `cpus` CPU worker PEs (max 7 usable) and
+/// `gpus` GPU PEs (the board has 1).
+PlatformConfig jetson(std::size_t cpus, std::size_t gpus);
+
+/// big.LITTLE exploration platform (the paper's §VI future-work proposal):
+/// `big_cpus` heavyweight cores plus `little_cpus` lightweight cores at
+/// 45 % throughput, plus FFT accelerators whose management threads the
+/// LITTLE cores are meant to absorb.
+PlatformConfig biglittle(std::size_t big_cpus, std::size_t little_cpus,
+                         std::size_t ffts);
+
+/// Host platform for functional (real-thread) execution: `cpus` CPU PEs plus
+/// optional emulated FFT/MMULT devices, all backed by this machine's cores.
+PlatformConfig host(std::size_t cpus, std::size_t ffts = 0,
+                    std::size_t mmults = 0);
+
+}  // namespace cedr::platform

@@ -1,0 +1,66 @@
+#pragma once
+// Task-completion synchronization primitive.
+//
+// This is the paper's Fig. 4 mechanism: before pushing a task into the
+// ready queue, the application thread "initializes a set of pthread_cond
+// and pthread_mutex variables to use to receive updates on the progress of
+// its task", sleeps in a cond-wait, and is signalled by the worker thread
+// that executes the task. Completion packages that condvar/mutex pair with
+// the result status; blocking APIs wait on it immediately, non-blocking
+// APIs hand it to the user as a cedr_handle_t.
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "cedr/common/status.h"
+
+namespace cedr::rt {
+
+/// One-shot completion latch. signal() may be called exactly once.
+class Completion {
+ public:
+  /// Marks the task finished and wakes all waiters.
+  void signal(Status status) {
+    {
+      std::lock_guard lock(mutex_);
+      status_ = std::move(status);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until signalled; returns the task's status.
+  Status wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return done_; });
+    return status_;
+  }
+
+  /// Blocks up to `timeout_s` seconds. Returns the task status, or
+  /// UNAVAILABLE on timeout.
+  Status wait_for(double timeout_s) {
+    std::unique_lock lock(mutex_);
+    if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                      [this] { return done_; })) {
+      return Unavailable("timed out waiting for task completion");
+    }
+    return status_;
+  }
+
+  /// Non-blocking poll.
+  [[nodiscard]] bool done() const {
+    std::lock_guard lock(mutex_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+};
+
+using CompletionPtr = std::shared_ptr<Completion>;
+
+}  // namespace cedr::rt

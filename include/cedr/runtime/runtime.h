@@ -1,0 +1,157 @@
+#pragma once
+// The CEDR daemon runtime: main event loop, ready queue, worker threads.
+//
+// Reproduces the runtime half of Fig. 1 with real threads:
+//   - one worker thread per PE; CPU workers execute kernels inline,
+//     accelerator workers drive their emulated MMIO device (program
+//     registers -> DMA -> poll -> readback) exactly as the ZCU102 flow does;
+//   - a main event loop that receives submissions, releases DAG successors,
+//     runs the configured scheduling heuristic over the ready queue each
+//     round, and dispatches assignments to per-worker mailboxes;
+//   - two application models: DAG-based (a task graph whose nodes the
+//     runtime schedules, the pre-CEDR-API model) and API-based (the
+//     application's main runs on its own thread and every libCEDR call
+//     becomes one scheduled task via enqueue_kernel).
+//
+// Lifecycle: construct -> start() -> submit_*() -> wait_*() -> shutdown().
+// shutdown() is idempotent and also runs from the destructor.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cedr/common/queue.h"
+#include "cedr/json/json.h"
+#include "cedr/common/status.h"
+#include "cedr/platform/platform.h"
+#include "cedr/runtime/completion.h"
+#include "cedr/sched/scheduler.h"
+#include "cedr/task/task.h"
+#include "cedr/trace/trace.h"
+
+namespace cedr::rt {
+
+class Runtime;
+
+/// Identifies which runtime / application instance the current thread is
+/// executing for. Set by Runtime around API-application main functions; the
+/// libCEDR API layer reads it to route enqueue_kernel calls.
+struct ThreadBinding {
+  Runtime* runtime = nullptr;
+  std::uint64_t instance_id = 0;
+};
+
+/// The current thread's binding (default: unbound).
+ThreadBinding& thread_binding() noexcept;
+
+/// Runtime Configuration (paper Fig. 1): platform + heuristic + features.
+struct RuntimeConfig {
+  platform::PlatformConfig platform;
+  std::string scheduler = "EFT";
+  /// Upper bound on how long the event loop sleeps between scheduling
+  /// rounds when no events arrive.
+  double scheduler_period_s = 200e-6;
+  /// Enables the PAPI-substitute event counters.
+  bool enable_counters = true;
+
+  /// Serialization to/from the JSON runtime-configuration file the paper's
+  /// daemon consumes ("Runtime Configuration" input of Fig. 1).
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<RuntimeConfig> from_json(const json::Value& value);
+  static StatusOr<RuntimeConfig> load(const std::string& path);
+};
+
+/// One API-mode kernel invocation to be scheduled.
+struct KernelRequest {
+  std::string name;
+  platform::KernelId kernel = platform::KernelId::kGeneric;
+  std::size_t problem_size = 0;
+  std::size_t data_bytes = 0;
+  /// Implementations per PE class (api/ fills these from libCEDR modules).
+  std::array<task::TaskFn, platform::kNumPeClasses> impls{};
+};
+
+/// The CEDR daemon process, in-library form.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  /// Spawns worker threads and the main event loop. Fails on invalid
+  /// configuration (unknown scheduler, bad platform).
+  Status start();
+
+  /// Stops accepting work, waits for in-flight apps, joins all threads.
+  Status shutdown();
+
+  /// Submits a DAG-based application instance. Task implementations must be
+  /// bound in the descriptor (Task::impls). Returns the instance id.
+  StatusOr<std::uint64_t> submit_dag(
+      std::shared_ptr<const task::AppDescriptor> app);
+
+  /// Submits an API-based application: `main_fn` runs on a fresh thread
+  /// with this runtime attached, so libCEDR calls inside it are scheduled
+  /// here. Returns the instance id.
+  StatusOr<std::uint64_t> submit_api(std::string app_name,
+                                     std::function<void()> main_fn);
+
+  /// Called by the libCEDR API layer from an application thread: enqueues
+  /// one kernel task. `completion` is signalled by the executing worker.
+  Status enqueue_kernel(KernelRequest request, CompletionPtr completion);
+
+  /// Blocks until every submitted application has completed.
+  Status wait_all(double timeout_s = 300.0);
+  /// Blocks until one application instance completes.
+  Status wait_app(std::uint64_t instance_id, double timeout_s = 300.0);
+
+  /// Number of applications submitted / completed so far.
+  [[nodiscard]] std::uint64_t submitted_apps() const noexcept;
+  [[nodiscard]] std::uint64_t completed_apps() const noexcept;
+
+  /// Seconds since start(); the epoch of all trace timestamps.
+  [[nodiscard]] double now() const noexcept;
+
+  /// Execution trace (tasks, apps, scheduling rounds).
+  [[nodiscard]] const trace::TraceLog& trace_log() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] trace::CounterSet& counters() noexcept { return counters_; }
+
+  /// Wall-clock seconds the runtime spent receiving, managing and
+  /// terminating applications, *excluding* heuristic decision time — the
+  /// paper's "runtime overhead" metric (§IV-A).
+  [[nodiscard]] double runtime_overhead_s() const noexcept;
+
+  [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
+
+ private:
+  struct InFlightTask;
+  struct AppInstance;
+  struct Worker;
+
+  void main_loop();
+  void worker_loop(Worker& worker);
+  void process_submissions();
+  void process_completions();
+  void run_scheduling_round();
+  void finish_app_locked(AppInstance& app);
+  Status execute_on_pe(InFlightTask& task, Worker& worker);
+  /// Bumps a counter iff RuntimeConfig::enable_counters is set.
+  void count(const char* name, std::uint64_t delta = 1);
+
+  RuntimeConfig config_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  trace::TraceLog trace_;
+  trace::CounterSet counters_;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cedr::rt

@@ -1,0 +1,28 @@
+#pragma once
+// HEFT upward-rank computation.
+//
+// HEFT_RT orders ready tasks by their precomputed *upward rank*: the length
+// of the longest (average-cost) path from a task to the DAG exit. Ranks are
+// computed once per application descriptor at submission time and attached
+// to every instance's ReadyTask entries.
+
+#include <unordered_map>
+
+#include "cedr/platform/cost_model.h"
+#include "cedr/platform/platform.h"
+#include "cedr/task/task.h"
+
+namespace cedr::sched {
+
+/// rank_u(t) = avg_exec(t) + max over successors s of rank_u(s), where
+/// avg_exec averages the cost-model estimate over the PEs in `platform`
+/// that support the task's kernel. Communication costs are folded into the
+/// accelerator transfer terms of the cost model.
+std::unordered_map<task::TaskId, double> upward_ranks(
+    const task::TaskGraph& graph, const platform::PlatformConfig& platform);
+
+/// Average execution estimate of one task across supporting PEs.
+double average_execution(const task::Task& t,
+                         const platform::PlatformConfig& platform) noexcept;
+
+}  // namespace cedr::sched

@@ -1,0 +1,98 @@
+#pragma once
+// Pluggable scheduling-heuristic interface.
+//
+// CEDR invokes a user-selected heuristic in its main event loop each
+// scheduling round: the heuristic examines the ready queue and the state of
+// every PE and produces task->PE assignments. The same Scheduler objects
+// drive both the threaded runtime (runtime/) and the discrete-event emulator
+// (sim/), so heuristics see only abstract views: no clocks, threads or
+// devices. The `comparisons` count a heuristic reports is its decision
+// complexity for that round; the emulator converts it into main-thread CPU
+// time, which is how the paper's scheduling-overhead trends (Fig. 7)
+// reproduce mechanistically.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/platform/cost_model.h"
+#include "cedr/platform/kernel_id.h"
+#include "cedr/platform/pe.h"
+
+namespace cedr::sched {
+
+/// A task awaiting assignment, as the heuristic sees it.
+struct ReadyTask {
+  std::uint64_t task_key = 0;       ///< opaque key the caller maps back
+  std::uint64_t app_instance_id = 0;
+  platform::KernelId kernel = platform::KernelId::kGeneric;
+  std::size_t problem_size = 0;
+  std::size_t data_bytes = 0;
+  double ready_time = 0.0;  ///< when the task entered the queue
+  double rank = 0.0;        ///< HEFT upward rank; 0 when not precomputed
+  /// Bit per PeClass: which classes have an implementation of this task
+  /// (beyond nominal kernel support — e.g. the FFT IP caps at 2048 points).
+  std::uint32_t class_mask = 0xffffffffu;
+
+  [[nodiscard]] bool allowed_on(platform::PeClass cls) const noexcept {
+    return (class_mask >> static_cast<unsigned>(cls)) & 1u;
+  }
+};
+
+/// Mutable per-PE view. Heuristics update available_time as they assign so
+/// that later decisions in the same round see earlier ones.
+struct PeState {
+  std::size_t pe_index = 0;  ///< position in the platform's PE list
+  platform::PeClass cls = platform::PeClass::kCpu;
+  double available_time = 0.0;  ///< earliest time the PE can start new work
+  /// Throughput relative to the class cost table (PeDescriptor::speed_factor).
+  double speed = 1.0;
+};
+
+/// One task->PE decision. queue_index indexes the `ready` span passed to
+/// schedule(); each index appears at most once per round.
+struct Assignment {
+  std::size_t queue_index = 0;
+  std::size_t pe_index = 0;  ///< PeState::pe_index of the chosen PE
+};
+
+/// Immutable inputs of one scheduling round.
+struct ScheduleContext {
+  double now = 0.0;
+  const platform::CostModel* costs = nullptr;
+};
+
+/// Result of one scheduling round.
+struct ScheduleResult {
+  std::vector<Assignment> assignments;
+  /// Number of (task, PE) cost evaluations the heuristic performed; the
+  /// emulator charges decision time proportional to this.
+  std::uint64_t comparisons = 0;
+};
+
+/// Base class for scheduling heuristics.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Heuristic name as used in runtime configuration ("RR", "EFT", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Assigns ready tasks to PEs. Implementations must only produce
+  /// assignments where the PE class supports the task's kernel, and should
+  /// assign every assignable task (CEDR drains its ready queue each round).
+  virtual ScheduleResult schedule(std::span<const ReadyTask> ready,
+                                  std::span<PeState> pes,
+                                  const ScheduleContext& ctx) = 0;
+};
+
+/// Creates a heuristic by configuration name: "RR", "EFT", "ETF", "HEFT_RT".
+StatusOr<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name);
+
+/// All heuristic names make_scheduler accepts, in paper order.
+std::span<const std::string_view> scheduler_names() noexcept;
+
+}  // namespace cedr::sched

@@ -1,0 +1,101 @@
+#pragma once
+// Structural application models for the runtime emulator.
+//
+// The emulator does not execute kernels; it needs each application's
+// *shape*: the serial chain of CPU-glue regions and schedulable kernel
+// batches the application walks through. One SimApp describes that chain;
+// the emulator expands it either as a DAG instance (every segment is
+// scheduled, including glue — the pre-CEDR-API model) or as an API instance
+// (glue burns application-thread CPU; only kernel calls are scheduled).
+//
+// The three paper applications are modeled from §III's numbers:
+//   Pulse Doppler — 128 pulses x 256 samples: FFT/ZIP/IFFT per pulse plus
+//     256 Doppler FFTs (512 transforms total, matching the paper's "512").
+//   WiFi TX — 100 packets: per-packet glue + 128-point IFFT ("100" FFTs).
+//   Lane Detection — 960x540 frame: 1024-point FFT/IFFT row-column passes;
+//     the paper's pipeline reaches 16384 FFT + 8192 IFFT instances. A
+//     `scale` divisor shrinks the counts for tractable sweeps (documented
+//     wherever used; scale=1 reproduces the paper's full count).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cedr/platform/kernel_id.h"
+#include "cedr/platform/platform.h"
+
+namespace cedr::sim {
+
+/// One step in an application's serial execution.
+struct SimSegment {
+  enum class Kind {
+    kCpuGlue,      ///< non-accelerable CPU region
+    kKernelBatch,  ///< `count` independent kernel invocations
+  };
+  Kind kind = Kind::kCpuGlue;
+
+  /// kCpuGlue: seconds of reference-core CPU work.
+  double glue_work_s = 0.0;
+
+  /// kKernelBatch fields.
+  platform::KernelId kernel = platform::KernelId::kGeneric;
+  std::size_t problem_size = 0;
+  std::size_t data_bytes = 0;
+  std::size_t count = 0;
+  /// true: the batch is issued with non-blocking APIs (all in flight);
+  /// false: issued one call at a time, each awaited before the next.
+  bool parallel = true;
+
+  static SimSegment glue(double seconds) {
+    SimSegment s;
+    s.kind = Kind::kCpuGlue;
+    s.glue_work_s = seconds;
+    return s;
+  }
+  static SimSegment batch(platform::KernelId kernel, std::size_t problem_size,
+                          std::size_t data_bytes, std::size_t count,
+                          bool parallel = true) {
+    SimSegment s;
+    s.kind = Kind::kKernelBatch;
+    s.kernel = kernel;
+    s.problem_size = problem_size;
+    s.data_bytes = data_bytes;
+    s.count = count;
+    s.parallel = parallel;
+    return s;
+  }
+};
+
+/// A modeled application: serial chain of segments plus frame metadata.
+struct SimApp {
+  std::string name;
+  std::vector<SimSegment> segments;
+  /// Input frame size in megabits; injection rate R (Mbps) gives the
+  /// inter-arrival period frame_mbits / R (paper §III).
+  double frame_mbits = 1.0;
+
+  /// Total schedulable tasks in DAG mode (kernel calls + glue nodes).
+  [[nodiscard]] std::size_t dag_task_count() const noexcept;
+  /// Schedulable tasks in API mode (kernel calls only).
+  [[nodiscard]] std::size_t kernel_call_count() const noexcept;
+
+  /// HEFT upward rank per segment for the given platform: rank of segment i
+  /// is its average execution estimate plus the rank of segment i+1.
+  [[nodiscard]] std::vector<double> segment_ranks(
+      const platform::PlatformConfig& platform) const;
+};
+
+/// Pulse Doppler structural model (paper §III). `nonblocking` selects the
+/// non-blocking API issue pattern (whole batches in flight) instead of the
+/// default blocking one-call-at-a-time pattern.
+SimApp make_pulse_doppler_model(bool nonblocking = false);
+
+/// WiFi TX structural model (paper §III).
+SimApp make_wifi_tx_model(bool nonblocking = false);
+
+/// Lane Detection structural model. `scale` >= 1 divides the FFT/IFFT/ZIP
+/// counts (1 reproduces the paper's 16384/8192 instances for 960x540).
+SimApp make_lane_detection_model(std::size_t scale = 1,
+                                 bool nonblocking = false);
+
+}  // namespace cedr::sim

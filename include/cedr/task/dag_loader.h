@@ -1,0 +1,40 @@
+#pragma once
+// JSON DAG application format (the DAG-based programming model).
+//
+// In DAG-based CEDR, a compiled application is a shared object plus a JSON
+// file that "captures temporal dependencies between nodes and high level
+// control flow of the user's application" (paper §II-A). This module defines
+// that JSON schema and converts documents to/from task::AppDescriptor.
+//
+// Schema:
+// {
+//   "app_name": "pulse_doppler",
+//   "tasks": [
+//     { "id": 0, "name": "range_fft_0", "kernel": "FFT",
+//       "size": 256, "bytes": 2048, "predecessors": [] },
+//     { "id": 1, "name": "peak", "kernel": "GENERIC",
+//       "size": 20000, "bytes": 0, "predecessors": [0] }
+//   ]
+// }
+
+#include <string>
+
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/task/task.h"
+
+namespace cedr::task {
+
+/// Parses an application from its JSON DAG document. Validates kernel names,
+/// edge references and acyclicity. Implementations (Task::impls) are not
+/// populated: in DAG-based CEDR those come from the shared object; callers
+/// bind them by task name afterwards (see runtime::bind_impls).
+StatusOr<AppDescriptor> app_from_json(const json::Value& doc);
+
+/// Convenience wrapper over json::parse_file + app_from_json.
+StatusOr<AppDescriptor> load_app(const std::string& path);
+
+/// Serializes an application back to the JSON schema above.
+json::Value app_to_json(const AppDescriptor& app);
+
+}  // namespace cedr::task

@@ -1,0 +1,113 @@
+#pragma once
+// Schedulable task model.
+//
+// A task is CEDR's unit of scheduling: one node of a DAG-based application
+// or one libCEDR API call from an API-based application. Tasks carry (a) an
+// abstract identity (kernel id + problem size) that schedulers and cost
+// models consume, and (b) concrete per-PE-class implementations that the
+// threaded runtime invokes — mirroring how CEDR "dynamically updates that
+// task's function pointer such that its worker thread invokes a function
+// that is compatible with that resource" (paper §II-A).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/platform/kernel_id.h"
+#include "cedr/platform/mmio_device.h"
+#include "cedr/platform/pe.h"
+
+namespace cedr::task {
+
+using TaskId = std::uint64_t;
+
+/// Handed to a task implementation at dispatch time.
+struct ExecContext {
+  /// The PE this execution was scheduled onto.
+  const platform::PeDescriptor* pe = nullptr;
+  /// The accelerator device backing that PE; nullptr for CPU PEs.
+  platform::MmioDevice* device = nullptr;
+};
+
+/// One per-PE-class implementation of a task.
+using TaskFn = std::function<Status(ExecContext&)>;
+
+/// A schedulable unit of computation.
+struct Task {
+  TaskId id = 0;
+  std::string name;
+  platform::KernelId kernel = platform::KernelId::kGeneric;
+  /// Cost-model problem size: element count for FFT/ZIP, m*k*n for MMULT,
+  /// reference-core nanoseconds for GENERIC.
+  std::size_t problem_size = 0;
+  /// Bytes moved to/from an accelerator if one executes this task.
+  std::size_t data_bytes = 0;
+  /// Implementation per PE class; an empty slot means "not runnable there"
+  /// even if the class nominally supports the kernel.
+  std::array<TaskFn, platform::kNumPeClasses> impls{};
+
+  /// Installs `fn` as the implementation for `cls`.
+  void set_impl(platform::PeClass cls, TaskFn fn) {
+    impls[static_cast<std::size_t>(cls)] = std::move(fn);
+  }
+  /// True when the task can execute on `cls`: the class supports the kernel
+  /// and an implementation is present (timing-only tasks with no impls at
+  /// all are runnable anywhere the kernel is supported).
+  [[nodiscard]] bool runnable_on(platform::PeClass cls) const noexcept {
+    if (!platform::pe_class_supports(cls, kernel)) return false;
+    bool any_impl = false;
+    for (const TaskFn& fn : impls) {
+      if (fn) {
+        any_impl = true;
+        break;
+      }
+    }
+    return !any_impl || static_cast<bool>(impls[static_cast<std::size_t>(cls)]);
+  }
+};
+
+/// Directed acyclic graph of tasks: one application's structure.
+class TaskGraph {
+ public:
+  /// Adds a task; its id must be unique within the graph.
+  Status add_task(Task task);
+  /// Adds a dependency edge: `to` cannot start until `from` completes.
+  Status add_edge(TaskId from, TaskId to);
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool contains(TaskId id) const noexcept;
+  [[nodiscard]] const Task& get(TaskId id) const;
+  [[nodiscard]] Task& get(TaskId id);
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept {
+    return tasks_;
+  }
+
+  [[nodiscard]] const std::vector<TaskId>& successors(TaskId id) const;
+  [[nodiscard]] const std::vector<TaskId>& predecessors(TaskId id) const;
+  /// Tasks with no predecessors (the DAG "head nodes" CEDR enqueues when an
+  /// application is launched).
+  [[nodiscard]] std::vector<TaskId> head_nodes() const;
+
+  /// Checks acyclicity and edge validity; returns a topological order.
+  [[nodiscard]] StatusOr<std::vector<TaskId>> topological_order() const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(TaskId id) const;
+
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> successors_;
+  std::vector<std::vector<TaskId>> predecessors_;
+  std::unordered_map<TaskId, std::size_t> index_;
+};
+
+/// A named application: its DAG plus bookkeeping metadata.
+struct AppDescriptor {
+  std::string name;
+  TaskGraph graph;
+};
+
+}  // namespace cedr::task

@@ -1,0 +1,68 @@
+#pragma once
+// Offline trace analysis.
+//
+// The paper's daemon "serializes all the logs it has collected relating to
+// task execution, performance counter measurements, and so on for later
+// offline analysis by the user" (§II-A). This module is that offline
+// analysis: it ingests a serialized trace (TraceLog::to_json) and computes
+// the summaries the paper's evaluation is built from — per-application
+// execution times, per-PE utilization, queue-delay statistics, scheduling
+// totals — plus an ASCII Gantt rendering of task placement over time.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/trace/trace.h"
+
+namespace cedr::trace {
+
+/// Aggregated view of one serialized execution trace.
+struct Report {
+  struct AppSummary {
+    std::uint64_t instance_id = 0;
+    std::string name;
+    double arrival = 0.0;
+    double execution_time = 0.0;
+    std::size_t tasks = 0;
+  };
+  struct PeSummary {
+    std::string name;
+    std::size_t tasks = 0;
+    double busy_time = 0.0;
+    double utilization = 0.0;  ///< busy / makespan
+  };
+
+  std::vector<AppSummary> apps;     ///< sorted by arrival time
+  std::vector<PeSummary> pes;       ///< sorted by name
+  double makespan = 0.0;            ///< last task end / app completion
+  double avg_execution_time = 0.0;
+  double total_sched_time = 0.0;
+  std::size_t sched_rounds = 0;
+  std::size_t max_ready_queue = 0;
+  /// Task queue-delay statistics (start - enqueue), seconds.
+  double queue_delay_mean = 0.0;
+  double queue_delay_max = 0.0;
+};
+
+/// Builds a report from an in-memory log.
+Report summarize(const TraceLog& log);
+
+/// Builds a report from a serialized trace document.
+StatusOr<Report> summarize_json(const json::Value& doc);
+
+/// Reads `path` (a TraceLog::write_json file) and summarizes it.
+StatusOr<Report> summarize_file(const std::string& path);
+
+/// Renders the report as human-readable text.
+std::string render_text(const Report& report);
+
+/// Renders an ASCII Gantt chart of task executions: one row per PE,
+/// `width` character columns across the makespan. Tasks are drawn with the
+/// last hex digit of their application instance id, so interleaving across
+/// applications is visible at a glance.
+std::string render_gantt(const TraceLog& log, std::size_t width = 100);
+
+}  // namespace cedr::trace

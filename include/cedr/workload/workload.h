@@ -1,0 +1,62 @@
+#pragma once
+// Workload generation and experiment aggregation (paper §III).
+//
+// "Injection rate is defined as the rate at which frame instances are
+// generated per second and measured in Mbps. We use 29 injection rates
+// between 10 and 2000 Mbps, where each injection rate defines a periodic
+// rate of job along with its associated input data arrival for the given
+// workload." Instances of each application arrive periodically with period
+// frame_mbits / rate; trials jitter the phase of each stream and results
+// are averaged per the paper's 25-trial procedure.
+
+#include <span>
+#include <vector>
+
+#include "cedr/common/rng.h"
+#include "cedr/common/status.h"
+#include "cedr/sim/model.h"
+#include "cedr/sim/simulator.h"
+
+namespace cedr::workload {
+
+/// One periodic application stream within a workload.
+struct Stream {
+  const sim::SimApp* app = nullptr;
+  std::size_t instances = 5;  ///< the paper uses 5 instances of PD and TX
+  double start_offset_s = 0.0;
+};
+
+/// Builds the arrival sequence for `streams` at `rate_mbps`: instance i of
+/// a stream arrives at start_offset + i * (frame_mbits / rate). `jitter`
+/// (fraction of the period, uniform in [0, jitter)) staggers instances the
+/// way asynchronous submission does on hardware; rng drives it.
+std::vector<sim::Arrival> make_arrivals(std::span<const Stream> streams,
+                                        double rate_mbps, double jitter,
+                                        Rng& rng);
+
+/// The paper's 29-point injection-rate grid, 10..2000 Mbps (log-spaced).
+std::vector<double> injection_rate_sweep();
+
+/// Mean metrics over trials at one injection rate.
+struct TrialResult {
+  double rate_mbps = 0.0;
+  std::size_t trials = 0;
+  sim::SimMetrics mean;      ///< element-wise mean over trials
+  double exec_time_stddev = 0.0;
+};
+
+/// Runs `trials` seeded emulations of the workload at one rate and averages
+/// the metrics (the paper averages 25 trials per point).
+StatusOr<TrialResult> run_point(const sim::SimConfig& config,
+                                std::span<const Stream> streams,
+                                double rate_mbps, std::size_t trials,
+                                std::uint64_t seed_base);
+
+/// Convenience: run_point across an entire rate sweep.
+StatusOr<std::vector<TrialResult>> run_sweep(const sim::SimConfig& config,
+                                             std::span<const Stream> streams,
+                                             std::span<const double> rates,
+                                             std::size_t trials,
+                                             std::uint64_t seed_base);
+
+}  // namespace cedr::workload

@@ -1,0 +1,197 @@
+#include "cedr/cedr.h"
+
+#include <string>
+
+#include "cedr/api/impls.h"
+#include "cedr/kernels/fft.h"
+#include "cedr/kernels/mmult.h"
+#include "cedr/kernels/zip.h"
+#include "cedr/runtime/runtime.h"
+
+namespace cedr {
+
+/// Completion latch behind a non-blocking handle.
+struct cedr_handle {
+  rt::CompletionPtr completion;
+};
+
+namespace api {
+
+bool runtime_attached() noexcept {
+  return rt::thread_binding().runtime != nullptr;
+}
+
+namespace {
+
+/// Dispatches one API invocation: inline on the calling thread when
+/// standalone, or through enqueue_kernel when runtime-attached.
+Status dispatch_blocking(rt::KernelRequest request) {
+  rt::Runtime* runtime = rt::thread_binding().runtime;
+  if (runtime == nullptr) {
+    // Standalone: run the standard C/C++ implementation directly.
+    const task::TaskFn& cpu =
+        request.impls[static_cast<std::size_t>(platform::PeClass::kCpu)];
+    if (!cpu) return Unimplemented("no CPU implementation for API");
+    task::ExecContext ctx;
+    return cpu(ctx);
+  }
+  auto completion = std::make_shared<rt::Completion>();
+  CEDR_RETURN_IF_ERROR(runtime->enqueue_kernel(std::move(request), completion));
+  // Fig. 4: the application thread sleeps until the worker signals.
+  return completion->wait();
+}
+
+cedr_handle_t dispatch_nonblocking(rt::KernelRequest request) {
+  rt::Runtime* runtime = rt::thread_binding().runtime;
+  auto completion = std::make_shared<rt::Completion>();
+  if (runtime == nullptr) {
+    // Standalone: execute inline; the handle is born complete so WAIT and
+    // BARRIER behave identically across both modes.
+    const task::TaskFn& cpu =
+        request.impls[static_cast<std::size_t>(platform::PeClass::kCpu)];
+    if (!cpu) return nullptr;
+    task::ExecContext ctx;
+    completion->signal(cpu(ctx));
+    return new cedr_handle{std::move(completion)};
+  }
+  const Status status = runtime->enqueue_kernel(std::move(request), completion);
+  if (!status.ok()) return nullptr;
+  return new cedr_handle{std::move(completion)};
+}
+
+rt::KernelRequest fft_request(const cedr_cplx* input, cedr_cplx* output,
+                              std::size_t size, bool inverse) {
+  return rt::KernelRequest{
+      .name = inverse ? "IFFT" : "FFT",
+      .kernel = inverse ? platform::KernelId::kIfft : platform::KernelId::kFft,
+      .problem_size = size,
+      .data_bytes = 2 * size * sizeof(cedr_cplx),
+      .impls = make_fft_impls(input, output, size, inverse),
+  };
+}
+
+rt::KernelRequest zip_request(const cedr_cplx* a, const cedr_cplx* b,
+                              cedr_cplx* output, std::size_t size,
+                              CedrZipOp op) {
+  return rt::KernelRequest{
+      .name = "ZIP",
+      .kernel = platform::KernelId::kZip,
+      .problem_size = size,
+      .data_bytes = 3 * size * sizeof(cedr_cplx),
+      .impls = make_zip_impls(a, b, output, size,
+                              static_cast<kernels::ZipOp>(op)),
+  };
+}
+
+rt::KernelRequest mmult_request(const float* a, const float* b, float* c,
+                                std::size_t m, std::size_t k, std::size_t n) {
+  return rt::KernelRequest{
+      .name = "MMULT",
+      .kernel = platform::KernelId::kMmult,
+      .problem_size = m * k * n,
+      .data_bytes = (m * k + k * n + m * n) * sizeof(float),
+      .impls = make_mmult_impls(a, b, c, m, k, n),
+  };
+}
+
+Status validate_fft_args(const cedr_cplx* input, cedr_cplx* output,
+                         std::size_t size) {
+  if (input == nullptr || output == nullptr) {
+    return InvalidArgument("CEDR_FFT: null buffer");
+  }
+  if (!is_power_of_two(size)) {
+    return InvalidArgument("CEDR_FFT: size must be a power of two");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+}  // namespace api
+
+Status CEDR_FFT(const cedr_cplx* input, cedr_cplx* output, std::size_t size) {
+  CEDR_RETURN_IF_ERROR(api::validate_fft_args(input, output, size));
+  return api::dispatch_blocking(api::fft_request(input, output, size, false));
+}
+
+Status CEDR_IFFT(const cedr_cplx* input, cedr_cplx* output, std::size_t size) {
+  CEDR_RETURN_IF_ERROR(api::validate_fft_args(input, output, size));
+  return api::dispatch_blocking(api::fft_request(input, output, size, true));
+}
+
+Status CEDR_ZIP(const cedr_cplx* a, const cedr_cplx* b, cedr_cplx* output,
+                std::size_t size, CedrZipOp op) {
+  if (a == nullptr || b == nullptr || output == nullptr) {
+    return InvalidArgument("CEDR_ZIP: null buffer");
+  }
+  return api::dispatch_blocking(api::zip_request(a, b, output, size, op));
+}
+
+Status CEDR_MMULT(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  if (a == nullptr || b == nullptr || c == nullptr) {
+    return InvalidArgument("CEDR_MMULT: null buffer");
+  }
+  if (m == 0 || k == 0 || n == 0) {
+    return InvalidArgument("CEDR_MMULT: zero dimension");
+  }
+  return api::dispatch_blocking(api::mmult_request(a, b, c, m, k, n));
+}
+
+cedr_handle_t CEDR_FFT_NB(const cedr_cplx* input, cedr_cplx* output,
+                          std::size_t size) {
+  if (!api::validate_fft_args(input, output, size).ok()) return nullptr;
+  return api::dispatch_nonblocking(api::fft_request(input, output, size, false));
+}
+
+cedr_handle_t CEDR_IFFT_NB(const cedr_cplx* input, cedr_cplx* output,
+                           std::size_t size) {
+  if (!api::validate_fft_args(input, output, size).ok()) return nullptr;
+  return api::dispatch_nonblocking(api::fft_request(input, output, size, true));
+}
+
+cedr_handle_t CEDR_ZIP_NB(const cedr_cplx* a, const cedr_cplx* b,
+                          cedr_cplx* output, std::size_t size, CedrZipOp op) {
+  if (a == nullptr || b == nullptr || output == nullptr) return nullptr;
+  return api::dispatch_nonblocking(api::zip_request(a, b, output, size, op));
+}
+
+cedr_handle_t CEDR_MMULT_NB(const float* a, const float* b, float* c,
+                            std::size_t m, std::size_t k, std::size_t n) {
+  if (a == nullptr || b == nullptr || c == nullptr || m == 0 || k == 0 ||
+      n == 0) {
+    return nullptr;
+  }
+  return api::dispatch_nonblocking(api::mmult_request(a, b, c, m, k, n));
+}
+
+Status CEDR_WAIT(cedr_handle_t handle) {
+  if (handle == nullptr) return InvalidArgument("CEDR_WAIT: null handle");
+  const Status status = handle->completion->wait();
+  delete handle;
+  return status;
+}
+
+Status CEDR_BARRIER(cedr_handle_t* handles, std::size_t count) {
+  if (handles == nullptr && count > 0) {
+    return InvalidArgument("CEDR_BARRIER: null handle array");
+  }
+  Status first_error = Status::Ok();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (handles[i] == nullptr) {
+      if (first_error.ok()) {
+        first_error = InvalidArgument("CEDR_BARRIER: null handle");
+      }
+      continue;
+    }
+    const Status status = CEDR_WAIT(handles[i]);
+    handles[i] = nullptr;
+    if (first_error.ok() && !status.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+bool CEDR_POLL(cedr_handle_t handle) {
+  return handle != nullptr && handle->completion->done();
+}
+
+}  // namespace cedr

@@ -1,0 +1,208 @@
+#include "cedr/apps/lane_detection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cedr/cedr.h"
+#include "cedr/kernels/conv.h"
+#include "cedr/kernels/fft.h"
+
+namespace cedr::apps {
+namespace {
+
+/// Batch of same-length 1-D transforms over contiguous rows of `data`
+/// (count rows of length len). Issues CEDR_FFT/CEDR_IFFT per row, all in
+/// flight at once when nonblocking.
+Status transform_rows(cfloat* data, std::size_t count, std::size_t len,
+                      bool inverse, bool nonblocking, std::size_t& counter) {
+  counter += count;
+  if (nonblocking) {
+    std::vector<cedr_handle_t> handles(count);
+    for (std::size_t r = 0; r < count; ++r) {
+      cfloat* row = data + r * len;
+      handles[r] = inverse ? CEDR_IFFT_NB(row, row, len)
+                           : CEDR_FFT_NB(row, row, len);
+      if (handles[r] == nullptr) return Internal("CEDR FFT_NB rejected");
+    }
+    return CEDR_BARRIER(handles.data(), handles.size());
+  }
+  for (std::size_t r = 0; r < count; ++r) {
+    cfloat* row = data + r * len;
+    CEDR_RETURN_IF_ERROR(inverse ? CEDR_IFFT(row, row, len)
+                                 : CEDR_FFT(row, row, len));
+  }
+  return Status::Ok();
+}
+
+/// Element-wise product of `count` rows against the kernel spectrum rows.
+Status zip_rows(cfloat* data, const cfloat* kernel_spectrum, std::size_t count,
+                std::size_t len, bool nonblocking) {
+  if (nonblocking) {
+    std::vector<cedr_handle_t> handles(count);
+    for (std::size_t r = 0; r < count; ++r) {
+      cfloat* row = data + r * len;
+      handles[r] = CEDR_ZIP_NB(row, kernel_spectrum + r * len, row, len,
+                               CedrZipOp::kMultiply);
+      if (handles[r] == nullptr) return Internal("CEDR_ZIP_NB rejected");
+    }
+    return CEDR_BARRIER(handles.data(), handles.size());
+  }
+  for (std::size_t r = 0; r < count; ++r) {
+    cfloat* row = data + r * len;
+    CEDR_RETURN_IF_ERROR(CEDR_ZIP(row, kernel_spectrum + r * len, row, len,
+                                  CedrZipOp::kMultiply));
+  }
+  return Status::Ok();
+}
+
+void transpose_complex(const std::vector<cfloat>& in, std::vector<cfloat>& out,
+                       std::size_t rows, std::size_t cols) {
+  out.resize(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c * rows + r] = in[r * cols + c];
+    }
+  }
+}
+
+/// dx/dy slope of a Hough line (y = row grows downward).
+double hough_slope(const kernels::HoughLine& line) noexcept {
+  const double c = std::cos(line.theta);
+  if (std::abs(c) < 1e-9) return 0.0;  // horizontal line: slope ~ 0 in dx/dy
+  return -std::sin(line.theta) / c;
+}
+
+}  // namespace
+
+StatusOr<kernels::GrayImage> gaussian_blur_cedr(const kernels::GrayImage& in,
+                                                std::size_t ksize, double sigma,
+                                                bool nonblocking,
+                                                std::size_t& fft_calls,
+                                                std::size_t& ifft_calls) {
+  if (ksize == 0 || ksize % 2 == 0) {
+    return InvalidArgument("Gaussian kernel size must be odd");
+  }
+  const std::size_t rows = in.rows;
+  const std::size_t cols = in.cols;
+  const std::size_t prow = next_power_of_two(rows + ksize - 1);
+  const std::size_t pcol = next_power_of_two(cols + ksize - 1);
+  const std::size_t rows_eff = rows + ksize - 1;  // nonzero padded rows
+
+  // Padded image, row-major prow x pcol.
+  std::vector<cfloat> rowbuf(prow * pcol, cfloat(0.0f, 0.0f));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      rowbuf[r * pcol + c] = cfloat(in.at(r, c), 0.0f);
+    }
+  }
+
+  // Kernel spectrum, precomputed once per frame on the CPU and stored in
+  // the transposed (column-major) layout the ZIP stage consumes.
+  const std::vector<float> kern = kernels::gaussian_kernel(ksize, sigma);
+  std::vector<cfloat> kbuf(prow * pcol, cfloat(0.0f, 0.0f));
+  for (std::size_t r = 0; r < ksize; ++r) {
+    for (std::size_t c = 0; c < ksize; ++c) {
+      kbuf[r * pcol + c] = cfloat(kern[r * ksize + c], 0.0f);
+    }
+  }
+  for (std::size_t r = 0; r < ksize; ++r) {
+    CEDR_RETURN_IF_ERROR(
+        kernels::fft_inplace({&kbuf[r * pcol], pcol}, /*inverse=*/false));
+  }
+  std::vector<cfloat> kbuf_t;
+  transpose_complex(kbuf, kbuf_t, prow, pcol);
+  for (std::size_t c = 0; c < pcol; ++c) {
+    CEDR_RETURN_IF_ERROR(
+        kernels::fft_inplace({&kbuf_t[c * prow], prow}, /*inverse=*/false));
+  }
+
+  // Forward: row transforms (zero rows skipped — their spectra are zero),
+  // corner turn, column transforms.
+  CEDR_RETURN_IF_ERROR(transform_rows(rowbuf.data(), rows_eff, pcol,
+                                      /*inverse=*/false, nonblocking,
+                                      fft_calls));
+  std::vector<cfloat> colbuf;
+  transpose_complex(rowbuf, colbuf, prow, pcol);
+  CEDR_RETURN_IF_ERROR(transform_rows(colbuf.data(), pcol, prow,
+                                      /*inverse=*/false, nonblocking,
+                                      fft_calls));
+
+  // Pointwise product with the kernel spectrum (the ZIP stage).
+  CEDR_RETURN_IF_ERROR(
+      zip_rows(colbuf.data(), kbuf_t.data(), pcol, prow, nonblocking));
+
+  // Inverse: column transforms, corner turn, row transforms over the crop.
+  CEDR_RETURN_IF_ERROR(transform_rows(colbuf.data(), pcol, prow,
+                                      /*inverse=*/true, nonblocking,
+                                      ifft_calls));
+  transpose_complex(colbuf, rowbuf, pcol, prow);
+  CEDR_RETURN_IF_ERROR(transform_rows(rowbuf.data(), rows_eff, pcol,
+                                      /*inverse=*/true, nonblocking,
+                                      ifft_calls));
+
+  // Crop the "same" window (offset by the kernel half-width).
+  const std::size_t half = ksize / 2;
+  kernels::GrayImage out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.at(r, c) = rowbuf[(r + half) * pcol + (c + half)].real();
+    }
+  }
+  return out;
+}
+
+StatusOr<LaneDetectionResult> run_lane_detection(
+    const LaneDetectionConfig& cfg) {
+  Rng rng(cfg.seed);
+  LaneDetectionResult result;
+  const kernels::RgbImage frame = kernels::synthesize_road(
+      cfg.rows, cfg.cols, result.truth, cfg.noise_stddev, rng);
+
+  // CPU glue: luma conversion.
+  kernels::GrayImage gray = kernels::rgb_to_gray(frame);
+
+  // Convolution-intensive core: repeated frequency-domain smoothing.
+  for (std::size_t pass = 0; pass < cfg.smoothing_passes; ++pass) {
+    auto blurred =
+        gaussian_blur_cedr(gray, cfg.gaussian_ksize, cfg.gaussian_sigma,
+                           cfg.nonblocking, result.fft_calls,
+                           result.ifft_calls);
+    if (!blurred.ok()) return blurred.status();
+    gray = *std::move(blurred);
+  }
+
+  // CPU glue: edges and lane-line extraction.
+  const kernels::GrayImage edges = kernels::sobel_magnitude(gray);
+  const kernels::GrayImage binary =
+      kernels::threshold(edges, cfg.edge_threshold);
+  const std::vector<kernels::HoughLine> lines =
+      kernels::hough_lines(binary, /*max_lines=*/8, /*min_votes=*/40);
+
+  for (const kernels::HoughLine& line : lines) {
+    const double slope = hough_slope(line);
+    if (std::abs(slope) < 0.05 || std::abs(slope) > 8.0) continue;
+    if (slope < 0.0 && !result.lanes.left) {
+      result.lanes.left = line;
+    } else if (slope > 0.0 && !result.lanes.right) {
+      result.lanes.right = line;
+    }
+  }
+  std::size_t edge_pixels = 0;
+  for (const float v : binary.pixels) edge_pixels += v > 0.0f ? 1 : 0;
+  result.lanes.edge_pixels = edge_pixels;
+
+  result.both_lanes_found =
+      result.lanes.left.has_value() && result.lanes.right.has_value();
+  if (result.lanes.left) {
+    result.left_slope_error =
+        std::abs(hough_slope(*result.lanes.left) - result.truth.left_slope);
+  }
+  if (result.lanes.right) {
+    result.right_slope_error =
+        std::abs(hough_slope(*result.lanes.right) - result.truth.right_slope);
+  }
+  return result;
+}
+
+}  // namespace cedr::apps

@@ -1,0 +1,115 @@
+#include "cedr/apps/pulse_doppler.h"
+
+#include <cmath>
+#include <vector>
+
+#include "cedr/cedr.h"
+#include "cedr/kernels/fft.h"
+
+namespace cedr::apps {
+
+StatusOr<PulseDopplerResult> run_pulse_doppler(const PulseDopplerConfig& cfg) {
+  const std::size_t n = cfg.params.samples_per_pulse;
+  const std::size_t pulses = cfg.params.num_pulses;
+  if (!is_power_of_two(n) || !is_power_of_two(pulses)) {
+    return InvalidArgument("pulse/sample counts must be powers of two");
+  }
+
+  // Synthesize the dwell with known ground truth (no radar hardware here).
+  Rng rng(cfg.seed);
+  kernels::RadarTarget truth = cfg.truth;
+  truth.velocity_mps = truth.doppler_hz * cfg.params.speed_of_light /
+                       (2.0 * cfg.params.carrier_hz);
+  const std::vector<cfloat> chirp =
+      kernels::make_chirp(n / 4, 0.4 * cfg.params.sample_rate_hz,
+                          cfg.params.sample_rate_hz);
+  const std::vector<cfloat> cube =
+      kernels::synthesize_echo(cfg.params, chirp, truth, cfg.noise_stddev, rng);
+
+  // Reference spectrum of the zero-padded chirp (transmitted waveform); the
+  // application computes it once per dwell with one more CEDR_FFT.
+  std::vector<cfloat> chirp_padded(n);
+  std::copy(chirp.begin(), chirp.end(), chirp_padded.begin());
+  std::vector<cfloat> chirp_freq(n);
+  CEDR_RETURN_IF_ERROR(CEDR_FFT(chirp_padded.data(), chirp_freq.data(), n));
+
+  // Range compression: FFT -> conj ZIP -> IFFT per pulse.
+  std::vector<cfloat> pulse_freq(pulses * n);
+  std::vector<cfloat> compressed(pulses * n);
+  if (cfg.nonblocking) {
+    // Overlap every pulse's chain: issue stage k for all pulses, barrier,
+    // then stage k+1 — each stage is fully parallel across pulses.
+    std::vector<cedr_handle_t> handles(pulses);
+    for (std::size_t p = 0; p < pulses; ++p) {
+      handles[p] = CEDR_FFT_NB(&cube[p * n], &pulse_freq[p * n], n);
+      if (handles[p] == nullptr) return Internal("CEDR_FFT_NB rejected");
+    }
+    CEDR_RETURN_IF_ERROR(CEDR_BARRIER(handles.data(), handles.size()));
+    for (std::size_t p = 0; p < pulses; ++p) {
+      handles[p] = CEDR_ZIP_NB(&pulse_freq[p * n], chirp_freq.data(),
+                               &pulse_freq[p * n], n,
+                               CedrZipOp::kConjugateMultiply);
+      if (handles[p] == nullptr) return Internal("CEDR_ZIP_NB rejected");
+    }
+    CEDR_RETURN_IF_ERROR(CEDR_BARRIER(handles.data(), handles.size()));
+    for (std::size_t p = 0; p < pulses; ++p) {
+      handles[p] = CEDR_IFFT_NB(&pulse_freq[p * n], &compressed[p * n], n);
+      if (handles[p] == nullptr) return Internal("CEDR_IFFT_NB rejected");
+    }
+    CEDR_RETURN_IF_ERROR(CEDR_BARRIER(handles.data(), handles.size()));
+  } else {
+    for (std::size_t p = 0; p < pulses; ++p) {
+      CEDR_RETURN_IF_ERROR(CEDR_FFT(&cube[p * n], &pulse_freq[p * n], n));
+      CEDR_RETURN_IF_ERROR(CEDR_ZIP(&pulse_freq[p * n], chirp_freq.data(),
+                                    &pulse_freq[p * n], n,
+                                    CedrZipOp::kConjugateMultiply));
+      CEDR_RETURN_IF_ERROR(CEDR_IFFT(&pulse_freq[p * n], &compressed[p * n], n));
+    }
+  }
+
+  // Corner turn (CPU glue), then Doppler FFT per range bin.
+  std::vector<cfloat> slow_time(pulses * n);  // [range][pulse]
+  for (std::size_t p = 0; p < pulses; ++p) {
+    for (std::size_t r = 0; r < n; ++r) {
+      slow_time[r * pulses + p] = compressed[p * n + r];
+    }
+  }
+  std::vector<cfloat> doppler(pulses * n);
+  if (cfg.nonblocking) {
+    std::vector<cedr_handle_t> handles(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      handles[r] =
+          CEDR_FFT_NB(&slow_time[r * pulses], &doppler[r * pulses], pulses);
+      if (handles[r] == nullptr) return Internal("CEDR_FFT_NB rejected");
+    }
+    CEDR_RETURN_IF_ERROR(CEDR_BARRIER(handles.data(), handles.size()));
+  } else {
+    for (std::size_t r = 0; r < n; ++r) {
+      CEDR_RETURN_IF_ERROR(
+          CEDR_FFT(&slow_time[r * pulses], &doppler[r * pulses], pulses));
+    }
+  }
+
+  // Back to [doppler][range] layout for the peak search.
+  std::vector<cfloat> range_doppler(pulses * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t d = 0; d < pulses; ++d) {
+      range_doppler[d * n + r] = doppler[r * pulses + d];
+    }
+  }
+
+  PulseDopplerResult result;
+  result.truth = truth;
+  result.estimate = kernels::find_peak(range_doppler, cfg.params);
+  result.velocity_error_mps =
+      std::abs(result.estimate.velocity_mps - truth.velocity_mps);
+  // Matched filter peaks where the echo *ends* relative to pulse start; the
+  // chirp reference is aligned to its first sample, so the peak lands on
+  // the target's delay bin.
+  result.range_correct =
+      std::llabs(static_cast<long long>(result.estimate.range_bin) -
+                 static_cast<long long>(truth.range_bin)) <= 1;
+  return result;
+}
+
+}  // namespace cedr::apps

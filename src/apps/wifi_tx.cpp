@@ -1,0 +1,105 @@
+#include "cedr/apps/wifi_tx.h"
+
+#include <algorithm>
+
+#include "cedr/cedr.h"
+#include "cedr/common/rng.h"
+#include "cedr/kernels/wifi.h"
+
+namespace cedr::apps {
+namespace {
+
+constexpr std::size_t kTailBits = 6;        // flushes the K=7 encoder
+constexpr std::size_t kInterleaveDepth = 7; // divides (64+6)*2 = 140
+
+/// CPU glue of one packet: payload bits -> frequency-domain QPSK grid.
+StatusOr<std::vector<cfloat>> build_packet_grid(
+    const std::vector<std::uint8_t>& payload, const WifiTxConfig& cfg) {
+  using namespace cedr::kernels;
+  // Scramble, append tail zeros, convolutionally encode (the FEC), then
+  // interleave to spread burst errors across subcarriers.
+  BitVec scrambled = scramble(payload, cfg.scrambler_seed);
+  scrambled.insert(scrambled.end(), kTailBits, 0);
+  const BitVec coded = convolutional_encode(scrambled);
+  auto interleaved = interleave(coded, kInterleaveDepth);
+  if (!interleaved.ok()) return interleaved.status();
+  auto symbols = qpsk_modulate(*interleaved);
+  if (!symbols.ok()) return symbols.status();
+  if (symbols->size() > cfg.ofdm_size) {
+    return InvalidArgument("payload does not fit the OFDM symbol");
+  }
+  // Map onto the first subcarriers; the rest stay null (guard band).
+  std::vector<cfloat> grid(cfg.ofdm_size, cfloat(0.0f, 0.0f));
+  std::copy(symbols->begin(), symbols->end(), grid.begin());
+  return grid;
+}
+
+}  // namespace
+
+StatusOr<WifiTxResult> run_wifi_tx(const WifiTxConfig& cfg) {
+  if (!is_power_of_two(cfg.ofdm_size)) {
+    return InvalidArgument("OFDM size must be a power of two");
+  }
+  if (cfg.payload_bits % 8 != 0 || cfg.payload_bits == 0) {
+    return InvalidArgument("payload bits must be a positive multiple of 8");
+  }
+
+  Rng rng(cfg.seed);
+  WifiTxResult result;
+  result.symbols.resize(cfg.num_packets);
+  result.payloads.resize(cfg.num_packets);
+  std::vector<std::vector<cfloat>> grids(cfg.num_packets);
+
+  // CPU glue for every packet first; in non-blocking mode all IFFTs are
+  // then issued at once, which is the parallelism the paper's non-blocking
+  // APIs exist to expose.
+  for (std::size_t p = 0; p < cfg.num_packets; ++p) {
+    std::vector<std::uint8_t> payload(cfg.payload_bits);
+    for (auto& bit : payload) bit = static_cast<std::uint8_t>(rng.next_below(2));
+    result.payloads[p] = payload;
+    auto grid = build_packet_grid(payload, cfg);
+    if (!grid.ok()) return grid.status();
+    grids[p] = *std::move(grid);
+    result.symbols[p].resize(cfg.ofdm_size);
+  }
+
+  if (cfg.nonblocking) {
+    std::vector<cedr_handle_t> handles(cfg.num_packets);
+    for (std::size_t p = 0; p < cfg.num_packets; ++p) {
+      handles[p] = CEDR_IFFT_NB(grids[p].data(), result.symbols[p].data(),
+                                cfg.ofdm_size);
+      if (handles[p] == nullptr) return Internal("CEDR_IFFT_NB rejected");
+    }
+    CEDR_RETURN_IF_ERROR(CEDR_BARRIER(handles.data(), handles.size()));
+  } else {
+    for (std::size_t p = 0; p < cfg.num_packets; ++p) {
+      CEDR_RETURN_IF_ERROR(CEDR_IFFT(grids[p].data(), result.symbols[p].data(),
+                                     cfg.ofdm_size));
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::uint8_t>> decode_wifi_symbol(
+    const std::vector<cfloat>& symbol, const WifiTxConfig& cfg) {
+  using namespace cedr::kernels;
+  if (symbol.size() != cfg.ofdm_size) {
+    return InvalidArgument("symbol length mismatch");
+  }
+  // FFT back to the subcarrier grid (the receiver side of the OFDM link).
+  std::vector<cfloat> grid(cfg.ofdm_size);
+  CEDR_RETURN_IF_ERROR(CEDR_FFT(symbol.data(), grid.data(), cfg.ofdm_size));
+  const std::size_t coded_bits = (cfg.payload_bits + kTailBits) * 2;
+  const std::size_t used_symbols = coded_bits / 2;
+  const BitVec bits =
+      qpsk_demodulate(std::span<const cfloat>(grid.data(), used_symbols));
+  auto deinterleaved = deinterleave(bits, kInterleaveDepth);
+  if (!deinterleaved.ok()) return deinterleaved.status();
+  auto decoded = viterbi_decode(*deinterleaved);
+  if (!decoded.ok()) return decoded.status();
+  decoded->resize(cfg.payload_bits);  // drop tail bits
+  // The 802.11 scrambler is self-inverse under the same seed.
+  return scramble(*decoded, cfg.scrambler_seed);
+}
+
+}  // namespace cedr::apps

@@ -1,0 +1,6 @@
+// Anchor translation unit for the libcedr-rt.so shared object; all content
+// comes from the whole-archive static libraries it wraps.
+namespace cedr::rt_so {
+/// Identifies the runtime shared object in diagnostics.
+const char* library_name() { return "libcedr-rt"; }
+}  // namespace cedr::rt_so

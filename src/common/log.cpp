@@ -1,0 +1,47 @@
+#include "cedr/common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace cedr::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, std::string_view component, std::string_view message) {
+  if (lvl < level()) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard lock(g_sink_mutex);
+  std::fprintf(stderr, "[%10.6f][%s][%s][t%04zx] %.*s\n", elapsed,
+               std::string(level_name(lvl)).c_str(),
+               std::string(component).c_str(), tid & 0xffff,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace cedr::log

@@ -1,0 +1,23 @@
+#include "cedr/common/rng.h"
+
+#include <cmath>
+
+namespace cedr {
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on two uniforms; guard against log(0).
+  double u1 = next_double();
+  while (u1 <= 1e-300) u1 = next_double();
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+}  // namespace cedr

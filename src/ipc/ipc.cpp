@@ -1,0 +1,278 @@
+#include "cedr/ipc/ipc.h"
+
+#include <dlfcn.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "cedr/apps/executable_dag.h"
+#include "cedr/common/log.h"
+
+namespace cedr::ipc {
+namespace {
+
+constexpr std::string_view kLogTag = "ipc";
+
+Status fill_sockaddr(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("socket path empty or too long: " + path);
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  return Status::Ok();
+}
+
+/// Reads one LF-terminated line (without the LF). Empty optional on EOF.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) return !line.empty();
+    if (c == '\n') return true;
+    line += c;
+    if (line.size() > 4096) return true;  // defensive cap
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+IpcServer::IpcServer(rt::Runtime& runtime, std::string socket_path,
+                     std::string trace_path)
+    : runtime_(runtime),
+      socket_path_(std::move(socket_path)),
+      trace_path_(std::move(trace_path)) {}
+
+IpcServer::~IpcServer() {
+  stop();
+  std::lock_guard lock(objects_mutex_);
+  for (void* handle : loaded_objects_) {
+    if (handle != nullptr) ::dlclose(handle);
+  }
+}
+
+Status IpcServer::start() {
+  sockaddr_un addr{};
+  CEDR_RETURN_IF_ERROR(fill_sockaddr(socket_path_, addr));
+  ::unlink(socket_path_.c_str());  // stale socket from a previous run
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Unavailable(std::string("socket(): ") + std::strerror(errno));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Unavailable(std::string("bind(): ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Unavailable(std::string("listen(): ") + std::strerror(errno));
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  CEDR_LOG(kInfo, kLogTag) << "daemon listening on " << socket_path_;
+  return Status::Ok();
+}
+
+void IpcServer::stop() {
+  if (!running_.exchange(false)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::unlink(socket_path_.c_str());
+}
+
+void IpcServer::wait_for_shutdown() {
+  std::unique_lock lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  });
+}
+
+void IpcServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (running_.load(std::memory_order_acquire)) continue;
+      break;
+    }
+    std::string line;
+    if (read_line(client, line)) {
+      const std::string reply = handle_command(line);
+      write_all(client, reply);
+    }
+    ::close(client);
+    if (shutdown_requested_.load(std::memory_order_acquire)) break;
+  }
+}
+
+std::string IpcServer::handle_command(const std::string& line) {
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+
+  if (verb == "SUBMIT") {
+    std::string so_path;
+    std::string app_name;
+    in >> so_path >> app_name;
+    if (so_path.empty()) return "ERR SUBMIT requires a shared-object path\n";
+    if (app_name.empty()) app_name = so_path;
+    // The paper's flow: the shared object application is parsed (dlopen)
+    // and a new system thread executes its main function.
+    void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+      return std::string("ERR dlopen: ") + ::dlerror() + "\n";
+    }
+    using AppMain = void (*)();
+    auto app_main =
+        reinterpret_cast<AppMain>(::dlsym(handle, "cedr_app_main"));
+    if (app_main == nullptr) {
+      ::dlclose(handle);
+      return "ERR shared object does not export cedr_app_main\n";
+    }
+    {
+      std::lock_guard lock(objects_mutex_);
+      loaded_objects_.push_back(handle);
+    }
+    auto instance = runtime_.submit_api(app_name, [app_main] { app_main(); });
+    if (!instance.ok()) {
+      return "ERR " + instance.status().to_string() + "\n";
+    }
+    CEDR_LOG(kInfo, kLogTag) << "submitted " << app_name << " as instance "
+                             << *instance;
+    return "OK " + std::to_string(*instance) + "\n";
+  }
+
+  if (verb == "SUBMITDAG") {
+    // DAG-based submission: the JSON document is parsed into an application
+    // DAG with standard-module implementations bound over its declared
+    // buffers, then scheduled node by node (the pre-CEDR-API flow).
+    std::string json_path;
+    std::string app_name;
+    in >> json_path >> app_name;
+    if (json_path.empty()) return "ERR SUBMITDAG requires a JSON path\n";
+    auto dag = apps::load_executable_dag(json_path);
+    if (!dag.ok()) return "ERR " + dag.status().to_string() + "\n";
+    auto instance = runtime_.submit_dag(dag->descriptor);
+    if (!instance.ok()) {
+      return "ERR " + instance.status().to_string() + "\n";
+    }
+    CEDR_LOG(kInfo, kLogTag) << "submitted DAG " << json_path
+                             << " as instance " << *instance;
+    return "OK " + std::to_string(*instance) + "\n";
+  }
+
+  if (verb == "STATUS") {
+    return "OK submitted=" + std::to_string(runtime_.submitted_apps()) +
+           " completed=" + std::to_string(runtime_.completed_apps()) + "\n";
+  }
+
+  if (verb == "WAIT") {
+    const Status status = runtime_.wait_all();
+    return status.ok() ? "OK\n" : "ERR " + status.to_string() + "\n";
+  }
+
+  if (verb == "SHUTDOWN") {
+    // "...it serializes all the logs it has collected relating to task
+    // execution ... for later offline analysis" (paper §II-A).
+    if (!trace_path_.empty()) {
+      const Status status = runtime_.trace_log().write_json(trace_path_);
+      if (!status.ok()) {
+        CEDR_LOG(kWarn, kLogTag) << "trace serialization failed: "
+                                 << status.to_string();
+      }
+    }
+    shutdown_requested_.store(true, std::memory_order_release);
+    shutdown_cv_.notify_all();
+    return "OK\n";
+  }
+
+  return "ERR unknown command: " + verb + "\n";
+}
+
+StatusOr<std::string> IpcClient::round_trip(const std::string& command) {
+  sockaddr_un addr{};
+  CEDR_RETURN_IF_ERROR(fill_sockaddr(socket_path_, addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Unavailable(std::string("socket(): ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Unavailable("cannot connect to daemon at " + socket_path_ + ": " +
+                       std::strerror(errno));
+  }
+  StatusOr<std::string> result = [&]() -> StatusOr<std::string> {
+    if (!write_all(fd, command + "\n")) {
+      return Unavailable("failed to send command");
+    }
+    std::string reply;
+    if (!read_line(fd, reply)) return Unavailable("daemon closed connection");
+    if (reply.rfind("ERR", 0) == 0) {
+      return Internal(reply.size() > 4 ? reply.substr(4) : "daemon error");
+    }
+    return reply;
+  }();
+  ::close(fd);
+  return result;
+}
+
+StatusOr<std::uint64_t> IpcClient::submit(const std::string& so_path,
+                                          const std::string& app_name) {
+  auto reply = round_trip("SUBMIT " + so_path +
+                          (app_name.empty() ? "" : " " + app_name));
+  if (!reply.ok()) return reply.status();
+  // "OK <id>"
+  const std::size_t space = reply->find(' ');
+  if (space == std::string::npos) return Internal("malformed SUBMIT reply");
+  return static_cast<std::uint64_t>(
+      std::strtoull(reply->c_str() + space + 1, nullptr, 10));
+}
+
+StatusOr<std::uint64_t> IpcClient::submit_dag(const std::string& json_path) {
+  auto reply = round_trip("SUBMITDAG " + json_path);
+  if (!reply.ok()) return reply.status();
+  const std::size_t space = reply->find(' ');
+  if (space == std::string::npos) return Internal("malformed SUBMITDAG reply");
+  return static_cast<std::uint64_t>(
+      std::strtoull(reply->c_str() + space + 1, nullptr, 10));
+}
+
+StatusOr<std::pair<std::uint64_t, std::uint64_t>> IpcClient::status() {
+  auto reply = round_trip("STATUS");
+  if (!reply.ok()) return reply.status();
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  if (std::sscanf(reply->c_str(), "OK submitted=%lu completed=%lu",
+                  &submitted, &completed) != 2) {
+    return Internal("malformed STATUS reply: " + *reply);
+  }
+  return std::make_pair(submitted, completed);
+}
+
+Status IpcClient::wait_all() { return round_trip("WAIT").status(); }
+
+Status IpcClient::shutdown() { return round_trip("SHUTDOWN").status(); }
+
+}  // namespace cedr::ipc

@@ -1,0 +1,466 @@
+#include "cedr/json/json.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace cedr::json {
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::int64_t Value::get_int(std::string_view key,
+                            std::int64_t fallback) const noexcept {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : fallback;
+}
+
+double Value::get_double(std::string_view key, double fallback) const noexcept {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const noexcept {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+std::string Value::get_string(std::string_view key,
+                              std::string_view fallback) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string()
+                                          : std::string(fallback);
+}
+
+bool operator==(const Value& a, const Value& b) noexcept {
+  if (a.type_ != b.type_) {
+    // Allow 3 == 3.0 across the int/double split.
+    if (a.is_number() && b.is_number()) return a.as_double() == b.as_double();
+    return false;
+  }
+  switch (a.type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return a.bool_ == b.bool_;
+    case Type::kInt: return a.int_ == b.int_;
+    case Type::kDouble: return a.double_ == b.double_;
+    case Type::kString: return a.string_ == b.string_;
+    case Type::kArray: return a.array_ == b.array_;
+    case Type::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no non-finite literals; emit null like most tolerant encoders.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+  // Keep a trailing ".0" so the value re-parses as a double.
+  if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kInt: out += std::to_string(int_); return;
+    case Type::kDouble: append_double(out, double_); return;
+    case Type::kString: append_escaped(out, string_); return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& v : array_) {
+        if (!first) out += indent > 0 ? "," : ",";
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, v] : object_) {
+        if (!first) out += ",";
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_to(out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser with line/column tracking.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Value> parse_document() {
+    skip_ws();
+    Value root;
+    CEDR_RETURN_IF_ERROR(parse_value(root, /*depth=*/0));
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing characters after document");
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status error(std::string_view what) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    std::ostringstream msg;
+    msg << "JSON parse error at line " << line << ", column " << column << ": "
+        << what;
+    return InvalidArgument(msg.str());
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+  char take() noexcept { return text_[pos_++]; }
+
+  void skip_ws() noexcept {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(std::string_view literal) noexcept {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    if (at_end()) return error("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (!consume("null")) return error("invalid literal");
+        out = Value(nullptr);
+        return Status::Ok();
+      case 't':
+        if (!consume("true")) return error("invalid literal");
+        out = Value(true);
+        return Status::Ok();
+      case 'f':
+        if (!consume("false")) return error("invalid literal");
+        out = Value(false);
+        return Status::Ok();
+      case '"': return parse_string_value(out);
+      case '[': return parse_array(out, depth);
+      case '{': return parse_object(out, depth);
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_array(Value& out, int depth) {
+    take();  // '['
+    Array items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      take();
+      out = Value(std::move(items));
+      return Status::Ok();
+    }
+    while (true) {
+      Value item;
+      skip_ws();
+      CEDR_RETURN_IF_ERROR(parse_value(item, depth + 1));
+      items.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) return error("unterminated array");
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') return error("expected ',' or ']' in array");
+    }
+    out = Value(std::move(items));
+    return Status::Ok();
+  }
+
+  Status parse_object(Value& out, int depth) {
+    take();  // '{'
+    Object members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      take();
+      out = Value(std::move(members));
+      return Status::Ok();
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return error("expected object key string");
+      std::string key;
+      CEDR_RETURN_IF_ERROR(parse_string(key));
+      skip_ws();
+      if (at_end() || take() != ':') return error("expected ':' after key");
+      skip_ws();
+      Value member;
+      CEDR_RETURN_IF_ERROR(parse_value(member, depth + 1));
+      members.insert_or_assign(std::move(key), std::move(member));
+      skip_ws();
+      if (at_end()) return error("unterminated object");
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') return error("expected ',' or '}' in object");
+    }
+    out = Value(std::move(members));
+    return Status::Ok();
+  }
+
+  Status parse_string_value(Value& out) {
+    std::string s;
+    CEDR_RETURN_IF_ERROR(parse_string(s));
+    out = Value(std::move(s));
+    return Status::Ok();
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return error("invalid hex digit in \\u escape");
+      }
+    }
+    out = value;
+    return Status::Ok();
+  }
+
+  Status parse_string(std::string& out) {
+    take();  // opening quote
+    out.clear();
+    while (true) {
+      if (at_end()) return error("unterminated string");
+      const char c = take();
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return error("unterminated escape");
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          CEDR_RETURN_IF_ERROR(parse_hex4(cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            CEDR_RETURN_IF_ERROR(parse_hex4(low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return error("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return error("invalid escape character");
+      }
+    }
+  }
+
+  Status parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') take();
+    if (at_end() || peek() < '0' || peek() > '9') {
+      return error("invalid number");
+    }
+    bool is_floating = false;
+    while (!at_end()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        take();
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_floating = true;
+        take();
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_floating) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        out = Value(value);
+        return Status::Ok();
+      }
+      // Fall through to double on overflow.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string token_str(token);
+    const double value = std::strtod(token_str.c_str(), &end);
+    if (end != token_str.c_str() + token_str.size() || errno == ERANGE) {
+      return error("malformed number");
+    }
+    out = Value(value);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+StatusOr<Value> parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open JSON file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+Status write_file(const std::string& path, const Value& value) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Unavailable("cannot open file for writing: " + path);
+  out << value.dump_pretty() << '\n';
+  if (!out) return Unavailable("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace cedr::json

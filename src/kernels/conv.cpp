@@ -1,0 +1,165 @@
+#include "cedr/kernels/conv.h"
+
+#include <algorithm>
+
+#include "cedr/kernels/fft.h"
+#include "cedr/kernels/zip.h"
+
+namespace cedr::kernels {
+namespace {
+
+/// In-place 2-D FFT over a rows x cols complex buffer (both powers of two):
+/// row transforms followed by column transforms through a gather/scatter
+/// column buffer.
+Status fft2d_inplace(std::span<cfloat> data, std::size_t rows,
+                     std::size_t cols, bool inverse) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    CEDR_RETURN_IF_ERROR(fft_inplace(data.subspan(r * cols, cols), inverse));
+  }
+  std::vector<cfloat> column(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) column[r] = data[r * cols + c];
+    CEDR_RETURN_IF_ERROR(fft_inplace(column, inverse));
+    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = column[r];
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<float> conv1d_direct(std::span<const float> a,
+                                 std::span<const float> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<float> out(a.size() + b.size() - 1, 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<float>> conv1d_fft(std::span<const float> a,
+                                        std::span<const float> b) {
+  if (a.empty() || b.empty()) {
+    return InvalidArgument("conv1d_fft of empty sequence");
+  }
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_power_of_two(out_len);
+  std::vector<cfloat> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = cfloat(a[i], 0.0f);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = cfloat(b[i], 0.0f);
+  CEDR_RETURN_IF_ERROR(fft_inplace(fa, /*inverse=*/false));
+  CEDR_RETURN_IF_ERROR(fft_inplace(fb, /*inverse=*/false));
+  CEDR_RETURN_IF_ERROR(zip(fa, fb, std::span<cfloat>(fa), ZipOp::kMultiply));
+  CEDR_RETURN_IF_ERROR(fft_inplace(fa, /*inverse=*/true));
+  std::vector<float> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+Status circular_conv_fft(std::span<const cfloat> a, std::span<const cfloat> b,
+                         std::span<cfloat> out) {
+  if (a.size() != b.size() || a.size() != out.size()) {
+    return InvalidArgument("circular_conv_fft size mismatch");
+  }
+  std::vector<cfloat> fa(a.begin(), a.end());
+  std::vector<cfloat> fb(b.begin(), b.end());
+  CEDR_RETURN_IF_ERROR(fft_inplace(fa, /*inverse=*/false));
+  CEDR_RETURN_IF_ERROR(fft_inplace(fb, /*inverse=*/false));
+  CEDR_RETURN_IF_ERROR(zip(fa, fb, std::span<cfloat>(fa), ZipOp::kMultiply));
+  CEDR_RETURN_IF_ERROR(fft_inplace(fa, /*inverse=*/true));
+  std::copy(fa.begin(), fa.end(), out.begin());
+  return Status::Ok();
+}
+
+Status conv2d_direct(std::span<const float> image, std::size_t rows,
+                     std::size_t cols, std::span<const float> kernel,
+                     std::size_t ksize, std::span<float> out) {
+  if (image.size() != rows * cols || out.size() != rows * cols) {
+    return InvalidArgument("conv2d buffer size mismatch");
+  }
+  if (ksize == 0 || ksize % 2 == 0 || kernel.size() != ksize * ksize) {
+    return InvalidArgument("conv2d kernel must be square with odd size");
+  }
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(ksize / 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      float acc = 0.0f;
+      for (std::ptrdiff_t kr = -half; kr <= half; ++kr) {
+        const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r) + kr;
+        if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(rows)) continue;
+        for (std::ptrdiff_t kc = -half; kc <= half; ++kc) {
+          const std::ptrdiff_t cc = static_cast<std::ptrdiff_t>(c) + kc;
+          if (cc < 0 || cc >= static_cast<std::ptrdiff_t>(cols)) continue;
+          // Convolution (kernel flipped), matching conv1d semantics.
+          const float kval =
+              kernel[static_cast<std::size_t>(half - kr) * ksize +
+                     static_cast<std::size_t>(half - kc)];
+          acc += kval * image[static_cast<std::size_t>(rr) * cols +
+                              static_cast<std::size_t>(cc)];
+        }
+      }
+      out[r * cols + c] = acc;
+    }
+  }
+  return Status::Ok();
+}
+
+Status conv2d_fft(std::span<const float> image, std::size_t rows,
+                  std::size_t cols, std::span<const float> kernel,
+                  std::size_t ksize, std::span<float> out) {
+  if (image.size() != rows * cols || out.size() != rows * cols) {
+    return InvalidArgument("conv2d buffer size mismatch");
+  }
+  if (ksize == 0 || ksize % 2 == 0 || kernel.size() != ksize * ksize) {
+    return InvalidArgument("conv2d kernel must be square with odd size");
+  }
+  // Zero-pad to powers of two covering the full linear convolution.
+  const std::size_t prow = next_power_of_two(rows + ksize - 1);
+  const std::size_t pcol = next_power_of_two(cols + ksize - 1);
+  std::vector<cfloat> fimg(prow * pcol), fker(prow * pcol);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      fimg[r * pcol + c] = cfloat(image[r * cols + c], 0.0f);
+    }
+  }
+  for (std::size_t r = 0; r < ksize; ++r) {
+    for (std::size_t c = 0; c < ksize; ++c) {
+      fker[r * pcol + c] = cfloat(kernel[r * ksize + c], 0.0f);
+    }
+  }
+  CEDR_RETURN_IF_ERROR(fft2d_inplace(fimg, prow, pcol, /*inverse=*/false));
+  CEDR_RETURN_IF_ERROR(fft2d_inplace(fker, prow, pcol, /*inverse=*/false));
+  CEDR_RETURN_IF_ERROR(
+      zip(fimg, fker, std::span<cfloat>(fimg), ZipOp::kMultiply));
+  CEDR_RETURN_IF_ERROR(fft2d_inplace(fimg, prow, pcol, /*inverse=*/true));
+  // Crop the "same" window: full conv index (r + half, c + half).
+  const std::size_t half = ksize / 2;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[r * cols + c] = fimg[(r + half) * pcol + (c + half)].real();
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<float> gaussian_kernel(std::size_t ksize, double sigma) {
+  std::vector<float> kernel(ksize * ksize, 0.0f);
+  const double half = static_cast<double>(ksize / 2);
+  double total = 0.0;
+  for (std::size_t r = 0; r < ksize; ++r) {
+    for (std::size_t c = 0; c < ksize; ++c) {
+      const double dr = static_cast<double>(r) - half;
+      const double dc = static_cast<double>(c) - half;
+      const double v = std::exp(-(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+      kernel[r * ksize + c] = static_cast<float>(v);
+      total += v;
+    }
+  }
+  const float norm = static_cast<float>(1.0 / total);
+  for (float& v : kernel) v *= norm;
+  return kernel;
+}
+
+}  // namespace cedr::kernels

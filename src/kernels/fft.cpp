@@ -1,0 +1,133 @@
+#include "cedr/kernels/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cedr::kernels {
+namespace {
+
+/// Twiddle factors are cached per (size, direction): the runtime issues
+/// thousands of same-size transforms per frame, and recomputing sincos
+/// dominates small FFTs otherwise. Thread-local avoids locking in worker
+/// threads.
+struct TwiddleCache {
+  std::size_t size = 0;
+  bool inverse = false;
+  std::vector<cfloat> factors;  // w^0 .. w^(size/2 - 1)
+};
+
+const std::vector<cfloat>& twiddles(std::size_t n, bool inverse) {
+  thread_local TwiddleCache cache;
+  if (cache.size == n && cache.inverse == inverse) return cache.factors;
+  cache.size = n;
+  cache.inverse = inverse;
+  cache.factors.resize(n / 2);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = sign * kPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    cache.factors[k] = cfloat(static_cast<float>(std::cos(angle)),
+                              static_cast<float>(std::sin(angle)));
+  }
+  return cache.factors;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bit_reverse_table(std::size_t n) {
+  std::vector<std::uint32_t> table(n);
+  const unsigned bits = log2_exact(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t rev = 0;
+    std::uint32_t v = static_cast<std::uint32_t>(i);
+    for (unsigned b = 0; b < bits; ++b) {
+      rev = (rev << 1) | (v & 1u);
+      v >>= 1;
+    }
+    table[i] = rev;
+  }
+  return table;
+}
+
+Status fft_inplace(std::span<cfloat> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return InvalidArgument("FFT of empty buffer");
+  if (!is_power_of_two(n)) {
+    return InvalidArgument("FFT size must be a power of two, got " +
+                           std::to_string(n));
+  }
+  if (n > (std::size_t{1} << 24)) {
+    return OutOfRange("FFT size exceeds 2^24");
+  }
+  if (n == 1) return Status::Ok();
+
+  // Bit-reversal permutation.
+  const unsigned bits = log2_exact(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t rev = 0;
+    std::size_t v = i;
+    for (unsigned b = 0; b < bits; ++b) {
+      rev = (rev << 1) | (v & 1u);
+      v >>= 1;
+    }
+    if (rev > i) std::swap(data[i], data[rev]);
+  }
+
+  // Iterative butterflies; twiddles for the full size are strided per stage.
+  const std::vector<cfloat>& w = twiddles(n, inverse);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t stride = n / len;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cfloat t = w[k * stride] * data[base + k + half];
+        const cfloat u = data[base + k];
+        data[base + k] = u + t;
+        data[base + k + half] = u - t;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (cfloat& v : data) v *= scale;
+  }
+  return Status::Ok();
+}
+
+Status fft(std::span<const cfloat> in, std::span<cfloat> out, bool inverse) {
+  if (in.size() != out.size()) {
+    return InvalidArgument("FFT input/output size mismatch");
+  }
+  std::copy(in.begin(), in.end(), out.begin());
+  return fft_inplace(out, inverse);
+}
+
+std::vector<cfloat> dft_reference(std::span<const cfloat> in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<cfloat> out(n);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * kPi * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += std::complex<double>(in[t].real(), in[t].imag()) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) acc /= static_cast<double>(n);
+    out[k] = cfloat(static_cast<float>(acc.real()),
+                    static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+std::vector<float> magnitude(std::span<const cfloat> spectrum) {
+  std::vector<float> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    out[i] = std::abs(spectrum[i]);
+  }
+  return out;
+}
+
+}  // namespace cedr::kernels

@@ -1,0 +1,187 @@
+#include "cedr/kernels/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cedr/common/math_util.h"
+#include "cedr/kernels/conv.h"
+
+namespace cedr::kernels {
+
+GrayImage rgb_to_gray(const RgbImage& rgb) {
+  GrayImage out(rgb.rows, rgb.cols);
+  for (std::size_t i = 0; i < rgb.rows * rgb.cols; ++i) {
+    const float r = static_cast<float>(rgb.pixels[3 * i]) / 255.0f;
+    const float g = static_cast<float>(rgb.pixels[3 * i + 1]) / 255.0f;
+    const float b = static_cast<float>(rgb.pixels[3 * i + 2]) / 255.0f;
+    out.pixels[i] = 0.299f * r + 0.587f * g + 0.114f * b;
+  }
+  return out;
+}
+
+StatusOr<GrayImage> gaussian_blur_fft(const GrayImage& in, std::size_t ksize,
+                                      double sigma) {
+  const std::vector<float> kernel = gaussian_kernel(ksize, sigma);
+  GrayImage out(in.rows, in.cols);
+  CEDR_RETURN_IF_ERROR(conv2d_fft(in.pixels, in.rows, in.cols, kernel, ksize,
+                                  out.pixels));
+  return out;
+}
+
+GrayImage sobel_magnitude(const GrayImage& in) {
+  GrayImage out(in.rows, in.cols);
+  if (in.rows < 3 || in.cols < 3) return out;
+  for (std::size_t r = 1; r + 1 < in.rows; ++r) {
+    for (std::size_t c = 1; c + 1 < in.cols; ++c) {
+      const float gx = -in.at(r - 1, c - 1) + in.at(r - 1, c + 1) -
+                       2.0f * in.at(r, c - 1) + 2.0f * in.at(r, c + 1) -
+                       in.at(r + 1, c - 1) + in.at(r + 1, c + 1);
+      const float gy = -in.at(r - 1, c - 1) - 2.0f * in.at(r - 1, c) -
+                       in.at(r - 1, c + 1) + in.at(r + 1, c - 1) +
+                       2.0f * in.at(r + 1, c) + in.at(r + 1, c + 1);
+      out.at(r, c) = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return out;
+}
+
+GrayImage threshold(const GrayImage& in, float level) {
+  GrayImage out(in.rows, in.cols);
+  for (std::size_t i = 0; i < in.pixels.size(); ++i) {
+    out.pixels[i] = in.pixels[i] >= level ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+std::vector<HoughLine> hough_lines(const GrayImage& binary,
+                                   std::size_t max_lines,
+                                   std::uint32_t min_votes) {
+  constexpr std::size_t kThetaBins = 180;
+  const double diag = std::hypot(static_cast<double>(binary.rows),
+                                 static_cast<double>(binary.cols));
+  const std::size_t rho_bins = 2 * static_cast<std::size_t>(diag) + 1;
+  const double rho_offset = diag;  // map rho in [-diag, diag] to [0, rho_bins)
+
+  std::vector<std::uint32_t> acc(kThetaBins * rho_bins, 0);
+  std::vector<double> sins(kThetaBins), coss(kThetaBins);
+  for (std::size_t t = 0; t < kThetaBins; ++t) {
+    const double theta = kPi * static_cast<double>(t) / kThetaBins;
+    sins[t] = std::sin(theta);
+    coss[t] = std::cos(theta);
+  }
+
+  for (std::size_t r = 0; r < binary.rows; ++r) {
+    for (std::size_t c = 0; c < binary.cols; ++c) {
+      if (binary.at(r, c) <= 0.0f) continue;
+      for (std::size_t t = 0; t < kThetaBins; ++t) {
+        const double rho = static_cast<double>(c) * coss[t] +
+                           static_cast<double>(r) * sins[t];
+        const auto bin = static_cast<std::size_t>(rho + rho_offset + 0.5);
+        if (bin < rho_bins) ++acc[t * rho_bins + bin];
+      }
+    }
+  }
+
+  // Peak extraction with non-maximum suppression in a 5x5 (theta, rho) patch.
+  std::vector<HoughLine> lines;
+  std::vector<std::uint8_t> suppressed(acc.size(), 0);
+  while (lines.size() < max_lines) {
+    std::uint32_t best = 0;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      if (!suppressed[i] && acc[i] > best) {
+        best = acc[i];
+        best_idx = i;
+      }
+    }
+    if (best < min_votes) break;
+    const std::size_t t = best_idx / rho_bins;
+    const std::size_t b = best_idx % rho_bins;
+    lines.push_back(HoughLine{
+        .rho = static_cast<double>(b) - rho_offset,
+        .theta = kPi * static_cast<double>(t) / kThetaBins,
+        .votes = best,
+    });
+    // Suppress a window around the found peak so near-duplicates are skipped.
+    constexpr std::ptrdiff_t kWindowTheta = 8;
+    constexpr std::ptrdiff_t kWindowRho = 20;
+    for (std::ptrdiff_t dt = -kWindowTheta; dt <= kWindowTheta; ++dt) {
+      // theta wraps at pi with rho sign flip; plain clamping is sufficient
+      // for suppression purposes.
+      const std::ptrdiff_t tt = static_cast<std::ptrdiff_t>(t) + dt;
+      if (tt < 0 || tt >= static_cast<std::ptrdiff_t>(kThetaBins)) continue;
+      for (std::ptrdiff_t db = -kWindowRho; db <= kWindowRho; ++db) {
+        const std::ptrdiff_t bb = static_cast<std::ptrdiff_t>(b) + db;
+        if (bb < 0 || bb >= static_cast<std::ptrdiff_t>(rho_bins)) continue;
+        suppressed[static_cast<std::size_t>(tt) * rho_bins +
+                   static_cast<std::size_t>(bb)] = 1;
+      }
+    }
+  }
+  return lines;
+}
+
+RgbImage synthesize_road(std::size_t rows, std::size_t cols, RoadTruth& truth,
+                         double noise_stddev, Rng& rng) {
+  RgbImage img(rows, cols);
+  // Road geometry: markings start at the bottom corners' inner third and
+  // converge toward a vanishing point slightly above the image center.
+  const double bottom = static_cast<double>(rows - 1);
+  const double vanish_row = 0.35 * static_cast<double>(rows);
+  const double vanish_col = 0.5 * static_cast<double>(cols);
+  const double left_bottom = 0.22 * static_cast<double>(cols);
+  const double right_bottom = 0.78 * static_cast<double>(cols);
+
+  truth.left_offset = left_bottom;
+  truth.left_slope = (vanish_col - left_bottom) / (vanish_row - bottom);
+  truth.right_offset = right_bottom;
+  truth.right_slope = (vanish_col - right_bottom) / (vanish_row - bottom);
+
+  auto put = [&](std::size_t r, std::size_t c, std::uint8_t red,
+                 std::uint8_t green, std::uint8_t blue) {
+    std::uint8_t* px = &img.pixels[3 * (r * cols + c)];
+    px[0] = red;
+    px[1] = green;
+    px[2] = blue;
+  };
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (static_cast<double>(r) < vanish_row) {
+        put(r, c, 110, 150, 200);  // sky
+      } else {
+        put(r, c, 55, 55, 60);  // asphalt
+      }
+    }
+  }
+
+  const double marking_half_width = std::max(1.5, 0.006 * static_cast<double>(cols));
+  for (std::size_t r = static_cast<std::size_t>(vanish_row); r < rows; ++r) {
+    const double dy = static_cast<double>(r) - bottom;
+    for (const bool left : {true, false}) {
+      const double center = left ? left_bottom + truth.left_slope * dy
+                                 : right_bottom + truth.right_slope * dy;
+      // Perspective: markings get thinner toward the vanishing point.
+      const double depth =
+          (static_cast<double>(r) - vanish_row) / (bottom - vanish_row);
+      const double width = marking_half_width * std::max(0.25, depth);
+      const auto lo = static_cast<std::ptrdiff_t>(std::floor(center - width));
+      const auto hi = static_cast<std::ptrdiff_t>(std::ceil(center + width));
+      for (std::ptrdiff_t c = lo; c <= hi; ++c) {
+        if (c < 0 || c >= static_cast<std::ptrdiff_t>(cols)) continue;
+        put(r, static_cast<std::size_t>(c), 240, 240, 230);  // paint
+      }
+    }
+  }
+
+  if (noise_stddev > 0.0) {
+    for (std::uint8_t& channel : img.pixels) {
+      const double noisy =
+          static_cast<double>(channel) + rng.normal(0.0, noise_stddev * 255.0);
+      channel = static_cast<std::uint8_t>(clamp(noisy, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+}  // namespace cedr::kernels

@@ -1,0 +1,72 @@
+#include "cedr/kernels/mmult.h"
+
+#include <algorithm>
+
+namespace cedr::kernels {
+namespace {
+
+Status check_shapes(std::size_t a, std::size_t b, std::size_t c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  if (m == 0 || k == 0 || n == 0) {
+    return InvalidArgument("mmult dimensions must be nonzero");
+  }
+  if (a != m * k || b != k * n || c != m * n) {
+    return InvalidArgument("mmult operand sizes inconsistent with shape");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status mmult(std::span<const float> a, std::span<const float> b,
+             std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
+  CEDR_RETURN_IF_ERROR(check_shapes(a.size(), b.size(), c.size(), m, k, n));
+  // i-k-j loop order keeps the B row streaming and C row hot.
+  std::fill(c.begin(), c.end(), 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      const float* brow = &b[p * n];
+      float* crow = &c[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+  return Status::Ok();
+}
+
+Status mmult_blocked(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t m, std::size_t k,
+                     std::size_t n, std::size_t block) {
+  CEDR_RETURN_IF_ERROR(check_shapes(a.size(), b.size(), c.size(), m, k, n));
+  if (block == 0) block = 64;
+  std::fill(c.begin(), c.end(), 0.0f);
+  for (std::size_t ii = 0; ii < m; ii += block) {
+    const std::size_t i_end = std::min(ii + block, m);
+    for (std::size_t pp = 0; pp < k; pp += block) {
+      const std::size_t p_end = std::min(pp + block, k);
+      for (std::size_t jj = 0; jj < n; jj += block) {
+        const std::size_t j_end = std::min(jj + block, n);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t p = pp; p < p_end; ++p) {
+            const float aip = a[i * k + p];
+            const float* brow = &b[p * n];
+            float* crow = &c[i * n];
+            for (std::size_t j = jj; j < j_end; ++j) crow[j] += aip * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void transpose(std::span<const float> in, std::span<float> out, std::size_t m,
+               std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out[j * m + i] = in[i * n + j];
+    }
+  }
+}
+
+}  // namespace cedr::kernels

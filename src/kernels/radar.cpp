@@ -1,0 +1,117 @@
+#include "cedr/kernels/radar.h"
+
+#include <cmath>
+
+#include "cedr/kernels/fft.h"
+#include "cedr/kernels/zip.h"
+
+namespace cedr::kernels {
+
+std::vector<cfloat> make_chirp(std::size_t chirp_len, double bandwidth_hz,
+                               double sample_rate_hz) {
+  std::vector<cfloat> chirp(chirp_len);
+  const double duration = static_cast<double>(chirp_len) / sample_rate_hz;
+  const double rate = bandwidth_hz / duration;  // Hz per second sweep
+  for (std::size_t i = 0; i < chirp_len; ++i) {
+    const double t = static_cast<double>(i) / sample_rate_hz;
+    // Start at -B/2 so the chirp is centered on baseband.
+    const double phase =
+        2.0 * kPi * (-0.5 * bandwidth_hz * t + 0.5 * rate * t * t);
+    chirp[i] = cfloat(static_cast<float>(std::cos(phase)),
+                      static_cast<float>(std::sin(phase)));
+  }
+  return chirp;
+}
+
+std::vector<cfloat> synthesize_echo(const RadarParams& params,
+                                    std::span<const cfloat> chirp,
+                                    const RadarTarget& target,
+                                    double noise_stddev, Rng& rng) {
+  const std::size_t n = params.samples_per_pulse;
+  std::vector<cfloat> cube(params.num_pulses * n);
+  for (std::size_t p = 0; p < params.num_pulses; ++p) {
+    // Doppler advances the echo phase pulse-to-pulse at the PRF.
+    const double slow_time = static_cast<double>(p) / params.prf_hz;
+    const double phase = 2.0 * kPi * target.doppler_hz * slow_time;
+    const cfloat rotation(static_cast<float>(std::cos(phase)),
+                          static_cast<float>(std::sin(phase)));
+    cfloat* pulse = &cube[p * n];
+    for (std::size_t i = 0; i < chirp.size(); ++i) {
+      const std::size_t idx = target.range_bin + i;
+      if (idx >= n) break;
+      pulse[idx] += static_cast<float>(target.magnitude) * chirp[i] * rotation;
+    }
+    if (noise_stddev > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        pulse[i] += cfloat(static_cast<float>(rng.normal(0.0, noise_stddev)),
+                           static_cast<float>(rng.normal(0.0, noise_stddev)));
+      }
+    }
+  }
+  return cube;
+}
+
+Status matched_filter(std::span<const cfloat> pulse,
+                      std::span<const cfloat> chirp_freq,
+                      std::span<cfloat> out) {
+  if (pulse.size() != chirp_freq.size() || pulse.size() != out.size()) {
+    return InvalidArgument("matched_filter span size mismatch");
+  }
+  std::vector<cfloat> freq(pulse.size());
+  CEDR_RETURN_IF_ERROR(fft(pulse, freq, /*inverse=*/false));
+  CEDR_RETURN_IF_ERROR(
+      zip(freq, chirp_freq, std::span<cfloat>(freq), ZipOp::kConjugateMultiply));
+  CEDR_RETURN_IF_ERROR(fft_inplace(freq, /*inverse=*/true));
+  std::copy(freq.begin(), freq.end(), out.begin());
+  return Status::Ok();
+}
+
+Status doppler_fft(std::span<const cfloat> compressed, std::size_t num_pulses,
+                   std::size_t samples_per_pulse, std::span<cfloat> out) {
+  if (compressed.size() != num_pulses * samples_per_pulse ||
+      out.size() != compressed.size()) {
+    return InvalidArgument("doppler_fft cube size mismatch");
+  }
+  std::vector<cfloat> column(num_pulses);
+  for (std::size_t r = 0; r < samples_per_pulse; ++r) {
+    for (std::size_t p = 0; p < num_pulses; ++p) {
+      column[p] = compressed[p * samples_per_pulse + r];
+    }
+    CEDR_RETURN_IF_ERROR(fft_inplace(column, /*inverse=*/false));
+    for (std::size_t p = 0; p < num_pulses; ++p) {
+      out[p * samples_per_pulse + r] = column[p];
+    }
+  }
+  return Status::Ok();
+}
+
+RadarTarget find_peak(std::span<const cfloat> range_doppler,
+                      const RadarParams& params) {
+  RadarTarget best;
+  const std::size_t n = params.samples_per_pulse;
+  float best_mag = -1.0f;
+  std::size_t best_doppler_bin = 0;
+  for (std::size_t d = 0; d < params.num_pulses; ++d) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const float mag = std::abs(range_doppler[d * n + r]);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best.range_bin = r;
+        best_doppler_bin = d;
+      }
+    }
+  }
+  best.magnitude = best_mag;
+  // Wrap the upper half of the Doppler spectrum to negative frequencies.
+  double bin = static_cast<double>(best_doppler_bin);
+  if (bin >= static_cast<double>(params.num_pulses) / 2.0) {
+    bin -= static_cast<double>(params.num_pulses);
+  }
+  best.doppler_hz = bin * params.prf_hz / static_cast<double>(params.num_pulses);
+  // v = f_d * c / (2 * f_c) for a monostatic radar.
+  best.velocity_mps =
+      best.doppler_hz * params.speed_of_light / (2.0 * params.carrier_hz);
+  return best;
+}
+
+}  // namespace cedr::kernels

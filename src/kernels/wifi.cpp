@@ -1,0 +1,208 @@
+#include "cedr/kernels/wifi.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace cedr::kernels {
+namespace {
+
+constexpr unsigned kConstraint = 7;
+constexpr unsigned kNumStates = 1u << (kConstraint - 1);  // 64
+constexpr unsigned kG0 = 0133;  // octal, 0b1011011
+constexpr unsigned kG1 = 0171;  // octal, 0b1111001
+
+/// Parity (xor-reduction) of the low 7 bits of v.
+inline std::uint8_t parity7(unsigned v) noexcept {
+  v &= 0x7f;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return static_cast<std::uint8_t>(v & 1u);
+}
+
+}  // namespace
+
+BitVec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
+  BitVec out(bits.size());
+  unsigned state = seed & 0x7f;
+  if (state == 0) state = 1;  // all-zero LFSR would emit a constant stream
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // x^7 + x^4 + 1: feedback is bit6 ^ bit3 of the shift register.
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1u);
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ feedback) & 1u);
+    state = ((state << 1) | feedback) & 0x7f;
+  }
+  return out;
+}
+
+BitVec convolutional_encode(std::span<const std::uint8_t> bits) {
+  BitVec out;
+  out.reserve(bits.size() * 2);
+  unsigned shift = 0;  // 7-bit window, newest bit in the MSB position
+  for (const std::uint8_t bit : bits) {
+    shift = ((shift >> 1) | (static_cast<unsigned>(bit & 1u) << 6)) & 0x7f;
+    out.push_back(parity7(shift & kG0));
+    out.push_back(parity7(shift & kG1));
+  }
+  return out;
+}
+
+StatusOr<BitVec> viterbi_decode(std::span<const std::uint8_t> coded) {
+  if (coded.size() % 2 != 0) {
+    return InvalidArgument("coded length must be even for rate-1/2 decode");
+  }
+  const std::size_t steps = coded.size() / 2;
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 2;
+
+  // Decoder state s is the encoder shift register minus its oldest bit
+  // (s = shift >> 1, 6 bits). A step with `input` forms the 7-bit window
+  // w = s | (input << 6), emits parity(w & G0/G1), and moves to s' = w >> 1.
+  std::array<unsigned, kNumStates> metric;
+  metric.fill(kInf);
+  metric[0] = 0;
+  std::vector<std::array<std::uint8_t, kNumStates>> decisions(steps);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    const std::uint8_t r0 = coded[2 * t] & 1u;
+    const std::uint8_t r1 = coded[2 * t + 1] & 1u;
+    std::array<unsigned, kNumStates> next;
+    next.fill(kInf);
+    auto& decision = decisions[t];
+    for (unsigned state = 0; state < kNumStates; ++state) {
+      if (metric[state] >= kInf) continue;
+      for (unsigned input = 0; input < 2; ++input) {
+        // Mirror the encoder: shift register gains `input` in bit 6.
+        const unsigned window = (state | (input << 6)) & 0x7f;
+        const std::uint8_t e0 = parity7(window & kG0);
+        const std::uint8_t e1 = parity7(window & kG1);
+        const unsigned branch =
+            static_cast<unsigned>(e0 != r0) + static_cast<unsigned>(e1 != r1);
+        const unsigned next_state = window >> 1;  // drop the oldest bit
+        const unsigned candidate = metric[state] + branch;
+        if (candidate < next[next_state]) {
+          next[next_state] = candidate;
+          // Record the predecessor state's low 6 bits plus the input bit.
+          decision[next_state] =
+              static_cast<std::uint8_t>((state << 1) | input);
+        }
+      }
+    }
+    metric = next;
+  }
+
+  // Trace back from the best final state (state 0 for terminated input).
+  unsigned state = 0;
+  unsigned best = metric[0];
+  for (unsigned s = 1; s < kNumStates; ++s) {
+    if (metric[s] < best) {
+      best = metric[s];
+      state = s;
+    }
+  }
+  BitVec decoded(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::uint8_t d = decisions[t][state];
+    decoded[t] = d & 1u;
+    state = (d >> 1) & 0x3f;
+  }
+  return decoded;
+}
+
+StatusOr<BitVec> interleave(std::span<const std::uint8_t> bits,
+                            std::size_t depth) {
+  if (depth == 0 || bits.size() % depth != 0) {
+    return InvalidArgument("interleave length must be a multiple of depth");
+  }
+  const std::size_t rows = bits.size() / depth;
+  BitVec out(bits.size());
+  std::size_t w = 0;
+  for (std::size_t c = 0; c < depth; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[w++] = bits[r * depth + c];
+    }
+  }
+  return out;
+}
+
+StatusOr<BitVec> deinterleave(std::span<const std::uint8_t> bits,
+                              std::size_t depth) {
+  if (depth == 0 || bits.size() % depth != 0) {
+    return InvalidArgument("deinterleave length must be a multiple of depth");
+  }
+  const std::size_t rows = bits.size() / depth;
+  BitVec out(bits.size());
+  std::size_t rdx = 0;
+  for (std::size_t c = 0; c < depth; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[r * depth + c] = bits[rdx++];
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<cfloat>> qpsk_modulate(std::span<const std::uint8_t> bits) {
+  if (bits.size() % 2 != 0) {
+    return InvalidArgument("QPSK needs an even number of bits");
+  }
+  const float a = 0.70710678f;  // 1/sqrt(2): unit-energy constellation
+  std::vector<cfloat> symbols(bits.size() / 2);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    // Gray mapping: bit0 -> I sign, bit1 -> Q sign.
+    const float re = bits[2 * i] ? -a : a;
+    const float im = bits[2 * i + 1] ? -a : a;
+    symbols[i] = cfloat(re, im);
+  }
+  return symbols;
+}
+
+BitVec qpsk_demodulate(std::span<const cfloat> symbols) {
+  BitVec bits(symbols.size() * 2);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    bits[2 * i] = symbols[i].real() < 0.0f ? 1 : 0;
+    bits[2 * i + 1] = symbols[i].imag() < 0.0f ? 1 : 0;
+  }
+  return bits;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+StatusOr<std::vector<std::uint8_t>> pack_bits(
+    std::span<const std::uint8_t> bits) {
+  if (bits.size() % 8 != 0) {
+    return InvalidArgument("bit count must be a multiple of 8 to pack");
+  }
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bytes[i / 8] |= static_cast<std::uint8_t>((bits[i] & 1u) << (i % 8));
+  }
+  return bytes;
+}
+
+BitVec unpack_bytes(std::span<const std::uint8_t> bytes) {
+  BitVec bits(bytes.size() * 8);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = (bytes[i / 8] >> (i % 8)) & 1u;
+  }
+  return bits;
+}
+
+}  // namespace cedr::kernels

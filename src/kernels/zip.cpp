@@ -1,0 +1,35 @@
+#include "cedr/kernels/zip.h"
+
+namespace cedr::kernels {
+
+Status zip(std::span<const cfloat> a, std::span<const cfloat> b,
+           std::span<cfloat> out, ZipOp op) {
+  if (a.size() != b.size() || a.size() != out.size()) {
+    return InvalidArgument("zip operand size mismatch");
+  }
+  switch (op) {
+    case ZipOp::kMultiply:
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+      break;
+    case ZipOp::kConjugateMultiply:
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] = a[i] * std::conj(b[i]);
+      }
+      break;
+    case ZipOp::kAdd:
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+      break;
+    case ZipOp::kSubtract:
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+      break;
+  }
+  return Status::Ok();
+}
+
+void scale(std::span<const cfloat> a, cfloat scale_factor,
+           std::span<cfloat> out) {
+  const std::size_t n = std::min(a.size(), out.size());
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * scale_factor;
+}
+
+}  // namespace cedr::kernels

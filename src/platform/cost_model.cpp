@@ -1,0 +1,120 @@
+#include "cedr/platform/cost_model.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cedr::platform {
+
+double KernelCost::eval(std::size_t n) const noexcept {
+  const double nd = static_cast<double>(n);
+  const double nlogn = nd * (n > 1 ? std::log2(nd) : 0.0);
+  return fixed_s + per_point_s * nd + per_nlogn_s * nlogn;
+}
+
+CostModel::CostModel() {
+  transfer_per_byte_.fill(0.0);
+  transfer_fixed_.fill(0.0);
+}
+
+void CostModel::set(KernelId kernel, PeClass cls, KernelCost cost) noexcept {
+  table_[static_cast<std::size_t>(kernel)][static_cast<std::size_t>(cls)] =
+      cost;
+}
+
+const KernelCost& CostModel::get(KernelId kernel, PeClass cls) const noexcept {
+  return table_[static_cast<std::size_t>(kernel)]
+               [static_cast<std::size_t>(cls)];
+}
+
+void CostModel::set_transfer(PeClass cls, double seconds_per_byte,
+                             double fixed_s) noexcept {
+  transfer_per_byte_[static_cast<std::size_t>(cls)] = seconds_per_byte;
+  transfer_fixed_[static_cast<std::size_t>(cls)] = fixed_s;
+}
+
+double CostModel::estimate(KernelId kernel, PeClass cls, std::size_t n,
+                           std::size_t bytes) const noexcept {
+  if (!pe_class_supports(cls, kernel)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double cost = get(kernel, cls).eval(n);
+  if (cls != PeClass::kCpu) {
+    const auto idx = static_cast<std::size_t>(cls);
+    cost += transfer_fixed_[idx] +
+            transfer_per_byte_[idx] * static_cast<double>(bytes);
+  }
+  return cost;
+}
+
+json::Value CostModel::to_json() const {
+  json::Object kernels;
+  for (std::size_t k = 0; k < kNumKernelIds; ++k) {
+    json::Object classes;
+    for (std::size_t c = 0; c < kNumPeClasses; ++c) {
+      const KernelCost& cost = table_[k][c];
+      classes.emplace(pe_class_name(static_cast<PeClass>(c)),
+                      json::Object{
+                          {"fixed_s", json::Value(cost.fixed_s)},
+                          {"per_point_s", json::Value(cost.per_point_s)},
+                          {"per_nlogn_s", json::Value(cost.per_nlogn_s)},
+                      });
+    }
+    kernels.emplace(kernel_name(static_cast<KernelId>(k)),
+                    json::Value(std::move(classes)));
+  }
+  json::Object transfers;
+  for (std::size_t c = 0; c < kNumPeClasses; ++c) {
+    transfers.emplace(pe_class_name(static_cast<PeClass>(c)),
+                      json::Object{
+                          {"per_byte_s", json::Value(transfer_per_byte_[c])},
+                          {"fixed_s", json::Value(transfer_fixed_[c])},
+                      });
+  }
+  return json::Object{
+      {"kernels", json::Value(std::move(kernels))},
+      {"transfers", json::Value(std::move(transfers))},
+  };
+}
+
+StatusOr<CostModel> CostModel::from_json(const json::Value& value) {
+  if (!value.is_object()) return InvalidArgument("cost model must be object");
+  CostModel model;
+  if (const json::Value* kernels = value.find("kernels")) {
+    if (!kernels->is_object()) {
+      return InvalidArgument("cost model 'kernels' must be object");
+    }
+    for (const auto& [kname, classes] : kernels->as_object()) {
+      const auto kernel = kernel_from_name(kname);
+      if (!kernel) return InvalidArgument("unknown kernel name: " + kname);
+      if (!classes.is_object()) {
+        return InvalidArgument("kernel cost entry must be object");
+      }
+      for (std::size_t c = 0; c < kNumPeClasses; ++c) {
+        const PeClass cls = static_cast<PeClass>(c);
+        const json::Value* entry = classes.find(pe_class_name(cls));
+        if (entry == nullptr) continue;
+        model.set(*kernel, cls,
+                  KernelCost{
+                      .fixed_s = entry->get_double("fixed_s", 0.0),
+                      .per_point_s = entry->get_double("per_point_s", 0.0),
+                      .per_nlogn_s = entry->get_double("per_nlogn_s", 0.0),
+                  });
+      }
+    }
+  }
+  if (const json::Value* transfers = value.find("transfers")) {
+    if (!transfers->is_object()) {
+      return InvalidArgument("cost model 'transfers' must be object");
+    }
+    for (std::size_t c = 0; c < kNumPeClasses; ++c) {
+      const PeClass cls = static_cast<PeClass>(c);
+      const json::Value* entry = transfers->find(pe_class_name(cls));
+      if (entry == nullptr) continue;
+      model.set_transfer(cls, entry->get_double("per_byte_s", 0.0),
+                         entry->get_double("fixed_s", 0.0));
+    }
+  }
+  return model;
+}
+
+}  // namespace cedr::platform

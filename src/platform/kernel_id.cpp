@@ -1,0 +1,26 @@
+#include "cedr/platform/kernel_id.h"
+
+namespace cedr::platform {
+
+std::string_view kernel_name(KernelId id) noexcept {
+  switch (id) {
+    case KernelId::kFft: return "FFT";
+    case KernelId::kIfft: return "IFFT";
+    case KernelId::kZip: return "ZIP";
+    case KernelId::kMmult: return "MMULT";
+    case KernelId::kGeneric: return "GENERIC";
+    case KernelId::kCount: break;
+  }
+  return "UNKNOWN";
+}
+
+std::optional<KernelId> kernel_from_name(std::string_view name) noexcept {
+  if (name == "FFT") return KernelId::kFft;
+  if (name == "IFFT") return KernelId::kIfft;
+  if (name == "ZIP") return KernelId::kZip;
+  if (name == "MMULT") return KernelId::kMmult;
+  if (name == "GENERIC") return KernelId::kGeneric;
+  return std::nullopt;
+}
+
+}  // namespace cedr::platform

@@ -1,0 +1,72 @@
+#include "cedr/platform/mmio_bus.h"
+
+#include <sstream>
+
+namespace cedr::platform {
+namespace {
+
+std::string hex(std::uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+}  // namespace
+
+Status MmioBus::map(std::uint64_t base, std::unique_ptr<MmioDevice> device) {
+  if (device == nullptr) return InvalidArgument("cannot map a null device");
+  if (base % kDeviceWindowBytes != 0) {
+    return InvalidArgument("device base " + hex(base) +
+                           " is not window-aligned");
+  }
+  if (devices_.find(base) != devices_.end()) {
+    return AlreadyExists("device window already mapped at " + hex(base));
+  }
+  devices_.emplace(base, std::move(device));
+  return Status::Ok();
+}
+
+MmioDevice* MmioBus::at(std::uint64_t base) const noexcept {
+  const auto it = devices_.find(base);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::uint64_t> MmioBus::bases() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(devices_.size());
+  for (const auto& [base, device] : devices_) out.push_back(base);
+  return out;
+}
+
+StatusOr<std::pair<MmioDevice*, DeviceReg>> MmioBus::decode(
+    std::uint64_t address) {
+  if (address % kRegisterBytes != 0) {
+    return InvalidArgument("misaligned MMIO access at " + hex(address));
+  }
+  const std::uint64_t base = address - address % kDeviceWindowBytes;
+  const auto it = devices_.find(base);
+  if (it == devices_.end()) {
+    return NotFound("no device mapped at " + hex(address));
+  }
+  const std::uint64_t word = (address - base) / kRegisterBytes;
+  // Valid registers: kControl..kSizeAux2.
+  if (word > static_cast<std::uint64_t>(DeviceReg::kSizeAux2)) {
+    return OutOfRange("register offset " + hex(address - base) +
+                      " outside the device register file");
+  }
+  return std::make_pair(it->second.get(), static_cast<DeviceReg>(word));
+}
+
+Status MmioBus::write_word(std::uint64_t address, std::uint32_t value) {
+  auto target = decode(address);
+  if (!target.ok()) return target.status();
+  return target->first->write_reg(target->second, value);
+}
+
+StatusOr<std::uint32_t> MmioBus::read_word(std::uint64_t address) {
+  auto target = decode(address);
+  if (!target.ok()) return target.status();
+  return target->first->read_reg(target->second);
+}
+
+}  // namespace cedr::platform

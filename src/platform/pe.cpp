@@ -1,0 +1,38 @@
+#include "cedr/platform/pe.h"
+
+namespace cedr::platform {
+
+std::string_view pe_class_name(PeClass cls) noexcept {
+  switch (cls) {
+    case PeClass::kCpu: return "cpu";
+    case PeClass::kFftAccel: return "fft";
+    case PeClass::kMmultAccel: return "mmult";
+    case PeClass::kGpu: return "gpu";
+    case PeClass::kCount: break;
+  }
+  return "unknown";
+}
+
+bool pe_class_supports(PeClass cls, KernelId kernel) noexcept {
+  switch (cls) {
+    case PeClass::kCpu:
+      return true;  // every API ships a C/C++ implementation (paper §II-C)
+    case PeClass::kFftAccel:
+      return kernel == KernelId::kFft || kernel == KernelId::kIfft;
+    case PeClass::kMmultAccel:
+      return kernel == KernelId::kMmult;
+    case PeClass::kGpu:
+      // The paper implements FFT and ZIP as CUDA kernels on the Jetson.
+      return kernel == KernelId::kFft || kernel == KernelId::kIfft ||
+             kernel == KernelId::kZip;
+    case PeClass::kCount:
+      break;
+  }
+  return false;
+}
+
+bool PeDescriptor::supports(KernelId kernel) const noexcept {
+  return pe_class_supports(cls, kernel);
+}
+
+}  // namespace cedr::platform

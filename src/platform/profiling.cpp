@@ -1,0 +1,100 @@
+#include "cedr/platform/profiling.h"
+
+#include <map>
+
+namespace cedr::platform {
+namespace {
+
+struct Samples {
+  std::vector<double> sizes;
+  std::vector<double> services;
+};
+
+/// Affine least-squares fit y = a + b*x with b clamped nonnegative; falls
+/// back to the mean (b = 0) for degenerate sample sets.
+KernelCost fit_affine(const Samples& samples) {
+  const std::size_t n = samples.sizes.size();
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += samples.sizes[i];
+    sy += samples.services[i];
+    sxx += samples.sizes[i] * samples.sizes[i];
+    sxy += samples.sizes[i] * samples.services[i];
+  }
+  const double nd = static_cast<double>(n);
+  const double denom = nd * sxx - sx * sx;
+  KernelCost cost;
+  if (denom > 1e-12) {
+    double b = (nd * sxy - sx * sy) / denom;
+    double a = (sy - b * sx) / nd;
+    if (b < 0.0) {  // non-physical slope: fall back to the mean
+      b = 0.0;
+      a = sy / nd;
+    }
+    if (a < 0.0) a = 0.0;
+    cost.fixed_s = a;
+    cost.per_point_s = b;
+  } else {
+    cost.fixed_s = sy / nd;  // single distinct size: mean only
+  }
+  return cost;
+}
+
+}  // namespace
+
+StatusOr<ProfileResult> profile_costs(const trace::TraceLog& log,
+                                      const PlatformConfig& platform,
+                                      std::size_t min_samples) {
+  CEDR_RETURN_IF_ERROR(platform.validate());
+  if (min_samples == 0) min_samples = 1;
+
+  // PE-name -> class resolution from the platform description.
+  std::map<std::string, PeClass> pe_classes;
+  for (const PeDescriptor& pe : platform.pes) {
+    pe_classes.emplace(pe.name, pe.cls);
+  }
+
+  ProfileResult result;
+  result.costs = platform.costs;
+  std::map<std::pair<int, int>, Samples> samples;
+  for (const trace::TaskRecord& task : log.tasks()) {
+    const auto kernel = kernel_from_name(task.kernel_name);
+    const auto pe = pe_classes.find(task.pe_name);
+    if (!kernel || pe == pe_classes.end() || task.service_time() <= 0.0) {
+      ++result.tasks_skipped;
+      continue;
+    }
+    auto& bucket = samples[{static_cast<int>(*kernel),
+                            static_cast<int>(pe->second)}];
+    bucket.sizes.push_back(static_cast<double>(task.problem_size));
+    bucket.services.push_back(task.service_time());
+    ++result.tasks_used;
+  }
+  if (result.tasks_used == 0) {
+    return FailedPrecondition("trace contains no usable task records");
+  }
+
+  for (const auto& [key, bucket] : samples) {
+    if (bucket.sizes.size() < min_samples) continue;
+    const auto kernel = static_cast<KernelId>(key.first);
+    const auto cls = static_cast<PeClass>(key.second);
+    const KernelCost fitted = fit_affine(bucket);
+    result.costs.set(kernel, cls, fitted);
+    double mean_service = 0.0;
+    for (const double s : bucket.services) mean_service += s;
+    mean_service /= static_cast<double>(bucket.services.size());
+    result.entries.push_back(ProfiledEntry{
+        .kernel = kernel,
+        .cls = cls,
+        .samples = bucket.sizes.size(),
+        .fitted = fitted,
+        .mean_service_s = mean_service,
+    });
+  }
+  return result;
+}
+
+}  // namespace cedr::platform

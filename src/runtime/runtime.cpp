@@ -1,0 +1,673 @@
+#include "cedr/runtime/runtime.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "cedr/common/log.h"
+#include "cedr/common/stopwatch.h"
+#include "cedr/sched/rank.h"
+
+namespace cedr::rt {
+
+namespace {
+constexpr std::string_view kLogTag = "runtime";
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Thread binding: which runtime/app-instance the current thread belongs to.
+// Set around API-application main functions so that libCEDR calls made from
+// that thread route into the right runtime (paper §II-C: calls are "linked
+// during binary parsing against implementations ... that themselves call an
+// enqueue_kernel function inside the CEDR runtime").
+// ---------------------------------------------------------------------------
+
+ThreadBinding& thread_binding() noexcept {
+  thread_local ThreadBinding binding;
+  return binding;
+}
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+/// A task in flight through the runtime (one DAG node or one API call).
+struct Runtime::InFlightTask {
+  std::uint64_t key = 0;  ///< unique per runtime
+  std::uint64_t app_instance_id = 0;
+  std::string name;
+  platform::KernelId kernel = platform::KernelId::kGeneric;
+  std::size_t problem_size = 0;
+  std::size_t data_bytes = 0;
+  std::array<task::TaskFn, platform::kNumPeClasses> impls{};
+  CompletionPtr completion;      ///< API-mode latch; null for DAG tasks
+  task::TaskId dag_task_id = 0;  ///< valid when is_dag
+  bool is_dag = false;
+  double rank = 0.0;
+  double enqueue_time = 0.0;
+};
+
+/// One application instance being managed by the runtime.
+struct Runtime::AppInstance {
+  std::uint64_t id = 0;
+  std::string name;
+  bool is_dag = false;
+  double arrival_time = 0.0;
+  double launch_time = 0.0;
+  bool finished = false;
+
+  // DAG mode.
+  std::shared_ptr<const task::AppDescriptor> dag;
+  std::unordered_map<task::TaskId, std::size_t> remaining_preds;
+  std::unordered_map<task::TaskId, double> ranks;
+  std::size_t tasks_remaining = 0;
+
+  // API mode.
+  std::thread app_thread;
+  std::atomic<bool> main_done{false};
+  std::atomic<bool> thread_exited{false};
+  std::int64_t outstanding_kernels = 0;  ///< guarded by runtime state mutex
+};
+
+/// Emulated accelerator devices owned by one worker.
+struct DeviceBundle {
+  std::unique_ptr<platform::FftDevice> fft;
+  std::unique_ptr<platform::ZipDevice> zip;
+  std::unique_ptr<platform::MmultDevice> mmult;
+
+  [[nodiscard]] platform::MmioDevice* for_kernel(
+      platform::KernelId kernel) const noexcept {
+    switch (kernel) {
+      case platform::KernelId::kFft:
+      case platform::KernelId::kIfft:
+        return fft.get();
+      case platform::KernelId::kZip:
+        return zip.get();
+      case platform::KernelId::kMmult:
+        return mmult.get();
+      default:
+        return nullptr;
+    }
+  }
+};
+
+/// One PE and the worker thread that manages it.
+struct Runtime::Worker {
+  std::size_t pe_index = 0;
+  platform::PeDescriptor pe;
+  DeviceBundle devices;
+  BlockingQueue<std::shared_ptr<InFlightTask>> mailbox;
+  std::thread thread;
+};
+
+struct Runtime::Impl {
+  mutable std::mutex mutex;
+  std::condition_variable event_cv;      ///< wakes the main event loop
+  std::condition_variable app_done_cv;   ///< wakes wait_all / wait_app
+
+  bool started = false;
+  bool accepting = false;
+  bool stopping = false;
+
+  std::deque<std::shared_ptr<InFlightTask>> ready_queue;
+  std::deque<std::pair<std::shared_ptr<InFlightTask>, Status>> completions;
+  std::unordered_map<std::uint64_t, std::unique_ptr<AppInstance>> apps;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<double> pe_available;  ///< scheduler availability estimates
+  std::thread main_thread;
+
+  std::uint64_t next_instance_id = 1;
+  std::uint64_t next_task_key = 1;
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+
+  Stopwatch epoch;
+  double runtime_overhead = 0.0;  ///< guarded by mutex
+};
+
+// ---------------------------------------------------------------------------
+// Runtime configuration file
+// ---------------------------------------------------------------------------
+
+json::Value RuntimeConfig::to_json() const {
+  return json::Object{
+      {"platform", platform.to_json()},
+      {"scheduler", json::Value(scheduler)},
+      {"scheduler_period_s", json::Value(scheduler_period_s)},
+      {"enable_counters", json::Value(enable_counters)},
+  };
+}
+
+StatusOr<RuntimeConfig> RuntimeConfig::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return InvalidArgument("runtime configuration must be a JSON object");
+  }
+  RuntimeConfig config;
+  if (const json::Value* plat = value.find("platform")) {
+    auto parsed = platform::PlatformConfig::from_json(*plat);
+    if (!parsed.ok()) return parsed.status();
+    config.platform = *std::move(parsed);
+  } else {
+    return InvalidArgument("runtime configuration missing 'platform'");
+  }
+  config.scheduler = value.get_string("scheduler", "EFT");
+  if (!sched::make_scheduler(config.scheduler).ok()) {
+    return InvalidArgument("unknown scheduler: " + config.scheduler);
+  }
+  config.scheduler_period_s =
+      value.get_double("scheduler_period_s", 200e-6);
+  if (config.scheduler_period_s <= 0.0) {
+    return InvalidArgument("scheduler period must be positive");
+  }
+  config.enable_counters = value.get_bool("enable_counters", true);
+  return config;
+}
+
+StatusOr<RuntimeConfig> RuntimeConfig::load(const std::string& path) {
+  auto doc = json::parse_file(path);
+  if (!doc.ok()) return doc.status();
+  return from_json(*doc);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)), impl_(std::make_unique<Impl>()) {}
+
+Runtime::~Runtime() {
+  const Status status = shutdown();
+  if (!status.ok()) {
+    CEDR_LOG(kError, kLogTag) << "shutdown in destructor failed: "
+                              << status.to_string();
+  }
+}
+
+double Runtime::now() const noexcept { return impl_->epoch.elapsed(); }
+
+void Runtime::count(const char* name, std::uint64_t delta) {
+  // The Runtime Configuration can disable the PAPI-substitute counters
+  // entirely (paper Fig. 1: features such as performance counters are
+  // enabled or disabled through the configuration input).
+  if (config_.enable_counters) counters_.add(name, delta);
+}
+
+std::uint64_t Runtime::submitted_apps() const noexcept {
+  return impl_->submitted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Runtime::completed_apps() const noexcept {
+  return impl_->completed.load(std::memory_order_relaxed);
+}
+
+double Runtime::runtime_overhead_s() const noexcept {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->runtime_overhead;
+}
+
+Status Runtime::start() {
+  CEDR_RETURN_IF_ERROR(config_.platform.validate());
+  auto scheduler = sched::make_scheduler(config_.scheduler);
+  if (!scheduler.ok()) return scheduler.status();
+  scheduler_ = *std::move(scheduler);
+
+  std::lock_guard lock(impl_->mutex);
+  if (impl_->started) return FailedPrecondition("runtime already started");
+  impl_->started = true;
+  impl_->accepting = true;
+  impl_->epoch.reset();
+
+  // One worker (and mailbox) per PE, mirroring Fig. 1. Accelerator workers
+  // own the emulated device they coordinate.
+  for (std::size_t i = 0; i < config_.platform.pes.size(); ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->pe_index = i;
+    worker->pe = config_.platform.pes[i];
+    switch (worker->pe.cls) {
+      case platform::PeClass::kFftAccel:
+        worker->devices.fft = std::make_unique<platform::FftDevice>();
+        break;
+      case platform::PeClass::kMmultAccel:
+        worker->devices.mmult = std::make_unique<platform::MmultDevice>();
+        break;
+      case platform::PeClass::kGpu:
+        // The Jetson GPU hosts FFT and ZIP CUDA kernels (paper §III).
+        worker->devices.fft = std::make_unique<platform::FftDevice>();
+        worker->devices.zip = std::make_unique<platform::ZipDevice>();
+        break;
+      default:
+        break;
+    }
+    impl_->workers.push_back(std::move(worker));
+  }
+  impl_->pe_available.assign(impl_->workers.size(), 0.0);
+  for (auto& worker : impl_->workers) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+  impl_->main_thread = std::thread([this] { main_loop(); });
+  CEDR_LOG(kInfo, kLogTag) << "runtime started: platform="
+                           << config_.platform.name
+                           << " pes=" << config_.platform.pes.size()
+                           << " scheduler=" << config_.scheduler;
+  return Status::Ok();
+}
+
+Status Runtime::shutdown() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    if (!impl_->started || impl_->stopping) return Status::Ok();
+    impl_->accepting = false;
+  }
+  // Drain all in-flight applications before stopping the machinery.
+  const Status drain = wait_all();
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->event_cv.notify_all();
+  if (impl_->main_thread.joinable()) impl_->main_thread.join();
+  for (auto& worker : impl_->workers) {
+    worker->mailbox.close();
+  }
+  for (auto& worker : impl_->workers) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Join any application threads not yet reaped.
+  for (auto& [id, app] : impl_->apps) {
+    if (app->app_thread.joinable()) app->app_thread.join();
+  }
+  CEDR_LOG(kInfo, kLogTag) << "runtime stopped: apps=" << completed_apps();
+  return drain;
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+StatusOr<std::uint64_t> Runtime::submit_dag(
+    std::shared_ptr<const task::AppDescriptor> app) {
+  if (!app) return InvalidArgument("null application descriptor");
+  const auto topo = app->graph.topological_order();
+  if (!topo.ok()) return topo.status();
+  if (app->graph.size() == 0) {
+    return InvalidArgument("application graph is empty");
+  }
+
+  Stopwatch overhead;
+  std::unique_lock lock(impl_->mutex);
+  if (!impl_->started || !impl_->accepting) {
+    return FailedPrecondition("runtime is not accepting submissions");
+  }
+  const std::uint64_t id = impl_->next_instance_id++;
+  auto instance = std::make_unique<AppInstance>();
+  instance->id = id;
+  instance->name = app->name;
+  instance->is_dag = true;
+  instance->arrival_time = now();
+  instance->launch_time = instance->arrival_time;
+  instance->dag = app;
+  instance->tasks_remaining = app->graph.size();
+  // "Parsing application DAG files" happens here in DAG-based CEDR: the
+  // in-degree table and HEFT ranks are built per instance.
+  for (const task::Task& t : app->graph.tasks()) {
+    instance->remaining_preds[t.id] = app->graph.predecessors(t.id).size();
+  }
+  instance->ranks = sched::upward_ranks(app->graph, config_.platform);
+
+  // Head nodes enter the ready queue immediately (paper §II-A).
+  for (const task::TaskId head : app->graph.head_nodes()) {
+    const task::Task& t = app->graph.get(head);
+    auto inflight = std::make_shared<InFlightTask>();
+    inflight->key = impl_->next_task_key++;
+    inflight->app_instance_id = id;
+    inflight->name = t.name;
+    inflight->kernel = t.kernel;
+    inflight->problem_size = t.problem_size;
+    inflight->data_bytes = t.data_bytes;
+    inflight->impls = t.impls;
+    inflight->is_dag = true;
+    inflight->dag_task_id = t.id;
+    inflight->rank = instance->ranks[t.id];
+    inflight->enqueue_time = now();
+    impl_->ready_queue.push_back(std::move(inflight));
+  }
+  impl_->apps.emplace(id, std::move(instance));
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  impl_->runtime_overhead += overhead.elapsed();
+  count("apps_submitted_dag");
+  lock.unlock();
+  impl_->event_cv.notify_all();
+  return id;
+}
+
+StatusOr<std::uint64_t> Runtime::submit_api(std::string app_name,
+                                            std::function<void()> main_fn) {
+  if (!main_fn) return InvalidArgument("null application main function");
+
+  Stopwatch overhead;
+  std::unique_lock lock(impl_->mutex);
+  if (!impl_->started || !impl_->accepting) {
+    return FailedPrecondition("runtime is not accepting submissions");
+  }
+  const std::uint64_t id = impl_->next_instance_id++;
+  auto instance = std::make_unique<AppInstance>();
+  instance->id = id;
+  instance->name = std::move(app_name);
+  instance->is_dag = false;
+  instance->arrival_time = now();
+  instance->launch_time = instance->arrival_time;
+  AppInstance* raw = instance.get();
+  impl_->apps.emplace(id, std::move(instance));
+  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+  count("apps_submitted_api");
+
+  // "A new system thread is spawned that executes that application's main
+  // function" (paper §II-C). The binding routes its libCEDR calls here.
+  raw->app_thread = std::thread([this, raw, fn = std::move(main_fn)] {
+    thread_binding() = ThreadBinding{this, raw->id};
+    fn();
+    thread_binding() = ThreadBinding{};
+    raw->main_done.store(true, std::memory_order_release);
+    raw->thread_exited.store(true, std::memory_order_release);
+    impl_->event_cv.notify_all();
+  });
+  impl_->runtime_overhead += overhead.elapsed();
+  lock.unlock();
+  impl_->event_cv.notify_all();
+  return id;
+}
+
+Status Runtime::enqueue_kernel(KernelRequest request, CompletionPtr completion) {
+  const ThreadBinding binding = thread_binding();
+  if (binding.runtime != this) {
+    return FailedPrecondition(
+        "enqueue_kernel called from a thread not bound to this runtime");
+  }
+  if (!completion) return InvalidArgument("null completion");
+
+  auto inflight = std::make_shared<InFlightTask>();
+  inflight->app_instance_id = binding.instance_id;
+  inflight->name = std::move(request.name);
+  inflight->kernel = request.kernel;
+  inflight->problem_size = request.problem_size;
+  inflight->data_bytes = request.data_bytes;
+  inflight->impls = std::move(request.impls);
+  inflight->completion = std::move(completion);
+  // Single API calls have no DAG context; rank them by their average cost
+  // so HEFT_RT still prioritizes heavyweight kernels.
+  double rank_total = 0.0;
+  std::size_t rank_count = 0;
+  for (const platform::PeDescriptor& pe : config_.platform.pes) {
+    const double est = config_.platform.costs.estimate(
+        inflight->kernel, pe.cls, inflight->problem_size, inflight->data_bytes);
+    if (std::isfinite(est)) {
+      rank_total += est;
+      ++rank_count;
+    }
+  }
+  inflight->rank = rank_count == 0 ? 0.0 : rank_total / rank_count;
+
+  {
+    std::lock_guard lock(impl_->mutex);
+    auto it = impl_->apps.find(binding.instance_id);
+    if (it == impl_->apps.end() || it->second->finished) {
+      return FailedPrecondition("application instance is not active");
+    }
+    inflight->key = impl_->next_task_key++;
+    inflight->enqueue_time = now();
+    ++it->second->outstanding_kernels;
+    // "Pushing tasks to the ready queue ... is handled by the application
+    // thread" in API-based CEDR (paper §IV-A) — this push is on the app
+    // thread, not the main loop, which is one source of the overhead gap.
+    impl_->ready_queue.push_back(std::move(inflight));
+  }
+  count("kernels_enqueued");
+  impl_->event_cv.notify_all();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Main event loop
+// ---------------------------------------------------------------------------
+
+void Runtime::main_loop() {
+  std::unique_lock lock(impl_->mutex);
+  while (true) {
+    impl_->event_cv.wait_for(
+        lock, std::chrono::duration<double>(config_.scheduler_period_s),
+        [this] {
+          return impl_->stopping || !impl_->completions.empty() ||
+                 !impl_->ready_queue.empty();
+        });
+    if (impl_->stopping && impl_->completions.empty() &&
+        impl_->ready_queue.empty()) {
+      break;
+    }
+    process_completions();
+    run_scheduling_round();
+  }
+}
+
+void Runtime::process_completions() {
+  // Caller holds impl_->mutex.
+  Stopwatch overhead;
+  bool any_app_finished = false;
+  while (!impl_->completions.empty()) {
+    auto [inflight, status] = std::move(impl_->completions.front());
+    impl_->completions.pop_front();
+    if (!status.ok()) {
+      CEDR_LOG(kWarn, kLogTag)
+          << "task '" << inflight->name << "' failed: " << status.to_string();
+      count("tasks_failed");
+    }
+    auto it = impl_->apps.find(inflight->app_instance_id);
+    if (it == impl_->apps.end()) continue;
+    AppInstance& app = *it->second;
+    if (inflight->is_dag) {
+      // Release DAG successors whose predecessors are all complete.
+      for (const task::TaskId succ :
+           app.dag->graph.successors(inflight->dag_task_id)) {
+        if (--app.remaining_preds[succ] != 0) continue;
+        const task::Task& t = app.dag->graph.get(succ);
+        auto next = std::make_shared<InFlightTask>();
+        next->key = impl_->next_task_key++;
+        next->app_instance_id = app.id;
+        next->name = t.name;
+        next->kernel = t.kernel;
+        next->problem_size = t.problem_size;
+        next->data_bytes = t.data_bytes;
+        next->impls = t.impls;
+        next->is_dag = true;
+        next->dag_task_id = t.id;
+        next->rank = app.ranks[t.id];
+        next->enqueue_time = now();
+        impl_->ready_queue.push_back(std::move(next));
+      }
+      if (--app.tasks_remaining == 0) {
+        finish_app_locked(app);
+        any_app_finished = true;
+      }
+    } else {
+      --app.outstanding_kernels;
+    }
+  }
+  // API applications finish when their main returned and no kernels remain.
+  for (auto& [id, app] : impl_->apps) {
+    if (!app->is_dag && !app->finished &&
+        app->main_done.load(std::memory_order_acquire) &&
+        app->outstanding_kernels == 0) {
+      finish_app_locked(*app);
+      any_app_finished = true;
+    }
+    if (!app->is_dag && app->thread_exited.load(std::memory_order_acquire) &&
+        app->app_thread.joinable()) {
+      app->app_thread.join();
+    }
+  }
+  impl_->runtime_overhead += overhead.elapsed();
+  if (any_app_finished) impl_->app_done_cv.notify_all();
+}
+
+void Runtime::finish_app_locked(AppInstance& app) {
+  app.finished = true;
+  trace_.add_app(trace::AppRecord{
+      .app_instance_id = app.id,
+      .app_name = app.name,
+      .arrival_time = app.arrival_time,
+      .launch_time = app.launch_time,
+      .completion_time = now(),
+  });
+  impl_->completed.fetch_add(1, std::memory_order_relaxed);
+  count("apps_completed");
+}
+
+void Runtime::run_scheduling_round() {
+  // Caller holds impl_->mutex.
+  if (impl_->ready_queue.empty()) return;
+
+  std::vector<sched::ReadyTask> views;
+  views.reserve(impl_->ready_queue.size());
+  for (const auto& t : impl_->ready_queue) {
+    // Classes with a bound implementation; tasks with no impls at all
+    // (timing-only studies) are admissible anywhere the kernel runs.
+    std::uint32_t mask = 0;
+    bool any_impl = false;
+    for (std::size_t c = 0; c < platform::kNumPeClasses; ++c) {
+      if (t->impls[c]) {
+        mask |= 1u << c;
+        any_impl = true;
+      }
+    }
+    if (!any_impl) mask = 0xffffffffu;
+    views.push_back(sched::ReadyTask{
+        .task_key = t->key,
+        .app_instance_id = t->app_instance_id,
+        .kernel = t->kernel,
+        .problem_size = t->problem_size,
+        .data_bytes = t->data_bytes,
+        .ready_time = t->enqueue_time,
+        .rank = t->rank,
+        .class_mask = mask,
+    });
+  }
+  const double t_now = now();
+  std::vector<sched::PeState> pe_states;
+  pe_states.reserve(impl_->workers.size());
+  for (std::size_t i = 0; i < impl_->workers.size(); ++i) {
+    pe_states.push_back(sched::PeState{
+        .pe_index = i,
+        .cls = impl_->workers[i]->pe.cls,
+        .available_time = std::max(t_now, impl_->pe_available[i]),
+        .speed = impl_->workers[i]->pe.speed_factor,
+    });
+  }
+
+  const sched::ScheduleContext ctx{.now = t_now,
+                                   .costs = &config_.platform.costs};
+  Stopwatch decision;
+  const sched::ScheduleResult result =
+      scheduler_->schedule(views, pe_states, ctx);
+  const double decision_time = decision.elapsed();
+  trace_.add_sched(trace::SchedRecord{
+      .time = t_now,
+      .ready_tasks = views.size(),
+      .assigned = result.assignments.size(),
+      .decision_time = decision_time,
+  });
+  count("sched_rounds");
+  count("sched_comparisons", result.comparisons);
+
+  // Dispatch assigned tasks to their worker mailboxes; keep the rest queued.
+  std::vector<std::uint8_t> assigned(impl_->ready_queue.size(), 0);
+  for (const sched::Assignment& a : result.assignments) {
+    assigned[a.queue_index] = 1;
+    impl_->workers[a.pe_index]->mailbox.push(impl_->ready_queue[a.queue_index]);
+  }
+  std::deque<std::shared_ptr<InFlightTask>> remaining;
+  for (std::size_t i = 0; i < impl_->ready_queue.size(); ++i) {
+    if (!assigned[i]) remaining.push_back(std::move(impl_->ready_queue[i]));
+  }
+  impl_->ready_queue = std::move(remaining);
+  for (const sched::PeState& pe : pe_states) {
+    impl_->pe_available[pe.pe_index] = pe.available_time;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+Status Runtime::execute_on_pe(InFlightTask& task, Worker& worker) {
+  const task::TaskFn& impl =
+      task.impls[static_cast<std::size_t>(worker.pe.cls)];
+  // Tasks without implementations (timing/structural studies) are no-ops.
+  if (!impl) return Status::Ok();
+  task::ExecContext ctx{
+      .pe = &worker.pe,
+      .device = worker.devices.for_kernel(task.kernel),
+  };
+  return impl(ctx);
+}
+
+void Runtime::worker_loop(Worker& worker) {
+  while (auto item = worker.mailbox.pop()) {
+    std::shared_ptr<InFlightTask> task = std::move(*item);
+    const double start = now();
+    const Status status = execute_on_pe(*task, worker);
+    const double end = now();
+    trace_.add_task(trace::TaskRecord{
+        .app_instance_id = task->app_instance_id,
+        .app_name = "",
+        .task_id = task->key,
+        .kernel_name = std::string(platform::kernel_name(task->kernel)),
+        .pe_name = worker.pe.name,
+        .problem_size = task->problem_size,
+        .enqueue_time = task->enqueue_time,
+        .start_time = start,
+        .end_time = end,
+    });
+    count("tasks_executed");
+    if (config_.enable_counters) {
+      counters_.add(std::string("tasks_on_") + worker.pe.name);
+    }
+    // Fig. 4: the worker signals the sleeping application thread directly.
+    if (task->completion) task->completion->signal(status);
+    {
+      std::lock_guard lock(impl_->mutex);
+      impl_->completions.emplace_back(std::move(task), status);
+    }
+    impl_->event_cv.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Waiting
+// ---------------------------------------------------------------------------
+
+Status Runtime::wait_all(double timeout_s) {
+  std::unique_lock lock(impl_->mutex);
+  const bool ok = impl_->app_done_cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_s), [this] {
+        return impl_->completed.load(std::memory_order_relaxed) ==
+               impl_->submitted.load(std::memory_order_relaxed);
+      });
+  if (!ok) return Unavailable("wait_all timed out");
+  return Status::Ok();
+}
+
+Status Runtime::wait_app(std::uint64_t instance_id, double timeout_s) {
+  std::unique_lock lock(impl_->mutex);
+  const bool ok = impl_->app_done_cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_s), [this, instance_id] {
+        auto it = impl_->apps.find(instance_id);
+        return it == impl_->apps.end() || it->second->finished;
+      });
+  if (!ok) return Unavailable("wait_app timed out");
+  return Status::Ok();
+}
+
+}  // namespace cedr::rt

@@ -1,0 +1,254 @@
+#include "cedr/sched/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace cedr::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Execution estimate of `t` on `pe`'s class.
+double exec_estimate(const ReadyTask& t, const PeState& pe,
+                     const ScheduleContext& ctx) noexcept {
+  return ctx.costs->estimate(t.kernel, pe.cls, t.problem_size, t.data_bytes) /
+         pe.speed;
+}
+
+}  // namespace
+
+double finish_time_on(const ReadyTask& t, const PeState& pe,
+                      const ScheduleContext& ctx) noexcept {
+  if (!t.allowed_on(pe.cls)) return kInf;
+  const double exec = exec_estimate(t, pe, ctx);
+  if (exec == kInf) return kInf;
+  return std::max(ctx.now, pe.available_time) + exec;
+}
+
+ScheduleResult RoundRobinScheduler::schedule(std::span<const ReadyTask> ready,
+                                             std::span<PeState> pes,
+                                             const ScheduleContext& ctx) {
+  ScheduleResult result;
+  if (pes.empty()) return result;
+  for (std::size_t q = 0; q < ready.size(); ++q) {
+    // Rotate to the next PE that supports this kernel; RR "tries to use all
+    // of the PEs equally" (paper §IV-C) with no cost awareness.
+    std::size_t probes = 0;
+    while (probes < pes.size()) {
+      PeState& pe = pes[next_pe_ % pes.size()];
+      next_pe_ = (next_pe_ + 1) % pes.size();
+      ++probes;
+      ++result.comparisons;
+      if (!platform::pe_class_supports(pe.cls, ready[q].kernel) ||
+          !ready[q].allowed_on(pe.cls)) {
+        continue;
+      }
+      const double exec = exec_estimate(ready[q], pe, ctx);
+      pe.available_time = std::max(ctx.now, pe.available_time) + exec;
+      result.assignments.push_back({q, pe.pe_index});
+      break;
+    }
+  }
+  return result;
+}
+
+ScheduleResult EftScheduler::schedule(std::span<const ReadyTask> ready,
+                                      std::span<PeState> pes,
+                                      const ScheduleContext& ctx) {
+  ScheduleResult result;
+  for (std::size_t q = 0; q < ready.size(); ++q) {
+    double best = kInf;
+    PeState* best_pe = nullptr;
+    for (PeState& pe : pes) {
+      ++result.comparisons;
+      const double finish = finish_time_on(ready[q], pe, ctx);
+      if (finish < best) {
+        best = finish;
+        best_pe = &pe;
+      }
+    }
+    if (best_pe == nullptr) continue;  // no PE supports this kernel
+    best_pe->available_time = best;
+    result.assignments.push_back({q, best_pe->pe_index});
+  }
+  return result;
+}
+
+ScheduleResult EtfScheduler::schedule(std::span<const ReadyTask> ready,
+                                      std::span<PeState> pes,
+                                      const ScheduleContext& ctx) {
+  // ETF semantics: each step assigns the globally earliest-finishing
+  // (task, PE) pair among all unassigned tasks. The reference
+  // implementation rescans every pair each step — O(Q^2 * P) cost
+  // evaluations — which is exactly why ETF's overhead tracks ready-queue
+  // size in the paper (Fig. 7). We *report* that naive comparison count
+  // (the emulator charges decision time from it) but *compute* the
+  // identical assignment with a lazy min-heap: since PE availability only
+  // ever increases within a round, a popped entry whose PE state is
+  // unchanged is globally minimal, and stale entries are recomputed and
+  // reinserted.
+  ScheduleResult result;
+  const std::size_t q_count = ready.size();
+  const std::size_t p_count = pes.size();
+  if (q_count == 0 || p_count == 0) return result;
+
+  // Naive-reference cost: P * (Q + Q-1 + ... + 1).
+  result.comparisons = static_cast<std::uint64_t>(p_count) * q_count *
+                       (q_count + 1) / 2;
+
+  struct Entry {
+    double finish;
+    std::size_t q;
+    std::size_t pe_slot;   ///< index into `pes`
+    std::uint64_t stamp;   ///< pes[pe_slot] version when evaluated
+  };
+  const auto later = [](const Entry& a, const Entry& b) {
+    return a.finish > b.finish;
+  };
+  std::vector<std::uint64_t> version(p_count, 0);
+
+  const auto best_for = [&](std::size_t q) -> Entry {
+    Entry e{kInf, q, 0, 0};
+    for (std::size_t p = 0; p < p_count; ++p) {
+      const double finish = finish_time_on(ready[q], pes[p], ctx);
+      if (finish < e.finish) {
+        e.finish = finish;
+        e.pe_slot = p;
+        e.stamp = version[p];
+      }
+    }
+    return e;
+  };
+
+  std::vector<Entry> heap;
+  heap.reserve(q_count);
+  for (std::size_t q = 0; q < q_count; ++q) {
+    const Entry e = best_for(q);
+    if (e.finish < kInf) heap.push_back(e);
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Entry e = heap.back();
+    heap.pop_back();
+    if (e.stamp != version[e.pe_slot]) {
+      // Stale: the chosen PE moved since this entry was computed.
+      e = best_for(e.q);
+      if (e.finish >= kInf) continue;
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), later);
+      continue;
+    }
+    PeState& pe = pes[e.pe_slot];
+    pe.available_time = e.finish;
+    ++version[e.pe_slot];
+    result.assignments.push_back({e.q, pe.pe_index});
+  }
+  return result;
+}
+
+ScheduleResult HeftRtScheduler::schedule(std::span<const ReadyTask> ready,
+                                         std::span<PeState> pes,
+                                         const ScheduleContext& ctx) {
+  ScheduleResult result;
+  // Order by upward rank (descending): tasks on the critical path first.
+  std::vector<std::size_t> order(ready.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&ready](std::size_t a, std::size_t b) {
+                     return ready[a].rank > ready[b].rank;
+                   });
+  // Sorting cost: ~Q log2 Q comparisons.
+  if (ready.size() > 1) {
+    result.comparisons += static_cast<std::uint64_t>(
+        static_cast<double>(ready.size()) *
+        std::max(1.0, std::log2(static_cast<double>(ready.size()))));
+  }
+  for (const std::size_t q : order) {
+    double best = kInf;
+    PeState* best_pe = nullptr;
+    for (PeState& pe : pes) {
+      ++result.comparisons;
+      const double finish = finish_time_on(ready[q], pe, ctx);
+      if (finish < best) {
+        best = finish;
+        best_pe = &pe;
+      }
+    }
+    if (best_pe == nullptr) continue;
+    best_pe->available_time = best;
+    result.assignments.push_back({q, best_pe->pe_index});
+  }
+  return result;
+}
+
+ScheduleResult MetScheduler::schedule(std::span<const ReadyTask> ready,
+                                      std::span<PeState> pes,
+                                      const ScheduleContext& ctx) {
+  ScheduleResult result;
+  for (std::size_t q = 0; q < ready.size(); ++q) {
+    double best = kInf;
+    PeState* best_pe = nullptr;
+    for (PeState& pe : pes) {
+      ++result.comparisons;
+      if (!ready[q].allowed_on(pe.cls)) continue;
+      const double exec = exec_estimate(ready[q], pe, ctx);
+      if (exec < best) {
+        best = exec;
+        best_pe = &pe;
+      }
+    }
+    if (best_pe == nullptr) continue;
+    // Availability is tracked (so traces stay meaningful) but never read:
+    // MET ignores queueing, which is exactly its pathology.
+    best_pe->available_time =
+        std::max(ctx.now, best_pe->available_time) + best;
+    result.assignments.push_back({q, best_pe->pe_index});
+  }
+  return result;
+}
+
+ScheduleResult RandomScheduler::schedule(std::span<const ReadyTask> ready,
+                                         std::span<PeState> pes,
+                                         const ScheduleContext& ctx) {
+  ScheduleResult result;
+  std::vector<PeState*> compatible;
+  for (std::size_t q = 0; q < ready.size(); ++q) {
+    compatible.clear();
+    for (PeState& pe : pes) {
+      ++result.comparisons;
+      if (platform::pe_class_supports(pe.cls, ready[q].kernel) &&
+          ready[q].allowed_on(pe.cls)) {
+        compatible.push_back(&pe);
+      }
+    }
+    if (compatible.empty()) continue;
+    PeState& pe = *compatible[rng_.next_below(compatible.size())];
+    pe.available_time = std::max(ctx.now, pe.available_time) +
+                        exec_estimate(ready[q], pe, ctx);
+    result.assignments.push_back({q, pe.pe_index});
+  }
+  return result;
+}
+
+StatusOr<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name) {
+  if (name == "RR") return std::unique_ptr<Scheduler>(new RoundRobinScheduler);
+  if (name == "EFT") return std::unique_ptr<Scheduler>(new EftScheduler);
+  if (name == "ETF") return std::unique_ptr<Scheduler>(new EtfScheduler);
+  if (name == "HEFT_RT") return std::unique_ptr<Scheduler>(new HeftRtScheduler);
+  if (name == "MET") return std::unique_ptr<Scheduler>(new MetScheduler);
+  if (name == "RANDOM") return std::unique_ptr<Scheduler>(new RandomScheduler);
+  return NotFound("unknown scheduler: " + std::string(name));
+}
+
+std::span<const std::string_view> scheduler_names() noexcept {
+  // The paper's four first, then the ecosystem baselines.
+  static constexpr std::string_view kNames[] = {"RR",  "EFT",    "ETF",
+                                                "HEFT_RT", "MET", "RANDOM"};
+  return kNames;
+}
+
+}  // namespace cedr::sched

@@ -1,0 +1,41 @@
+#include "cedr/sched/rank.h"
+
+#include <algorithm>
+
+namespace cedr::sched {
+
+double average_execution(const task::Task& t,
+                         const platform::PlatformConfig& platform) noexcept {
+  double total = 0.0;
+  std::size_t supported = 0;
+  for (const platform::PeDescriptor& pe : platform.pes) {
+    const double est =
+        platform.costs.estimate(t.kernel, pe.cls, t.problem_size, t.data_bytes);
+    if (std::isfinite(est)) {
+      total += est;
+      ++supported;
+    }
+  }
+  return supported == 0 ? 0.0 : total / static_cast<double>(supported);
+}
+
+std::unordered_map<task::TaskId, double> upward_ranks(
+    const task::TaskGraph& graph, const platform::PlatformConfig& platform) {
+  std::unordered_map<task::TaskId, double> ranks;
+  ranks.reserve(graph.size());
+  const auto order = graph.topological_order();
+  if (!order.ok()) return ranks;  // cyclic graphs rank everything equal (0)
+  // Walk the topological order backwards: successors are ranked first.
+  const auto& topo = *order;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const task::Task& t = graph.get(*it);
+    double best_succ = 0.0;
+    for (const task::TaskId s : graph.successors(*it)) {
+      best_succ = std::max(best_succ, ranks[s]);
+    }
+    ranks[*it] = average_execution(t, platform) + best_succ;
+  }
+  return ranks;
+}
+
+}  // namespace cedr::sched

@@ -1,0 +1,150 @@
+#include "cedr/sim/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cedr::sim {
+namespace {
+
+constexpr std::size_t kCfloatBytes = 8;
+
+/// Average cost-model estimate of one invocation of `seg` across the PEs of
+/// `platform` that support it (mirrors sched::average_execution).
+double avg_exec(const SimSegment& seg,
+                const platform::PlatformConfig& platform) {
+  if (seg.kind == SimSegment::Kind::kCpuGlue) return seg.glue_work_s;
+  double total = 0.0;
+  std::size_t supported = 0;
+  for (const platform::PeDescriptor& pe : platform.pes) {
+    const double est = platform.costs.estimate(seg.kernel, pe.cls,
+                                               seg.problem_size, seg.data_bytes);
+    if (std::isfinite(est)) {
+      total += est;
+      ++supported;
+    }
+  }
+  return supported == 0 ? 0.0 : total / static_cast<double>(supported);
+}
+
+}  // namespace
+
+std::size_t SimApp::dag_task_count() const noexcept {
+  std::size_t n = 0;
+  for (const SimSegment& seg : segments) {
+    n += seg.kind == SimSegment::Kind::kCpuGlue ? 1 : seg.count;
+  }
+  return n;
+}
+
+std::size_t SimApp::kernel_call_count() const noexcept {
+  std::size_t n = 0;
+  for (const SimSegment& seg : segments) {
+    if (seg.kind == SimSegment::Kind::kKernelBatch) n += seg.count;
+  }
+  return n;
+}
+
+std::vector<double> SimApp::segment_ranks(
+    const platform::PlatformConfig& platform) const {
+  std::vector<double> ranks(segments.size(), 0.0);
+  double below = 0.0;
+  for (std::size_t i = segments.size(); i-- > 0;) {
+    ranks[i] = avg_exec(segments[i], platform) + below;
+    below = ranks[i];
+  }
+  return ranks;
+}
+
+SimApp make_pulse_doppler_model(bool nonblocking) {
+  // 128 pulses x 256 samples (§III: 256-point FFTs, 512 transforms/frame).
+  constexpr std::size_t kPulses = 128;
+  constexpr std::size_t kSamples = 256;
+  SimApp app;
+  app.name = "PD";
+  // Frame: the slow-time/fast-time cube of complex samples.
+  app.frame_mbits =
+      static_cast<double>(kPulses * kSamples * kCfloatBytes * 8) / 1e6;
+  // Ingest + chirp reference (glue), then the processing chain.
+  app.segments.push_back(SimSegment::glue(1.5e-3));
+  app.segments.push_back(SimSegment::batch(platform::KernelId::kFft, kSamples,
+                                           2 * kSamples * kCfloatBytes,
+                                           kPulses, nonblocking));
+  app.segments.push_back(SimSegment::batch(platform::KernelId::kZip, kSamples,
+                                           3 * kSamples * kCfloatBytes,
+                                           kPulses, nonblocking));
+  app.segments.push_back(SimSegment::batch(platform::KernelId::kIfft, kSamples,
+                                           2 * kSamples * kCfloatBytes,
+                                           kPulses, nonblocking));
+  // Corner turn.
+  app.segments.push_back(SimSegment::glue(2.5e-3));
+  // Doppler FFTs across pulses, one per range bin.
+  app.segments.push_back(SimSegment::batch(platform::KernelId::kFft, kPulses,
+                                           2 * kPulses * kCfloatBytes,
+                                           kSamples, nonblocking));
+  // Peak search.
+  app.segments.push_back(SimSegment::glue(1.5e-3));
+  return app;
+}
+
+SimApp make_wifi_tx_model(bool nonblocking) {
+  // 100 packets of 64 bits; one 128-point IFFT each (§III).
+  constexpr std::size_t kPackets = 100;
+  constexpr std::size_t kOfdm = 128;
+  SimApp app;
+  app.name = "TX";
+  app.frame_mbits =
+      static_cast<double>(kPackets * kOfdm * kCfloatBytes * 8) / 1e6;
+  // Per-packet baseband glue (scramble/encode/interleave/modulate) is
+  // serialized with its IFFT in the real application; modeled as
+  // glue-then-batch pairs in packet groups to keep the segment chain short
+  // while preserving task counts.
+  constexpr std::size_t kGroup = 10;
+  for (std::size_t g = 0; g < kPackets / kGroup; ++g) {
+    app.segments.push_back(SimSegment::glue(kGroup * 200e-6));
+    app.segments.push_back(SimSegment::batch(platform::KernelId::kIfft, kOfdm,
+                                             2 * kOfdm * kCfloatBytes,
+                                             kGroup, nonblocking));
+  }
+  app.segments.push_back(SimSegment::glue(600e-6));
+  return app;
+}
+
+SimApp make_lane_detection_model(std::size_t scale, bool nonblocking) {
+  // 960x540 frame, frequency-domain convolution with 1024-point transforms;
+  // the paper's pipeline reaches 16384 FFTs and 8192 IFFTs per frame.
+  scale = std::max<std::size_t>(1, scale);
+  constexpr std::size_t kN = 1024;
+  constexpr std::size_t kFftTotal = 16384;
+  constexpr std::size_t kIfftTotal = 8192;
+  constexpr std::size_t kZipTotal = 4096;
+  SimApp app;
+  app.name = "LD";
+  app.frame_mbits = 960.0 * 540.0 * 24 / 1e6;  // RGB frame
+
+  const std::size_t ffts = kFftTotal / scale;
+  const std::size_t iffts = kIfftTotal / scale;
+  const std::size_t zips = kZipTotal / scale;
+  // The pipeline alternates forward passes, pointwise products and inverse
+  // passes across its filter stack; modeled as `kStages` repeated stages.
+  constexpr std::size_t kStages = 8;
+  app.segments.push_back(SimSegment::glue(3.5e-3));  // grayscale + padding
+  for (std::size_t s = 0; s < kStages; ++s) {
+    app.segments.push_back(SimSegment::batch(platform::KernelId::kFft, kN,
+                                             2 * kN * kCfloatBytes,
+                                             ffts / kStages, nonblocking));
+    app.segments.push_back(SimSegment::batch(platform::KernelId::kZip, kN,
+                                             3 * kN * kCfloatBytes,
+                                             std::max<std::size_t>(
+                                                 1, zips / kStages),
+                                             nonblocking));
+    app.segments.push_back(SimSegment::batch(platform::KernelId::kIfft, kN,
+                                             2 * kN * kCfloatBytes,
+                                             iffts / kStages, nonblocking));
+    app.segments.push_back(SimSegment::glue(1.8e-3));  // corner turns
+  }
+  // Sobel + Hough + lane fit.
+  app.segments.push_back(SimSegment::glue(2.5e-3));
+  return app;
+}
+
+}  // namespace cedr::sim

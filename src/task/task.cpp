@@ -1,0 +1,89 @@
+#include "cedr/task/task.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace cedr::task {
+
+std::size_t TaskGraph::index_of(TaskId id) const {
+  const auto it = index_.find(id);
+  assert(it != index_.end() && "task id not in graph");
+  return it->second;
+}
+
+Status TaskGraph::add_task(Task task) {
+  if (contains(task.id)) {
+    return AlreadyExists("duplicate task id " + std::to_string(task.id));
+  }
+  index_.emplace(task.id, tasks_.size());
+  tasks_.push_back(std::move(task));
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return Status::Ok();
+}
+
+Status TaskGraph::add_edge(TaskId from, TaskId to) {
+  if (!contains(from) || !contains(to)) {
+    return NotFound("edge endpoint not in graph");
+  }
+  if (from == to) return InvalidArgument("self-edge on task");
+  auto& succ = successors_[index_of(from)];
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) {
+    return Status::Ok();  // duplicate edges collapse
+  }
+  succ.push_back(to);
+  predecessors_[index_of(to)].push_back(from);
+  return Status::Ok();
+}
+
+bool TaskGraph::contains(TaskId id) const noexcept {
+  return index_.find(id) != index_.end();
+}
+
+const Task& TaskGraph::get(TaskId id) const { return tasks_[index_of(id)]; }
+Task& TaskGraph::get(TaskId id) { return tasks_[index_of(id)]; }
+
+const std::vector<TaskId>& TaskGraph::successors(TaskId id) const {
+  return successors_[index_of(id)];
+}
+
+const std::vector<TaskId>& TaskGraph::predecessors(TaskId id) const {
+  return predecessors_[index_of(id)];
+}
+
+std::vector<TaskId> TaskGraph::head_nodes() const {
+  std::vector<TaskId> heads;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (predecessors_[i].empty()) heads.push_back(tasks_[i].id);
+  }
+  return heads;
+}
+
+StatusOr<std::vector<TaskId>> TaskGraph::topological_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    in_degree[i] = predecessors_[i].size();
+  }
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop_front();
+    order.push_back(tasks_[i].id);
+    for (const TaskId succ : successors_[i]) {
+      const std::size_t j = index_of(succ);
+      if (--in_degree[j] == 0) ready.push_back(j);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    return FailedPrecondition("task graph contains a cycle");
+  }
+  return order;
+}
+
+}  // namespace cedr::task

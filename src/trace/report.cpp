@@ -1,0 +1,193 @@
+#include "cedr/trace/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace cedr::trace {
+namespace {
+
+Report build_report(const std::vector<TaskRecord>& tasks,
+                    const std::vector<AppRecord>& apps,
+                    const std::vector<SchedRecord>& rounds) {
+  Report report;
+
+  for (const AppRecord& app : apps) {
+    report.apps.push_back(Report::AppSummary{
+        .instance_id = app.app_instance_id,
+        .name = app.app_name,
+        .arrival = app.arrival_time,
+        .execution_time = app.execution_time(),
+        .tasks = 0,
+    });
+    report.makespan = std::max(report.makespan, app.completion_time);
+    report.avg_execution_time += app.execution_time();
+  }
+  if (!apps.empty()) {
+    report.avg_execution_time /= static_cast<double>(apps.size());
+  }
+  std::sort(report.apps.begin(), report.apps.end(),
+            [](const auto& a, const auto& b) { return a.arrival < b.arrival; });
+
+  std::map<std::string, Report::PeSummary> pes;
+  std::map<std::uint64_t, std::size_t> app_tasks;
+  double delay_total = 0.0;
+  for (const TaskRecord& task : tasks) {
+    auto& pe = pes[task.pe_name];
+    pe.name = task.pe_name;
+    ++pe.tasks;
+    pe.busy_time += task.service_time();
+    report.makespan = std::max(report.makespan, task.end_time);
+    delay_total += task.queue_delay();
+    report.queue_delay_max =
+        std::max(report.queue_delay_max, task.queue_delay());
+    ++app_tasks[task.app_instance_id];
+  }
+  if (!tasks.empty()) {
+    report.queue_delay_mean = delay_total / static_cast<double>(tasks.size());
+  }
+  for (auto& app : report.apps) {
+    const auto it = app_tasks.find(app.instance_id);
+    if (it != app_tasks.end()) app.tasks = it->second;
+  }
+  for (auto& [name, pe] : pes) {
+    pe.utilization = report.makespan > 0.0 ? pe.busy_time / report.makespan : 0.0;
+    report.pes.push_back(pe);
+  }
+
+  for (const SchedRecord& round : rounds) {
+    report.total_sched_time += round.decision_time;
+    report.max_ready_queue = std::max(report.max_ready_queue, round.ready_tasks);
+  }
+  report.sched_rounds = rounds.size();
+  return report;
+}
+
+}  // namespace
+
+Report summarize(const TraceLog& log) {
+  return build_report(log.tasks(), log.apps(), log.sched_rounds());
+}
+
+StatusOr<Report> summarize_json(const json::Value& doc) {
+  if (!doc.is_object()) return InvalidArgument("trace document must be object");
+  const json::Value* tasks = doc.find("tasks");
+  const json::Value* apps = doc.find("apps");
+  const json::Value* rounds = doc.find("sched_rounds");
+  if (tasks == nullptr || !tasks->is_array() || apps == nullptr ||
+      !apps->is_array() || rounds == nullptr || !rounds->is_array()) {
+    return InvalidArgument(
+        "trace document needs 'tasks', 'apps' and 'sched_rounds' arrays");
+  }
+  std::vector<TaskRecord> task_records;
+  task_records.reserve(tasks->as_array().size());
+  for (const json::Value& row : tasks->as_array()) {
+    task_records.push_back(TaskRecord{
+        .app_instance_id =
+            static_cast<std::uint64_t>(row.get_int("app_instance_id", 0)),
+        .app_name = row.get_string("app_name", ""),
+        .task_id = static_cast<std::uint64_t>(row.get_int("task_id", 0)),
+        .kernel_name = row.get_string("kernel", ""),
+        .pe_name = row.get_string("pe", "?"),
+        .problem_size = static_cast<std::size_t>(row.get_int("size", 0)),
+        .enqueue_time = row.get_double("enqueue", 0.0),
+        .start_time = row.get_double("start", 0.0),
+        .end_time = row.get_double("end", 0.0),
+    });
+  }
+  std::vector<AppRecord> app_records;
+  app_records.reserve(apps->as_array().size());
+  for (const json::Value& row : apps->as_array()) {
+    app_records.push_back(AppRecord{
+        .app_instance_id =
+            static_cast<std::uint64_t>(row.get_int("app_instance_id", 0)),
+        .app_name = row.get_string("app_name", ""),
+        .arrival_time = row.get_double("arrival", 0.0),
+        .launch_time = row.get_double("launch", 0.0),
+        .completion_time = row.get_double("completion", 0.0),
+    });
+  }
+  std::vector<SchedRecord> round_records;
+  round_records.reserve(rounds->as_array().size());
+  for (const json::Value& row : rounds->as_array()) {
+    round_records.push_back(SchedRecord{
+        .time = row.get_double("time", 0.0),
+        .ready_tasks = static_cast<std::size_t>(row.get_int("ready_tasks", 0)),
+        .assigned = static_cast<std::size_t>(row.get_int("assigned", 0)),
+        .decision_time = row.get_double("decision_time", 0.0),
+    });
+  }
+  return build_report(task_records, app_records, round_records);
+}
+
+StatusOr<Report> summarize_file(const std::string& path) {
+  auto doc = json::parse_file(path);
+  if (!doc.ok()) return doc.status();
+  return summarize_json(*doc);
+}
+
+std::string render_text(const Report& report) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "trace summary\n";
+  out << "  makespan:            " << report.makespan * 1e3 << " ms\n";
+  out << "  apps:                " << report.apps.size() << "\n";
+  out << "  avg exec time/app:   " << report.avg_execution_time * 1e3
+      << " ms\n";
+  out << "  sched rounds:        " << report.sched_rounds
+      << " (total decision time " << report.total_sched_time * 1e3
+      << " ms, max ready queue " << report.max_ready_queue << ")\n";
+  out << "  task queue delay:    mean " << report.queue_delay_mean * 1e3
+      << " ms, max " << report.queue_delay_max * 1e3 << " ms\n";
+  out << "\napplications (by arrival)\n";
+  for (const auto& app : report.apps) {
+    out << "  #" << app.instance_id << " " << app.name << ": arrival "
+        << app.arrival * 1e3 << " ms, exec " << app.execution_time * 1e3
+        << " ms, " << app.tasks << " tasks\n";
+  }
+  out << "\nprocessing elements\n";
+  for (const auto& pe : report.pes) {
+    out << "  " << pe.name << ": " << pe.tasks << " tasks, busy "
+        << pe.busy_time * 1e3 << " ms, utilization "
+        << pe.utilization * 100.0 << "%\n";
+  }
+  return out.str();
+}
+
+std::string render_gantt(const TraceLog& log, std::size_t width) {
+  const auto tasks = log.tasks();
+  if (tasks.empty() || width == 0) return "(no tasks)\n";
+  double t_end = 0.0;
+  std::set<std::string> pe_names;
+  for (const TaskRecord& task : tasks) {
+    t_end = std::max(t_end, task.end_time);
+    pe_names.insert(task.pe_name);
+  }
+  if (t_end <= 0.0) return "(no tasks)\n";
+
+  std::ostringstream out;
+  for (const std::string& pe : pe_names) {
+    std::string row(width, '.');
+    for (const TaskRecord& task : tasks) {
+      if (task.pe_name != pe) continue;
+      auto to_col = [&](double t) {
+        return std::min(width - 1, static_cast<std::size_t>(
+                                       t / t_end * static_cast<double>(width)));
+      };
+      const std::size_t lo = to_col(task.start_time);
+      const std::size_t hi = to_col(task.end_time);
+      const char mark = "0123456789abcdef"[task.app_instance_id % 16];
+      for (std::size_t c = lo; c <= hi; ++c) row[c] = mark;
+    }
+    out << "  " << pe;
+    for (std::size_t pad = pe.size(); pad < 8; ++pad) out << ' ';
+    out << '|' << row << "|\n";
+  }
+  out << "  (columns span 0.." << t_end * 1e3
+      << " ms; digits are app instance ids mod 16)\n";
+  return out.str();
+}
+
+}  // namespace cedr::trace

@@ -1,0 +1,169 @@
+#include "cedr/trace/trace.h"
+
+#include <fstream>
+
+namespace cedr::trace {
+
+void TraceLog::add_task(TaskRecord record) {
+  std::lock_guard lock(mutex_);
+  tasks_.push_back(std::move(record));
+}
+
+void TraceLog::add_app(AppRecord record) {
+  std::lock_guard lock(mutex_);
+  apps_.push_back(std::move(record));
+}
+
+void TraceLog::add_sched(SchedRecord record) {
+  std::lock_guard lock(mutex_);
+  sched_.push_back(record);
+}
+
+std::vector<TaskRecord> TraceLog::tasks() const {
+  std::lock_guard lock(mutex_);
+  return tasks_;
+}
+
+std::vector<AppRecord> TraceLog::apps() const {
+  std::lock_guard lock(mutex_);
+  return apps_;
+}
+
+std::vector<SchedRecord> TraceLog::sched_rounds() const {
+  std::lock_guard lock(mutex_);
+  return sched_;
+}
+
+double TraceLog::avg_app_execution_time() const {
+  std::lock_guard lock(mutex_);
+  if (apps_.empty()) return 0.0;
+  double total = 0.0;
+  for (const AppRecord& app : apps_) total += app.execution_time();
+  return total / static_cast<double>(apps_.size());
+}
+
+double TraceLog::avg_sched_overhead_per_app() const {
+  std::lock_guard lock(mutex_);
+  if (apps_.empty()) return 0.0;
+  double total = 0.0;
+  for (const SchedRecord& round : sched_) total += round.decision_time;
+  return total / static_cast<double>(apps_.size());
+}
+
+double TraceLog::total_sched_time() const {
+  std::lock_guard lock(mutex_);
+  double total = 0.0;
+  for (const SchedRecord& round : sched_) total += round.decision_time;
+  return total;
+}
+
+json::Value TraceLog::to_json() const {
+  std::lock_guard lock(mutex_);
+  json::Array task_rows;
+  task_rows.reserve(tasks_.size());
+  for (const TaskRecord& t : tasks_) {
+    task_rows.push_back(json::Object{
+        {"app_instance_id", json::Value(t.app_instance_id)},
+        {"app_name", json::Value(t.app_name)},
+        {"task_id", json::Value(t.task_id)},
+        {"kernel", json::Value(t.kernel_name)},
+        {"pe", json::Value(t.pe_name)},
+        {"size", json::Value(t.problem_size)},
+        {"enqueue", json::Value(t.enqueue_time)},
+        {"start", json::Value(t.start_time)},
+        {"end", json::Value(t.end_time)},
+    });
+  }
+  json::Array app_rows;
+  app_rows.reserve(apps_.size());
+  for (const AppRecord& a : apps_) {
+    app_rows.push_back(json::Object{
+        {"app_instance_id", json::Value(a.app_instance_id)},
+        {"app_name", json::Value(a.app_name)},
+        {"arrival", json::Value(a.arrival_time)},
+        {"launch", json::Value(a.launch_time)},
+        {"completion", json::Value(a.completion_time)},
+    });
+  }
+  json::Array sched_rows;
+  sched_rows.reserve(sched_.size());
+  for (const SchedRecord& s : sched_) {
+    sched_rows.push_back(json::Object{
+        {"time", json::Value(s.time)},
+        {"ready_tasks", json::Value(s.ready_tasks)},
+        {"assigned", json::Value(s.assigned)},
+        {"decision_time", json::Value(s.decision_time)},
+    });
+  }
+  return json::Object{
+      {"tasks", json::Value(std::move(task_rows))},
+      {"apps", json::Value(std::move(app_rows))},
+      {"sched_rounds", json::Value(std::move(sched_rows))},
+  };
+}
+
+Status TraceLog::write_json(const std::string& path) const {
+  return json::write_file(path, to_json());
+}
+
+Status TraceLog::write_task_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Unavailable("cannot open CSV file: " + path);
+  out << "app_instance_id,app_name,task_id,kernel,pe,size,enqueue,start,"
+         "end\n";
+  for (const TaskRecord& t : tasks()) {
+    out << t.app_instance_id << ',' << t.app_name << ',' << t.task_id << ','
+        << t.kernel_name << ',' << t.pe_name << ',' << t.problem_size << ','
+        << t.enqueue_time << ',' << t.start_time << ',' << t.end_time << '\n';
+  }
+  if (!out) return Unavailable("CSV write failed: " + path);
+  return Status::Ok();
+}
+
+void TraceLog::clear() {
+  std::lock_guard lock(mutex_);
+  tasks_.clear();
+  apps_.clear();
+  sched_.clear();
+}
+
+void CounterSet::add(const std::string& name, std::uint64_t delta) {
+  std::atomic<std::uint64_t>* counter = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+    counter = slot.get();
+  }
+  counter->fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->load(std::memory_order_relaxed);
+}
+
+std::map<std::string, std::uint64_t> CounterSet::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out.emplace(name, counter->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+json::Value CounterSet::to_json() const {
+  json::Object out;
+  for (const auto& [name, value] : snapshot()) {
+    out.emplace(name, json::Value(value));
+  }
+  return out;
+}
+
+void CounterSet::clear() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+}
+
+}  // namespace cedr::trace

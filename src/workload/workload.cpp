@@ -1,0 +1,116 @@
+#include "cedr/workload/workload.h"
+
+#include "cedr/common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cedr::workload {
+
+std::vector<sim::Arrival> make_arrivals(std::span<const Stream> streams,
+                                        double rate_mbps, double jitter,
+                                        Rng& rng) {
+  std::vector<sim::Arrival> arrivals;
+  for (const Stream& stream : streams) {
+    if (stream.app == nullptr || stream.instances == 0) continue;
+    const double period = stream.app->frame_mbits / rate_mbps;
+    for (std::size_t i = 0; i < stream.instances; ++i) {
+      double t = stream.start_offset_s + static_cast<double>(i) * period;
+      if (jitter > 0.0) t += rng.uniform(0.0, jitter * period);
+      arrivals.push_back(sim::Arrival{stream.app, t});
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const sim::Arrival& a, const sim::Arrival& b) {
+                     return a.time < b.time;
+                   });
+  return arrivals;
+}
+
+std::vector<double> injection_rate_sweep() {
+  // 29 log-spaced points spanning the paper's 10-2000 Mbps range.
+  constexpr std::size_t kPoints = 29;
+  std::vector<double> rates(kPoints);
+  const double lo = std::log10(10.0);
+  const double hi = std::log10(2000.0);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    const double f = static_cast<double>(i) / (kPoints - 1);
+    rates[i] = std::pow(10.0, lo + f * (hi - lo));
+  }
+  return rates;
+}
+
+StatusOr<TrialResult> run_point(const sim::SimConfig& config,
+                                std::span<const Stream> streams,
+                                double rate_mbps, std::size_t trials,
+                                std::uint64_t seed_base) {
+  if (trials == 0) return InvalidArgument("need at least one trial");
+  if (rate_mbps <= 0.0) return InvalidArgument("injection rate must be > 0");
+
+  TrialResult out;
+  out.rate_mbps = rate_mbps;
+  out.trials = trials;
+  std::vector<double> exec_samples;
+  exec_samples.reserve(trials);
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(seed_base + trial * 0x9e3779b9ull + 1);
+    const std::vector<sim::Arrival> arrivals =
+        make_arrivals(streams, rate_mbps, /*jitter=*/0.2, rng);
+    auto metrics = sim::simulate(config, arrivals);
+    if (!metrics.ok()) return metrics.status();
+    const sim::SimMetrics& m = *metrics;
+    exec_samples.push_back(m.avg_execution_time);
+
+    sim::SimMetrics& acc = out.mean;
+    acc.apps = m.apps;
+    acc.tasks_executed += m.tasks_executed;
+    acc.sched_rounds += m.sched_rounds;
+    acc.max_ready_queue = std::max(acc.max_ready_queue, m.max_ready_queue);
+    acc.makespan += m.makespan;
+    acc.avg_execution_time += m.avg_execution_time;
+    acc.avg_sched_overhead += m.avg_sched_overhead;
+    acc.total_sched_time += m.total_sched_time;
+    acc.runtime_overhead += m.runtime_overhead;
+    acc.runtime_overhead_per_app += m.runtime_overhead_per_app;
+    if (acc.pe_busy.size() < m.pe_busy.size()) {
+      acc.pe_busy.resize(m.pe_busy.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < m.pe_busy.size(); ++i) {
+      acc.pe_busy[i] += m.pe_busy[i];
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(trials);
+  sim::SimMetrics& acc = out.mean;
+  acc.tasks_executed =
+      static_cast<std::size_t>(static_cast<double>(acc.tasks_executed) * inv);
+  acc.sched_rounds =
+      static_cast<std::size_t>(static_cast<double>(acc.sched_rounds) * inv);
+  acc.makespan *= inv;
+  acc.avg_execution_time *= inv;
+  acc.avg_sched_overhead *= inv;
+  acc.total_sched_time *= inv;
+  acc.runtime_overhead *= inv;
+  acc.runtime_overhead_per_app *= inv;
+  for (double& busy : acc.pe_busy) busy *= inv;
+  out.exec_time_stddev = stddev(exec_samples);
+  return out;
+}
+
+StatusOr<std::vector<TrialResult>> run_sweep(const sim::SimConfig& config,
+                                             std::span<const Stream> streams,
+                                             std::span<const double> rates,
+                                             std::size_t trials,
+                                             std::uint64_t seed_base) {
+  std::vector<TrialResult> results;
+  results.reserve(rates.size());
+  for (const double rate : rates) {
+    auto point = run_point(config, streams, rate, trials, seed_base);
+    if (!point.ok()) return point.status();
+    results.push_back(*std::move(point));
+  }
+  return results;
+}
+
+}  // namespace cedr::workload

@@ -1,0 +1,224 @@
+// Unit tests for src/common: Status/StatusOr, Rng, BlockingQueue, math_util.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "cedr/common/math_util.h"
+#include "cedr/common/queue.h"
+#include "cedr/common/rng.h"
+#include "cedr/common/status.h"
+#include "cedr/common/stopwatch.h"
+
+namespace cedr {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = InvalidArgument("bad size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad size");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad size");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(InvalidArgument("a"), InvalidArgument("b"));
+  EXPECT_FALSE(InvalidArgument("a") == NotFound("a"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+    EXPECT_NE(status_code_name(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  const std::vector<int> out = *std::move(v);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(StatusOr, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Internal("boom"); };
+  auto outer = [&]() -> Status {
+    CEDR_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.next_below(8)];
+  for (const int h : hits) EXPECT_GT(h, 800);  // ~1000 expected per bucket
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(13);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.normal();
+  EXPECT_NEAR(mean(samples), 0.0, 0.03);
+  EXPECT_NEAR(stddev(samples), 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(17);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean(samples), 5.0, 0.1);
+  EXPECT_NEAR(stddev(samples), 2.0, 0.1);
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopEmptyReturnsNothing) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, CloseRejectsPushesButDrains) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_FALSE(q.pop().has_value());  // closed and empty
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&q] { EXPECT_FALSE(q.pop().has_value()); });
+  q.close();
+  consumer.join();
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<long> total{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.push(i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&q, &total] {
+      while (auto v = q.pop()) total += *v;
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(total.load(),
+            long{kProducers} * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(MathUtil, PowerOfTwoPredicates) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(MathUtil, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+}
+
+TEST(MathUtil, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(MathUtil, MeanAndStddev) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(MathUtil, EnergyAndMaxAbsDiff) {
+  const std::vector<cfloat> a{{3.0f, 4.0f}, {0.0f, 0.0f}};
+  const std::vector<cfloat> b{{3.0f, 4.0f}, {1.0f, 0.0f}};
+  EXPECT_DOUBLE_EQ(energy(a), 25.0);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.elapsed();
+  EXPECT_GE(t0, 0.0);
+  // A small busy loop must advance the clock.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(sw.elapsed(), t0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed(), 1.0);
+}
+
+}  // namespace
+}  // namespace cedr

@@ -1,0 +1,142 @@
+// Tests for image kernels and the lane-detection stages.
+#include <gtest/gtest.h>
+
+#include "cedr/kernels/conv.h"
+#include "cedr/kernels/image.h"
+
+namespace cedr::kernels {
+namespace {
+
+TEST(RgbToGray, KnownValues) {
+  RgbImage img(1, 3);
+  // white, black, pure green
+  img.pixels = {255, 255, 255, 0, 0, 0, 0, 255, 0};
+  const GrayImage gray = rgb_to_gray(img);
+  EXPECT_NEAR(gray.at(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(gray.at(0, 1), 0.0f, 1e-5f);
+  EXPECT_NEAR(gray.at(0, 2), 0.587f, 1e-4f);
+}
+
+TEST(GaussianBlurFft, MatchesDirectConvolution) {
+  GrayImage img(20, 28);
+  for (std::size_t r = 0; r < img.rows; ++r) {
+    for (std::size_t c = 0; c < img.cols; ++c) {
+      img.at(r, c) = static_cast<float>((r * 7 + c * 3) % 13) / 13.0f;
+    }
+  }
+  const auto blurred = gaussian_blur_fft(img, 5, 1.2);
+  ASSERT_TRUE(blurred.ok());
+  const auto kernel = gaussian_kernel(5, 1.2);
+  std::vector<float> expected(img.rows * img.cols);
+  ASSERT_TRUE(conv2d_direct(img.pixels, img.rows, img.cols, kernel, 5,
+                            expected).ok());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(blurred->pixels[i], expected[i], 1e-3f);
+  }
+}
+
+TEST(GaussianBlurFft, PreservesConstantImageInterior) {
+  GrayImage img(16, 16);
+  std::fill(img.pixels.begin(), img.pixels.end(), 0.5f);
+  const auto blurred = gaussian_blur_fft(img, 3, 0.8);
+  ASSERT_TRUE(blurred.ok());
+  // Away from borders a normalized kernel must leave a constant unchanged.
+  EXPECT_NEAR(blurred->at(8, 8), 0.5f, 1e-4f);
+}
+
+TEST(Sobel, RespondsToVerticalEdge) {
+  GrayImage img(10, 10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 5; c < 10; ++c) img.at(r, c) = 1.0f;
+  }
+  const GrayImage mag = sobel_magnitude(img);
+  EXPECT_GT(mag.at(5, 5), 1.0f);   // on the edge
+  EXPECT_NEAR(mag.at(5, 2), 0.0f, 1e-5f);  // flat region
+  EXPECT_NEAR(mag.at(5, 8), 0.0f, 1e-5f);
+}
+
+TEST(Sobel, TinyImagesAreSafe) {
+  GrayImage img(2, 2);
+  const GrayImage mag = sobel_magnitude(img);
+  EXPECT_EQ(mag.rows, 2u);
+  for (const float v : mag.pixels) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Threshold, Binarizes) {
+  GrayImage img(1, 4);
+  img.pixels = {0.1f, 0.5f, 0.8f, 0.5f};
+  const GrayImage bin = threshold(img, 0.5f);
+  EXPECT_EQ(bin.pixels, (std::vector<float>{0.0f, 1.0f, 1.0f, 1.0f}));
+}
+
+TEST(Hough, FindsAxisAlignedLine) {
+  GrayImage bin(64, 64);
+  for (std::size_t c = 8; c < 56; ++c) bin.at(32, c) = 1.0f;  // horizontal
+  const auto lines = hough_lines(bin, 2, 20);
+  ASSERT_GE(lines.size(), 1u);
+  // Horizontal line: theta ~ pi/2, rho ~ 32.
+  EXPECT_NEAR(lines[0].theta, kPi / 2, 0.05);
+  EXPECT_NEAR(lines[0].rho, 32.0, 1.5);
+  EXPECT_GE(lines[0].votes, 40u);
+}
+
+TEST(Hough, FindsDiagonalLine) {
+  GrayImage bin(64, 64);
+  for (std::size_t i = 4; i < 60; ++i) bin.at(i, i) = 1.0f;
+  const auto lines = hough_lines(bin, 2, 20);
+  ASSERT_GE(lines.size(), 1u);
+  // y = x  ->  x cos(3pi/4) + y sin(3pi/4) = 0.
+  EXPECT_NEAR(lines[0].theta, 3 * kPi / 4, 0.05);
+  EXPECT_NEAR(lines[0].rho, 0.0, 2.0);
+}
+
+TEST(Hough, SeparatesTwoLines) {
+  GrayImage bin(64, 64);
+  for (std::size_t c = 0; c < 64; ++c) bin.at(10, c) = 1.0f;
+  for (std::size_t r = 0; r < 64; ++r) bin.at(r, 20) = 1.0f;
+  const auto lines = hough_lines(bin, 4, 30);
+  ASSERT_GE(lines.size(), 2u);
+  // One near-horizontal (theta ~ pi/2) and one near-vertical (theta ~ 0).
+  const bool has_horizontal =
+      std::any_of(lines.begin(), lines.end(), [](const HoughLine& l) {
+        return std::abs(l.theta - kPi / 2) < 0.1;
+      });
+  const bool has_vertical =
+      std::any_of(lines.begin(), lines.end(), [](const HoughLine& l) {
+        return l.theta < 0.1 || l.theta > kPi - 0.1;
+      });
+  EXPECT_TRUE(has_horizontal);
+  EXPECT_TRUE(has_vertical);
+}
+
+TEST(Hough, EmptyImageYieldsNothing) {
+  GrayImage bin(32, 32);
+  EXPECT_TRUE(hough_lines(bin, 4, 10).empty());
+}
+
+TEST(SynthesizeRoad, GeometryMatchesTruth) {
+  Rng rng(1);
+  RoadTruth truth;
+  const RgbImage road = synthesize_road(108, 192, truth, 0.0, rng);
+  EXPECT_LT(truth.left_slope, 0.0);   // left marking leans right (dx/dy < 0)
+  EXPECT_GT(truth.right_slope, 0.0);
+  // Bright paint at the expected bottom-row positions.
+  const GrayImage gray = rgb_to_gray(road);
+  const auto left_col = static_cast<std::size_t>(truth.left_offset);
+  const auto right_col = static_cast<std::size_t>(truth.right_offset);
+  EXPECT_GT(gray.at(107, left_col), 0.8f);
+  EXPECT_GT(gray.at(107, right_col), 0.8f);
+  // Asphalt between the markings is dark.
+  EXPECT_LT(gray.at(107, (left_col + right_col) / 2), 0.4f);
+}
+
+TEST(SynthesizeRoad, NoiseIsReproducibleBySeed) {
+  RoadTruth t1, t2;
+  Rng rng_a(7), rng_b(7);
+  const RgbImage a = synthesize_road(32, 48, t1, 0.1, rng_a);
+  const RgbImage b = synthesize_road(32, 48, t2, 0.1, rng_b);
+  EXPECT_EQ(a.pixels, b.pixels);
+}
+
+}  // namespace
+}  // namespace cedr::kernels

@@ -1,0 +1,157 @@
+// Tests for Pulse Doppler radar kernels.
+#include <gtest/gtest.h>
+
+#include "cedr/kernels/fft.h"
+#include "cedr/kernels/radar.h"
+
+namespace cedr::kernels {
+namespace {
+
+RadarParams small_params() {
+  RadarParams p;
+  p.num_pulses = 32;
+  p.samples_per_pulse = 128;
+  p.prf_hz = 10'000.0;
+  p.sample_rate_hz = 1.0e6;
+  p.carrier_hz = 3.0e9;
+  return p;
+}
+
+TEST(Chirp, HasUnitMagnitudeSamples) {
+  const auto chirp = make_chirp(64, 4.0e5, 1.0e6);
+  ASSERT_EQ(chirp.size(), 64u);
+  for (const cfloat& s : chirp) EXPECT_NEAR(std::abs(s), 1.0f, 1e-5f);
+}
+
+TEST(Chirp, SweepsFrequency) {
+  // Instantaneous frequency rises across the pulse: the phase increment of
+  // the last samples must exceed that of the first.
+  const auto chirp = make_chirp(128, 4.0e5, 1.0e6);
+  auto phase_delta = [&](std::size_t i) {
+    return std::abs(std::arg(chirp[i + 1] * std::conj(chirp[i])));
+  };
+  EXPECT_GT(phase_delta(120), phase_delta(10));
+}
+
+TEST(MatchedFilter, PeaksAtTargetDelay) {
+  const RadarParams p = small_params();
+  const std::size_t n = p.samples_per_pulse;
+  const auto chirp = make_chirp(n / 4, 0.4 * p.sample_rate_hz, p.sample_rate_hz);
+  RadarTarget target{.range_bin = 37, .doppler_hz = 0.0, .magnitude = 1.0};
+  Rng rng(1);
+  const auto cube = synthesize_echo(p, chirp, target, 0.0, rng);
+
+  std::vector<cfloat> chirp_padded(n);
+  std::copy(chirp.begin(), chirp.end(), chirp_padded.begin());
+  std::vector<cfloat> chirp_freq(n);
+  ASSERT_TRUE(fft(chirp_padded, chirp_freq, false).ok());
+
+  std::vector<cfloat> compressed(n);
+  ASSERT_TRUE(matched_filter(std::span<const cfloat>(cube.data(), n),
+                             chirp_freq, compressed).ok());
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::abs(compressed[i]) > std::abs(compressed[argmax])) argmax = i;
+  }
+  EXPECT_EQ(argmax, target.range_bin);
+}
+
+TEST(MatchedFilter, RejectsSizeMismatch) {
+  std::vector<cfloat> pulse(16), chirp(16), out(8);
+  EXPECT_EQ(matched_filter(pulse, chirp, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DopplerFft, RejectsBadCubeSize) {
+  std::vector<cfloat> cube(100), out(100);
+  EXPECT_EQ(doppler_fft(cube, 8, 16, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DopplerFft, StationaryTargetInZeroBin) {
+  const RadarParams p = small_params();
+  const std::size_t n = p.samples_per_pulse;
+  // Constant (already compressed) return in one range bin across pulses.
+  std::vector<cfloat> compressed(p.num_pulses * n, cfloat(0.0f, 0.0f));
+  for (std::size_t pl = 0; pl < p.num_pulses; ++pl) {
+    compressed[pl * n + 11] = cfloat(1.0f, 0.0f);
+  }
+  std::vector<cfloat> out(compressed.size());
+  ASSERT_TRUE(doppler_fft(compressed, p.num_pulses, n, out).ok());
+  const RadarTarget peak = find_peak(out, p);
+  EXPECT_EQ(peak.range_bin, 11u);
+  EXPECT_NEAR(peak.doppler_hz, 0.0, 1e-6);
+}
+
+struct PdCase {
+  std::size_t range_bin;
+  double doppler_hz;
+};
+
+class PulseDopplerEndToEnd : public ::testing::TestWithParam<PdCase> {};
+
+TEST_P(PulseDopplerEndToEnd, RecoversRangeAndVelocity) {
+  const RadarParams p = small_params();
+  const std::size_t n = p.samples_per_pulse;
+  const auto chirp = make_chirp(n / 4, 0.4 * p.sample_rate_hz, p.sample_rate_hz);
+
+  RadarTarget truth{.range_bin = GetParam().range_bin,
+                    .doppler_hz = GetParam().doppler_hz,
+                    .magnitude = 2.0};
+  Rng rng(42);
+  const auto cube = synthesize_echo(p, chirp, truth, 0.02, rng);
+
+  std::vector<cfloat> chirp_padded(n);
+  std::copy(chirp.begin(), chirp.end(), chirp_padded.begin());
+  std::vector<cfloat> chirp_freq(n);
+  ASSERT_TRUE(fft(chirp_padded, chirp_freq, false).ok());
+
+  std::vector<cfloat> compressed(p.num_pulses * n);
+  for (std::size_t pl = 0; pl < p.num_pulses; ++pl) {
+    ASSERT_TRUE(matched_filter(
+                    std::span<const cfloat>(&cube[pl * n], n), chirp_freq,
+                    std::span<cfloat>(&compressed[pl * n], n))
+                    .ok());
+  }
+  std::vector<cfloat> rd(compressed.size());
+  ASSERT_TRUE(doppler_fft(compressed, p.num_pulses, n, rd).ok());
+  const RadarTarget est = find_peak(rd, p);
+
+  EXPECT_NEAR(static_cast<double>(est.range_bin),
+              static_cast<double>(truth.range_bin), 1.0);
+  // Doppler resolution is prf/num_pulses = 312.5 Hz; allow one bin.
+  EXPECT_NEAR(est.doppler_hz, truth.doppler_hz, p.prf_hz / p.num_pulses);
+  // Velocity must be consistent with the estimated Doppler.
+  EXPECT_NEAR(est.velocity_mps,
+              est.doppler_hz * p.speed_of_light / (2.0 * p.carrier_hz), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Targets, PulseDopplerEndToEnd,
+    ::testing::Values(PdCase{10, 0.0}, PdCase{25, 625.0}, PdCase{60, 1250.0},
+                      PdCase{40, -937.5}, PdCase{5, 3125.0}));
+
+TEST(FindPeak, NegativeDopplerWrapsCorrectly) {
+  RadarParams p = small_params();
+  std::vector<cfloat> rd(p.num_pulses * p.samples_per_pulse,
+                         cfloat(0.0f, 0.0f));
+  // Upper-half bin (num_pulses - 2) corresponds to -2 * prf / num_pulses.
+  rd[(p.num_pulses - 2) * p.samples_per_pulse + 3] = cfloat(5.0f, 0.0f);
+  const RadarTarget peak = find_peak(rd, p);
+  EXPECT_EQ(peak.range_bin, 3u);
+  EXPECT_NEAR(peak.doppler_hz, -2.0 * p.prf_hz / p.num_pulses, 1e-6);
+  EXPECT_LT(peak.velocity_mps, 0.0);
+}
+
+TEST(SynthesizeEcho, NoiseRaisesFloor) {
+  const RadarParams p = small_params();
+  const auto chirp = make_chirp(16, 1e5, p.sample_rate_hz);
+  RadarTarget target{.range_bin = 5, .doppler_hz = 0.0, .magnitude = 1.0};
+  Rng rng_a(7), rng_b(7);
+  const auto clean = synthesize_echo(p, chirp, target, 0.0, rng_a);
+  const auto noisy = synthesize_echo(p, chirp, target, 0.5, rng_b);
+  EXPECT_GT(energy(noisy), energy(clean));
+}
+
+}  // namespace
+}  // namespace cedr::kernels

@@ -1,0 +1,279 @@
+// Tests for the discrete-event runtime emulator: determinism, conservation
+// invariants, contention behavior, programming-model asymmetries, and the
+// structural application models.
+#include <gtest/gtest.h>
+
+#include "cedr/sim/model.h"
+#include "cedr/sim/simulator.h"
+
+namespace cedr::sim {
+namespace {
+
+SimApp tiny_app(std::size_t kernels = 8, bool parallel = true) {
+  SimApp app;
+  app.name = "tiny";
+  app.frame_mbits = 1.0;
+  app.segments.push_back(SimSegment::glue(100e-6));
+  app.segments.push_back(SimSegment::batch(platform::KernelId::kFft, 256,
+                                           4096, kernels, parallel));
+  app.segments.push_back(SimSegment::glue(50e-6));
+  return app;
+}
+
+SimConfig base_config(ProgrammingModel model = ProgrammingModel::kApiBased) {
+  SimConfig config;
+  config.platform = platform::zcu102(3, 1, 0);
+  config.scheduler = "EFT";
+  config.model = model;
+  return config;
+}
+
+TEST(SimModel, TaskCounts) {
+  const SimApp app = tiny_app(8);
+  EXPECT_EQ(app.kernel_call_count(), 8u);
+  EXPECT_EQ(app.dag_task_count(), 10u);  // 8 kernels + 2 glue nodes
+}
+
+TEST(SimModel, PaperWorkloadShapes) {
+  const SimApp pd = make_pulse_doppler_model();
+  // 128 FFT + 128 ZIP + 128 IFFT + 256 Doppler FFT = 640 kernel calls;
+  // 512 of them are transforms, matching §III's "512".
+  EXPECT_EQ(pd.kernel_call_count(), 640u);
+  const SimApp tx = make_wifi_tx_model();
+  EXPECT_EQ(tx.kernel_call_count(), 100u);  // "100" IFFTs
+  const SimApp ld_full = make_lane_detection_model(1);
+  std::size_t ffts = 0;
+  std::size_t iffts = 0;
+  for (const SimSegment& seg : ld_full.segments) {
+    if (seg.kind != SimSegment::Kind::kKernelBatch) continue;
+    if (seg.kernel == platform::KernelId::kFft) ffts += seg.count;
+    if (seg.kernel == platform::KernelId::kIfft) iffts += seg.count;
+    if (seg.kernel != platform::KernelId::kGeneric) {
+      EXPECT_EQ(seg.problem_size, 1024u);  // 1024-point transforms
+    }
+  }
+  EXPECT_EQ(ffts, 16384u);   // paper's instance counts at scale 1
+  EXPECT_EQ(iffts, 8192u);
+  const SimApp ld_scaled = make_lane_detection_model(8);
+  EXPECT_LT(ld_scaled.kernel_call_count(), ld_full.kernel_call_count() / 6);
+}
+
+TEST(SimModel, SegmentRanksDecreaseTowardExit) {
+  const SimApp pd = make_pulse_doppler_model();
+  const auto ranks = pd.segment_ranks(platform::zcu102(3, 1, 0));
+  ASSERT_EQ(ranks.size(), pd.segments.size());
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    EXPECT_GT(ranks[i - 1], ranks[i]);
+  }
+  EXPECT_GT(ranks.back(), 0.0);
+}
+
+TEST(Simulate, RejectsBadInputs) {
+  const SimConfig config = base_config();
+  EXPECT_FALSE(simulate(config, {}).ok());
+  const Arrival null_app{nullptr, 0.0};
+  EXPECT_FALSE(simulate(config, {&null_app, 1}).ok());
+  const SimApp app = tiny_app();
+  const Arrival negative{&app, -1.0};
+  EXPECT_FALSE(simulate(config, {&negative, 1}).ok());
+  SimConfig bad_sched = base_config();
+  bad_sched.scheduler = "NOPE";
+  const Arrival ok{&app, 0.0};
+  EXPECT_FALSE(simulate(bad_sched, {&ok, 1}).ok());
+}
+
+TEST(Simulate, SingleAppCompletesWithSaneMetrics) {
+  const SimApp app = tiny_app();
+  const Arrival arrival{&app, 0.0};
+  const auto metrics = simulate(base_config(), {&arrival, 1});
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->apps, 1u);
+  EXPECT_EQ(metrics->tasks_executed, 8u);  // API mode schedules kernels only
+  EXPECT_GT(metrics->avg_execution_time, 0.0);
+  EXPECT_GE(metrics->makespan, metrics->avg_execution_time);
+  EXPECT_GT(metrics->runtime_overhead, 0.0);
+  EXPECT_GE(metrics->sched_rounds, 1u);
+  ASSERT_EQ(metrics->pe_busy.size(), 4u);  // 3 CPU + 1 FFT
+}
+
+TEST(Simulate, DagModeSchedulesGlueNodesToo) {
+  const SimApp app = tiny_app();
+  const Arrival arrival{&app, 0.0};
+  const auto metrics =
+      simulate(base_config(ProgrammingModel::kDagBased), {&arrival, 1});
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->tasks_executed, 10u);  // kernels + glue nodes
+}
+
+TEST(Simulate, DeterministicAcrossRuns) {
+  const SimApp app = tiny_app(32);
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 6; ++i) {
+    arrivals.push_back({&app, i * 0.7e-3});
+  }
+  const auto a = simulate(base_config(), arrivals);
+  const auto b = simulate(base_config(), arrivals);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->makespan, b->makespan);
+  EXPECT_DOUBLE_EQ(a->avg_execution_time, b->avg_execution_time);
+  EXPECT_DOUBLE_EQ(a->total_sched_time, b->total_sched_time);
+  EXPECT_EQ(a->tasks_executed, b->tasks_executed);
+}
+
+TEST(Simulate, ArrivalsNeedNotBeSorted) {
+  const SimApp app = tiny_app();
+  const std::vector<Arrival> shuffled{{&app, 3e-3}, {&app, 0.0}, {&app, 1e-3}};
+  const std::vector<Arrival> sorted{{&app, 0.0}, {&app, 1e-3}, {&app, 3e-3}};
+  const auto a = simulate(base_config(), shuffled);
+  const auto b = simulate(base_config(), sorted);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->makespan, b->makespan);
+}
+
+TEST(Simulate, WorkConservation) {
+  // Total per-PE busy work must equal the work implied by the cost model
+  // for the tasks each mode schedules (API: kernels only).
+  SimConfig config = base_config();
+  config.platform = platform::zcu102(3, 0, 0);  // CPUs only: no occupancy x3
+  const SimApp app = tiny_app(16);
+  const Arrival arrival{&app, 0.0};
+  const auto metrics = simulate(config, {&arrival, 1});
+  ASSERT_TRUE(metrics.ok());
+  const double expected_kernel_work =
+      16.0 * config.platform.costs.estimate(platform::KernelId::kFft,
+                                            platform::PeClass::kCpu, 256, 4096);
+  double total_busy = 0.0;
+  for (const double b : metrics->pe_busy) total_busy += b;
+  // Busy work includes the per-call signal overhead; allow that margin.
+  EXPECT_GE(total_busy, expected_kernel_work);
+  EXPECT_LT(total_busy, expected_kernel_work * 2.5);
+}
+
+TEST(Simulate, BlockingIsSlowerThanNonBlocking) {
+  const SimApp blocking = tiny_app(32, /*parallel=*/false);
+  const SimApp nonblocking = tiny_app(32, /*parallel=*/true);
+  const Arrival ab{&blocking, 0.0};
+  const Arrival an{&nonblocking, 0.0};
+  // CPU-only platform isolates the issue-pattern effect from accelerator
+  // management-thread occupancy.
+  SimConfig config = base_config();
+  config.platform = platform::zcu102(3, 0, 0);
+  const auto mb = simulate(config, {&ab, 1});
+  const auto mn = simulate(config, {&an, 1});
+  ASSERT_TRUE(mb.ok());
+  ASSERT_TRUE(mn.ok());
+  // Serial call-by-call issue pays the per-call round trip every time.
+  EXPECT_GT(mb->avg_execution_time, 1.5 * mn->avg_execution_time);
+}
+
+TEST(Simulate, OverlappingArrivalsRaisePerAppExecTime) {
+  const SimApp app = tiny_app(64);
+  std::vector<Arrival> spread;
+  std::vector<Arrival> burst;
+  for (int i = 0; i < 8; ++i) {
+    spread.push_back({&app, i * 50e-3});
+    burst.push_back({&app, i * 0.2e-3});
+  }
+  const auto slow = simulate(base_config(), spread);
+  const auto fast = simulate(base_config(), burst);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GT(fast->avg_execution_time, slow->avg_execution_time);
+}
+
+TEST(Simulate, EtfOverheadGrowsWithQueueInDagMode) {
+  const SimApp app = tiny_app(64);
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 8; ++i) arrivals.push_back({&app, i * 0.1e-3});
+  SimConfig etf = base_config(ProgrammingModel::kDagBased);
+  etf.scheduler = "ETF";
+  SimConfig eft = base_config(ProgrammingModel::kDagBased);
+  eft.scheduler = "EFT";
+  const auto m_etf = simulate(etf, arrivals);
+  const auto m_eft = simulate(eft, arrivals);
+  ASSERT_TRUE(m_etf.ok());
+  ASSERT_TRUE(m_eft.ok());
+  EXPECT_GT(m_etf->total_sched_time, 5.0 * m_eft->total_sched_time);
+}
+
+TEST(Simulate, ApiModeShrinksEtfOverhead) {
+  // Fig. 7's core claim, in miniature.
+  const SimApp app = tiny_app(64, /*parallel=*/false);
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 8; ++i) arrivals.push_back({&app, i * 0.1e-3});
+  SimConfig dag = base_config(ProgrammingModel::kDagBased);
+  dag.scheduler = "ETF";
+  SimConfig api = base_config(ProgrammingModel::kApiBased);
+  api.scheduler = "ETF";
+  const auto m_dag = simulate(dag, arrivals);
+  const auto m_api = simulate(api, arrivals);
+  ASSERT_TRUE(m_dag.ok());
+  ASSERT_TRUE(m_api.ok());
+  EXPECT_GT(m_dag->avg_sched_overhead, 2.0 * m_api->avg_sched_overhead);
+  EXPECT_GT(m_dag->max_ready_queue, m_api->max_ready_queue);
+}
+
+TEST(Simulate, AddingAcceleratorsAddsContention) {
+  // Fig. 10a's core claim: with CPUs fixed, more FFT accelerators means
+  // more management threads on the same cores and higher execution time
+  // under RR, which insists on using every PE.
+  const SimApp ld = make_lane_detection_model(32);
+  std::vector<Arrival> arrivals{{&ld, 0.0}};
+  double exec[2] = {0, 0};
+  int idx = 0;
+  for (const std::size_t ffts : {0u, 8u}) {
+    SimConfig config = base_config();
+    config.platform = platform::zcu102(3, ffts, 0);
+    config.scheduler = "RR";
+    const auto metrics = simulate(config, arrivals);
+    ASSERT_TRUE(metrics.ok());
+    exec[idx++] = metrics->avg_execution_time;
+  }
+  EXPECT_GT(exec[1], exec[0]);
+}
+
+TEST(Simulate, MoreCpuWorkersHelpOnJetson) {
+  // Fig. 10b's left half: 1 -> 5 CPU workers reduces execution time.
+  // A CPU-heavy workload (PD's small transforms favor the Carmel cores
+  // over the GPU) exposes the worker-parallelism effect.
+  const SimApp pd = make_pulse_doppler_model();
+  std::vector<Arrival> arrivals{{&pd, 0.0}, {&pd, 1e-4}, {&pd, 2e-4}};
+  double exec[2] = {0, 0};
+  int idx = 0;
+  for (const std::size_t cpus : {1u, 5u}) {
+    SimConfig config = base_config();
+    config.platform = platform::jetson(cpus, 1);
+    const auto metrics = simulate(config, arrivals);
+    ASSERT_TRUE(metrics.ok());
+    exec[idx++] = metrics->avg_execution_time;
+  }
+  EXPECT_GT(exec[0], exec[1]);
+}
+
+TEST(Simulate, HorizonGuardAborts) {
+  SimConfig config = base_config();
+  config.max_virtual_time_s = 1e-6;  // impossible deadline
+  const SimApp app = tiny_app();
+  const Arrival arrival{&app, 0.0};
+  EXPECT_EQ(simulate(config, {&arrival, 1}).status().code(),
+            StatusCode::kAborted);
+}
+
+TEST(Simulate, RuntimeOverheadLowerInApiMode) {
+  // Fig. 5's direction in miniature: same workload, API overhead below DAG.
+  const SimApp pd = make_pulse_doppler_model();
+  std::vector<Arrival> arrivals;
+  for (int i = 0; i < 5; ++i) arrivals.push_back({&pd, i * 1e-3});
+  const auto dag =
+      simulate(base_config(ProgrammingModel::kDagBased), arrivals);
+  const auto api =
+      simulate(base_config(ProgrammingModel::kApiBased), arrivals);
+  ASSERT_TRUE(dag.ok());
+  ASSERT_TRUE(api.ok());
+  EXPECT_LT(api->runtime_overhead_per_app, dag->runtime_overhead_per_app);
+}
+
+}  // namespace
+}  // namespace cedr::sim

@@ -1,0 +1,191 @@
+// Tests for the WiFi TX baseband stage kernels.
+#include <gtest/gtest.h>
+
+#include "cedr/common/rng.h"
+#include "cedr/kernels/wifi.h"
+
+namespace cedr::kernels {
+namespace {
+
+BitVec random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVec bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next_below(2));
+  return bits;
+}
+
+TEST(Scrambler, IsSelfInverse) {
+  const BitVec bits = random_bits(256, 1);
+  const BitVec once = scramble(bits, 0x5D);
+  const BitVec twice = scramble(once, 0x5D);
+  EXPECT_EQ(twice, bits);
+}
+
+TEST(Scrambler, ChangesTheBitstream) {
+  const BitVec bits(128, 0);
+  const BitVec out = scramble(bits, 0x5D);
+  std::size_t ones = 0;
+  for (const auto b : out) ones += b;
+  EXPECT_GT(ones, 32u);  // LFSR whitening turns zeros into ~half ones
+  EXPECT_LT(ones, 96u);
+}
+
+TEST(Scrambler, ZeroSeedIsCoercedToNonzero) {
+  const BitVec bits = random_bits(64, 2);
+  // seed 0 would freeze the LFSR; the implementation must not emit identity.
+  EXPECT_NE(scramble(bits, 0), bits);
+  EXPECT_EQ(scramble(scramble(bits, 0), 0), bits);
+}
+
+TEST(Scrambler, DifferentSeedsDiffer) {
+  const BitVec bits = random_bits(128, 3);
+  EXPECT_NE(scramble(bits, 0x5D), scramble(bits, 0x2A));
+}
+
+TEST(ConvEncoder, RateOneHalf) {
+  const BitVec bits = random_bits(100, 4);
+  EXPECT_EQ(convolutional_encode(bits).size(), 200u);
+}
+
+TEST(ConvEncoder, KnownAllZeroInput) {
+  const BitVec zeros(16, 0);
+  const BitVec coded = convolutional_encode(zeros);
+  for (const auto b : coded) EXPECT_EQ(b, 0);
+}
+
+class ViterbiRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ViterbiRoundTrip, DecodesCleanCodewords) {
+  BitVec bits = random_bits(GetParam(), GetParam() * 31 + 7);
+  bits.insert(bits.end(), 6, 0);  // terminate the trellis
+  const BitVec coded = convolutional_encode(bits);
+  const auto decoded = viterbi_decode(coded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ViterbiRoundTrip,
+                         ::testing::Values(1, 8, 64, 100, 257));
+
+TEST(Viterbi, CorrectsIsolatedBitErrors) {
+  BitVec bits = random_bits(64, 5);
+  bits.insert(bits.end(), 6, 0);
+  BitVec coded = convolutional_encode(bits);
+  // Flip three well-separated coded bits; K=7 code corrects them all.
+  coded[10] ^= 1;
+  coded[60] ^= 1;
+  coded[110] ^= 1;
+  const auto decoded = viterbi_decode(coded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bits);
+}
+
+TEST(Viterbi, RejectsOddLength) {
+  const BitVec coded(9, 0);
+  EXPECT_EQ(viterbi_decode(coded).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Interleaver, RoundTrips) {
+  const BitVec bits = random_bits(140, 6);
+  const auto inter = interleave(bits, 7);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_NE(*inter, bits);
+  const auto back = deinterleave(*inter, 7);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, bits);
+}
+
+TEST(Interleaver, SpreadsAdjacentBits) {
+  BitVec bits(21, 0);
+  bits[0] = bits[1] = bits[2] = 1;  // a burst
+  const auto inter = interleave(bits, 3);
+  ASSERT_TRUE(inter.ok());
+  // After interleaving the three set bits are at stride rows = 7 apart.
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < inter->size(); ++i) {
+    if ((*inter)[i]) positions.push_back(i);
+  }
+  ASSERT_EQ(positions.size(), 3u);
+  EXPECT_GE(positions[1] - positions[0], 7u);
+  EXPECT_GE(positions[2] - positions[1], 7u);
+}
+
+TEST(Interleaver, RejectsIndivisibleLength) {
+  const BitVec bits(10, 0);
+  EXPECT_FALSE(interleave(bits, 3).ok());
+  EXPECT_FALSE(deinterleave(bits, 3).ok());
+  EXPECT_FALSE(interleave(bits, 0).ok());
+}
+
+TEST(Qpsk, RoundTrips) {
+  const BitVec bits = random_bits(128, 7);
+  const auto symbols = qpsk_modulate(bits);
+  ASSERT_TRUE(symbols.ok());
+  EXPECT_EQ(symbols->size(), 64u);
+  EXPECT_EQ(qpsk_demodulate(*symbols), bits);
+}
+
+TEST(Qpsk, UnitEnergySymbols) {
+  const BitVec bits = random_bits(64, 8);
+  const auto symbols = qpsk_modulate(bits);
+  ASSERT_TRUE(symbols.ok());
+  for (const cfloat& s : *symbols) {
+    EXPECT_NEAR(std::abs(s), 1.0f, 1e-5f);
+  }
+}
+
+TEST(Qpsk, SurvivesModerateNoise) {
+  Rng rng(9);
+  const BitVec bits = random_bits(256, 9);
+  auto symbols = qpsk_modulate(bits);
+  ASSERT_TRUE(symbols.ok());
+  for (cfloat& s : *symbols) {
+    s += cfloat(static_cast<float>(rng.normal(0.0, 0.2)),
+                static_cast<float>(rng.normal(0.0, 0.2)));
+  }
+  EXPECT_EQ(qpsk_demodulate(*symbols), bits);
+}
+
+TEST(Qpsk, RejectsOddBitCount) {
+  const BitVec bits(7, 0);
+  EXPECT_FALSE(qpsk_modulate(bits).ok());
+}
+
+TEST(Crc32, KnownVectors) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string s = "123456789";
+  const std::vector<std::uint8_t> bytes(s.begin(), s.end());
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> bytes(64, 0xA5);
+  const std::uint32_t good = crc32(bytes);
+  bytes[20] ^= 0x10;
+  EXPECT_NE(crc32(bytes), good);
+}
+
+TEST(PackBits, RoundTrips) {
+  const BitVec bits = random_bits(64, 10);
+  const auto bytes = pack_bits(bits);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->size(), 8u);
+  EXPECT_EQ(unpack_bytes(*bytes), bits);
+}
+
+TEST(PackBits, RejectsNonByteMultiple) {
+  EXPECT_FALSE(pack_bits(BitVec(9, 0)).ok());
+}
+
+TEST(PackBits, LsbFirstConvention) {
+  BitVec bits(8, 0);
+  bits[0] = 1;  // LSB of byte 0
+  const auto bytes = pack_bits(bits);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes)[0], 0x01);
+}
+
+}  // namespace
+}  // namespace cedr::kernels

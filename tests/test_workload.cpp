@@ -1,0 +1,129 @@
+// Tests for workload generation and trial aggregation.
+#include <gtest/gtest.h>
+
+#include "cedr/workload/workload.h"
+
+namespace cedr::workload {
+namespace {
+
+TEST(Arrivals, PeriodFollowsInjectionRate) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const Stream stream{.app = &app, .instances = 5};
+  Rng rng(1);
+  const auto arrivals = make_arrivals({&stream, 1}, /*rate_mbps=*/100.0,
+                                      /*jitter=*/0.0, rng);
+  ASSERT_EQ(arrivals.size(), 5u);
+  const double period = app.frame_mbits / 100.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_NEAR(arrivals[i].time, i * period, 1e-12);
+    EXPECT_EQ(arrivals[i].app, &app);
+  }
+}
+
+TEST(Arrivals, HigherRateCompressesSchedule) {
+  sim::SimApp app = sim::make_pulse_doppler_model();
+  const Stream stream{.app = &app, .instances = 5};
+  Rng rng(1);
+  const auto slow = make_arrivals({&stream, 1}, 10.0, 0.0, rng);
+  const auto fast = make_arrivals({&stream, 1}, 1000.0, 0.0, rng);
+  EXPECT_GT(slow.back().time, 50.0 * fast.back().time);
+}
+
+TEST(Arrivals, JitterStaysWithinBoundAndIsSeeded) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const Stream stream{.app = &app, .instances = 20};
+  const double period = app.frame_mbits / 50.0;
+  Rng rng_a(7), rng_b(7), rng_c(8);
+  const auto a = make_arrivals({&stream, 1}, 50.0, 0.2, rng_a);
+  const auto b = make_arrivals({&stream, 1}, 50.0, 0.2, rng_b);
+  const auto c = make_arrivals({&stream, 1}, 50.0, 0.2, rng_c);
+  ASSERT_EQ(a.size(), 20u);
+  bool any_diff_seed = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);  // same seed, same schedule
+    any_diff_seed |= a[i].time != c[i].time;
+  }
+  EXPECT_TRUE(any_diff_seed);
+  // Jitter bounded by 0.2 * period around the nominal grid; arrivals sorted.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i].time, a[i - 1].time);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(std::abs(a[i].time - i * period), 0.2 * period + 1e-12);
+  }
+}
+
+TEST(Arrivals, MultipleStreamsInterleaveSorted) {
+  sim::SimApp pd = sim::make_pulse_doppler_model();
+  sim::SimApp tx = sim::make_wifi_tx_model();
+  const Stream streams[] = {{.app = &pd, .instances = 5},
+                            {.app = &tx, .instances = 5}};
+  Rng rng(3);
+  const auto arrivals = make_arrivals(streams, 200.0, 0.1, rng);
+  ASSERT_EQ(arrivals.size(), 10u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i].time, arrivals[i - 1].time);
+  }
+}
+
+TEST(Arrivals, SkipsNullAndEmptyStreams) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const Stream streams[] = {{.app = nullptr, .instances = 5},
+                            {.app = &app, .instances = 0}};
+  Rng rng(1);
+  EXPECT_TRUE(make_arrivals(streams, 100.0, 0.0, rng).empty());
+}
+
+TEST(RateSweep, MatchesPaperGrid) {
+  const auto rates = injection_rate_sweep();
+  ASSERT_EQ(rates.size(), 29u);  // "29 injection rates between 10 and 2000"
+  EXPECT_NEAR(rates.front(), 10.0, 1e-9);
+  EXPECT_NEAR(rates.back(), 2000.0, 1e-9);
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    EXPECT_GT(rates[i], rates[i - 1]);
+  }
+}
+
+TEST(RunPoint, ValidatesInputs) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const Stream stream{.app = &app, .instances = 2};
+  sim::SimConfig config;
+  config.platform = platform::zcu102(3, 1, 0);
+  EXPECT_FALSE(run_point(config, {&stream, 1}, 100.0, 0, 1).ok());
+  EXPECT_FALSE(run_point(config, {&stream, 1}, -5.0, 3, 1).ok());
+}
+
+TEST(RunPoint, AveragesAcrossTrialsDeterministically) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const Stream stream{.app = &app, .instances = 3};
+  sim::SimConfig config;
+  config.platform = platform::zcu102(3, 1, 0);
+  auto a = run_point(config, {&stream, 1}, 200.0, 4, 99);
+  auto b = run_point(config, {&stream, 1}, 200.0, 4, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->trials, 4u);
+  EXPECT_EQ(a->mean.apps, 3u);
+  EXPECT_DOUBLE_EQ(a->mean.avg_execution_time, b->mean.avg_execution_time);
+  EXPECT_GE(a->exec_time_stddev, 0.0);
+  EXPECT_GT(a->mean.avg_execution_time, 0.0);
+}
+
+TEST(RunSweep, OneResultPerRate) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const Stream stream{.app = &app, .instances = 2};
+  sim::SimConfig config;
+  config.platform = platform::zcu102(3, 1, 0);
+  const std::vector<double> rates{50.0, 500.0};
+  auto results = run_sweep(config, {&stream, 1}, rates, 2, 7);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_DOUBLE_EQ((*results)[0].rate_mbps, 50.0);
+  EXPECT_DOUBLE_EQ((*results)[1].rate_mbps, 500.0);
+  // Per-app execution time grows (or stays equal) as arrivals overlap more.
+  EXPECT_LE((*results)[0].mean.avg_execution_time,
+            (*results)[1].mean.avg_execution_time * 1.5);
+}
+
+}  // namespace
+}  // namespace cedr::workload

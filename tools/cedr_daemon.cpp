@@ -1,0 +1,95 @@
+// The CEDR daemon process (paper Fig. 1).
+//
+// Starts a runtime for the requested platform/scheduler and serves the IPC
+// submission protocol until a SHUTDOWN command arrives, then serializes the
+// execution trace.
+//
+// usage: cedr_daemon <socket-path> [--platform host|zcu102|jetson]
+//                    [--cpus N] [--ffts N] [--mmults N] [--gpus N]
+//                    [--scheduler RR|EFT|ETF|HEFT_RT] [--trace PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cedr/common/log.h"
+#include "cedr/ipc/ipc.h"
+#include "cedr/runtime/runtime.h"
+
+using namespace cedr;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <socket-path> [--platform host|zcu102|jetson] "
+                 "[--cpus N] [--ffts N] [--mmults N] [--gpus N] "
+                 "[--scheduler NAME] [--trace PATH] [--config JSON] [--verbose]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string socket_path = argv[1];
+  std::string platform_name = "host";
+  std::string scheduler = "EFT";
+  std::string trace_path;
+  std::string config_path;
+  std::size_t cpus = 2;
+  std::size_t ffts = 1;
+  std::size_t mmults = 0;
+  std::size_t gpus = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--platform") platform_name = next();
+    else if (arg == "--scheduler") scheduler = next();
+    else if (arg == "--trace") trace_path = next();
+    else if (arg == "--cpus") cpus = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--ffts") ffts = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--mmults") mmults = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--gpus") gpus = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--config") config_path = next();
+    else if (arg == "--verbose") log::set_level(log::Level::kInfo);
+  }
+
+  rt::RuntimeConfig config;
+  if (!config_path.empty()) {
+    // Full Runtime Configuration from a JSON file (paper Fig. 1).
+    auto loaded = rt::RuntimeConfig::load(config_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load runtime configuration: %s\n",
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    config = *std::move(loaded);
+  } else if (platform_name == "zcu102") {
+    config.platform = platform::zcu102(cpus, ffts, mmults);
+    config.scheduler = scheduler;
+  } else if (platform_name == "jetson") {
+    config.platform = platform::jetson(cpus, gpus);
+    config.scheduler = scheduler;
+  } else {
+    config.platform = platform::host(cpus, ffts, mmults);
+    config.scheduler = scheduler;
+  }
+
+  rt::Runtime runtime(config);
+  if (const Status s = runtime.start(); !s.ok()) {
+    std::fprintf(stderr, "runtime start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  ipc::IpcServer server(runtime, socket_path, trace_path);
+  if (const Status s = server.start(); !s.ok()) {
+    std::fprintf(stderr, "IPC server failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("cedr_daemon: platform=%s scheduler=%s pes=%zu listening on %s\n",
+              config.platform.name.c_str(), scheduler.c_str(),
+              config.platform.pes.size(), socket_path.c_str());
+  server.wait_for_shutdown();
+  server.stop();
+  (void)runtime.shutdown();
+  std::printf("cedr_daemon: %llu apps completed; bye\n",
+              static_cast<unsigned long long>(runtime.completed_apps()));
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Command-line front end for the discrete-event runtime emulator: run any
+// platform / scheduler / programming-model / workload combination without
+// recompiling. This is the "rapid design-space exploration" entry point the
+// CEDR ecosystem exists to support.
+//
+// usage:
+//   cedr_sim [--platform zcu102|jetson|biglittle] [--cpus N] [--ffts N]
+//            [--mmults N] [--gpus N] [--big N] [--little N]
+//            [--scheduler NAME] [--model dag|api] [--rate MBPS]
+//            [--trials N] [--ld-scale N] [--nonblocking]
+//            [--pd N] [--tx N] [--ld N]
+//
+// Prints one line of metrics; designed for scripting sweeps.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cedr/sim/model.h"
+#include "cedr/sim/simulator.h"
+#include "cedr/workload/workload.h"
+
+using namespace cedr;
+
+int main(int argc, char** argv) {
+  std::string platform_name = "zcu102";
+  std::string scheduler = "EFT";
+  std::string model = "api";
+  double rate = 200.0;
+  std::size_t trials = 5;
+  std::size_t ld_scale = 4;
+  std::size_t cpus = 3, ffts = 1, mmults = 0, gpus = 1, big = 2, little = 4;
+  std::size_t pd_count = 5, tx_count = 5, ld_count = 0;
+  bool nonblocking = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--platform") platform_name = next();
+    else if (arg == "--scheduler") scheduler = next();
+    else if (arg == "--model") model = next();
+    else if (arg == "--rate") rate = std::strtod(next(), nullptr);
+    else if (arg == "--trials") trials = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--ld-scale") ld_scale = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--cpus") cpus = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--ffts") ffts = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--mmults") mmults = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--gpus") gpus = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--big") big = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--little") little = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--pd") pd_count = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--tx") tx_count = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--ld") ld_count = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--nonblocking") nonblocking = true;
+    else if (arg == "--help" || arg == "-h") {
+      std::printf("see header of tools/cedr_sim.cpp for usage\n");
+      return 0;
+    }
+  }
+
+  sim::SimConfig config;
+  if (platform_name == "jetson") {
+    config.platform = platform::jetson(cpus, gpus);
+  } else if (platform_name == "biglittle") {
+    config.platform = platform::biglittle(big, little, ffts);
+  } else {
+    config.platform = platform::zcu102(cpus, ffts, mmults);
+  }
+  config.scheduler = scheduler;
+  config.model = model == "dag" ? sim::ProgrammingModel::kDagBased
+                                : sim::ProgrammingModel::kApiBased;
+
+  const sim::SimApp pd = sim::make_pulse_doppler_model(nonblocking);
+  const sim::SimApp tx = sim::make_wifi_tx_model(nonblocking);
+  const sim::SimApp ld = sim::make_lane_detection_model(ld_scale, nonblocking);
+  std::vector<workload::Stream> streams;
+  if (ld_count > 0) streams.push_back({.app = &ld, .instances = ld_count});
+  if (pd_count > 0) streams.push_back({.app = &pd, .instances = pd_count});
+  if (tx_count > 0) streams.push_back({.app = &tx, .instances = tx_count});
+  if (streams.empty()) {
+    std::fprintf(stderr, "empty workload (use --pd/--tx/--ld)\n");
+    return 2;
+  }
+
+  auto result = workload::run_point(config, streams, rate, trials, 42);
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const sim::SimMetrics& m = result->mean;
+  std::printf(
+      "platform=%s sched=%s model=%s rate=%.1f apps=%zu "
+      "exec_ms=%.3f sched_ms=%.3f rtov_ms=%.3f makespan_ms=%.3f "
+      "tasks=%zu rounds=%zu maxQ=%zu exec_stddev_ms=%.3f\n",
+      config.platform.name.c_str(), scheduler.c_str(), model.c_str(), rate,
+      m.apps, m.avg_execution_time * 1e3, m.avg_sched_overhead * 1e3,
+      m.runtime_overhead_per_app * 1e3, m.makespan * 1e3, m.tasks_executed,
+      m.sched_rounds, m.max_ready_queue, result->exec_time_stddev * 1e3);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// IPC client for the CEDR daemon.
+//
+// usage:
+//   cedr_submit <socket> submit <shared-object> [app-name]
+//   cedr_submit <socket> status
+//   cedr_submit <socket> wait
+//   cedr_submit <socket> shutdown
+
+#include <cstdio>
+#include <string>
+
+#include "cedr/ipc/ipc.h"
+
+using namespace cedr;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <socket> submit <so-path> [name] | submitdag <json> "
+                 "| status | wait | shutdown\n",
+                 argv[0]);
+    return 2;
+  }
+  ipc::IpcClient client(argv[1]);
+  const std::string verb = argv[2];
+
+  if (verb == "submit") {
+    if (argc < 4) {
+      std::fprintf(stderr, "submit requires a shared-object path\n");
+      return 2;
+    }
+    auto id = client.submit(argv[3], argc > 4 ? argv[4] : "");
+    if (!id.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   id.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("submitted as instance %llu\n",
+                static_cast<unsigned long long>(*id));
+    return 0;
+  }
+  if (verb == "submitdag") {
+    if (argc < 4) {
+      std::fprintf(stderr, "submitdag requires a DAG JSON path\n");
+      return 2;
+    }
+    auto id = client.submit_dag(argv[3]);
+    if (!id.ok()) {
+      std::fprintf(stderr, "submitdag failed: %s\n",
+                   id.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("submitted DAG as instance %llu\n",
+                static_cast<unsigned long long>(*id));
+    return 0;
+  }
+  if (verb == "status") {
+    auto status = client.status();
+    if (!status.ok()) {
+      std::fprintf(stderr, "status failed: %s\n",
+                   status.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("submitted=%llu completed=%llu\n",
+                static_cast<unsigned long long>(status->first),
+                static_cast<unsigned long long>(status->second));
+    return 0;
+  }
+  if (verb == "wait") {
+    const Status s = client.wait_all();
+    if (!s.ok()) {
+      std::fprintf(stderr, "wait failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("all applications complete\n");
+    return 0;
+  }
+  if (verb == "shutdown") {
+    const Status s = client.shutdown();
+    if (!s.ok()) {
+      std::fprintf(stderr, "shutdown failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("daemon shutting down\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", verb.c_str());
+  return 2;
+}

@@ -1,0 +1,60 @@
+// Offline analysis of a serialized CEDR trace (paper §II-A: logs are
+// serialized at shutdown "for later offline analysis by the user").
+//
+// usage: cedr_trace_report <trace.json> [--gantt [WIDTH]]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cedr/trace/report.h"
+
+using namespace cedr;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [--gantt [WIDTH]]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  auto report = trace::summarize_file(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "cannot analyze %s: %s\n", path.c_str(),
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(trace::render_text(*report).c_str(), stdout);
+
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--gantt") {
+      std::size_t width = 100;
+      if (i + 1 < argc) {
+        const unsigned long parsed = std::strtoul(argv[i + 1], nullptr, 10);
+        if (parsed > 0) width = parsed;
+      }
+      // Re-load the raw records for the Gantt rendering.
+      auto doc = json::parse_file(path);
+      if (!doc.ok()) break;
+      trace::TraceLog log;
+      if (const json::Value* tasks = doc->find("tasks");
+          tasks != nullptr && tasks->is_array()) {
+        for (const json::Value& row : tasks->as_array()) {
+          log.add_task(trace::TaskRecord{
+              .app_instance_id = static_cast<std::uint64_t>(
+                  row.get_int("app_instance_id", 0)),
+              .app_name = row.get_string("app_name", ""),
+              .task_id = static_cast<std::uint64_t>(row.get_int("task_id", 0)),
+              .kernel_name = row.get_string("kernel", ""),
+              .pe_name = row.get_string("pe", "?"),
+              .enqueue_time = row.get_double("enqueue", 0.0),
+              .start_time = row.get_double("start", 0.0),
+              .end_time = row.get_double("end", 0.0),
+          });
+        }
+      }
+      std::printf("\ngantt (task placement over time)\n%s",
+                  trace::render_gantt(log, width).c_str());
+    }
+  }
+  return 0;
+}
