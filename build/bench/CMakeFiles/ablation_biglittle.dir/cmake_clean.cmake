@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_biglittle.dir/ablation_biglittle.cpp.o"
+  "CMakeFiles/ablation_biglittle.dir/ablation_biglittle.cpp.o.d"
+  "ablation_biglittle"
+  "ablation_biglittle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_biglittle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nonblocking.dir/ablation_nonblocking.cpp.o"
+  "CMakeFiles/ablation_nonblocking.dir/ablation_nonblocking.cpp.o.d"
+  "ablation_nonblocking"
+  "ablation_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

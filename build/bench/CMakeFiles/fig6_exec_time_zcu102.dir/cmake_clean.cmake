@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_exec_time_zcu102.dir/fig6_exec_time_zcu102.cpp.o"
+  "CMakeFiles/fig6_exec_time_zcu102.dir/fig6_exec_time_zcu102.cpp.o.d"
+  "fig6_exec_time_zcu102"
+  "fig6_exec_time_zcu102.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_exec_time_zcu102.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

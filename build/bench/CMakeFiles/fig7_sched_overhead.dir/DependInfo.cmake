@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_sched_overhead.cpp" "bench/CMakeFiles/fig7_sched_overhead.dir/fig7_sched_overhead.cpp.o" "gcc" "bench/CMakeFiles/fig7_sched_overhead.dir/fig7_sched_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipc/CMakeFiles/cedr_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cedr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cedr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cedr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/cedr_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cedr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cedr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/cedr_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cedr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cedr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cedr_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cedr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cedr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_exec_time_jetson.dir/fig8_exec_time_jetson.cpp.o"
+  "CMakeFiles/fig8_exec_time_jetson.dir/fig8_exec_time_jetson.cpp.o.d"
+  "fig8_exec_time_jetson"
+  "fig8_exec_time_jetson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_exec_time_jetson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

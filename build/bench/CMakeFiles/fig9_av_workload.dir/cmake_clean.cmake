@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_av_workload.dir/fig9_av_workload.cpp.o"
+  "CMakeFiles/fig9_av_workload.dir/fig9_av_workload.cpp.o.d"
+  "fig9_av_workload"
+  "fig9_av_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_av_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

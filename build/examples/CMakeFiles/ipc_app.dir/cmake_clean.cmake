@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_app.dir/ipc_app.cpp.o"
+  "CMakeFiles/ipc_app.dir/ipc_app.cpp.o.d"
+  "libipc_app.pdb"
+  "libipc_app.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lane_detection_demo.dir/lane_detection_demo.cpp.o"
+  "CMakeFiles/lane_detection_demo.dir/lane_detection_demo.cpp.o.d"
+  "lane_detection_demo"
+  "lane_detection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lane_detection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

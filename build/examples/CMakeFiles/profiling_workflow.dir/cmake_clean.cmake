@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_workflow.dir/profiling_workflow.cpp.o"
+  "CMakeFiles/profiling_workflow.dir/profiling_workflow.cpp.o.d"
+  "profiling_workflow"
+  "profiling_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_tx_pipeline.dir/wifi_tx_pipeline.cpp.o"
+  "CMakeFiles/wifi_tx_pipeline.dir/wifi_tx_pipeline.cpp.o.d"
+  "wifi_tx_pipeline"
+  "wifi_tx_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_tx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/cedr_rt.dir/cedr_rt_anchor.cpp.o: \
+ /root/repo/src/cedr_rt_anchor.cpp /usr/include/stdc-predef.h

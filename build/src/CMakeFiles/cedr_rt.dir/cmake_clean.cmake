@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_rt.dir/cedr_rt_anchor.cpp.o"
+  "CMakeFiles/cedr_rt.dir/cedr_rt_anchor.cpp.o.d"
+  "libcedr-rt.pdb"
+  "libcedr-rt.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_api.dir/api.cpp.o"
+  "CMakeFiles/cedr_api.dir/api.cpp.o.d"
+  "CMakeFiles/cedr_api.dir/impls.cpp.o"
+  "CMakeFiles/cedr_api.dir/impls.cpp.o.d"
+  "libcedr_api.a"
+  "libcedr_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_apps.dir/dag_apps.cpp.o"
+  "CMakeFiles/cedr_apps.dir/dag_apps.cpp.o.d"
+  "CMakeFiles/cedr_apps.dir/executable_dag.cpp.o"
+  "CMakeFiles/cedr_apps.dir/executable_dag.cpp.o.d"
+  "CMakeFiles/cedr_apps.dir/lane_detection.cpp.o"
+  "CMakeFiles/cedr_apps.dir/lane_detection.cpp.o.d"
+  "CMakeFiles/cedr_apps.dir/pulse_doppler.cpp.o"
+  "CMakeFiles/cedr_apps.dir/pulse_doppler.cpp.o.d"
+  "CMakeFiles/cedr_apps.dir/wifi_tx.cpp.o"
+  "CMakeFiles/cedr_apps.dir/wifi_tx.cpp.o.d"
+  "libcedr_apps.a"
+  "libcedr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_common.dir/log.cpp.o"
+  "CMakeFiles/cedr_common.dir/log.cpp.o.d"
+  "CMakeFiles/cedr_common.dir/rng.cpp.o"
+  "CMakeFiles/cedr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cedr_common.dir/status.cpp.o"
+  "CMakeFiles/cedr_common.dir/status.cpp.o.d"
+  "libcedr_common.a"
+  "libcedr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_ipc.dir/ipc.cpp.o"
+  "CMakeFiles/cedr_ipc.dir/ipc.cpp.o.d"
+  "libcedr_ipc.a"
+  "libcedr_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

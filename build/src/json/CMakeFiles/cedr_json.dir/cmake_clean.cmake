@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_json.dir/json.cpp.o"
+  "CMakeFiles/cedr_json.dir/json.cpp.o.d"
+  "libcedr_json.a"
+  "libcedr_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv.cpp" "src/kernels/CMakeFiles/cedr_kernels.dir/conv.cpp.o" "gcc" "src/kernels/CMakeFiles/cedr_kernels.dir/conv.cpp.o.d"
+  "/root/repo/src/kernels/fft.cpp" "src/kernels/CMakeFiles/cedr_kernels.dir/fft.cpp.o" "gcc" "src/kernels/CMakeFiles/cedr_kernels.dir/fft.cpp.o.d"
+  "/root/repo/src/kernels/image.cpp" "src/kernels/CMakeFiles/cedr_kernels.dir/image.cpp.o" "gcc" "src/kernels/CMakeFiles/cedr_kernels.dir/image.cpp.o.d"
+  "/root/repo/src/kernels/mmult.cpp" "src/kernels/CMakeFiles/cedr_kernels.dir/mmult.cpp.o" "gcc" "src/kernels/CMakeFiles/cedr_kernels.dir/mmult.cpp.o.d"
+  "/root/repo/src/kernels/radar.cpp" "src/kernels/CMakeFiles/cedr_kernels.dir/radar.cpp.o" "gcc" "src/kernels/CMakeFiles/cedr_kernels.dir/radar.cpp.o.d"
+  "/root/repo/src/kernels/wifi.cpp" "src/kernels/CMakeFiles/cedr_kernels.dir/wifi.cpp.o" "gcc" "src/kernels/CMakeFiles/cedr_kernels.dir/wifi.cpp.o.d"
+  "/root/repo/src/kernels/zip.cpp" "src/kernels/CMakeFiles/cedr_kernels.dir/zip.cpp.o" "gcc" "src/kernels/CMakeFiles/cedr_kernels.dir/zip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cedr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_kernels.dir/conv.cpp.o"
+  "CMakeFiles/cedr_kernels.dir/conv.cpp.o.d"
+  "CMakeFiles/cedr_kernels.dir/fft.cpp.o"
+  "CMakeFiles/cedr_kernels.dir/fft.cpp.o.d"
+  "CMakeFiles/cedr_kernels.dir/image.cpp.o"
+  "CMakeFiles/cedr_kernels.dir/image.cpp.o.d"
+  "CMakeFiles/cedr_kernels.dir/mmult.cpp.o"
+  "CMakeFiles/cedr_kernels.dir/mmult.cpp.o.d"
+  "CMakeFiles/cedr_kernels.dir/radar.cpp.o"
+  "CMakeFiles/cedr_kernels.dir/radar.cpp.o.d"
+  "CMakeFiles/cedr_kernels.dir/wifi.cpp.o"
+  "CMakeFiles/cedr_kernels.dir/wifi.cpp.o.d"
+  "CMakeFiles/cedr_kernels.dir/zip.cpp.o"
+  "CMakeFiles/cedr_kernels.dir/zip.cpp.o.d"
+  "libcedr_kernels.a"
+  "libcedr_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

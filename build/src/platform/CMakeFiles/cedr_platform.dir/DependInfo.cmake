@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cost_model.cpp" "src/platform/CMakeFiles/cedr_platform.dir/cost_model.cpp.o" "gcc" "src/platform/CMakeFiles/cedr_platform.dir/cost_model.cpp.o.d"
+  "/root/repo/src/platform/kernel_id.cpp" "src/platform/CMakeFiles/cedr_platform.dir/kernel_id.cpp.o" "gcc" "src/platform/CMakeFiles/cedr_platform.dir/kernel_id.cpp.o.d"
+  "/root/repo/src/platform/mmio_bus.cpp" "src/platform/CMakeFiles/cedr_platform.dir/mmio_bus.cpp.o" "gcc" "src/platform/CMakeFiles/cedr_platform.dir/mmio_bus.cpp.o.d"
+  "/root/repo/src/platform/mmio_device.cpp" "src/platform/CMakeFiles/cedr_platform.dir/mmio_device.cpp.o" "gcc" "src/platform/CMakeFiles/cedr_platform.dir/mmio_device.cpp.o.d"
+  "/root/repo/src/platform/pe.cpp" "src/platform/CMakeFiles/cedr_platform.dir/pe.cpp.o" "gcc" "src/platform/CMakeFiles/cedr_platform.dir/pe.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "src/platform/CMakeFiles/cedr_platform.dir/platform.cpp.o" "gcc" "src/platform/CMakeFiles/cedr_platform.dir/platform.cpp.o.d"
+  "/root/repo/src/platform/profiling.cpp" "src/platform/CMakeFiles/cedr_platform.dir/profiling.cpp.o" "gcc" "src/platform/CMakeFiles/cedr_platform.dir/profiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cedr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cedr_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cedr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cedr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

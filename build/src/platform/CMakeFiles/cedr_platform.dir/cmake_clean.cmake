@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_platform.dir/cost_model.cpp.o"
+  "CMakeFiles/cedr_platform.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cedr_platform.dir/kernel_id.cpp.o"
+  "CMakeFiles/cedr_platform.dir/kernel_id.cpp.o.d"
+  "CMakeFiles/cedr_platform.dir/mmio_bus.cpp.o"
+  "CMakeFiles/cedr_platform.dir/mmio_bus.cpp.o.d"
+  "CMakeFiles/cedr_platform.dir/mmio_device.cpp.o"
+  "CMakeFiles/cedr_platform.dir/mmio_device.cpp.o.d"
+  "CMakeFiles/cedr_platform.dir/pe.cpp.o"
+  "CMakeFiles/cedr_platform.dir/pe.cpp.o.d"
+  "CMakeFiles/cedr_platform.dir/platform.cpp.o"
+  "CMakeFiles/cedr_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/cedr_platform.dir/profiling.cpp.o"
+  "CMakeFiles/cedr_platform.dir/profiling.cpp.o.d"
+  "libcedr_platform.a"
+  "libcedr_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcedr_platform.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/cedr_runtime.dir/runtime.cpp.o.d"
+  "libcedr_runtime.a"
+  "libcedr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

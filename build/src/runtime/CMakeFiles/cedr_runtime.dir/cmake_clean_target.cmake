@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcedr_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_sched.dir/heuristics.cpp.o"
+  "CMakeFiles/cedr_sched.dir/heuristics.cpp.o.d"
+  "CMakeFiles/cedr_sched.dir/rank.cpp.o"
+  "CMakeFiles/cedr_sched.dir/rank.cpp.o.d"
+  "libcedr_sched.a"
+  "libcedr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_sim.dir/model.cpp.o"
+  "CMakeFiles/cedr_sim.dir/model.cpp.o.d"
+  "CMakeFiles/cedr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cedr_sim.dir/simulator.cpp.o.d"
+  "libcedr_sim.a"
+  "libcedr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/dag_loader.cpp" "src/task/CMakeFiles/cedr_task.dir/dag_loader.cpp.o" "gcc" "src/task/CMakeFiles/cedr_task.dir/dag_loader.cpp.o.d"
+  "/root/repo/src/task/task.cpp" "src/task/CMakeFiles/cedr_task.dir/task.cpp.o" "gcc" "src/task/CMakeFiles/cedr_task.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cedr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cedr_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cedr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cedr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cedr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

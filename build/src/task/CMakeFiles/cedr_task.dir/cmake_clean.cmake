@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_task.dir/dag_loader.cpp.o"
+  "CMakeFiles/cedr_task.dir/dag_loader.cpp.o.d"
+  "CMakeFiles/cedr_task.dir/task.cpp.o"
+  "CMakeFiles/cedr_task.dir/task.cpp.o.d"
+  "libcedr_task.a"
+  "libcedr_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

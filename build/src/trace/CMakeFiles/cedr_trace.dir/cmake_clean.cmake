@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_trace.dir/report.cpp.o"
+  "CMakeFiles/cedr_trace.dir/report.cpp.o.d"
+  "CMakeFiles/cedr_trace.dir/trace.cpp.o"
+  "CMakeFiles/cedr_trace.dir/trace.cpp.o.d"
+  "libcedr_trace.a"
+  "libcedr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

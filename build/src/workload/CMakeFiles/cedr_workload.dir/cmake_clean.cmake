@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_workload.dir/workload.cpp.o"
+  "CMakeFiles/cedr_workload.dir/workload.cpp.o.d"
+  "libcedr_workload.a"
+  "libcedr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executable_dag.dir/test_executable_dag.cpp.o"
+  "CMakeFiles/test_executable_dag.dir/test_executable_dag.cpp.o.d"
+  "test_executable_dag"
+  "test_executable_dag.pdb"
+  "test_executable_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executable_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

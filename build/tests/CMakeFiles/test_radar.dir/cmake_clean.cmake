@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radar.dir/test_radar.cpp.o"
+  "CMakeFiles/test_radar.dir/test_radar.cpp.o.d"
+  "test_radar"
+  "test_radar.pdb"
+  "test_radar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

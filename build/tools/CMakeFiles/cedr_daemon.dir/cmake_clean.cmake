@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_daemon.dir/cedr_daemon.cpp.o"
+  "CMakeFiles/cedr_daemon.dir/cedr_daemon.cpp.o.d"
+  "cedr_daemon"
+  "cedr_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_sim_cli.dir/cedr_sim.cpp.o"
+  "CMakeFiles/cedr_sim_cli.dir/cedr_sim.cpp.o.d"
+  "cedr_sim"
+  "cedr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

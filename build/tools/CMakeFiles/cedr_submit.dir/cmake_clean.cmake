@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_submit.dir/cedr_submit.cpp.o"
+  "CMakeFiles/cedr_submit.dir/cedr_submit.cpp.o.d"
+  "cedr_submit"
+  "cedr_submit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_submit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedr_trace_report.dir/cedr_trace_report.cpp.o"
+  "CMakeFiles/cedr_trace_report.dir/cedr_trace_report.cpp.o.d"
+  "cedr_trace_report"
+  "cedr_trace_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedr_trace_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
