@@ -1,0 +1,153 @@
+#pragma once
+// Deterministic fault injection for the emulated PE pool.
+//
+// CEDR's worker-thread model dispatches every task onto a heterogeneous PE
+// pool; on real silicon those PEs misbehave — FPGA IP cores wedge behind
+// their AXI DMA, driverless MMIO polls spin forever, thermal throttling
+// stretches service times. This module reproduces those failure modes in
+// software so the runtime's fault-tolerance machinery (bounded retry with
+// exponential backoff, PE quarantine with probe-based reinstatement, CPU
+// fallback for quarantined accelerators) can be exercised and tested
+// deterministically.
+//
+// A FaultPlan is a seeded description of *what goes wrong where*: a default
+// per-task fault spec, per-PE overrides keyed by PE name, and scripted
+// fail-at-task-N events. A FaultInjector instantiates the plan against a
+// concrete PE list and hands out one FaultDecision per task execution. Every
+// PE gets its own splitmix-derived PRNG stream, so the decision sequence of
+// a PE depends only on (plan seed, PE name, per-PE task ordinal) — never on
+// thread interleaving across PEs — and identical seeds reproduce identical
+// fault sequences bit-for-bit (the repo-wide 25-seeded-trials discipline).
+//
+// The FaultPolicy half describes *how the runtime responds*: retry bound,
+// backoff curve, quarantine threshold and probe cadence. It lives in the
+// same JSON document (`--fault-plan plan.json`) so one file configures an
+// entire resilience experiment. See docs/fault_injection.md for the schema.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cedr/common/rng.h"
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/platform/pe.h"
+
+namespace cedr::platform {
+
+/// What happens to one task execution.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,        ///< execute normally
+  kTransientFail,   ///< the execution errors out (flaky accelerator)
+  kLatencySpike,    ///< the execution succeeds but takes extra wall time
+  kDeviceHang,      ///< the PE's MMIO device wedges until its watchdog fires
+};
+
+/// Stable string name ("none", "fail", "latency", "hang").
+std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+/// Per-task fault probabilities and magnitudes for one PE (or the default).
+/// Probabilities are evaluated in order fail -> hang -> latency with
+/// independent draws, so at most one fault fires per task.
+struct FaultSpec {
+  double fail_prob = 0.0;     ///< P(transient execution failure)
+  double hang_prob = 0.0;     ///< P(device hang / unresponsive PE)
+  double latency_prob = 0.0;  ///< P(latency spike)
+  double latency_spike_s = 1e-3;  ///< extra service time of a spike
+  double hang_s = 10e-3;      ///< CPU-PE hang dwell (devices use a watchdog)
+
+  [[nodiscard]] bool quiet() const noexcept {
+    return fail_prob <= 0.0 && hang_prob <= 0.0 && latency_prob <= 0.0;
+  }
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<FaultSpec> from_json(const json::Value& value);
+};
+
+/// One scripted event: the `task_index`-th task executed on PE `pe` (0-based
+/// per-PE ordinal) suffers `kind`. Scripted events override the
+/// probabilistic draw for that ordinal, enabling exact regression tests
+/// ("fail task #7 on fft0, then recover").
+struct ScriptedFault {
+  std::string pe;
+  std::uint64_t task_index = 0;
+  FaultKind kind = FaultKind::kTransientFail;
+};
+
+/// How the runtime responds to faults (injected or genuine).
+struct FaultPolicy {
+  /// Maximum re-executions of one task after its first failure. 0 restores
+  /// the old fail-fast behavior.
+  std::uint32_t max_retries = 3;
+  /// Exponential backoff before re-enqueueing: base * factor^(attempt-1).
+  double backoff_base_s = 250e-6;
+  double backoff_factor = 2.0;
+  /// Consecutive faults on one PE before it is quarantined (0 = never).
+  std::uint32_t quarantine_threshold = 3;
+  /// How long a quarantined PE sits out before one probe task is allowed.
+  double probe_period_s = 20e-3;
+  /// Per-task deadline: executions slower than this are counted as deadline
+  /// misses, and CPU-PE hang dwells are clipped to it.
+  double task_timeout_s = 1.0;
+
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<FaultPolicy> from_json(const json::Value& value);
+};
+
+/// A complete, seeded fault-injection scenario plus the response policy.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedfa;
+  FaultSpec defaults;                        ///< applies to every PE
+  std::map<std::string, FaultSpec> per_pe;   ///< overrides keyed by PE name
+  std::vector<ScriptedFault> scripted;
+  FaultPolicy policy;
+
+  /// True when the plan injects nothing (policy may still govern genuine
+  /// failures — an empty plan does not disable retry/quarantine).
+  [[nodiscard]] bool empty() const noexcept;
+  /// The spec governing `pe_name` (override or defaults).
+  [[nodiscard]] const FaultSpec& spec_for(std::string_view pe_name) const;
+  [[nodiscard]] Status validate() const;
+
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<FaultPlan> from_json(const json::Value& value);
+  static StatusOr<FaultPlan> load(const std::string& path);
+};
+
+/// The decision for one task execution.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  double duration_s = 0.0;  ///< spike/hang magnitude; 0 for none/fail
+};
+
+/// Instantiates a FaultPlan against a concrete PE list and deals decisions.
+///
+/// Thread safety: each PE's stream is independent state; next(pe_index) for
+/// a given index must be called from one thread at a time (in the runtime,
+/// each PE is owned by exactly one worker thread), but different PE indices
+/// may be driven concurrently without synchronization.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::span<const PeDescriptor> pes);
+
+  /// Decision for the next task executed on `pe_index`. Advances that PE's
+  /// stream deterministically.
+  FaultDecision next(std::size_t pe_index);
+
+  /// Tasks decided so far on `pe_index` (the per-PE ordinal).
+  [[nodiscard]] std::uint64_t decided(std::size_t pe_index) const noexcept;
+
+ private:
+  struct PeStream {
+    FaultSpec spec;
+    Rng rng;
+    std::uint64_t ordinal = 0;
+    /// Scripted overrides for this PE, keyed by per-PE task ordinal.
+    std::map<std::uint64_t, FaultKind> scripted;
+  };
+  std::vector<PeStream> streams_;
+};
+
+}  // namespace cedr::platform

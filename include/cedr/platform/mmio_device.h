@@ -74,6 +74,17 @@ class MmioDevice {
   /// Emulated polls-until-done for a freshly started op of size n.
   [[nodiscard]] virtual std::uint32_t latency_polls(std::uint32_t n) const noexcept;
 
+  /// Fault injection: wedges the device. The next started operation stays
+  /// kStatusBusy for `watchdog_polls` status reads, then the emulated AXI
+  /// watchdog fires and the status register reads kStatusError — exactly
+  /// how a hung IP core surfaces to the polling worker on hardware.
+  void inject_hang(std::uint32_t watchdog_polls = 4096);
+
+  /// Clears any wedged/errored state back to kStatusIdle (the worker-side
+  /// recovery step after a failed operation, standing in for an IP reset
+  /// through the control register).
+  void reset();
+
  protected:
   /// Runs the actual computation; called once when kCmdStart is written.
   /// Reads operands_a/b_, writes result_. Returns an error to surface
@@ -92,6 +103,8 @@ class MmioDevice {
   std::mutex mutex_;
   std::uint32_t status_ = kStatusIdle;
   std::uint32_t polls_remaining_ = 0;
+  bool hang_armed_ = false;
+  std::uint32_t hang_polls_remaining_ = 0;
 };
 
 /// FFT/IFFT device (Xilinx FFT IP analogue). Operand A holds cfloat[size];

@@ -27,6 +27,7 @@
 #include "cedr/common/queue.h"
 #include "cedr/json/json.h"
 #include "cedr/common/status.h"
+#include "cedr/platform/fault.h"
 #include "cedr/platform/platform.h"
 #include "cedr/runtime/completion.h"
 #include "cedr/sched/scheduler.h"
@@ -57,12 +58,26 @@ struct RuntimeConfig {
   double scheduler_period_s = 200e-6;
   /// Enables the PAPI-substitute event counters.
   bool enable_counters = true;
+  /// Fault-injection scenario plus the fault-tolerance response policy
+  /// (retry bound, backoff, quarantine). An empty plan injects nothing but
+  /// the policy still governs genuine task failures.
+  platform::FaultPlan fault_plan;
 
   /// Serialization to/from the JSON runtime-configuration file the paper's
   /// daemon consumes ("Runtime Configuration" input of Fig. 1).
   [[nodiscard]] json::Value to_json() const;
   static StatusOr<RuntimeConfig> from_json(const json::Value& value);
   static StatusOr<RuntimeConfig> load(const std::string& path);
+};
+
+/// Snapshot of one PE's fault-tolerance state (see Runtime::pe_health).
+struct PeHealth {
+  std::string pe_name;
+  platform::PeClass cls = platform::PeClass::kCpu;
+  bool quarantined = false;
+  std::uint32_t consecutive_faults = 0;  ///< since the last success
+  std::uint64_t faults_seen = 0;         ///< lifetime failed executions
+  std::uint64_t quarantines = 0;         ///< times this PE was quarantined
 };
 
 /// One API-mode kernel invocation to be scheduled.
@@ -123,6 +138,9 @@ class Runtime {
   }
   [[nodiscard]] trace::CounterSet& counters() noexcept { return counters_; }
 
+  /// Current fault-tolerance state of every PE, in platform order.
+  [[nodiscard]] std::vector<PeHealth> pe_health() const;
+
   /// Wall-clock seconds the runtime spent receiving, managing and
   /// terminating applications, *excluding* heuristic decision time — the
   /// paper's "runtime overhead" metric (§IV-A).
@@ -149,6 +167,9 @@ class Runtime {
   std::unique_ptr<sched::Scheduler> scheduler_;
   trace::TraceLog trace_;
   trace::CounterSet counters_;
+  /// Non-null when the fault plan injects anything. Per-PE streams are only
+  /// touched from the owning worker thread, so no extra locking is needed.
+  std::unique_ptr<platform::FaultInjector> fault_injector_;
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

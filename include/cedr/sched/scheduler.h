@@ -50,6 +50,10 @@ struct PeState {
   double available_time = 0.0;  ///< earliest time the PE can start new work
   /// Throughput relative to the class cost table (PeDescriptor::speed_factor).
   double speed = 1.0;
+  /// Fault-tolerance: the PE is quarantined after repeated faults and must
+  /// receive no assignments this round. Every heuristic excludes it from
+  /// its candidate set (the runtime re-admits the PE for probe rounds).
+  bool quarantined = false;
 };
 
 /// One task->PE decision. queue_index indexes the `ready` span passed to

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cedr/common/status.h"
+#include "cedr/platform/fault.h"
 #include "cedr/platform/platform.h"
 #include "cedr/sim/model.h"
 
@@ -118,6 +119,12 @@ struct SimMetrics {
   double runtime_overhead = 0.0;       ///< total main-thread mgmt time
   double runtime_overhead_per_app = 0.0;
   std::vector<double> pe_busy;         ///< busy work per PE (CPU-seconds)
+  // Fault-tolerance metrics (all zero when SimConfig::faults is empty).
+  std::size_t faults_injected = 0;
+  std::size_t tasks_retried = 0;       ///< retry dispatches after a fault
+  std::size_t pes_quarantined = 0;     ///< quarantine transitions
+  std::size_t pes_reinstated = 0;      ///< probe-driven reinstatements
+  std::size_t tasks_lost = 0;          ///< retries exhausted (terminal)
 };
 
 /// Emulator configuration.
@@ -126,6 +133,9 @@ struct SimConfig {
   std::string scheduler = "EFT";
   ProgrammingModel model = ProgrammingModel::kApiBased;
   SimCosts costs;
+  /// Fault-injection scenario + response policy, evaluated on the virtual
+  /// clock with the same deterministic per-PE streams as the runtime.
+  platform::FaultPlan faults;
   /// Safety valve: abort the run if the virtual clock passes this horizon.
   double max_virtual_time_s = 3600.0;
 };

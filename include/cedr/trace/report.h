@@ -45,6 +45,17 @@ struct Report {
   /// Task queue-delay statistics (start - enqueue), seconds.
   double queue_delay_mean = 0.0;
   double queue_delay_max = 0.0;
+  /// Fault-tolerance view (populated when the trace carries fault data).
+  std::size_t failed_attempts = 0;   ///< task executions with ok == false
+  std::size_t retried_attempts = 0;  ///< task executions with attempt > 0
+  /// Tasks whose attempts never produced ok == true (terminal failures,
+  /// as opposed to failed_attempts which counts recovered retries too).
+  std::size_t failed_tasks = 0;
+  std::uint64_t retry_latency_count = 0;  ///< recovered tasks in the histogram
+  double retry_latency_mean = 0.0;        ///< mean first-enqueue-to-success
+  /// Runtime counter snapshot merged into the trace document by the daemon
+  /// ("faults_injected", "tasks_retried", "pes_quarantined", ...).
+  std::map<std::string, std::uint64_t> counters;
 };
 
 /// Builds a report from an in-memory log.

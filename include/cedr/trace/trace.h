@@ -34,6 +34,8 @@ struct TaskRecord {
   double enqueue_time = 0.0;  ///< seconds, runtime epoch
   double start_time = 0.0;
   double end_time = 0.0;
+  std::uint32_t attempt = 0;  ///< 0 = first execution, 1+ = retries
+  bool ok = true;             ///< false when this attempt faulted/failed
 
   [[nodiscard]] double queue_delay() const noexcept {
     return start_time - enqueue_time;
@@ -64,17 +66,49 @@ struct SchedRecord {
   double decision_time = 0.0;  ///< seconds spent inside the heuristic
 };
 
+/// Fixed-bucket latency histogram (log2 buckets). Used for the
+/// fault-tolerance layer's retry-latency distribution: the time from a
+/// task's first enqueue to its eventual successful completion, counted only
+/// for tasks that needed at least one retry.
+class LatencyHistogram {
+ public:
+  /// Bucket i covers [2^i, 2^(i+1)) microseconds; bucket 0 also catches
+  /// sub-microsecond samples, the last bucket catches everything above.
+  static constexpr std::size_t kBuckets = 24;
+
+  void record(double seconds);
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double total_seconds() const noexcept;
+  [[nodiscard]] double mean_seconds() const noexcept;
+  /// Snapshot of the bucket counts, index 0 first.
+  [[nodiscard]] std::vector<std::uint64_t> buckets() const;
+  /// {"count": N, "total_s": T, "buckets_us_log2": [...]}.
+  [[nodiscard]] json::Value to_json() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  double total_seconds_ = 0.0;
+};
+
 /// Thread-safe append-only collection of runtime events.
 class TraceLog {
  public:
   void add_task(TaskRecord record);
   void add_app(AppRecord record);
   void add_sched(SchedRecord record);
+  /// Records one recovered task's first-enqueue-to-success latency.
+  void add_retry_latency(double seconds);
 
   /// Snapshot copies (the runtime keeps appending concurrently).
   [[nodiscard]] std::vector<TaskRecord> tasks() const;
   [[nodiscard]] std::vector<AppRecord> apps() const;
   [[nodiscard]] std::vector<SchedRecord> sched_rounds() const;
+  [[nodiscard]] const LatencyHistogram& retry_latency() const noexcept {
+    return retry_latency_;
+  }
 
   /// Mean execution time per application, in seconds (0 if no apps).
   [[nodiscard]] double avg_app_execution_time() const;
@@ -96,6 +130,7 @@ class TraceLog {
   std::vector<TaskRecord> tasks_;
   std::vector<AppRecord> apps_;
   std::vector<SchedRecord> sched_;
+  LatencyHistogram retry_latency_;
 };
 
 /// Named monotonic counters (the PAPI stand-in). Counter creation is

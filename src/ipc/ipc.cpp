@@ -96,10 +96,13 @@ void IpcServer::stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
+  // shutdown()/close() only read the fd value; the accept thread may still
+  // be blocked in accept(listen_fd_), so the fd variable itself must not be
+  // written until that thread has been joined.
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
   ::unlink(socket_path_.c_str());
 }
 
@@ -197,7 +200,12 @@ std::string IpcServer::handle_command(const std::string& line) {
     // "...it serializes all the logs it has collected relating to task
     // execution ... for later offline analysis" (paper §II-A).
     if (!trace_path_.empty()) {
-      const Status status = runtime_.trace_log().write_json(trace_path_);
+      // Performance counters (faults_injected, tasks_retried,
+      // pes_quarantined, ...) ride along in the same document so the
+      // offline report sees the fault-tolerance story too.
+      json::Value doc = runtime_.trace_log().to_json();
+      doc.as_object().emplace("counters", runtime_.counters().to_json());
+      const Status status = json::write_file(trace_path_, doc);
       if (!status.ok()) {
         CEDR_LOG(kWarn, kLogTag) << "trace serialization failed: "
                                  << status.to_string();

@@ -1,0 +1,317 @@
+#include "cedr/platform/fault.h"
+
+#include <cmath>
+
+namespace cedr::platform {
+
+namespace {
+
+/// splitmix64 step; used to derive independent per-PE seeds from the plan
+/// seed and the PE name so streams never depend on PE ordering.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) noexcept {
+  // FNV-1a, folded through splitmix for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
+Status check_prob(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return InvalidArgument(std::string(what) + " must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+StatusOr<FaultKind> fault_kind_from_name(std::string_view name) {
+  if (name == "none") return FaultKind::kNone;
+  if (name == "fail") return FaultKind::kTransientFail;
+  if (name == "latency") return FaultKind::kLatencySpike;
+  if (name == "hang") return FaultKind::kDeviceHang;
+  return InvalidArgument("unknown fault kind: " + std::string(name));
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransientFail: return "fail";
+    case FaultKind::kLatencySpike: return "latency";
+    case FaultKind::kDeviceHang: return "hang";
+  }
+  return "none";
+}
+
+// ---------------------------------------------------------------------------
+// FaultSpec
+// ---------------------------------------------------------------------------
+
+json::Value FaultSpec::to_json() const {
+  return json::Object{
+      {"fail_prob", json::Value(fail_prob)},
+      {"hang_prob", json::Value(hang_prob)},
+      {"latency_prob", json::Value(latency_prob)},
+      {"latency_spike_s", json::Value(latency_spike_s)},
+      {"hang_s", json::Value(hang_s)},
+  };
+}
+
+StatusOr<FaultSpec> FaultSpec::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return InvalidArgument("fault spec must be a JSON object");
+  }
+  FaultSpec spec;
+  spec.fail_prob = value.get_double("fail_prob", 0.0);
+  spec.hang_prob = value.get_double("hang_prob", 0.0);
+  spec.latency_prob = value.get_double("latency_prob", 0.0);
+  spec.latency_spike_s = value.get_double("latency_spike_s", 1e-3);
+  spec.hang_s = value.get_double("hang_s", 10e-3);
+  CEDR_RETURN_IF_ERROR(check_prob(spec.fail_prob, "fail_prob"));
+  CEDR_RETURN_IF_ERROR(check_prob(spec.hang_prob, "hang_prob"));
+  CEDR_RETURN_IF_ERROR(check_prob(spec.latency_prob, "latency_prob"));
+  if (spec.latency_spike_s < 0.0 || spec.hang_s < 0.0) {
+    return InvalidArgument("fault durations must be non-negative");
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPolicy
+// ---------------------------------------------------------------------------
+
+json::Value FaultPolicy::to_json() const {
+  return json::Object{
+      {"max_retries", json::Value(static_cast<std::int64_t>(max_retries))},
+      {"backoff_base_s", json::Value(backoff_base_s)},
+      {"backoff_factor", json::Value(backoff_factor)},
+      {"quarantine_threshold",
+       json::Value(static_cast<std::int64_t>(quarantine_threshold))},
+      {"probe_period_s", json::Value(probe_period_s)},
+      {"task_timeout_s", json::Value(task_timeout_s)},
+  };
+}
+
+StatusOr<FaultPolicy> FaultPolicy::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return InvalidArgument("fault policy must be a JSON object");
+  }
+  FaultPolicy policy;
+  const std::int64_t retries = value.get_int("max_retries", 3);
+  const std::int64_t threshold = value.get_int("quarantine_threshold", 3);
+  if (retries < 0 || threshold < 0) {
+    return InvalidArgument("retry/quarantine bounds must be non-negative");
+  }
+  policy.max_retries = static_cast<std::uint32_t>(retries);
+  policy.quarantine_threshold = static_cast<std::uint32_t>(threshold);
+  policy.backoff_base_s = value.get_double("backoff_base_s", 250e-6);
+  policy.backoff_factor = value.get_double("backoff_factor", 2.0);
+  policy.probe_period_s = value.get_double("probe_period_s", 20e-3);
+  policy.task_timeout_s = value.get_double("task_timeout_s", 1.0);
+  if (policy.backoff_base_s < 0.0 || policy.backoff_factor < 1.0 ||
+      policy.probe_period_s <= 0.0 || policy.task_timeout_s <= 0.0) {
+    return InvalidArgument("fault policy timings out of range");
+  }
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+bool FaultPlan::empty() const noexcept {
+  if (!defaults.quiet() || !scripted.empty()) return false;
+  for (const auto& [name, spec] : per_pe) {
+    if (!spec.quiet()) return false;
+  }
+  return true;
+}
+
+const FaultSpec& FaultPlan::spec_for(std::string_view pe_name) const {
+  const auto it = per_pe.find(std::string(pe_name));
+  return it == per_pe.end() ? defaults : it->second;
+}
+
+namespace {
+
+Status validate_spec(const FaultSpec& spec, const std::string& who) {
+  const auto bad_prob = [](double p) { return !(p >= 0.0 && p <= 1.0); };
+  if (bad_prob(spec.fail_prob) || bad_prob(spec.hang_prob) ||
+      bad_prob(spec.latency_prob)) {
+    return InvalidArgument("fault probabilities of " + who +
+                           " must lie in [0, 1]");
+  }
+  if (spec.latency_spike_s < 0.0 || spec.hang_s < 0.0) {
+    return InvalidArgument("fault durations of " + who +
+                           " must be non-negative");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FaultPlan::validate() const {
+  CEDR_RETURN_IF_ERROR(validate_spec(defaults, "the default spec"));
+  for (const auto& [name, spec] : per_pe) {
+    CEDR_RETURN_IF_ERROR(validate_spec(spec, "PE '" + name + "'"));
+  }
+  for (const ScriptedFault& event : scripted) {
+    if (event.pe.empty()) {
+      return InvalidArgument("scripted fault with empty PE name");
+    }
+  }
+  if (policy.backoff_base_s < 0.0 || policy.backoff_factor <= 0.0) {
+    return InvalidArgument(
+        "retry backoff needs base >= 0 and factor > 0");
+  }
+  if (policy.probe_period_s <= 0.0 || policy.task_timeout_s <= 0.0) {
+    return InvalidArgument(
+        "probe period and task timeout must be positive");
+  }
+  return Status::Ok();
+}
+
+json::Value FaultPlan::to_json() const {
+  json::Object per_pe_obj;
+  for (const auto& [name, spec] : per_pe) {
+    per_pe_obj.emplace(name, spec.to_json());
+  }
+  json::Array scripted_rows;
+  scripted_rows.reserve(scripted.size());
+  for (const ScriptedFault& event : scripted) {
+    scripted_rows.push_back(json::Object{
+        {"pe", json::Value(event.pe)},
+        {"task_index", json::Value(event.task_index)},
+        {"kind", json::Value(fault_kind_name(event.kind))},
+    });
+  }
+  return json::Object{
+      {"seed", json::Value(seed)},
+      {"default", defaults.to_json()},
+      {"pes", json::Value(std::move(per_pe_obj))},
+      {"scripted", json::Value(std::move(scripted_rows))},
+      {"policy", policy.to_json()},
+  };
+}
+
+StatusOr<FaultPlan> FaultPlan::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return InvalidArgument("fault plan must be a JSON object");
+  }
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(value.get_int("seed", 0x5eedfa));
+  if (const json::Value* defaults = value.find("default")) {
+    auto parsed = FaultSpec::from_json(*defaults);
+    if (!parsed.ok()) return parsed.status();
+    plan.defaults = *parsed;
+  }
+  if (const json::Value* pes = value.find("pes")) {
+    if (!pes->is_object()) {
+      return InvalidArgument("fault plan 'pes' must be an object");
+    }
+    for (const auto& [name, spec_doc] : pes->as_object()) {
+      auto parsed = FaultSpec::from_json(spec_doc);
+      if (!parsed.ok()) return parsed.status();
+      plan.per_pe.emplace(name, *parsed);
+    }
+  }
+  if (const json::Value* scripted = value.find("scripted")) {
+    if (!scripted->is_array()) {
+      return InvalidArgument("fault plan 'scripted' must be an array");
+    }
+    for (const json::Value& row : scripted->as_array()) {
+      if (!row.is_object()) {
+        return InvalidArgument("scripted fault must be an object");
+      }
+      auto kind = fault_kind_from_name(row.get_string("kind", "fail"));
+      if (!kind.ok()) return kind.status();
+      plan.scripted.push_back(ScriptedFault{
+          .pe = row.get_string("pe", ""),
+          .task_index = static_cast<std::uint64_t>(row.get_int("task_index", 0)),
+          .kind = *kind,
+      });
+    }
+  }
+  if (const json::Value* policy = value.find("policy")) {
+    auto parsed = FaultPolicy::from_json(*policy);
+    if (!parsed.ok()) return parsed.status();
+    plan.policy = *parsed;
+  }
+  CEDR_RETURN_IF_ERROR(plan.validate());
+  return plan;
+}
+
+StatusOr<FaultPlan> FaultPlan::load(const std::string& path) {
+  auto doc = json::parse_file(path);
+  if (!doc.ok()) return doc.status();
+  return from_json(*doc);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             std::span<const PeDescriptor> pes) {
+  streams_.reserve(pes.size());
+  for (const PeDescriptor& pe : pes) {
+    PeStream stream;
+    stream.spec = plan.spec_for(pe.name);
+    // Seed from (plan seed, PE name): the stream survives PE reordering and
+    // never couples to other PEs' draw counts.
+    stream.rng.reseed(mix64(plan.seed ^ hash_name(pe.name)));
+    for (const ScriptedFault& event : plan.scripted) {
+      if (event.pe == pe.name) {
+        stream.scripted[event.task_index] = event.kind;
+      }
+    }
+    streams_.push_back(std::move(stream));
+  }
+}
+
+FaultDecision FaultInjector::next(std::size_t pe_index) {
+  if (pe_index >= streams_.size()) return {};
+  PeStream& stream = streams_[pe_index];
+  const std::uint64_t ordinal = stream.ordinal++;
+  // Burn the probabilistic draws unconditionally so scripted events do not
+  // shift the rest of the sequence (ordinal k always consumes 3 draws).
+  const double u_fail = stream.rng.next_double();
+  const double u_hang = stream.rng.next_double();
+  const double u_latency = stream.rng.next_double();
+
+  FaultKind kind = FaultKind::kNone;
+  if (const auto it = stream.scripted.find(ordinal);
+      it != stream.scripted.end()) {
+    kind = it->second;
+  } else if (u_fail < stream.spec.fail_prob) {
+    kind = FaultKind::kTransientFail;
+  } else if (u_hang < stream.spec.hang_prob) {
+    kind = FaultKind::kDeviceHang;
+  } else if (u_latency < stream.spec.latency_prob) {
+    kind = FaultKind::kLatencySpike;
+  }
+
+  FaultDecision decision;
+  decision.kind = kind;
+  if (kind == FaultKind::kLatencySpike) {
+    decision.duration_s = stream.spec.latency_spike_s;
+  } else if (kind == FaultKind::kDeviceHang) {
+    decision.duration_s = stream.spec.hang_s;
+  }
+  return decision;
+}
+
+std::uint64_t FaultInjector::decided(std::size_t pe_index) const noexcept {
+  return pe_index < streams_.size() ? streams_[pe_index].ordinal : 0;
+}
+
+}  // namespace cedr::platform

@@ -62,6 +62,14 @@ Status MmioDevice::write_reg(DeviceReg reg, std::uint32_t value) {
       if (value != kCmdStart) {
         return InvalidArgument("unsupported control command");
       }
+      if (hang_armed_) {
+        // Injected hang: the IP core wedges instead of computing. The
+        // status register stays busy until the emulated watchdog fires.
+        hang_armed_ = false;
+        status_ = kStatusBusy;
+        polls_remaining_ = 0;
+        return Status::Ok();
+      }
       // The IP core "runs" now; completion is revealed after latency_polls
       // status reads, emulating the busy window a real worker polls through.
       const Status result = execute();
@@ -80,8 +88,13 @@ std::uint32_t MmioDevice::read_reg(DeviceReg reg) {
   switch (reg) {
     case DeviceReg::kStatus:
       if (status_ == kStatusBusy) {
-        if (polls_remaining_ > 0) --polls_remaining_;
-        if (polls_remaining_ == 0) status_ = kStatusDone;
+        if (hang_polls_remaining_ > 0) {
+          // Hung operation: busy until the watchdog countdown expires.
+          if (--hang_polls_remaining_ == 0) status_ = kStatusError;
+        } else {
+          if (polls_remaining_ > 0) --polls_remaining_;
+          if (polls_remaining_ == 0) status_ = kStatusDone;
+        }
       }
       return status_;
     case DeviceReg::kControl: return 0;
@@ -91,6 +104,20 @@ std::uint32_t MmioDevice::read_reg(DeviceReg reg) {
     case DeviceReg::kSizeAux2: return reg_size_aux2_;
   }
   return 0;
+}
+
+void MmioDevice::inject_hang(std::uint32_t watchdog_polls) {
+  std::lock_guard lock(mutex_);
+  hang_armed_ = true;
+  hang_polls_remaining_ = std::max<std::uint32_t>(1, watchdog_polls);
+}
+
+void MmioDevice::reset() {
+  std::lock_guard lock(mutex_);
+  status_ = kStatusIdle;
+  polls_remaining_ = 0;
+  hang_armed_ = false;
+  hang_polls_remaining_ = 0;
 }
 
 std::uint32_t MmioDevice::latency_polls(std::uint32_t n) const noexcept {

@@ -1,9 +1,13 @@
 #include "cedr/runtime/runtime.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "cedr/common/log.h"
@@ -46,7 +50,12 @@ struct Runtime::InFlightTask {
   task::TaskId dag_task_id = 0;  ///< valid when is_dag
   bool is_dag = false;
   double rank = 0.0;
-  double enqueue_time = 0.0;
+  double enqueue_time = 0.0;  ///< most recent (re-)enqueue
+  // Fault-tolerance state (guarded by the runtime state mutex).
+  std::uint32_t attempt = 0;           ///< executions beyond the first
+  std::uint32_t failed_class_mask = 0; ///< PE classes that already failed it
+  double first_enqueue_time = 0.0;     ///< for retry-latency accounting
+  double retry_at = 0.0;               ///< backoff release time (deferred)
 };
 
 /// One application instance being managed by the runtime.
@@ -100,6 +109,15 @@ struct Runtime::Worker {
   DeviceBundle devices;
   BlockingQueue<std::shared_ptr<InFlightTask>> mailbox;
   std::thread thread;
+
+  // Fault-tolerance health, guarded by the runtime state mutex (only the
+  // main event loop reads/writes these, never the worker thread itself).
+  std::uint32_t consecutive_faults = 0;
+  std::uint64_t faults_seen = 0;
+  std::uint64_t quarantines = 0;
+  bool quarantined = false;
+  bool probe_inflight = false;  ///< a probe task is on this PE right now
+  double probe_at = 0.0;        ///< when the next probe may be dispatched
 };
 
 struct Runtime::Impl {
@@ -111,8 +129,30 @@ struct Runtime::Impl {
   bool accepting = false;
   bool stopping = false;
 
+  /// One finished execution attempt, as reported by a worker thread.
+  struct CompletionRecord {
+    std::shared_ptr<InFlightTask> task;
+    Status status;
+    std::size_t pe_index = 0;
+  };
+
   std::deque<std::shared_ptr<InFlightTask>> ready_queue;
-  std::deque<std::pair<std::shared_ptr<InFlightTask>, Status>> completions;
+  /// Tasks backing off before a retry; released into the ready queue by the
+  /// scheduling round once their retry_at time passes.
+  std::deque<std::shared_ptr<InFlightTask>> deferred;
+  std::deque<CompletionRecord> completions;
+
+  /// Under fault injection a non-empty ready queue can be legitimately
+  /// undispatchable (every capable PE quarantined, a probe already in
+  /// flight, all retries backing off). Re-running the heuristic before
+  /// anything changed would busy-spin the event loop and flood the trace
+  /// with empty rounds, so the round records *why* it is blocked: the state
+  /// epoch it observed (bumped by every enqueue and completion) and the
+  /// earliest timer (backoff release / probe window) that could unblock it.
+  std::uint64_t sched_epoch = 0;
+  bool sched_blocked = false;
+  std::uint64_t sched_blocked_epoch = 0;
+  double sched_blocked_until = 0.0;
   std::unordered_map<std::uint64_t, std::unique_ptr<AppInstance>> apps;
 
   std::vector<std::unique_ptr<Worker>> workers;
@@ -138,6 +178,7 @@ json::Value RuntimeConfig::to_json() const {
       {"scheduler", json::Value(scheduler)},
       {"scheduler_period_s", json::Value(scheduler_period_s)},
       {"enable_counters", json::Value(enable_counters)},
+      {"fault_plan", fault_plan.to_json()},
   };
 }
 
@@ -163,6 +204,11 @@ StatusOr<RuntimeConfig> RuntimeConfig::from_json(const json::Value& value) {
     return InvalidArgument("scheduler period must be positive");
   }
   config.enable_counters = value.get_bool("enable_counters", true);
+  if (const json::Value* plan = value.find("fault_plan")) {
+    auto parsed = platform::FaultPlan::from_json(*plan);
+    if (!parsed.ok()) return parsed.status();
+    config.fault_plan = *std::move(parsed);
+  }
   return config;
 }
 
@@ -209,11 +255,35 @@ double Runtime::runtime_overhead_s() const noexcept {
   return impl_->runtime_overhead;
 }
 
+std::vector<PeHealth> Runtime::pe_health() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<PeHealth> out;
+  out.reserve(impl_->workers.size());
+  for (const auto& worker : impl_->workers) {
+    out.push_back(PeHealth{
+        .pe_name = worker->pe.name,
+        .cls = worker->pe.cls,
+        .quarantined = worker->quarantined,
+        .consecutive_faults = worker->consecutive_faults,
+        .faults_seen = worker->faults_seen,
+        .quarantines = worker->quarantines,
+    });
+  }
+  return out;
+}
+
 Status Runtime::start() {
   CEDR_RETURN_IF_ERROR(config_.platform.validate());
+  CEDR_RETURN_IF_ERROR(config_.fault_plan.validate());
   auto scheduler = sched::make_scheduler(config_.scheduler);
   if (!scheduler.ok()) return scheduler.status();
   scheduler_ = *std::move(scheduler);
+  if (!config_.fault_plan.empty()) {
+    fault_injector_ = std::make_unique<platform::FaultInjector>(
+        config_.fault_plan, config_.platform.pes);
+    CEDR_LOG(kInfo, kLogTag) << "fault injection enabled: seed=0x" << std::hex
+                             << config_.fault_plan.seed << std::dec;
+  }
 
   std::lock_guard lock(impl_->mutex);
   if (impl_->started) return FailedPrecondition("runtime already started");
@@ -333,8 +403,10 @@ StatusOr<std::uint64_t> Runtime::submit_dag(
     inflight->dag_task_id = t.id;
     inflight->rank = instance->ranks[t.id];
     inflight->enqueue_time = now();
+    inflight->first_enqueue_time = inflight->enqueue_time;
     impl_->ready_queue.push_back(std::move(inflight));
   }
+  ++impl_->sched_epoch;
   impl_->apps.emplace(id, std::move(instance));
   impl_->submitted.fetch_add(1, std::memory_order_relaxed);
   impl_->runtime_overhead += overhead.elapsed();
@@ -419,6 +491,8 @@ Status Runtime::enqueue_kernel(KernelRequest request, CompletionPtr completion) 
     }
     inflight->key = impl_->next_task_key++;
     inflight->enqueue_time = now();
+    inflight->first_enqueue_time = inflight->enqueue_time;
+    ++impl_->sched_epoch;
     ++it->second->outstanding_kernels;
     // "Pushing tasks to the ready queue ... is handled by the application
     // thread" in API-based CEDR (paper §IV-A) — this push is on the app
@@ -440,11 +514,19 @@ void Runtime::main_loop() {
     impl_->event_cv.wait_for(
         lock, std::chrono::duration<double>(config_.scheduler_period_s),
         [this] {
+          // A ready queue the last round could not dispatch from (all
+          // capable PEs quarantined / probes pending / retries backing
+          // off) is not a wake reason until something changes; otherwise
+          // the loop would busy-spin empty scheduling rounds.
+          const bool schedulable =
+              !impl_->ready_queue.empty() &&
+              !(impl_->sched_blocked &&
+                impl_->sched_epoch == impl_->sched_blocked_epoch);
           return impl_->stopping || !impl_->completions.empty() ||
-                 !impl_->ready_queue.empty();
+                 schedulable;
         });
     if (impl_->stopping && impl_->completions.empty() &&
-        impl_->ready_queue.empty()) {
+        impl_->ready_queue.empty() && impl_->deferred.empty()) {
       break;
     }
     process_completions();
@@ -456,13 +538,79 @@ void Runtime::process_completions() {
   // Caller holds impl_->mutex.
   Stopwatch overhead;
   bool any_app_finished = false;
+  const platform::FaultPolicy& policy = config_.fault_plan.policy;
   while (!impl_->completions.empty()) {
-    auto [inflight, status] = std::move(impl_->completions.front());
+    Impl::CompletionRecord rec = std::move(impl_->completions.front());
     impl_->completions.pop_front();
+    // Every completion changes PE health or releases work: any blocked
+    // scheduling state is stale now.
+    ++impl_->sched_epoch;
+    std::shared_ptr<InFlightTask> inflight = std::move(rec.task);
+    const Status status = std::move(rec.status);
+    Worker& worker = *impl_->workers[rec.pe_index];
+    const double t_now = now();
+
     if (!status.ok()) {
-      CEDR_LOG(kWarn, kLogTag)
-          << "task '" << inflight->name << "' failed: " << status.to_string();
+      // --- PE health: consecutive faults drive quarantine. -----------------
+      ++worker.faults_seen;
+      if (worker.quarantined) {
+        // A failed probe: the PE stays out; schedule the next probe window.
+        worker.probe_inflight = false;
+        worker.probe_at = t_now + policy.probe_period_s;
+        count("probes_failed");
+      } else {
+        ++worker.consecutive_faults;
+        if (policy.quarantine_threshold > 0 &&
+            worker.consecutive_faults >= policy.quarantine_threshold) {
+          worker.quarantined = true;
+          worker.probe_inflight = false;
+          worker.probe_at = t_now + policy.probe_period_s;
+          ++worker.quarantines;
+          count("pes_quarantined");
+          CEDR_LOG(kWarn, kLogTag)
+              << "PE " << worker.pe.name << " quarantined after "
+              << worker.consecutive_faults << " consecutive faults";
+        }
+      }
+      // --- Bounded retry with exponential backoff. -------------------------
+      // Remember the class that failed so the retry prefers a different PE
+      // type (graceful degradation: a quarantined accelerator's work lands
+      // on the CPU implementation through the same dispatch table).
+      inflight->failed_class_mask |=
+          1u << static_cast<unsigned>(worker.pe.cls);
+      if (inflight->attempt < policy.max_retries) {
+        ++inflight->attempt;
+        count("tasks_retried");
+        const double backoff =
+            policy.backoff_base_s *
+            std::pow(policy.backoff_factor,
+                     static_cast<double>(inflight->attempt - 1));
+        inflight->retry_at = t_now + backoff;
+        impl_->deferred.push_back(std::move(inflight));
+        continue;  // not terminal: no successor release, no app signal
+      }
+      // Terminal failure: retries exhausted. Only now does the failure
+      // become visible to the application.
       count("tasks_failed");
+      CEDR_LOG(kWarn, kLogTag)
+          << "task '" << inflight->name << "' failed after "
+          << (inflight->attempt + 1)
+          << " attempts: " << status.to_string();
+      if (inflight->completion) inflight->completion->signal(status);
+    } else {
+      // --- Success: reset health, reinstate a probed PE, book recovery. ----
+      worker.consecutive_faults = 0;
+      worker.probe_inflight = false;
+      if (worker.quarantined) {
+        worker.quarantined = false;
+        count("pes_reinstated");
+        CEDR_LOG(kInfo, kLogTag)
+            << "PE " << worker.pe.name << " reinstated after probe success";
+      }
+      if (inflight->attempt > 0) {
+        count("tasks_recovered");
+        trace_.add_retry_latency(t_now - inflight->first_enqueue_time);
+      }
     }
     auto it = impl_->apps.find(inflight->app_instance_id);
     if (it == impl_->apps.end()) continue;
@@ -527,8 +675,36 @@ void Runtime::finish_app_locked(AppInstance& app) {
 
 void Runtime::run_scheduling_round() {
   // Caller holds impl_->mutex.
+  // A blocked round stays blocked until new work / a completion bumps the
+  // epoch or the earliest unblocking timer (backoff release, probe window)
+  // passes; re-running the heuristic before then cannot dispatch anything.
+  if (impl_->sched_blocked) {
+    if (impl_->sched_epoch == impl_->sched_blocked_epoch &&
+        now() < impl_->sched_blocked_until) {
+      return;
+    }
+    impl_->sched_blocked = false;
+  }
+  // Release deferred retries whose backoff has elapsed.
+  if (!impl_->deferred.empty()) {
+    const double release_now = now();
+    std::deque<std::shared_ptr<InFlightTask>> still_waiting;
+    for (auto& t : impl_->deferred) {
+      if (t->retry_at <= release_now) {
+        t->enqueue_time = release_now;
+        impl_->ready_queue.push_back(std::move(t));
+      } else {
+        still_waiting.push_back(std::move(t));
+      }
+    }
+    impl_->deferred = std::move(still_waiting);
+  }
   if (impl_->ready_queue.empty()) return;
 
+  std::uint32_t present_classes = 0;
+  for (const auto& worker : impl_->workers) {
+    present_classes |= 1u << static_cast<unsigned>(worker->pe.cls);
+  }
   std::vector<sched::ReadyTask> views;
   views.reserve(impl_->ready_queue.size());
   for (const auto& t : impl_->ready_queue) {
@@ -543,6 +719,14 @@ void Runtime::run_scheduling_round() {
       }
     }
     if (!any_impl) mask = 0xffffffffu;
+    // Retries prefer a PE type that has not failed this task yet. The
+    // narrowed mask must still name a class that exists on this platform —
+    // otherwise the task would become permanently unschedulable — so when
+    // every present class has failed it, fall back to the full set.
+    if (t->failed_class_mask != 0) {
+      const std::uint32_t narrowed = mask & ~t->failed_class_mask;
+      if ((narrowed & present_classes) != 0) mask = narrowed;
+    }
     views.push_back(sched::ReadyTask{
         .task_key = t->key,
         .app_instance_id = t->app_instance_id,
@@ -558,11 +742,19 @@ void Runtime::run_scheduling_round() {
   std::vector<sched::PeState> pe_states;
   pe_states.reserve(impl_->workers.size());
   for (std::size_t i = 0; i < impl_->workers.size(); ++i) {
+    const Worker& w = *impl_->workers[i];
+    // A quarantined PE is hidden from the heuristic, except when its probe
+    // window is open: then it is admitted so one probe task can test it.
+    bool excluded = w.quarantined;
+    if (excluded && !w.probe_inflight && t_now >= w.probe_at) {
+      excluded = false;
+    }
     pe_states.push_back(sched::PeState{
         .pe_index = i,
-        .cls = impl_->workers[i]->pe.cls,
+        .cls = w.pe.cls,
         .available_time = std::max(t_now, impl_->pe_available[i]),
-        .speed = impl_->workers[i]->pe.speed_factor,
+        .speed = w.pe.speed_factor,
+        .quarantined = excluded,
     });
   }
 
@@ -582,18 +774,47 @@ void Runtime::run_scheduling_round() {
   count("sched_comparisons", result.comparisons);
 
   // Dispatch assigned tasks to their worker mailboxes; keep the rest queued.
+  // A quarantined PE whose probe window admitted it takes exactly one task
+  // (the probe); further assignments to it stay queued for the next round.
   std::vector<std::uint8_t> assigned(impl_->ready_queue.size(), 0);
   for (const sched::Assignment& a : result.assignments) {
+    Worker& w = *impl_->workers[a.pe_index];
+    if (w.quarantined) {
+      if (w.probe_inflight) continue;  // one probe at a time
+      w.probe_inflight = true;
+      count("probes_dispatched");
+    }
     assigned[a.queue_index] = 1;
-    impl_->workers[a.pe_index]->mailbox.push(impl_->ready_queue[a.queue_index]);
+    w.mailbox.push(impl_->ready_queue[a.queue_index]);
   }
   std::deque<std::shared_ptr<InFlightTask>> remaining;
+  std::size_t dispatched = 0;
   for (std::size_t i = 0; i < impl_->ready_queue.size(); ++i) {
-    if (!assigned[i]) remaining.push_back(std::move(impl_->ready_queue[i]));
+    if (!assigned[i]) {
+      remaining.push_back(std::move(impl_->ready_queue[i]));
+    } else {
+      ++dispatched;
+    }
   }
   impl_->ready_queue = std::move(remaining);
   for (const sched::PeState& pe : pe_states) {
     impl_->pe_available[pe.pe_index] = pe.available_time;
+  }
+  if (dispatched == 0 && !impl_->ready_queue.empty()) {
+    // Nothing moved: block further rounds until the state epoch changes or
+    // the earliest timer that could free a PE / release a retry fires.
+    double until = std::numeric_limits<double>::infinity();
+    for (const auto& t : impl_->deferred) {
+      until = std::min(until, t->retry_at);
+    }
+    for (const auto& w : impl_->workers) {
+      if (w->quarantined && !w->probe_inflight) {
+        until = std::min(until, w->probe_at);
+      }
+    }
+    impl_->sched_blocked = true;
+    impl_->sched_blocked_epoch = impl_->sched_epoch;
+    impl_->sched_blocked_until = until;
   }
 }
 
@@ -604,21 +825,69 @@ void Runtime::run_scheduling_round() {
 Status Runtime::execute_on_pe(InFlightTask& task, Worker& worker) {
   const task::TaskFn& impl =
       task.impls[static_cast<std::size_t>(worker.pe.cls)];
+  platform::MmioDevice* device = worker.devices.for_kernel(task.kernel);
+
+  if (fault_injector_ != nullptr) {
+    const platform::FaultDecision fault =
+        fault_injector_->next(worker.pe_index);
+    switch (fault.kind) {
+      case platform::FaultKind::kNone:
+        break;
+      case platform::FaultKind::kTransientFail:
+        count("faults_injected");
+        return Unavailable("injected transient fault on " + worker.pe.name);
+      case platform::FaultKind::kLatencySpike:
+        // The execution still succeeds, it just takes longer (thermal
+        // throttling / contention); the deadline check may still fail it.
+        count("faults_injected");
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault.duration_s));
+        break;
+      case platform::FaultKind::kDeviceHang:
+        count("faults_injected");
+        if (device != nullptr && impl) {
+          // Wedge the MMIO device: the impl's polling loop spins until the
+          // emulated watchdog flips the status register to kStatusError.
+          device->inject_hang();
+        } else {
+          // CPU-style PE with no device to wedge: the worker is simply
+          // unresponsive for the hang dwell (clipped to the task deadline).
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(fault.duration_s,
+                       config_.fault_plan.policy.task_timeout_s)));
+          return Unavailable("injected PE hang on " + worker.pe.name);
+        }
+        break;
+    }
+  }
+
   // Tasks without implementations (timing/structural studies) are no-ops.
   if (!impl) return Status::Ok();
   task::ExecContext ctx{
       .pe = &worker.pe,
-      .device = worker.devices.for_kernel(task.kernel),
+      .device = device,
   };
-  return impl(ctx);
+  Status status = impl(ctx);
+  // Recover the device after a failed operation (hang, error) so the next
+  // task dispatched here starts from a clean register file.
+  if (!status.ok() && device != nullptr) device->reset();
+  return status;
 }
 
 void Runtime::worker_loop(Worker& worker) {
   while (auto item = worker.mailbox.pop()) {
     std::shared_ptr<InFlightTask> task = std::move(*item);
     const double start = now();
-    const Status status = execute_on_pe(*task, worker);
+    Status status = execute_on_pe(*task, worker);
     const double end = now();
+    // Per-task deadline: when fault injection is active, an execution that
+    // overran the policy deadline is treated as a failure (and retried) even
+    // if it eventually produced a result — the paper's real-time framing.
+    if (fault_injector_ != nullptr && status.ok() &&
+        end - start > config_.fault_plan.policy.task_timeout_s) {
+      count("deadline_misses");
+      status = Unavailable("task exceeded deadline on " + worker.pe.name);
+    }
     trace_.add_task(trace::TaskRecord{
         .app_instance_id = task->app_instance_id,
         .app_name = "",
@@ -629,16 +898,24 @@ void Runtime::worker_loop(Worker& worker) {
         .enqueue_time = task->enqueue_time,
         .start_time = start,
         .end_time = end,
+        .attempt = task->attempt,
+        .ok = status.ok(),
     });
     count("tasks_executed");
     if (config_.enable_counters) {
       counters_.add(std::string("tasks_on_") + worker.pe.name);
     }
-    // Fig. 4: the worker signals the sleeping application thread directly.
-    if (task->completion) task->completion->signal(status);
+    // Fig. 4: the worker signals the sleeping application thread directly —
+    // but only on success. Failures first go through the main loop's retry
+    // machinery; only a terminal failure is signalled (from there).
+    if (status.ok() && task->completion) task->completion->signal(status);
     {
       std::lock_guard lock(impl_->mutex);
-      impl_->completions.emplace_back(std::move(task), status);
+      impl_->completions.push_back(Impl::CompletionRecord{
+          .task = std::move(task),
+          .status = std::move(status),
+          .pe_index = worker.pe_index,
+      });
     }
     impl_->event_cv.notify_all();
   }

@@ -21,6 +21,7 @@ double exec_estimate(const ReadyTask& t, const PeState& pe,
 
 double finish_time_on(const ReadyTask& t, const PeState& pe,
                       const ScheduleContext& ctx) noexcept {
+  if (pe.quarantined) return kInf;
   if (!t.allowed_on(pe.cls)) return kInf;
   const double exec = exec_estimate(t, pe, ctx);
   if (exec == kInf) return kInf;
@@ -41,7 +42,8 @@ ScheduleResult RoundRobinScheduler::schedule(std::span<const ReadyTask> ready,
       next_pe_ = (next_pe_ + 1) % pes.size();
       ++probes;
       ++result.comparisons;
-      if (!platform::pe_class_supports(pe.cls, ready[q].kernel) ||
+      if (pe.quarantined ||
+          !platform::pe_class_supports(pe.cls, ready[q].kernel) ||
           !ready[q].allowed_on(pe.cls)) {
         continue;
       }
@@ -194,7 +196,7 @@ ScheduleResult MetScheduler::schedule(std::span<const ReadyTask> ready,
     PeState* best_pe = nullptr;
     for (PeState& pe : pes) {
       ++result.comparisons;
-      if (!ready[q].allowed_on(pe.cls)) continue;
+      if (pe.quarantined || !ready[q].allowed_on(pe.cls)) continue;
       const double exec = exec_estimate(ready[q], pe, ctx);
       if (exec < best) {
         best = exec;
@@ -220,7 +222,8 @@ ScheduleResult RandomScheduler::schedule(std::span<const ReadyTask> ready,
     compatible.clear();
     for (PeState& pe : pes) {
       ++result.comparisons;
-      if (platform::pe_class_supports(pe.cls, ready[q].kernel) &&
+      if (!pe.quarantined &&
+          platform::pe_class_supports(pe.cls, ready[q].kernel) &&
           ready[q].allowed_on(pe.cls)) {
         compatible.push_back(&pe);
       }

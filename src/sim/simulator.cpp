@@ -6,6 +6,12 @@
 #include <unordered_map>
 #include <limits>
 
+// Define CEDR_SIM_DEBUG_QUIESCE to dump scheduler/worker/instance state when
+// the virtual clock quiesces with unfinished applications (stall triage).
+#ifdef CEDR_SIM_DEBUG_QUIESCE
+#include <cstdio>
+#endif
+
 #include "cedr/sched/scheduler.h"
 
 namespace cedr::sim {
@@ -29,6 +35,9 @@ struct SimTask {
   double rank = 0.0;
   double ready_time = 0.0;
   std::uint32_t class_mask = 0xffffffffu;
+  // Fault-tolerance state.
+  std::uint32_t attempt = 0;            ///< retries so far
+  std::uint32_t failed_class_mask = 0;  ///< classes that already failed it
 };
 
 /// One application instance.
@@ -66,6 +75,12 @@ struct Worker {
   SimTask current{};
   double remaining = 0.0;
   double busy_work = 0.0;
+  // Fault-tolerance state (mirrors the threaded runtime's Worker health).
+  bool current_faulted = false;  ///< the in-flight execution will fail
+  std::uint32_t consecutive_faults = 0;
+  bool quarantined = false;
+  bool probe_inflight = false;
+  double probe_at = 0.0;
 };
 
 /// A main-thread management work item.
@@ -105,10 +120,16 @@ class Engine {
 
   StatusOr<SimMetrics> run() {
     CEDR_RETURN_IF_ERROR(config_.platform.validate());
+    CEDR_RETURN_IF_ERROR(config_.faults.validate());
     auto scheduler = sched::make_scheduler(config_.scheduler);
     if (!scheduler.ok()) return scheduler.status();
     scheduler_ = *std::move(scheduler);
+    if (!config_.faults.empty()) {
+      injector_ = std::make_unique<platform::FaultInjector>(
+          config_.faults, config_.platform.pes);
+    }
 
+    std::size_t stall_iters = 0;
     while (true) {
       maybe_start_main();
       const double t_next = next_event_time();
@@ -116,12 +137,70 @@ class Engine {
       if (t_next > config_.max_virtual_time_s) {
         return Aborted("virtual clock passed the simulation horizon");
       }
+      if (t_next <= now_) {
+        if (++stall_iters > 10'000'000) {
+#ifdef CEDR_SIM_DEBUG_QUIESCE
+          std::fprintf(stderr,
+                       "[stall] now=%g ready=%zu deferred=%zu mgmt=%zu "
+                       "main_busy=%d dirty=%d next_round=%g\n",
+                       now_, ready_.size(), deferred_.size(), mgmt_.size(),
+                       main_busy_ ? 1 : 0, queue_dirty_ ? 1 : 0,
+                       next_round_allowed_);
+          for (const Worker& w : workers_) {
+            std::fprintf(
+                stderr,
+                "[stall] pe%zu busy=%d rem=%g fifo=%zu q=%d inflight=%d "
+                "probe_at=%g\n",
+                w.pe_index, w.busy ? 1 : 0, w.remaining, w.fifo.size(),
+                w.quarantined ? 1 : 0, w.probe_inflight ? 1 : 0, w.probe_at);
+          }
+          for (std::size_t i = 0; i < instances_.size(); ++i) {
+            const Instance& inst = instances_[i];
+            if (inst.terminated) continue;
+            std::fprintf(stderr,
+                         "[stall] inst%zu seg=%zu outstanding=%zu tstate=%d "
+                         "thread_rem=%g\n",
+                         i, inst.segment, inst.outstanding,
+                         static_cast<int>(inst.tstate), inst.thread_remaining);
+          }
+#endif
+          return Internal("simulation event loop stalled at a frozen clock");
+        }
+      } else {
+        stall_iters = 0;
+      }
       advance_to(t_next);
       fire_events();
     }
     if (instances_.empty() ||
         std::any_of(instances_.begin(), instances_.end(),
                     [](const Instance& i) { return !i.terminated; })) {
+#ifdef CEDR_SIM_DEBUG_QUIESCE
+      std::fprintf(stderr,
+                   "[quiesce] now=%g ready=%zu deferred=%zu mgmt=%zu "
+                   "main_busy=%d dirty=%d next_round=%g\n",
+                   now_, ready_.size(), deferred_.size(), mgmt_.size(),
+                   main_busy_ ? 1 : 0, queue_dirty_ ? 1 : 0,
+                   next_round_allowed_);
+      for (const Worker& w : workers_) {
+        std::fprintf(stderr,
+                     "[quiesce] pe%zu busy=%d fifo=%zu q=%d probe_inflight=%d "
+                     "probe_at=%g consec=%u\n",
+                     w.pe_index, w.busy ? 1 : 0, w.fifo.size(),
+                     w.quarantined ? 1 : 0, w.probe_inflight ? 1 : 0,
+                     w.probe_at, w.consecutive_faults);
+      }
+      for (std::size_t i = 0; i < instances_.size(); ++i) {
+        const Instance& inst = instances_[i];
+        if (inst.terminated) continue;
+        std::fprintf(stderr,
+                     "[quiesce] inst%zu seg=%zu outstanding=%zu tstate=%d "
+                     "thread_rem=%g launch=%g\n",
+                     i, inst.segment, inst.outstanding,
+                     static_cast<int>(inst.tstate), inst.thread_remaining,
+                     inst.launch);
+      }
+#endif
       return Internal("simulation quiesced with unfinished applications");
     }
     return collect_metrics();
@@ -173,6 +252,24 @@ class Engine {
         t = std::min(t, inst.wake_at);
       }
     }
+    // Deferred retries become ready when their backoff elapses; probe
+    // windows of quarantined PEs re-open the scheduler for queued work.
+    for (const auto& [release_at, task] : deferred_) {
+      t = std::min(t, std::max(now_, release_at));
+    }
+    // A probe window opening is only an event in that it lets a scheduling
+    // round start, so it carries the round's own preconditions: main thread
+    // idle, no queued mgmt work, and the round-rate gate. Without those
+    // floors this clause keeps returning now_ while the round cannot run
+    // and the event loop spins at a frozen virtual time.
+    if (!main_busy_ && mgmt_.empty() && !ready_.empty()) {
+      for (const Worker& w : workers_) {
+        if (w.quarantined && !w.probe_inflight) {
+          t = std::min(t, std::max(std::max(now_, w.probe_at),
+                                   next_round_allowed_));
+        }
+      }
+    }
     const std::size_t runnable = runnable_pool_count();
     if (runnable > 0) {
       const double rate = pool_rate(effective_load());
@@ -218,6 +315,30 @@ class Engine {
       instances_.push_back(std::move(inst));
       mgmt_.push_back(MgmtEvent{MgmtEvent::Kind::kArrival,
                                 instances_.size() - 1});
+    }
+    // Deferred retries whose backoff has elapsed re-enter the ready queue.
+    if (!deferred_.empty()) {
+      std::vector<std::pair<double, SimTask>> still_waiting;
+      for (auto& [release_at, task] : deferred_) {
+        if (release_at <= now_ + kEps) {
+          task.ready_time = now_;
+          ready_.push_back(std::move(task));
+          queue_dirty_ = true;
+        } else {
+          still_waiting.emplace_back(release_at, std::move(task));
+        }
+      }
+      deferred_ = std::move(still_waiting);
+      max_ready_ = std::max(max_ready_, ready_.size());
+    }
+    // A quarantined PE whose probe window just opened makes queued work
+    // schedulable again.
+    if (!ready_.empty()) {
+      for (const Worker& w : workers_) {
+        if (w.quarantined && !w.probe_inflight && w.probe_at <= now_ + kEps) {
+          queue_dirty_ = true;
+        }
+      }
     }
     // Worker completions.
     for (Worker& w : workers_) {
@@ -306,6 +427,7 @@ class Engine {
     w.current = std::move(w.fifo.front());
     w.fifo.pop_front();
     w.busy = true;
+    w.current_faulted = false;
     w.remaining = config_.platform.costs.estimate(
                       w.current.kernel, w.cls, w.current.size,
                       w.current.bytes) /
@@ -324,13 +446,82 @@ class Engine {
       // application thread, paid by this worker.
       w.remaining += config_.costs.signal_overhead * cpu_speed_factor_;
     }
+    if (injector_ != nullptr) {
+      // Same deterministic per-PE streams as the threaded runtime: the
+      // decision depends only on (seed, PE name, per-PE task ordinal).
+      const platform::FaultDecision fault = injector_->next(w.pe_index);
+      const platform::FaultPolicy& policy = config_.faults.policy;
+      switch (fault.kind) {
+        case platform::FaultKind::kNone:
+          break;
+        case platform::FaultKind::kTransientFail:
+          ++faults_injected_;
+          w.current_faulted = true;  // full execution, failure at the end
+          break;
+        case platform::FaultKind::kLatencySpike:
+          ++faults_injected_;
+          w.remaining += fault.duration_s;
+          break;
+        case platform::FaultKind::kDeviceHang:
+          // The worker busy-polls the wedged device until the watchdog (or
+          // the task deadline) fires, then reports failure.
+          ++faults_injected_;
+          w.current_faulted = true;
+          w.remaining = std::min(fault.duration_s, policy.task_timeout_s);
+          break;
+      }
+    }
   }
 
   void complete_worker_task(Worker& w) {
-    const SimTask task = w.current;
+    SimTask task = w.current;
+    const bool faulted = w.current_faulted;
     w.busy = false;
+    w.current_faulted = false;
     ++tasks_executed_;
     start_next_on_worker(w);
+    // Under fault injection a scheduling round can legitimately leave work
+    // queued (every capable PE quarantined, or a probe already in flight
+    // absorbed the only admitted slot). Any completion changes PE health /
+    // availability, so re-arm the scheduler if work is still waiting.
+    if (injector_ != nullptr && !ready_.empty()) queue_dirty_ = true;
+
+    const platform::FaultPolicy& policy = config_.faults.policy;
+    if (faulted) {
+      // PE health bookkeeping, mirroring the threaded runtime.
+      if (w.quarantined) {
+        w.probe_inflight = false;
+        w.probe_at = now_ + policy.probe_period_s;  // failed probe
+      } else {
+        ++w.consecutive_faults;
+        if (policy.quarantine_threshold > 0 &&
+            w.consecutive_faults >= policy.quarantine_threshold) {
+          w.quarantined = true;
+          w.probe_inflight = false;
+          w.probe_at = now_ + policy.probe_period_s;
+          ++pes_quarantined_;
+        }
+      }
+      task.failed_class_mask |= 1u << static_cast<unsigned>(w.cls);
+      if (task.attempt < policy.max_retries) {
+        ++task.attempt;
+        ++tasks_retried_;
+        const double backoff =
+            policy.backoff_base_s *
+            std::pow(policy.backoff_factor,
+                     static_cast<double>(task.attempt - 1));
+        deferred_.emplace_back(now_ + backoff, std::move(task));
+        return;  // not terminal: no completion bookkeeping yet
+      }
+      ++tasks_lost_;  // retries exhausted; fall through so the app finishes
+    } else {
+      w.consecutive_faults = 0;
+      w.probe_inflight = false;
+      if (w.quarantined) {
+        w.quarantined = false;
+        ++pes_reinstated_;
+      }
+    }
 
     Instance& inst = instances_[task.instance];
     if (config_.model == ProgrammingModel::kApiBased) {
@@ -522,9 +713,22 @@ class Engine {
     // Snapshot the queue and run the heuristic now; the decision's virtual
     // cost is charged before the assignments take effect.
     queue_dirty_ = false;
+    std::uint32_t present_classes = 0;
+    for (const Worker& w : workers_) {
+      present_classes |= 1u << static_cast<unsigned>(w.cls);
+    }
     std::vector<sched::ReadyTask> views;
     views.reserve(ready_.size());
     for (const SimTask& t : ready_) {
+      // Retries prefer a PE class that has not failed this task (graceful
+      // degradation onto the CPU path). The narrowed mask must still name a
+      // class that exists on this platform, otherwise the task would become
+      // permanently unschedulable; if not, fall back to the full mask.
+      std::uint32_t mask = t.class_mask;
+      if (t.failed_class_mask != 0) {
+        const std::uint32_t narrowed = mask & ~t.failed_class_mask;
+        if ((narrowed & present_classes) != 0) mask = narrowed;
+      }
       views.push_back(sched::ReadyTask{
           .task_key = t.key,
           .app_instance_id = t.instance,
@@ -533,17 +737,23 @@ class Engine {
           .data_bytes = t.bytes,
           .ready_time = t.ready_time,
           .rank = t.rank,
-          .class_mask = t.class_mask,
+          .class_mask = mask,
       });
     }
     std::vector<sched::PeState> pe_states;
     pe_states.reserve(workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const Worker& w = workers_[i];
+      bool excluded = w.quarantined;
+      if (excluded && !w.probe_inflight && now_ + kEps >= w.probe_at) {
+        excluded = false;  // probe window open: admit for one probe task
+      }
       pe_states.push_back(sched::PeState{
           .pe_index = i,
-          .cls = workers_[i].cls,
+          .cls = w.cls,
           .available_time = std::max(now_, pe_available_[i]),
-          .speed = workers_[i].speed,
+          .speed = w.speed,
+          .quarantined = excluded,
       });
     }
     const sched::ScheduleContext ctx{.now = now_,
@@ -590,6 +800,15 @@ class Engine {
         if (it == assigned.end()) {
           remaining_tasks.push_back(std::move(task));
         } else {
+          Worker& w = workers_[it->second];
+          if (w.quarantined) {
+            // Quarantined PE in its probe window: exactly one probe task.
+            if (w.probe_inflight) {
+              remaining_tasks.push_back(std::move(task));
+              continue;
+            }
+            w.probe_inflight = true;
+          }
           dispatch_to_worker(it->second, std::move(task));
         }
       }
@@ -663,6 +882,11 @@ class Engine {
     }
     m.pe_busy.reserve(workers_.size());
     for (const Worker& w : workers_) m.pe_busy.push_back(w.busy_work);
+    m.faults_injected = faults_injected_;
+    m.tasks_retried = tasks_retried_;
+    m.pes_quarantined = pes_quarantined_;
+    m.pes_reinstated = pes_reinstated_;
+    m.tasks_lost = tasks_lost_;
     return m;
   }
 
@@ -672,6 +896,7 @@ class Engine {
   double cores_;
   double cpu_speed_factor_ = 1.0;
   std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<platform::FaultInjector> injector_;
 
   std::vector<Arrival> arrivals_;
   std::size_t arrival_idx_ = 0;
@@ -681,6 +906,8 @@ class Engine {
   std::vector<double> pe_available_;
 
   std::deque<SimTask> ready_;
+  /// (release time, task) pairs backing off before a retry.
+  std::vector<std::pair<double, SimTask>> deferred_;
   bool queue_dirty_ = false;
   std::uint64_t next_key_ = 1;
 
@@ -699,6 +926,11 @@ class Engine {
   std::size_t sched_rounds_ = 0;
   std::size_t tasks_executed_ = 0;
   std::size_t max_ready_ = 0;
+  std::size_t faults_injected_ = 0;
+  std::size_t tasks_retried_ = 0;
+  std::size_t pes_quarantined_ = 0;
+  std::size_t pes_reinstated_ = 0;
+  std::size_t tasks_lost_ = 0;
 };
 
 }  // namespace

@@ -32,6 +32,9 @@ Report build_report(const std::vector<TaskRecord>& tasks,
 
   std::map<std::string, Report::PeSummary> pes;
   std::map<std::uint64_t, std::size_t> app_tasks;
+  // (app instance, task) -> did any attempt succeed. A task is a terminal
+  // failure only when every one of its attempts failed.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, bool> task_succeeded;
   double delay_total = 0.0;
   for (const TaskRecord& task : tasks) {
     auto& pe = pes[task.pe_name];
@@ -43,6 +46,12 @@ Report build_report(const std::vector<TaskRecord>& tasks,
     report.queue_delay_max =
         std::max(report.queue_delay_max, task.queue_delay());
     ++app_tasks[task.app_instance_id];
+    if (!task.ok) ++report.failed_attempts;
+    if (task.attempt > 0) ++report.retried_attempts;
+    task_succeeded[{task.app_instance_id, task.task_id}] |= task.ok;
+  }
+  for (const auto& [key, succeeded] : task_succeeded) {
+    if (!succeeded) ++report.failed_tasks;
   }
   if (!tasks.empty()) {
     report.queue_delay_mean = delay_total / static_cast<double>(tasks.size());
@@ -67,7 +76,10 @@ Report build_report(const std::vector<TaskRecord>& tasks,
 }  // namespace
 
 Report summarize(const TraceLog& log) {
-  return build_report(log.tasks(), log.apps(), log.sched_rounds());
+  Report report = build_report(log.tasks(), log.apps(), log.sched_rounds());
+  report.retry_latency_count = log.retry_latency().count();
+  report.retry_latency_mean = log.retry_latency().mean_seconds();
+  return report;
 }
 
 StatusOr<Report> summarize_json(const json::Value& doc) {
@@ -94,6 +106,8 @@ StatusOr<Report> summarize_json(const json::Value& doc) {
         .enqueue_time = row.get_double("enqueue", 0.0),
         .start_time = row.get_double("start", 0.0),
         .end_time = row.get_double("end", 0.0),
+        .attempt = static_cast<std::uint32_t>(row.get_int("attempt", 0)),
+        .ok = row.get_bool("ok", true),
     });
   }
   std::vector<AppRecord> app_records;
@@ -118,7 +132,27 @@ StatusOr<Report> summarize_json(const json::Value& doc) {
         .decision_time = row.get_double("decision_time", 0.0),
     });
   }
-  return build_report(task_records, app_records, round_records);
+  Report report = build_report(task_records, app_records, round_records);
+  if (const json::Value* counters = doc.find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->as_object()) {
+      if (value.is_number()) {
+        report.counters.emplace(name,
+                                static_cast<std::uint64_t>(value.as_int()));
+      }
+    }
+  }
+  if (const json::Value* hist = doc.find("retry_latency");
+      hist != nullptr && hist->is_object()) {
+    report.retry_latency_count =
+        static_cast<std::uint64_t>(hist->get_int("count", 0));
+    const double total = hist->get_double("total_s", 0.0);
+    report.retry_latency_mean =
+        report.retry_latency_count > 0
+            ? total / static_cast<double>(report.retry_latency_count)
+            : 0.0;
+  }
+  return report;
 }
 
 StatusOr<Report> summarize_file(const std::string& path) {
@@ -141,6 +175,26 @@ std::string render_text(const Report& report) {
       << " ms, max ready queue " << report.max_ready_queue << ")\n";
   out << "  task queue delay:    mean " << report.queue_delay_mean * 1e3
       << " ms, max " << report.queue_delay_max * 1e3 << " ms\n";
+  // Fault-tolerance summary. The counter lines always print (0 when the run
+  // was fault-free) so resilience dashboards can grep for them.
+  const auto counter = [&report](const char* name,
+                                 std::uint64_t fallback) -> std::uint64_t {
+    const auto it = report.counters.find(name);
+    return it != report.counters.end() ? it->second : fallback;
+  };
+  out << "\nfault tolerance\n";
+  out << "  faults_injected:     " << counter("faults_injected", 0) << "\n";
+  out << "  tasks_retried:       "
+      << counter("tasks_retried", report.retried_attempts) << "\n";
+  out << "  pes_quarantined:     " << counter("pes_quarantined", 0) << "\n";
+  out << "  pes_reinstated:      " << counter("pes_reinstated", 0) << "\n";
+  out << "  tasks_failed:        "
+      << counter("tasks_failed", report.failed_tasks) << "\n";
+  if (report.retry_latency_count > 0) {
+    out << "  retry latency:       " << report.retry_latency_count
+        << " recovered tasks, mean " << report.retry_latency_mean * 1e3
+        << " ms first-enqueue to success\n";
+  }
   out << "\napplications (by arrival)\n";
   for (const auto& app : report.apps) {
     out << "  #" << app.instance_id << " " << app.name << ": arrival "

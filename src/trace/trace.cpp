@@ -1,8 +1,63 @@
 #include "cedr/trace/trace.h"
 
+#include <algorithm>
+#include <bit>
 #include <fstream>
 
 namespace cedr::trace {
+
+void LatencyHistogram::record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // clamp NaN/negative clock skew
+  const double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  if (us >= 1.0) {
+    const auto value = static_cast<std::uint64_t>(us);
+    bucket = std::min<std::size_t>(std::bit_width(value) - 1, kBuckets - 1);
+  }
+  std::lock_guard lock(mutex_);
+  ++counts_[bucket];
+  ++total_;
+  total_seconds_ += seconds;
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+double LatencyHistogram::total_seconds() const noexcept {
+  std::lock_guard lock(mutex_);
+  return total_seconds_;
+}
+
+double LatencyHistogram::mean_seconds() const noexcept {
+  std::lock_guard lock(mutex_);
+  return total_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(total_);
+}
+
+std::vector<std::uint64_t> LatencyHistogram::buckets() const {
+  std::lock_guard lock(mutex_);
+  return {counts_, counts_ + kBuckets};
+}
+
+json::Value LatencyHistogram::to_json() const {
+  std::lock_guard lock(mutex_);
+  json::Array rows;
+  rows.reserve(kBuckets);
+  for (const std::uint64_t c : counts_) rows.push_back(json::Value(c));
+  return json::Object{
+      {"count", json::Value(total_)},
+      {"total_s", json::Value(total_seconds_)},
+      {"buckets_us_log2", json::Value(std::move(rows))},
+  };
+}
+
+void LatencyHistogram::clear() {
+  std::lock_guard lock(mutex_);
+  for (std::uint64_t& c : counts_) c = 0;
+  total_ = 0;
+  total_seconds_ = 0.0;
+}
 
 void TraceLog::add_task(TaskRecord record) {
   std::lock_guard lock(mutex_);
@@ -17,6 +72,10 @@ void TraceLog::add_app(AppRecord record) {
 void TraceLog::add_sched(SchedRecord record) {
   std::lock_guard lock(mutex_);
   sched_.push_back(record);
+}
+
+void TraceLog::add_retry_latency(double seconds) {
+  retry_latency_.record(seconds);
 }
 
 std::vector<TaskRecord> TraceLog::tasks() const {
@@ -72,6 +131,8 @@ json::Value TraceLog::to_json() const {
         {"enqueue", json::Value(t.enqueue_time)},
         {"start", json::Value(t.start_time)},
         {"end", json::Value(t.end_time)},
+        {"attempt", json::Value(static_cast<std::uint64_t>(t.attempt))},
+        {"ok", json::Value(t.ok)},
     });
   }
   json::Array app_rows;
@@ -99,6 +160,7 @@ json::Value TraceLog::to_json() const {
       {"tasks", json::Value(std::move(task_rows))},
       {"apps", json::Value(std::move(app_rows))},
       {"sched_rounds", json::Value(std::move(sched_rows))},
+      {"retry_latency", retry_latency_.to_json()},
   };
 }
 
@@ -110,21 +172,25 @@ Status TraceLog::write_task_csv(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Unavailable("cannot open CSV file: " + path);
   out << "app_instance_id,app_name,task_id,kernel,pe,size,enqueue,start,"
-         "end\n";
+         "end,attempt,ok\n";
   for (const TaskRecord& t : tasks()) {
     out << t.app_instance_id << ',' << t.app_name << ',' << t.task_id << ','
         << t.kernel_name << ',' << t.pe_name << ',' << t.problem_size << ','
-        << t.enqueue_time << ',' << t.start_time << ',' << t.end_time << '\n';
+        << t.enqueue_time << ',' << t.start_time << ',' << t.end_time << ','
+        << t.attempt << ',' << (t.ok ? 1 : 0) << '\n';
   }
   if (!out) return Unavailable("CSV write failed: " + path);
   return Status::Ok();
 }
 
 void TraceLog::clear() {
-  std::lock_guard lock(mutex_);
-  tasks_.clear();
-  apps_.clear();
-  sched_.clear();
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.clear();
+    apps_.clear();
+    sched_.clear();
+  }
+  retry_latency_.clear();
 }
 
 void CounterSet::add(const std::string& name, std::uint64_t delta) {

@@ -73,6 +73,11 @@ StatusOr<TrialResult> run_point(const sim::SimConfig& config,
     acc.total_sched_time += m.total_sched_time;
     acc.runtime_overhead += m.runtime_overhead;
     acc.runtime_overhead_per_app += m.runtime_overhead_per_app;
+    acc.faults_injected += m.faults_injected;
+    acc.tasks_retried += m.tasks_retried;
+    acc.pes_quarantined += m.pes_quarantined;
+    acc.pes_reinstated += m.pes_reinstated;
+    acc.tasks_lost += m.tasks_lost;
     if (acc.pe_busy.size() < m.pe_busy.size()) {
       acc.pe_busy.resize(m.pe_busy.size(), 0.0);
     }
@@ -93,6 +98,16 @@ StatusOr<TrialResult> run_point(const sim::SimConfig& config,
   acc.total_sched_time *= inv;
   acc.runtime_overhead *= inv;
   acc.runtime_overhead_per_app *= inv;
+  acc.faults_injected =
+      static_cast<std::size_t>(static_cast<double>(acc.faults_injected) * inv);
+  acc.tasks_retried =
+      static_cast<std::size_t>(static_cast<double>(acc.tasks_retried) * inv);
+  acc.pes_quarantined =
+      static_cast<std::size_t>(static_cast<double>(acc.pes_quarantined) * inv);
+  acc.pes_reinstated =
+      static_cast<std::size_t>(static_cast<double>(acc.pes_reinstated) * inv);
+  acc.tasks_lost =
+      static_cast<std::size_t>(static_cast<double>(acc.tasks_lost) * inv);
   for (double& busy : acc.pe_busy) busy *= inv;
   out.exec_time_stddev = stddev(exec_samples);
   return out;

@@ -200,6 +200,111 @@ TEST_P(SimInvariants, HoldAcrossRandomConfigurations) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimInvariants, ::testing::Range(0, 12));
 
+// ---- Scheduler invariants under faults ---------------------------------------
+
+class QuarantineInvariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuarantineInvariant, NoHeuristicAssignsToQuarantinedPe) {
+  // Randomized ready queues and quarantine patterns: no heuristic may ever
+  // place a task on a PE the runtime marked quarantined.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  const auto platform = platform::zcu102(1 + rng.next_below(4),
+                                         1 + rng.next_below(2),
+                                         rng.next_below(2));
+  for (const std::string_view name : sched::scheduler_names()) {
+    auto scheduler = sched::make_scheduler(name);
+    ASSERT_TRUE(scheduler.ok());
+    for (int round = 0; round < 20; ++round) {
+      std::vector<sched::ReadyTask> ready;
+      const std::size_t q_len = 1 + rng.next_below(12);
+      for (std::size_t q = 0; q < q_len; ++q) {
+        const bool fft = rng.next_below(2) == 0;
+        ready.push_back(sched::ReadyTask{
+            .task_key = q + 1,
+            .app_instance_id = rng.next_below(4),
+            .kernel = fft ? platform::KernelId::kFft
+                          : platform::KernelId::kGeneric,
+            .problem_size = 64u << rng.next_below(4),
+            .data_bytes = 1024,
+            .ready_time = 0.0,
+            .rank = rng.uniform(0.0, 1.0),
+            .class_mask = 0xffffffffu,
+        });
+      }
+      std::vector<sched::PeState> pes;
+      for (std::size_t i = 0; i < platform.pes.size(); ++i) {
+        pes.push_back(sched::PeState{
+            .pe_index = i,
+            .cls = platform.pes[i].cls,
+            .available_time = rng.uniform(0.0, 1e-3),
+            .speed = platform.pes[i].speed_factor,
+            .quarantined = rng.next_below(3) == 0,
+        });
+      }
+      const sched::ScheduleContext ctx{.now = 0.0, .costs = &platform.costs};
+      const sched::ScheduleResult result =
+          (*scheduler)->schedule(ready, pes, ctx);
+      for (const sched::Assignment& a : result.assignments) {
+        EXPECT_FALSE(pes[a.pe_index].quarantined)
+            << name << " assigned task to quarantined PE "
+            << platform.pes[a.pe_index].name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuarantineInvariant, ::testing::Range(0, 6));
+
+class RetryBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RetryBoundProperty, AttemptsNeverExceedPolicyBound) {
+  // Under an aggressive random fault plan, no task execution in the trace
+  // may carry an attempt index beyond the policy's retry bound, and every
+  // app must still finish (retry exhaustion surfaces as a status, not a
+  // hang).
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17);
+  rt::RuntimeConfig config;
+  config.platform = platform::host(2, 1);
+  config.scheduler = GetParam() % 2 == 0 ? "EFT" : "RR";
+  config.fault_plan.seed = rng.next_u64();
+  config.fault_plan.defaults.fail_prob = 0.35;
+  config.fault_plan.policy.max_retries = 1 + rng.next_below(3);
+  config.fault_plan.policy.backoff_base_s = 50e-6;
+  config.fault_plan.policy.quarantine_threshold = 2 + rng.next_below(3);
+  config.fault_plan.policy.probe_period_s = 1e-3;
+  const std::uint32_t bound = config.fault_plan.policy.max_retries;
+
+  rt::Runtime runtime(config);
+  ASSERT_TRUE(runtime.start().ok());
+  for (int a = 0; a < 6; ++a) {
+    auto instance = runtime.submit_api("flaky", [] {
+      std::vector<cedr_cplx> buf(64);
+      for (int i = 0; i < 8; ++i) {
+        (void)CEDR_FFT(buf.data(), buf.data(), buf.size());
+      }
+    });
+    ASSERT_TRUE(instance.ok());
+  }
+  ASSERT_TRUE(runtime.wait_all(120.0).ok());
+  EXPECT_TRUE(runtime.shutdown().ok());
+
+  for (const auto& task : runtime.trace_log().tasks()) {
+    EXPECT_LE(task.attempt, bound) << "retry bound exceeded on "
+                                   << task.pe_name;
+  }
+  EXPECT_EQ(runtime.completed_apps(), 6u);
+  const std::uint64_t recovered = runtime.counters().get("tasks_recovered");
+  const std::uint64_t failed = runtime.counters().get("tasks_failed");
+  const std::uint64_t retried = runtime.counters().get("tasks_retried");
+  // Every retry either eventually recovers or terminates in a bounded
+  // failure; retried counts attempts, so it is at least the number of
+  // tasks that needed any retry and at most bound * that.
+  EXPECT_GE(retried, recovered + failed > 0 ? 1u : 0u);
+  EXPECT_LE(failed * 1u, runtime.trace_log().tasks().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryBoundProperty, ::testing::Range(0, 4));
+
 // ---- JSON parser robustness under mutation -----------------------------------
 
 TEST(JsonFuzzLite, MutatedDocumentsNeverCrash) {

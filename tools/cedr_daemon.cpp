@@ -7,6 +7,7 @@
 // usage: cedr_daemon <socket-path> [--platform host|zcu102|jetson]
 //                    [--cpus N] [--ffts N] [--mmults N] [--gpus N]
 //                    [--scheduler RR|EFT|ETF|HEFT_RT] [--trace PATH]
+//                    [--fault-plan JSON]
 
 #include <cstdio>
 #include <cstring>
@@ -23,7 +24,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <socket-path> [--platform host|zcu102|jetson] "
                  "[--cpus N] [--ffts N] [--mmults N] [--gpus N] "
-                 "[--scheduler NAME] [--trace PATH] [--config JSON] [--verbose]\n",
+                 "[--scheduler NAME] [--trace PATH] [--config JSON] "
+                 "[--fault-plan JSON] [--verbose]\n",
                  argv[0]);
     return 2;
   }
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   std::string scheduler = "EFT";
   std::string trace_path;
   std::string config_path;
+  std::string fault_plan_path;
   std::size_t cpus = 2;
   std::size_t ffts = 1;
   std::size_t mmults = 0;
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
     else if (arg == "--mmults") mmults = std::strtoul(next(), nullptr, 10);
     else if (arg == "--gpus") gpus = std::strtoul(next(), nullptr, 10);
     else if (arg == "--config") config_path = next();
+    else if (arg == "--fault-plan") fault_plan_path = next();
     else if (arg == "--verbose") log::set_level(log::Level::kInfo);
   }
 
@@ -71,6 +75,16 @@ int main(int argc, char** argv) {
   } else {
     config.platform = platform::host(cpus, ffts, mmults);
     config.scheduler = scheduler;
+  }
+  if (!fault_plan_path.empty()) {
+    // A standalone fault plan overrides whatever the config file carried.
+    auto plan = platform::FaultPlan::load(fault_plan_path);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "cannot load fault plan: %s\n",
+                   plan.status().to_string().c_str());
+      return 1;
+    }
+    config.fault_plan = *std::move(plan);
   }
 
   rt::Runtime runtime(config);

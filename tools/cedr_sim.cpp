@@ -8,7 +8,7 @@
 //            [--mmults N] [--gpus N] [--big N] [--little N]
 //            [--scheduler NAME] [--model dag|api] [--rate MBPS]
 //            [--trials N] [--ld-scale N] [--nonblocking]
-//            [--pd N] [--tx N] [--ld N]
+//            [--pd N] [--tx N] [--ld N] [--fault-plan JSON]
 //
 // Prints one line of metrics; designed for scripting sweeps.
 
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   std::size_t cpus = 3, ffts = 1, mmults = 0, gpus = 1, big = 2, little = 4;
   std::size_t pd_count = 5, tx_count = 5, ld_count = 0;
   bool nonblocking = false;
+  std::string fault_plan_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
     else if (arg == "--tx") tx_count = std::strtoul(next(), nullptr, 10);
     else if (arg == "--ld") ld_count = std::strtoul(next(), nullptr, 10);
     else if (arg == "--nonblocking") nonblocking = true;
+    else if (arg == "--fault-plan") fault_plan_path = next();
     else if (arg == "--help" || arg == "-h") {
       std::printf("see header of tools/cedr_sim.cpp for usage\n");
       return 0;
@@ -70,6 +72,15 @@ int main(int argc, char** argv) {
   config.scheduler = scheduler;
   config.model = model == "dag" ? sim::ProgrammingModel::kDagBased
                                 : sim::ProgrammingModel::kApiBased;
+  if (!fault_plan_path.empty()) {
+    auto plan = platform::FaultPlan::load(fault_plan_path);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "cannot load fault plan: %s\n",
+                   plan.status().to_string().c_str());
+      return 1;
+    }
+    config.faults = *std::move(plan);
+  }
 
   const sim::SimApp pd = sim::make_pulse_doppler_model(nonblocking);
   const sim::SimApp tx = sim::make_wifi_tx_model(nonblocking);
@@ -98,5 +109,12 @@ int main(int argc, char** argv) {
       m.apps, m.avg_execution_time * 1e3, m.avg_sched_overhead * 1e3,
       m.runtime_overhead_per_app * 1e3, m.makespan * 1e3, m.tasks_executed,
       m.sched_rounds, m.max_ready_queue, result->exec_time_stddev * 1e3);
+  if (!fault_plan_path.empty()) {
+    std::printf(
+        "faults: injected=%zu retried=%zu quarantined=%zu reinstated=%zu "
+        "lost=%zu\n",
+        m.faults_injected, m.tasks_retried, m.pes_quarantined,
+        m.pes_reinstated, m.tasks_lost);
+  }
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive test tier under a sanitizer and runs it.
+#
+#   tools/run_tsan_tests.sh [thread|address|undefined]
+#
+# Defaults to the thread sanitizer: the runtime spawns one worker thread per
+# PE plus one thread per API application, and the fault subsystem adds
+# retry/quarantine state shared between the event loop and the workers —
+# exactly the kind of machinery TSAN exists for. The sanitizer build lives
+# in its own build tree (build-<sanitizer>/) so it never disturbs the main
+# build directory.
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${ROOT}/build-${SANITIZER}"
+
+# The concurrency-sensitive tier: threaded runtime, fault injection with
+# retry/quarantine, the 500-instance soak, cross-module properties and IPC.
+TARGETS=(test_runtime test_faults test_stress test_properties test_api test_ipc)
+
+cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+  -DCEDR_SANITIZE="${SANITIZER}" \
+  -DCEDR_BUILD_BENCH=OFF \
+  -DCEDR_BUILD_EXAMPLES=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TARGETS[@]}"
+
+# halt_on_error: a single data race fails the run loudly instead of
+# scrolling past; second_deadlock_stack helps diagnose lock inversions.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+
+status=0
+for test in "${TARGETS[@]}"; do
+  echo "==== ${test} (${SANITIZER} sanitizer) ===="
+  if ! "${BUILD_DIR}/tests/${test}"; then
+    status=1
+  fi
+done
+exit ${status}
