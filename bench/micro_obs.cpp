@@ -1,0 +1,130 @@
+// Microbenchmarks for the observability layer (google-benchmark).
+//
+// The headline numbers are the BM_ApiCallRoundTrip_* pair: the same
+// end-to-end blocking CEDR_FFT round-trip as micro_runtime, once with span
+// tracing + metrics histograms disabled and once fully enabled (plus a
+// variant with the background sampler running). The tracing-on/tracing-off
+// delta is the observability tax on the runtime's hottest path; the
+// acceptance target is < 5 % (recorded in EXPERIMENTS.md). The remaining
+// benchmarks isolate the primitives: ring record cost (enabled, disabled,
+// contended), histogram record cost, and Chrome export throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cedr/cedr.h"
+#include "cedr/obs/chrome_trace.h"
+#include "cedr/obs/metrics.h"
+#include "cedr/obs/span.h"
+#include "cedr/runtime/runtime.h"
+
+namespace {
+
+using namespace cedr;
+
+void BM_SpanRecordEnabled(benchmark::State& state) {
+  obs::SpanTracer tracer(1u << 12);
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.complete_span(obs::Category::kWorker, "FFT", 0, 1, t, 1e-6,
+                         "attempt", 0.0, "ok", 1.0);
+    t += 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRecordEnabled);
+
+void BM_SpanRecordDisabled(benchmark::State& state) {
+  obs::SpanTracer tracer(1u << 12);
+  tracer.set_enabled(false);
+  for (auto _ : state) {
+    tracer.complete_span(obs::Category::kWorker, "FFT", 0, 1, 0.0, 1e-6,
+                         "attempt", 0.0, "ok", 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRecordDisabled);
+
+void BM_SpanRecordContended(benchmark::State& state) {
+  static obs::SpanTracer tracer(1u << 14);
+  for (auto _ : state) {
+    tracer.instant(obs::Category::kWorker, "tick", 0,
+                   static_cast<std::uint64_t>(state.thread_index()), 0.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRecordContended)->Threads(2)->Threads(4);
+
+void BM_QuantileHistogramRecord(benchmark::State& state) {
+  obs::QuantileHistogram hist;
+  double v = 1.0;
+  for (auto _ : state) {
+    hist.record(v);
+    v = v < 1e6 ? v * 1.001 : 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileHistogramRecord);
+
+void BM_ChromeExport(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  obs::SpanTracer tracer(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tracer.complete_span(obs::Category::kWorker, "FFT", 0, 1 + (i % 4),
+                         i * 1e-5, 1e-5, "attempt", 0.0, "ok", 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::chrome_trace_json(tracer.snapshot()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChromeExport)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+/// End-to-end latency of one blocking CEDR_FFT through the threaded runtime
+/// (enqueue -> schedule -> worker -> condvar signal), parameterized on the
+/// observability configuration.
+void api_round_trip(benchmark::State& state, bool tracing,
+                    double sampler_period_s) {
+  rt::RuntimeConfig config;
+  config.platform = platform::host(2);
+  config.obs.tracing = tracing;
+  config.obs.sampler_period_s = sampler_period_s;
+  rt::Runtime runtime(config);
+  if (!runtime.start().ok()) {
+    state.SkipWithError("runtime failed to start");
+    return;
+  }
+  std::vector<cedr_cplx> buf(256);
+  auto instance = runtime.submit_api("bench", [&state, &buf] {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(CEDR_FFT(buf.data(), buf.data(), buf.size()));
+    }
+  });
+  if (!instance.ok()) {
+    state.SkipWithError("submit failed");
+    return;
+  }
+  (void)runtime.wait_all(600.0);
+  (void)runtime.shutdown();
+}
+
+void BM_ApiCallRoundTrip_TracingOff(benchmark::State& state) {
+  api_round_trip(state, /*tracing=*/false, /*sampler_period_s=*/0.0);
+}
+BENCHMARK(BM_ApiCallRoundTrip_TracingOff)->Unit(benchmark::kMicrosecond);
+
+void BM_ApiCallRoundTrip_TracingOn(benchmark::State& state) {
+  api_round_trip(state, /*tracing=*/true, /*sampler_period_s=*/0.0);
+}
+BENCHMARK(BM_ApiCallRoundTrip_TracingOn)->Unit(benchmark::kMicrosecond);
+
+void BM_ApiCallRoundTrip_TracingAndSampler(benchmark::State& state) {
+  api_round_trip(state, /*tracing=*/true, /*sampler_period_s=*/0.01);
+}
+BENCHMARK(BM_ApiCallRoundTrip_TracingAndSampler)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,8 +9,15 @@
 //   SUBMIT <path-to-shared-object> [app-name]   -> OK <instance-id> | ERR msg
 //   SUBMITDAG <path-to-dag-json> [app-name]      -> OK <instance-id> | ERR msg
 //   STATUS                                      -> OK submitted=N completed=M
+//   STATS                                       -> OK uptime_s=... ready=...
+//   METRICS                                     -> OK {json}   (one line)
 //   WAIT                                        -> OK            (drains apps)
 //   SHUTDOWN                                    -> OK            (stops daemon)
+//
+// STATS is a one-line key=value snapshot of live runtime state (queue depth,
+// per-PE busy fractions); METRICS returns the full MetricsRegistry snapshot
+// plus counters as compact JSON. Both work while applications are in flight
+// (see docs/observability.md for field-by-field definitions).
 //
 // A submitted shared object must export  extern "C" void cedr_app_main(void);
 // The daemon dlopens it and launches cedr_app_main as an API-mode
@@ -77,6 +84,11 @@ class IpcClient {
   StatusOr<std::uint64_t> submit_dag(const std::string& json_path);
   /// Returns (submitted, completed).
   StatusOr<std::pair<std::uint64_t, std::uint64_t>> status();
+  /// Returns the one-line STATS snapshot (without the leading "OK ").
+  StatusOr<std::string> stats();
+  /// Returns the METRICS snapshot, parsed:
+  /// {"metrics": {...}, "counters": {...}, "stats": {...}}.
+  StatusOr<json::Value> metrics();
   /// Blocks server-side until all submitted applications complete.
   Status wait_all();
   /// Asks the daemon to serialize logs and exit its accept loop.

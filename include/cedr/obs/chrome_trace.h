@@ -1,0 +1,50 @@
+#pragma once
+// Chrome trace-event JSON exporter.
+//
+// Converts a SpanTracer snapshot into the Trace Event Format understood by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev): a top-level
+// {"traceEvents":[...]} object whose entries carry ph "X" (complete spans),
+// "i" (instants), "s"/"t"/"f" (flows), and "M" (process/thread metadata).
+// Timestamps and durations are converted from seconds to microseconds, and
+// events are emitted sorted by timestamp so per-track order is monotonic.
+//
+// Track convention (see docs/observability.md):
+//   pid 0               = the runtime itself
+//     tid 0             = main event loop / scheduler
+//     tid 1 + pe        = worker thread for PE index `pe`
+//     tid kIpcTid       = IPC command lane
+//   pid 1 + instance id = one process group per application instance
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/obs/span.h"
+
+namespace cedr::obs {
+
+/// Reserved tid for IPC command handling under pid 0.
+inline constexpr std::uint64_t kIpcTid = 1000;
+
+/// Names a (pid, tid) track in the exported trace; emitted as "M" metadata.
+struct TrackName {
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;          ///< ignored for process_name entries
+  bool is_process = false;        ///< true => names the pid, not the tid
+  std::string name;
+};
+
+/// Builds the {"traceEvents":[...]} document from `events`. `tracks`
+/// supplies human-readable process/thread names; (pid, tid) pairs that
+/// appear in events but not in `tracks` get generated names.
+json::Value chrome_trace_json(const std::vector<SpanEvent>& events,
+                              const std::vector<TrackName>& tracks = {});
+
+/// Serializes chrome_trace_json() to `path`.
+Status write_chrome_trace(const std::string& path,
+                          const std::vector<SpanEvent>& events,
+                          const std::vector<TrackName>& tracks = {});
+
+}  // namespace cedr::obs

@@ -1,0 +1,92 @@
+#pragma once
+// Live metrics: named gauges, streaming-quantile histograms, and bounded
+// time series.
+//
+// Histograms use HDR-style log-linear bucketing (an octave per power of two,
+// subdivided into linear sub-buckets) which keeps the relative quantile
+// error under ~3% with a few KB of fixed storage — no sample retention, so
+// feeding one from a hot path is a mutex acquire plus two array increments.
+// All histogram values are in microseconds by convention (metric names end
+// in `_us`); gauges and series carry their unit in the name.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cedr/json/json.h"
+
+namespace cedr::obs {
+
+/// Streaming quantile estimator over non-negative values.
+class QuantileHistogram {
+ public:
+  static constexpr int kOctaves = 64;        ///< covers doubles up to 2^63
+  static constexpr int kSubBuckets = 32;     ///< linear slices per octave
+
+  void record(double value);
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Nearest-rank quantile estimate for q in [0,1] (the ceil(q*count)-th
+  /// smallest sample's bucket); 0 when empty. Estimates are clamped to the
+  /// observed [min, max].
+  double quantile(double q) const;
+
+  /// {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..}
+  json::Value to_json() const;
+
+ private:
+  double bucket_representative(int bucket) const;
+  static int bucket_index(double value);
+
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Bucket 0 is the underflow bucket [0, 1); bucket 1 + octave*kSubBuckets
+  // + sub covers [2^octave, 2^(octave+1)) split linearly.
+  std::uint64_t buckets_[1 + kOctaves * kSubBuckets] = {};
+};
+
+/// Registry of named gauges, histograms and bounded time series. Thread-safe;
+/// histogram references returned by `histogram()` are stable for the
+/// registry's lifetime so hot paths can cache them.
+class MetricsRegistry {
+ public:
+  void set_gauge(const std::string& name, double value);
+  double gauge(const std::string& name) const;  ///< 0 when absent
+  std::map<std::string, double> gauges() const;
+
+  QuantileHistogram& histogram(const std::string& name);
+
+  /// Appends (t, value) to the named series, keeping the most recent
+  /// `kSeriesCapacity` points.
+  void sample(const std::string& name, double t, double value);
+
+  struct SeriesPoint {
+    double t = 0.0;
+    double value = 0.0;
+  };
+  std::vector<SeriesPoint> series(const std::string& name) const;
+
+  /// Full snapshot: {"gauges":{..}, "histograms":{..}, "series":{..}}.
+  /// Series are truncated to their most recent `series_tail` points so the
+  /// snapshot stays small enough for a one-line IPC reply.
+  json::Value to_json(std::size_t series_tail = 32) const;
+
+  static constexpr std::size_t kSeriesCapacity = 512;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::unique_ptr<QuantileHistogram>> histograms_;
+  std::map<std::string, std::vector<SeriesPoint>> series_;
+};
+
+}  // namespace cedr::obs

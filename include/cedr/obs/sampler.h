@@ -1,0 +1,45 @@
+#pragma once
+// Background metrics sampler.
+//
+// Runs a dedicated thread that invokes a callback every `period_s` seconds
+// (the callback typically reads runtime state and feeds a MetricsRegistry).
+// Stop is prompt: the thread waits on a condition variable, not a plain
+// sleep, so shutdown does not block for a full period.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace cedr::obs {
+
+class Sampler {
+ public:
+  /// `tick` receives the seconds elapsed since start().
+  Sampler(double period_s, std::function<void(double)> tick);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Idempotent; no-op when the period is <= 0 or the thread already runs.
+  void start();
+  /// Idempotent; joins the thread. The callback is never invoked after
+  /// stop() returns.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  double period_s() const { return period_s_; }
+
+ private:
+  void loop();
+
+  double period_s_;
+  std::function<void(double)> tick_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cedr::obs

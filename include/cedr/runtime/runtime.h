@@ -27,6 +27,9 @@
 #include "cedr/common/queue.h"
 #include "cedr/json/json.h"
 #include "cedr/common/status.h"
+#include "cedr/obs/metrics.h"
+#include "cedr/obs/sampler.h"
+#include "cedr/obs/span.h"
 #include "cedr/platform/fault.h"
 #include "cedr/platform/platform.h"
 #include "cedr/runtime/completion.h"
@@ -49,6 +52,39 @@ struct ThreadBinding {
 /// The current thread's binding (default: unbound).
 ThreadBinding& thread_binding() noexcept;
 
+/// Observability knobs (span tracing + background metrics sampling).
+struct ObsConfig {
+  /// Gates the span tracer. Off, record() is a single relaxed load.
+  bool tracing = true;
+  /// Span ring size (events); rounded up to a power of two. The ring keeps
+  /// the most recent `ring_capacity` events.
+  std::size_t ring_capacity = obs::SpanTracer::kDefaultCapacity;
+  /// Period of the background sampler thread that records queue depth and
+  /// per-PE busy fraction time series; <= 0 disables the sampler.
+  double sampler_period_s = 0.0;
+
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<ObsConfig> from_json(const json::Value& value);
+};
+
+/// Live snapshot of runtime state, served over IPC as `STATS`.
+struct RuntimeStats {
+  double uptime_s = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t inflight = 0;        ///< submitted - completed
+  std::size_t ready_tasks = 0;       ///< ready queue depth
+  std::size_t deferred_tasks = 0;    ///< retries backing off
+  std::uint64_t tasks_executed = 0;  ///< execution attempts, all PEs
+  struct PeBusy {
+    std::string name;
+    std::uint64_t tasks = 0;       ///< attempts executed on this PE
+    double busy_fraction = 0.0;    ///< busy seconds / uptime
+    bool quarantined = false;
+  };
+  std::vector<PeBusy> pes;
+};
+
 /// Runtime Configuration (paper Fig. 1): platform + heuristic + features.
 struct RuntimeConfig {
   platform::PlatformConfig platform;
@@ -62,6 +98,8 @@ struct RuntimeConfig {
   /// (retry bound, backoff, quarantine). An empty plan injects nothing but
   /// the policy still governs genuine task failures.
   platform::FaultPlan fault_plan;
+  /// Live telemetry (span tracer, metrics sampler).
+  ObsConfig obs;
 
   /// Serialization to/from the JSON runtime-configuration file the paper's
   /// daemon consumes ("Runtime Configuration" input of Fig. 1).
@@ -138,6 +176,24 @@ class Runtime {
   }
   [[nodiscard]] trace::CounterSet& counters() noexcept { return counters_; }
 
+  /// Live span stream over the runtime hot paths (see docs/observability.md).
+  [[nodiscard]] obs::SpanTracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::SpanTracer& tracer() const noexcept {
+    return tracer_;
+  }
+  /// Gauges, quantile histograms and sampler time series.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Point-in-time runtime state; cheap enough to poll over IPC.
+  [[nodiscard]] RuntimeStats stats() const;
+
+  /// Exports the span ring as Chrome trace-event JSON (one pid per app
+  /// instance, one tid per PE; Perfetto-loadable).
+  Status write_chrome_trace(const std::string& path) const;
+
   /// Current fault-tolerance state of every PE, in platform order.
   [[nodiscard]] std::vector<PeHealth> pe_health() const;
 
@@ -167,6 +223,15 @@ class Runtime {
   std::unique_ptr<sched::Scheduler> scheduler_;
   trace::TraceLog trace_;
   trace::CounterSet counters_;
+  obs::SpanTracer tracer_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  /// Cached histogram handles so hot paths skip the registry map lookup.
+  obs::QuantileHistogram* queue_delay_us_ = nullptr;
+  obs::QuantileHistogram* service_time_us_ = nullptr;
+  obs::QuantileHistogram* sched_decision_us_ = nullptr;
+  /// Scheduler-round span label ("sched <heuristic>"), built once.
+  std::string sched_span_name_;
   /// Non-null when the fault plan injects anything. Per-PE streams are only
   /// touched from the owning worker thread, so no extra locking is needed.
   std::unique_ptr<platform::FaultInjector> fault_injector_;

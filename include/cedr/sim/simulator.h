@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cedr/common/status.h"
+#include "cedr/obs/span.h"
 #include "cedr/platform/fault.h"
 #include "cedr/platform/platform.h"
 #include "cedr/sim/model.h"
@@ -138,6 +139,13 @@ struct SimConfig {
   platform::FaultPlan faults;
   /// Safety valve: abort the run if the virtual clock passes this horizon.
   double max_virtual_time_s = 3600.0;
+  /// Optional span sink. When non-null the engine emits the same span
+  /// stream as the threaded runtime — scheduling rounds, task executions,
+  /// enqueue->dispatch->execute flows, fault instants, app lifecycle — with
+  /// virtual-clock timestamps and the same pid/tid track convention
+  /// (obs/chrome_trace.h). Because the engine is deterministic, identical
+  /// inputs produce a byte-identical exported Chrome trace.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 /// Runs one emulation over the given arrival sequence (need not be sorted).

@@ -42,9 +42,18 @@ struct Report {
   double total_sched_time = 0.0;
   std::size_t sched_rounds = 0;
   std::size_t max_ready_queue = 0;
-  /// Task queue-delay statistics (start - enqueue), seconds.
+  /// Task queue-delay statistics (start - enqueue), seconds. Quantiles are
+  /// streaming estimates from a log-linear histogram (obs::QuantileHistogram).
   double queue_delay_mean = 0.0;
   double queue_delay_max = 0.0;
+  double queue_delay_p50 = 0.0;
+  double queue_delay_p95 = 0.0;
+  double queue_delay_p99 = 0.0;
+  /// Task service-time statistics (end - start), seconds.
+  double service_time_mean = 0.0;
+  double service_time_p50 = 0.0;
+  double service_time_p95 = 0.0;
+  double service_time_p99 = 0.0;
   /// Fault-tolerance view (populated when the trace carries fault data).
   std::size_t failed_attempts = 0;   ///< task executions with ok == false
   std::size_t retried_attempts = 0;  ///< task executions with attempt > 0
@@ -75,5 +84,11 @@ std::string render_text(const Report& report);
 /// last hex digit of their application instance id, so interleaving across
 /// applications is visible at a glance.
 std::string render_gantt(const TraceLog& log, std::size_t width = 100);
+
+/// Reconstructs a Chrome trace-event document (the obs::chrome_trace_json
+/// format: worker execution spans, scheduling rounds, app lifecycle
+/// instants, enqueue->execute flows) from a serialized trace document, so
+/// offline traces can be loaded into chrome://tracing / Perfetto.
+StatusOr<json::Value> chrome_trace_from_trace_json(const json::Value& doc);
 
 }  // namespace cedr::trace

@@ -72,8 +72,11 @@ struct SchedRecord {
 /// for tasks that needed at least one retry.
 class LatencyHistogram {
  public:
-  /// Bucket i covers [2^i, 2^(i+1)) microseconds; bucket 0 also catches
-  /// sub-microsecond samples, the last bucket catches everything above.
+  /// Bucket 0 covers [0, 2) microseconds (including all sub-microsecond
+  /// samples); bucket i >= 1 covers [2^i, 2^(i+1)) microseconds; the last
+  /// bucket catches everything above 2^23 us. Exact powers of two land in
+  /// the bucket they open (2^i us -> bucket i), including values computed
+  /// from seconds that round to a power of two within 1e-9 relative error.
   static constexpr std::size_t kBuckets = 24;
 
   void record(double seconds);

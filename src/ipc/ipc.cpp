@@ -11,6 +11,7 @@
 
 #include "cedr/apps/executable_dag.h"
 #include "cedr/common/log.h"
+#include "cedr/obs/chrome_trace.h"
 
 namespace cedr::ipc {
 namespace {
@@ -36,7 +37,9 @@ bool read_line(int fd, std::string& line) {
     if (n <= 0) return !line.empty();
     if (c == '\n') return true;
     line += c;
-    if (line.size() > 4096) return true;  // defensive cap
+    // Defensive cap, sized for METRICS replies (a full registry snapshot is
+    // a few KB; 1 MB leaves ample headroom without risking unbounded reads).
+    if (line.size() > (1u << 20)) return true;
   }
 }
 
@@ -135,6 +138,19 @@ std::string IpcServer::handle_command(const std::string& line) {
   std::string verb;
   in >> verb;
 
+  // Every command becomes a span on the IPC lane of the live trace.
+  const double cmd_start = runtime_.now();
+  struct CommandSpan {
+    rt::Runtime& runtime;
+    std::string verb;
+    double start;
+    ~CommandSpan() {
+      runtime.tracer().complete_span(obs::Category::kIpc, verb.c_str(), 0,
+                                     obs::kIpcTid, start,
+                                     runtime.now() - start);
+    }
+  } span{runtime_, verb, cmd_start};
+
   if (verb == "SUBMIT") {
     std::string so_path;
     std::string app_name;
@@ -191,6 +207,55 @@ std::string IpcServer::handle_command(const std::string& line) {
            " completed=" + std::to_string(runtime_.completed_apps()) + "\n";
   }
 
+  if (verb == "STATS") {
+    const rt::RuntimeStats stats = runtime_.stats();
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "OK uptime_s=" << stats.uptime_s << " submitted=" << stats.submitted
+        << " completed=" << stats.completed << " inflight=" << stats.inflight
+        << " ready=" << stats.ready_tasks
+        << " deferred=" << stats.deferred_tasks
+        << " tasks=" << stats.tasks_executed << " pe_busy=";
+    for (std::size_t i = 0; i < stats.pes.size(); ++i) {
+      if (i > 0) out << ',';
+      out << stats.pes[i].name << ':' << stats.pes[i].busy_fraction;
+      if (stats.pes[i].quarantined) out << "(q)";
+    }
+    out << "\n";
+    return out.str();
+  }
+
+  if (verb == "METRICS") {
+    const rt::RuntimeStats stats = runtime_.stats();
+    json::Object stats_obj{
+        {"uptime_s", json::Value(stats.uptime_s)},
+        {"submitted", json::Value(stats.submitted)},
+        {"completed", json::Value(stats.completed)},
+        {"inflight", json::Value(stats.inflight)},
+        {"ready_tasks", json::Value(stats.ready_tasks)},
+        {"deferred_tasks", json::Value(stats.deferred_tasks)},
+        {"tasks_executed", json::Value(stats.tasks_executed)},
+    };
+    json::Object pe_busy;
+    for (const auto& pe : stats.pes) {
+      pe_busy.emplace(pe.name, json::Object{
+                                   {"busy", json::Value(pe.busy_fraction)},
+                                   {"tasks", json::Value(pe.tasks)},
+                                   {"quarantined", json::Value(pe.quarantined)},
+                               });
+    }
+    stats_obj.emplace("pes", json::Value(std::move(pe_busy)));
+    const json::Value doc = json::Object{
+        {"metrics", runtime_.metrics().to_json()},
+        {"counters", runtime_.counters().to_json()},
+        {"stats", json::Value(std::move(stats_obj))},
+    };
+    // dump() is compact (single line), so the reply stays one LF-terminated
+    // protocol line.
+    return "OK " + doc.dump() + "\n";
+  }
+
   if (verb == "WAIT") {
     const Status status = runtime_.wait_all();
     return status.ok() ? "OK\n" : "ERR " + status.to_string() + "\n";
@@ -205,6 +270,9 @@ std::string IpcServer::handle_command(const std::string& line) {
       // offline report sees the fault-tolerance story too.
       json::Value doc = runtime_.trace_log().to_json();
       doc.as_object().emplace("counters", runtime_.counters().to_json());
+      // The live-metrics snapshot rides along so offline analysis sees the
+      // same quantiles the METRICS command served while running.
+      doc.as_object().emplace("metrics", runtime_.metrics().to_json());
       const Status status = json::write_file(trace_path_, doc);
       if (!status.ok()) {
         CEDR_LOG(kWarn, kLogTag) << "trace serialization failed: "
@@ -277,6 +345,29 @@ StatusOr<std::pair<std::uint64_t, std::uint64_t>> IpcClient::status() {
     return Internal("malformed STATUS reply: " + *reply);
   }
   return std::make_pair(submitted, completed);
+}
+
+StatusOr<std::string> IpcClient::stats() {
+  auto reply = round_trip("STATS");
+  if (!reply.ok()) return reply.status();
+  if (reply->rfind("OK ", 0) != 0) {
+    return Internal("malformed STATS reply: " + *reply);
+  }
+  return reply->substr(3);
+}
+
+StatusOr<json::Value> IpcClient::metrics() {
+  auto reply = round_trip("METRICS");
+  if (!reply.ok()) return reply.status();
+  if (reply->rfind("OK ", 0) != 0) {
+    return Internal("malformed METRICS reply: " + *reply);
+  }
+  auto doc = json::parse(std::string_view(*reply).substr(3));
+  if (!doc.ok()) {
+    return Internal("METRICS reply is not valid JSON: " +
+                    doc.status().to_string());
+  }
+  return doc;
 }
 
 Status IpcClient::wait_all() { return round_trip("WAIT").status(); }

@@ -1,0 +1,136 @@
+#include "cedr/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace cedr::obs {
+namespace {
+
+const char* phase_for(EventKind kind) {
+  switch (kind) {
+    case EventKind::kComplete: return "X";
+    case EventKind::kInstant: return "i";
+    case EventKind::kFlowBegin: return "s";
+    case EventKind::kFlowStep: return "t";
+    case EventKind::kFlowEnd: return "f";
+  }
+  return "X";
+}
+
+}  // namespace
+
+json::Value chrome_trace_json(const std::vector<SpanEvent>& events,
+                              const std::vector<TrackName>& tracks) {
+  // Sort by timestamp (stably, so same-ts events keep record order) to give
+  // Perfetto the monotonic per-track stream it expects.
+  std::vector<const SpanEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const SpanEvent& event : events) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanEvent* a, const SpanEvent* b) {
+                     return a->ts < b->ts;
+                   });
+
+  json::Array rows;
+  rows.reserve(events.size() + tracks.size() + 16);
+
+  // Metadata first: explicit track names, then generated ones for any
+  // (pid, tid) that shows up in the event stream without a name.
+  std::set<std::uint64_t> named_pids;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> named_tids;
+  for (const TrackName& track : tracks) {
+    json::Object args{{"name", json::Value(track.name)}};
+    if (track.is_process) {
+      named_pids.insert(track.pid);
+      rows.push_back(json::Object{
+          {"ph", json::Value("M")},
+          {"name", json::Value("process_name")},
+          {"pid", json::Value(track.pid)},
+          {"args", json::Value(std::move(args))},
+      });
+    } else {
+      named_tids.insert({track.pid, track.tid});
+      rows.push_back(json::Object{
+          {"ph", json::Value("M")},
+          {"name", json::Value("thread_name")},
+          {"pid", json::Value(track.pid)},
+          {"tid", json::Value(track.tid)},
+          {"args", json::Value(std::move(args))},
+      });
+    }
+  }
+  for (const SpanEvent* event : ordered) {
+    if (named_pids.insert(event->pid).second) {
+      rows.push_back(json::Object{
+          {"ph", json::Value("M")},
+          {"name", json::Value("process_name")},
+          {"pid", json::Value(event->pid)},
+          {"args", json::Object{{"name",
+                                 json::Value(event->pid == 0
+                                                 ? std::string("runtime")
+                                                 : "app " +
+                                                       std::to_string(
+                                                           event->pid - 1))}}},
+      });
+    }
+    if (named_tids.insert({event->pid, event->tid}).second) {
+      rows.push_back(json::Object{
+          {"ph", json::Value("M")},
+          {"name", json::Value("thread_name")},
+          {"pid", json::Value(event->pid)},
+          {"tid", json::Value(event->tid)},
+          {"args",
+           json::Object{{"name", json::Value("track " +
+                                             std::to_string(event->tid))}}},
+      });
+    }
+  }
+
+  for (const SpanEvent* event : ordered) {
+    json::Object row{
+        {"ph", json::Value(phase_for(event->kind))},
+        {"name", json::Value(std::string(event->name))},
+        {"cat", json::Value(category_name(event->category))},
+        {"pid", json::Value(event->pid)},
+        {"tid", json::Value(event->tid)},
+        {"ts", json::Value(event->ts * 1e6)},
+    };
+    if (event->kind == EventKind::kComplete) {
+      row.emplace("dur", json::Value(event->dur * 1e6));
+    }
+    if (event->kind == EventKind::kInstant) {
+      row.emplace("s", json::Value("t"));  // thread-scoped instant
+    }
+    if (event->kind == EventKind::kFlowBegin ||
+        event->kind == EventKind::kFlowStep ||
+        event->kind == EventKind::kFlowEnd) {
+      row.emplace("id", json::Value(event->flow_id));
+      if (event->kind == EventKind::kFlowEnd) {
+        row.emplace("bp", json::Value("e"));  // bind to enclosing slice
+      }
+    }
+    json::Object args;
+    if (event->arg0_name != nullptr) {
+      args.emplace(event->arg0_name, json::Value(event->arg0));
+    }
+    if (event->arg1_name != nullptr) {
+      args.emplace(event->arg1_name, json::Value(event->arg1));
+    }
+    if (!args.empty()) row.emplace("args", json::Value(std::move(args)));
+    rows.push_back(json::Value(std::move(row)));
+  }
+
+  return json::Object{
+      {"traceEvents", json::Value(std::move(rows))},
+      {"displayTimeUnit", json::Value("ms")},
+  };
+}
+
+Status write_chrome_trace(const std::string& path,
+                          const std::vector<SpanEvent>& events,
+                          const std::vector<TrackName>& tracks) {
+  return json::write_file(path, chrome_trace_json(events, tracks));
+}
+
+}  // namespace cedr::obs

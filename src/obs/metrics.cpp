@@ -1,0 +1,180 @@
+#include "cedr/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cedr::obs {
+
+int QuantileHistogram::bucket_index(double value) {
+  if (!(value >= 1.0)) return 0;  // underflow bucket, also catches NaN
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // value = frac * 2^exp, frac in [0.5,1)
+  const int octave = exp - 1;                   // value in [2^octave, 2^(octave+1))
+  if (octave >= kOctaves) return kOctaves * kSubBuckets;  // clamp to top
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets));
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double QuantileHistogram::bucket_representative(int bucket) const {
+  if (bucket == 0) return 0.5;
+  const int octave = (bucket - 1) / kSubBuckets;
+  const int sub = (bucket - 1) % kSubBuckets;
+  const double base = std::ldexp(1.0, octave);
+  return base * (1.0 + (static_cast<double>(sub) + 0.5) / kSubBuckets);
+}
+
+void QuantileHistogram::record(double value) {
+  if (!(value >= 0.0)) value = 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_index(value)];
+}
+
+std::uint64_t QuantileHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double QuantileHistogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double QuantileHistogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double QuantileHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double QuantileHistogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double QuantileHistogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the q-quantile is the ceil(q*n)-th smallest sample, so
+  // tail quantiles of small samples resolve to the tail (p99 of three
+  // samples is the largest one, not the median).
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  constexpr int kTotal = 1 + kOctaves * kSubBuckets;
+  for (int bucket = 0; bucket < kTotal; ++bucket) {
+    seen += buckets_[bucket];
+    if (static_cast<double>(seen) >= rank) {
+      return std::clamp(bucket_representative(bucket), min_, max_);
+    }
+  }
+  return max_;
+}
+
+json::Value QuantileHistogram::to_json() const {
+  return json::Object{
+      {"count", json::Value(count())},
+      {"sum", json::Value(sum())},
+      {"mean", json::Value(mean())},
+      {"p50", json::Value(quantile(0.50))},
+      {"p95", json::Value(quantile(0.95))},
+      {"p99", json::Value(quantile(0.99))},
+      {"max", json::Value(max())},
+  };
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+QuantileHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<QuantileHistogram>();
+  return *slot;
+}
+
+void MetricsRegistry::sample(const std::string& name, double t, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& points = series_[name];
+  if (points.size() >= kSeriesCapacity) {
+    points.erase(points.begin(),
+                 points.begin() +
+                     static_cast<std::ptrdiff_t>(points.size() -
+                                                 kSeriesCapacity + 1));
+  }
+  points.push_back(SeriesPoint{t, value});
+}
+
+std::vector<MetricsRegistry::SeriesPoint> MetricsRegistry::series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it != series_.end() ? it->second : std::vector<SeriesPoint>{};
+}
+
+json::Value MetricsRegistry::to_json(std::size_t series_tail) const {
+  json::Object gauges;
+  json::Object series;
+  std::vector<std::pair<std::string, QuantileHistogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, value] : gauges_) {
+      gauges.emplace(name, json::Value(value));
+    }
+    for (const auto& [name, points] : series_) {
+      json::Array arr;
+      const std::size_t begin =
+          points.size() > series_tail ? points.size() - series_tail : 0;
+      arr.reserve(points.size() - begin);
+      for (std::size_t i = begin; i < points.size(); ++i) {
+        arr.push_back(json::Object{
+            {"t", json::Value(points[i].t)},
+            {"v", json::Value(points[i].value)},
+        });
+      }
+      series.emplace(name, json::Value(std::move(arr)));
+    }
+    hists.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      hists.emplace_back(name, hist.get());
+    }
+  }
+  // Histogram serialization takes each histogram's own mutex; done outside
+  // the registry lock to keep lock ordering trivial.
+  json::Object histograms;
+  for (const auto& [name, hist] : hists) {
+    histograms.emplace(name, hist->to_json());
+  }
+  return json::Object{
+      {"gauges", json::Value(std::move(gauges))},
+      {"histograms", json::Value(std::move(histograms))},
+      {"series", json::Value(std::move(series))},
+  };
+}
+
+}  // namespace cedr::obs

@@ -1,0 +1,52 @@
+#include "cedr/obs/sampler.h"
+
+#include <chrono>
+#include <utility>
+
+namespace cedr::obs {
+
+Sampler::Sampler(double period_s, std::function<void(double)> tick)
+    : period_s_(period_s), tick_(std::move(tick)) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  if (period_s_ <= 0.0 || thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Sampler::loop() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto period = std::chrono::duration<double>(period_s_);
+  auto next = start + period;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    if (cv_.wait_until(lock, next, [this] { return stop_requested_; })) break;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    lock.unlock();
+    tick_(elapsed);
+    lock.lock();
+    next += period;
+    // If a tick overran, skip ahead rather than firing a burst.
+    const auto now = std::chrono::steady_clock::now();
+    while (next <= now) next += period;
+  }
+}
+
+}  // namespace cedr::obs

@@ -1,0 +1,167 @@
+#include "cedr/obs/span.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace cedr::obs {
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::kRuntime: return "runtime";
+    case Category::kSched: return "sched";
+    case Category::kWorker: return "worker";
+    case Category::kIpc: return "ipc";
+    case Category::kApp: return "app";
+    case Category::kFault: return "fault";
+    case Category::kSim: return "sim";
+  }
+  return "?";
+}
+
+void SpanEvent::set_name(const char* text) {
+  if (text == nullptr) {
+    name[0] = '\0';
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 1 < kNameCapacity && text[i] != '\0'; ++i) name[i] = text[i];
+  name[i] = '\0';
+}
+
+SpanTracer::SpanTracer(std::size_t capacity) {
+  capacity_ = std::bit_ceil(std::max<std::size_t>(capacity, 16));
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+}
+
+void SpanTracer::record(const SpanEvent& event) {
+  if (!enabled()) return;
+  const std::uint64_t ticket = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Claim the slot: spin until we flip its sequence from even to odd. The
+  // window is tiny (a struct copy), so contention here means the ring is
+  // severely undersized relative to the writer count. Reload the sequence
+  // every iteration (an odd observation must not be spun on forever) and
+  // yield periodically so a preempted holder can finish on a loaded core.
+  std::uint32_t seq;
+  for (int spins = 0;;) {
+    seq = slot.seq.load(std::memory_order_relaxed);
+    if ((seq & 1u) == 0 &&
+        slot.seq.compare_exchange_weak(seq, seq + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  slot.ticket = ticket;
+  slot.event = event;
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+void SpanTracer::complete_span(Category cat, const char* name,
+                               std::uint64_t pid, std::uint64_t tid,
+                               double start, double duration,
+                               const char* arg0_name, double arg0,
+                               const char* arg1_name, double arg1) {
+  if (!enabled()) return;
+  SpanEvent event;
+  event.kind = EventKind::kComplete;
+  event.category = cat;
+  event.set_name(name);
+  event.ts = start;
+  event.dur = duration;
+  event.pid = pid;
+  event.tid = tid;
+  event.arg0_name = arg0_name;
+  event.arg0 = arg0;
+  event.arg1_name = arg1_name;
+  event.arg1 = arg1;
+  record(event);
+}
+
+void SpanTracer::instant(Category cat, const char* name, std::uint64_t pid,
+                         std::uint64_t tid, double ts, const char* arg0_name,
+                         double arg0, const char* arg1_name, double arg1) {
+  if (!enabled()) return;
+  SpanEvent event;
+  event.kind = EventKind::kInstant;
+  event.category = cat;
+  event.set_name(name);
+  event.ts = ts;
+  event.pid = pid;
+  event.tid = tid;
+  event.arg0_name = arg0_name;
+  event.arg0 = arg0;
+  event.arg1_name = arg1_name;
+  event.arg1 = arg1;
+  record(event);
+}
+
+void SpanTracer::flow(EventKind kind, Category cat, const char* name,
+                      std::uint64_t pid, std::uint64_t tid, double ts,
+                      std::uint64_t flow_id) {
+  if (!enabled()) return;
+  SpanEvent event;
+  event.kind = kind;
+  event.category = cat;
+  event.set_name(name);
+  event.ts = ts;
+  event.pid = pid;
+  event.tid = tid;
+  event.flow_id = flow_id;
+  record(event);
+}
+
+std::vector<SpanEvent> SpanTracer::snapshot() const {
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  std::vector<std::pair<std::uint64_t, SpanEvent>> staged;
+  staged.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t ticket = begin; ticket < end; ++ticket) {
+    Slot& slot = slots_[ticket & mask_];
+    // Claim the slot the same way a writer would so the copy is race-free
+    // under TSAN; a writer that arrives meanwhile simply spins for the
+    // duration of one struct copy. Same reload-and-yield discipline as
+    // record().
+    std::uint32_t seq;
+    for (int spins = 0;;) {
+      seq = slot.seq.load(std::memory_order_relaxed);
+      if ((seq & 1u) == 0 &&
+          slot.seq.compare_exchange_weak(seq, seq + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        break;
+      }
+      if (++spins >= 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    const std::uint64_t stored_ticket = slot.ticket;
+    SpanEvent copy = slot.event;
+    slot.seq.store(seq + 2, std::memory_order_release);
+    // The slot may have been recycled by a faster writer; keep the event
+    // only if it still belongs to the window we are iterating.
+    if (stored_ticket >= begin && stored_ticket < end) {
+      staged.emplace_back(stored_ticket, copy);
+    }
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  staged.erase(std::unique(staged.begin(), staged.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               staged.end());
+  std::vector<SpanEvent> events;
+  events.reserve(staged.size());
+  for (auto& [ticket, event] : staged) events.push_back(event);
+  return events;
+}
+
+}  // namespace cedr::obs

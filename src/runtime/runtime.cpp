@@ -12,6 +12,7 @@
 
 #include "cedr/common/log.h"
 #include "cedr/common/stopwatch.h"
+#include "cedr/obs/chrome_trace.h"
 #include "cedr/sched/rank.h"
 
 namespace cedr::rt {
@@ -118,6 +119,21 @@ struct Runtime::Worker {
   bool quarantined = false;
   bool probe_inflight = false;  ///< a probe task is on this PE right now
   double probe_at = 0.0;        ///< when the next probe may be dispatched
+
+  // Busy-time accounting for the utilization sampler and STATS. Written
+  // only by the owning worker thread; read by the sampler / stats() without
+  // the state mutex, hence atomics (plain store/load, single writer).
+  std::atomic<double> busy_seconds{0.0};
+  std::atomic<double> busy_since{-1.0};  ///< start of current task, or -1
+  std::atomic<std::uint64_t> tasks_done{0};
+
+  /// Busy seconds including the currently running task, at runtime time `t`.
+  [[nodiscard]] double busy_at(double t) const {
+    double busy = busy_seconds.load(std::memory_order_relaxed);
+    const double since = busy_since.load(std::memory_order_relaxed);
+    if (since >= 0.0 && t > since) busy += t - since;
+    return busy;
+  }
 };
 
 struct Runtime::Impl {
@@ -172,6 +188,29 @@ struct Runtime::Impl {
 // Runtime configuration file
 // ---------------------------------------------------------------------------
 
+json::Value ObsConfig::to_json() const {
+  return json::Object{
+      {"tracing", json::Value(tracing)},
+      {"ring_capacity", json::Value(ring_capacity)},
+      {"sampler_period_s", json::Value(sampler_period_s)},
+  };
+}
+
+StatusOr<ObsConfig> ObsConfig::from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return InvalidArgument("obs configuration must be a JSON object");
+  }
+  ObsConfig config;
+  config.tracing = value.get_bool("tracing", true);
+  const std::int64_t ring = value.get_int(
+      "ring_capacity",
+      static_cast<std::int64_t>(obs::SpanTracer::kDefaultCapacity));
+  if (ring <= 0) return InvalidArgument("obs ring_capacity must be positive");
+  config.ring_capacity = static_cast<std::size_t>(ring);
+  config.sampler_period_s = value.get_double("sampler_period_s", 0.0);
+  return config;
+}
+
 json::Value RuntimeConfig::to_json() const {
   return json::Object{
       {"platform", platform.to_json()},
@@ -179,6 +218,7 @@ json::Value RuntimeConfig::to_json() const {
       {"scheduler_period_s", json::Value(scheduler_period_s)},
       {"enable_counters", json::Value(enable_counters)},
       {"fault_plan", fault_plan.to_json()},
+      {"obs", obs.to_json()},
   };
 }
 
@@ -209,6 +249,11 @@ StatusOr<RuntimeConfig> RuntimeConfig::from_json(const json::Value& value) {
     if (!parsed.ok()) return parsed.status();
     config.fault_plan = *std::move(parsed);
   }
+  if (const json::Value* obs = value.find("obs")) {
+    auto parsed = ObsConfig::from_json(*obs);
+    if (!parsed.ok()) return parsed.status();
+    config.obs = *std::move(parsed);
+  }
   return config;
 }
 
@@ -223,7 +268,15 @@ StatusOr<RuntimeConfig> RuntimeConfig::load(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(RuntimeConfig config)
-    : config_(std::move(config)), impl_(std::make_unique<Impl>()) {}
+    : config_(std::move(config)),
+      tracer_(config_.obs.ring_capacity),
+      impl_(std::make_unique<Impl>()) {
+  tracer_.set_enabled(config_.obs.tracing);
+  queue_delay_us_ = &metrics_.histogram("queue_delay_us");
+  service_time_us_ = &metrics_.histogram("service_time_us");
+  sched_decision_us_ = &metrics_.histogram("sched_decision_us");
+  sched_span_name_ = "sched " + config_.scheduler;
+}
 
 Runtime::~Runtime() {
   const Status status = shutdown();
@@ -270,6 +323,53 @@ std::vector<PeHealth> Runtime::pe_health() const {
     });
   }
   return out;
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats out;
+  out.uptime_s = now();
+  out.submitted = submitted_apps();
+  out.completed = completed_apps();
+  out.inflight = out.submitted - out.completed;
+  std::lock_guard lock(impl_->mutex);
+  out.ready_tasks = impl_->ready_queue.size();
+  out.deferred_tasks = impl_->deferred.size();
+  for (const auto& worker : impl_->workers) {
+    const std::uint64_t tasks =
+        worker->tasks_done.load(std::memory_order_relaxed);
+    out.tasks_executed += tasks;
+    out.pes.push_back(RuntimeStats::PeBusy{
+        .name = worker->pe.name,
+        .tasks = tasks,
+        .busy_fraction = out.uptime_s > 0.0
+                             ? worker->busy_at(out.uptime_s) / out.uptime_s
+                             : 0.0,
+        .quarantined = worker->quarantined,
+    });
+  }
+  return out;
+}
+
+Status Runtime::write_chrome_trace(const std::string& path) const {
+  std::vector<obs::TrackName> tracks;
+  tracks.push_back({.pid = 0, .is_process = true, .name = "cedr runtime"});
+  tracks.push_back({.pid = 0, .tid = 0, .name = "main loop"});
+  tracks.push_back({.pid = 0, .tid = obs::kIpcTid, .name = "ipc"});
+  {
+    std::lock_guard lock(impl_->mutex);
+    for (const auto& worker : impl_->workers) {
+      tracks.push_back(
+          {.pid = 0, .tid = 1 + worker->pe_index, .name = worker->pe.name});
+    }
+    // App instances are never erased from the map, so every pid that can
+    // appear in the span stream gets a name.
+    for (const auto& [id, app] : impl_->apps) {
+      tracks.push_back({.pid = 1 + id,
+                        .is_process = true,
+                        .name = app->name + " #" + std::to_string(id)});
+    }
+  }
+  return obs::write_chrome_trace(path, tracer_.snapshot(), tracks);
 }
 
 Status Runtime::start() {
@@ -319,6 +419,45 @@ Status Runtime::start() {
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
   }
   impl_->main_thread = std::thread([this] { main_loop(); });
+  tracer_.instant(obs::Category::kRuntime, "runtime_start", 0, 0, 0.0);
+  if (config_.obs.sampler_period_s > 0.0) {
+    // The tick computes each PE's busy fraction over the elapsed interval
+    // (not lifetime) so the series shows utilization as it changes.
+    sampler_ = std::make_unique<obs::Sampler>(
+        config_.obs.sampler_period_s,
+        [this, prev_busy = std::vector<double>(impl_->workers.size(), 0.0),
+         prev_t = 0.0](double) mutable {
+          const double t = now();
+          const double interval = t - prev_t;
+          std::size_t ready = 0;
+          std::size_t deferred = 0;
+          {
+            std::lock_guard lock(impl_->mutex);
+            ready = impl_->ready_queue.size();
+            deferred = impl_->deferred.size();
+          }
+          const double inflight = static_cast<double>(
+              submitted_apps() - completed_apps());
+          metrics_.set_gauge("ready_queue_depth", static_cast<double>(ready));
+          metrics_.set_gauge("deferred_tasks", static_cast<double>(deferred));
+          metrics_.set_gauge("inflight_apps", inflight);
+          metrics_.sample("ready_queue_depth", t, static_cast<double>(ready));
+          metrics_.sample("inflight_apps", t, inflight);
+          for (std::size_t i = 0; i < impl_->workers.size(); ++i) {
+            const double busy = impl_->workers[i]->busy_at(t);
+            const double frac =
+                interval > 0.0
+                    ? std::clamp((busy - prev_busy[i]) / interval, 0.0, 1.0)
+                    : 0.0;
+            prev_busy[i] = busy;
+            const std::string name = "pe." + impl_->workers[i]->pe.name + ".busy";
+            metrics_.set_gauge(name, frac);
+            metrics_.sample(name, t, frac);
+          }
+          prev_t = t;
+        });
+    sampler_->start();
+  }
   CEDR_LOG(kInfo, kLogTag) << "runtime started: platform="
                            << config_.platform.name
                            << " pes=" << config_.platform.pes.size()
@@ -334,6 +473,8 @@ Status Runtime::shutdown() {
   }
   // Drain all in-flight applications before stopping the machinery.
   const Status drain = wait_all();
+  if (sampler_ != nullptr) sampler_->stop();
+  tracer_.instant(obs::Category::kRuntime, "runtime_shutdown", 0, 0, now());
   {
     std::lock_guard lock(impl_->mutex);
     impl_->stopping = true;
@@ -404,8 +545,14 @@ StatusOr<std::uint64_t> Runtime::submit_dag(
     inflight->rank = instance->ranks[t.id];
     inflight->enqueue_time = now();
     inflight->first_enqueue_time = inflight->enqueue_time;
+    tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                 t.name.c_str(), 1 + id, 0, inflight->enqueue_time,
+                 inflight->key);
     impl_->ready_queue.push_back(std::move(inflight));
   }
+  tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0,
+                  instance->arrival_time, "tasks",
+                  static_cast<double>(instance->tasks_remaining));
   ++impl_->sched_epoch;
   impl_->apps.emplace(id, std::move(instance));
   impl_->submitted.fetch_add(1, std::memory_order_relaxed);
@@ -433,6 +580,8 @@ StatusOr<std::uint64_t> Runtime::submit_api(std::string app_name,
   instance->arrival_time = now();
   instance->launch_time = instance->arrival_time;
   AppInstance* raw = instance.get();
+  tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0,
+                  instance->arrival_time);
   impl_->apps.emplace(id, std::move(instance));
   impl_->submitted.fetch_add(1, std::memory_order_relaxed);
   count("apps_submitted_api");
@@ -492,6 +641,9 @@ Status Runtime::enqueue_kernel(KernelRequest request, CompletionPtr completion) 
     inflight->key = impl_->next_task_key++;
     inflight->enqueue_time = now();
     inflight->first_enqueue_time = inflight->enqueue_time;
+    tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                 inflight->name.c_str(), 1 + binding.instance_id, 0,
+                 inflight->enqueue_time, inflight->key);
     ++impl_->sched_epoch;
     ++it->second->outstanding_kernels;
     // "Pushing tasks to the ready queue ... is handled by the application
@@ -553,11 +705,16 @@ void Runtime::process_completions() {
     if (!status.ok()) {
       // --- PE health: consecutive faults drive quarantine. -----------------
       ++worker.faults_seen;
+      tracer_.instant(obs::Category::kFault, "fault", 0,
+                      1 + worker.pe_index, t_now, "attempt",
+                      static_cast<double>(inflight->attempt));
       if (worker.quarantined) {
         // A failed probe: the PE stays out; schedule the next probe window.
         worker.probe_inflight = false;
         worker.probe_at = t_now + policy.probe_period_s;
         count("probes_failed");
+        tracer_.instant(obs::Category::kFault, "probe_failed", 0,
+                        1 + worker.pe_index, t_now);
       } else {
         ++worker.consecutive_faults;
         if (policy.quarantine_threshold > 0 &&
@@ -567,6 +724,9 @@ void Runtime::process_completions() {
           worker.probe_at = t_now + policy.probe_period_s;
           ++worker.quarantines;
           count("pes_quarantined");
+          tracer_.instant(obs::Category::kFault, "pe_quarantined", 0,
+                          1 + worker.pe_index, t_now, "consecutive_faults",
+                          static_cast<double>(worker.consecutive_faults));
           CEDR_LOG(kWarn, kLogTag)
               << "PE " << worker.pe.name << " quarantined after "
               << worker.consecutive_faults << " consecutive faults";
@@ -586,12 +746,19 @@ void Runtime::process_completions() {
             std::pow(policy.backoff_factor,
                      static_cast<double>(inflight->attempt - 1));
         inflight->retry_at = t_now + backoff;
+        tracer_.instant(obs::Category::kFault, "retry_backoff", 0,
+                        1 + worker.pe_index, t_now, "attempt",
+                        static_cast<double>(inflight->attempt), "backoff_s",
+                        backoff);
         impl_->deferred.push_back(std::move(inflight));
         continue;  // not terminal: no successor release, no app signal
       }
       // Terminal failure: retries exhausted. Only now does the failure
       // become visible to the application.
       count("tasks_failed");
+      tracer_.instant(obs::Category::kFault, "task_failed", 0,
+                      1 + worker.pe_index, t_now, "attempts",
+                      static_cast<double>(inflight->attempt + 1));
       CEDR_LOG(kWarn, kLogTag)
           << "task '" << inflight->name << "' failed after "
           << (inflight->attempt + 1)
@@ -604,12 +771,17 @@ void Runtime::process_completions() {
       if (worker.quarantined) {
         worker.quarantined = false;
         count("pes_reinstated");
+        tracer_.instant(obs::Category::kFault, "pe_reinstated", 0,
+                        1 + worker.pe_index, t_now);
         CEDR_LOG(kInfo, kLogTag)
             << "PE " << worker.pe.name << " reinstated after probe success";
       }
       if (inflight->attempt > 0) {
         count("tasks_recovered");
         trace_.add_retry_latency(t_now - inflight->first_enqueue_time);
+        tracer_.instant(obs::Category::kFault, "task_recovered", 0,
+                        1 + worker.pe_index, t_now, "latency_s",
+                        t_now - inflight->first_enqueue_time);
       }
     }
     auto it = impl_->apps.find(inflight->app_instance_id);
@@ -633,6 +805,9 @@ void Runtime::process_completions() {
         next->dag_task_id = t.id;
         next->rank = app.ranks[t.id];
         next->enqueue_time = now();
+        tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                     t.name.c_str(), 1 + app.id, 0, next->enqueue_time,
+                     next->key);
         impl_->ready_queue.push_back(std::move(next));
       }
       if (--app.tasks_remaining == 0) {
@@ -662,13 +837,16 @@ void Runtime::process_completions() {
 
 void Runtime::finish_app_locked(AppInstance& app) {
   app.finished = true;
+  const double completion = now();
   trace_.add_app(trace::AppRecord{
       .app_instance_id = app.id,
       .app_name = app.name,
       .arrival_time = app.arrival_time,
       .launch_time = app.launch_time,
-      .completion_time = now(),
+      .completion_time = completion,
   });
+  tracer_.instant(obs::Category::kApp, "app_complete", 1 + app.id, 0,
+                  completion, "exec_time_s", completion - app.arrival_time);
   impl_->completed.fetch_add(1, std::memory_order_relaxed);
   count("apps_completed");
 }
@@ -770,6 +948,11 @@ void Runtime::run_scheduling_round() {
       .assigned = result.assignments.size(),
       .decision_time = decision_time,
   });
+  sched_decision_us_->record(decision_time * 1e6);
+  tracer_.complete_span(obs::Category::kSched, sched_span_name_.c_str(), 0, 0,
+                        t_now, decision_time, "ready",
+                        static_cast<double>(views.size()), "assigned",
+                        static_cast<double>(result.assignments.size()));
   count("sched_rounds");
   count("sched_comparisons", result.comparisons);
 
@@ -785,6 +968,8 @@ void Runtime::run_scheduling_round() {
       count("probes_dispatched");
     }
     assigned[a.queue_index] = 1;
+    tracer_.flow(obs::EventKind::kFlowStep, obs::Category::kSched, "dispatch",
+                 0, 0, now(), impl_->ready_queue[a.queue_index]->key);
     w.mailbox.push(impl_->ready_queue[a.queue_index]);
   }
   std::deque<std::shared_ptr<InFlightTask>> remaining;
@@ -878,8 +1063,14 @@ void Runtime::worker_loop(Worker& worker) {
   while (auto item = worker.mailbox.pop()) {
     std::shared_ptr<InFlightTask> task = std::move(*item);
     const double start = now();
+    worker.busy_since.store(start, std::memory_order_relaxed);
     Status status = execute_on_pe(*task, worker);
     const double end = now();
+    worker.busy_seconds.store(
+        worker.busy_seconds.load(std::memory_order_relaxed) + (end - start),
+        std::memory_order_relaxed);
+    worker.busy_since.store(-1.0, std::memory_order_relaxed);
+    worker.tasks_done.fetch_add(1, std::memory_order_relaxed);
     // Per-task deadline: when fault injection is active, an execution that
     // overran the policy deadline is treated as a failure (and retried) even
     // if it eventually produced a result — the paper's real-time framing.
@@ -905,6 +1096,14 @@ void Runtime::worker_loop(Worker& worker) {
     if (config_.enable_counters) {
       counters_.add(std::string("tasks_on_") + worker.pe.name);
     }
+    queue_delay_us_->record((start - task->enqueue_time) * 1e6);
+    service_time_us_->record((end - start) * 1e6);
+    tracer_.flow(obs::EventKind::kFlowEnd, obs::Category::kWorker, "execute",
+                 0, 1 + worker.pe_index, start, task->key);
+    tracer_.complete_span(obs::Category::kWorker, task->name.c_str(), 0,
+                          1 + worker.pe_index, start, end - start, "attempt",
+                          static_cast<double>(task->attempt), "ok",
+                          status.ok() ? 1.0 : 0.0);
     // Fig. 4: the worker signals the sleeping application thread directly —
     // but only on success. Failures first go through the main loop's retry
     // machinery; only a terminal failure is signalled (from there).

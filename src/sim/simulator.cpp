@@ -74,6 +74,7 @@ struct Worker {
   bool busy = false;
   SimTask current{};
   double remaining = 0.0;
+  double started = 0.0;  ///< virtual time the current task began executing
   double busy_work = 0.0;
   // Fault-tolerance state (mirrors the threaded runtime's Worker health).
   bool current_faulted = false;  ///< the in-flight execution will fail
@@ -124,6 +125,10 @@ class Engine {
     auto scheduler = sched::make_scheduler(config_.scheduler);
     if (!scheduler.ok()) return scheduler.status();
     scheduler_ = *std::move(scheduler);
+    sched_span_name_ = "sched " + config_.scheduler;
+    if (tr() != nullptr) {
+      tr()->instant(obs::Category::kRuntime, "runtime_start", 0, 0, now_);
+    }
     if (!config_.faults.empty()) {
       injector_ = std::make_unique<platform::FaultInjector>(
           config_.faults, config_.platform.pes);
@@ -203,10 +208,17 @@ class Engine {
 #endif
       return Internal("simulation quiesced with unfinished applications");
     }
+    if (tr() != nullptr) {
+      tr()->instant(obs::Category::kRuntime, "runtime_shutdown", 0, 0, now_);
+    }
     return collect_metrics();
   }
 
  private:
+  /// Span sink, nullptr when tracing is off. Kept short: it guards every
+  /// emission site.
+  [[nodiscard]] obs::SpanTracer* tr() const noexcept { return config_.tracer; }
+
   // ---- time base -----------------------------------------------------
 
   [[nodiscard]] std::size_t runnable_pool_count() const noexcept {
@@ -315,6 +327,11 @@ class Engine {
       instances_.push_back(std::move(inst));
       mgmt_.push_back(MgmtEvent{MgmtEvent::Kind::kArrival,
                                 instances_.size() - 1});
+      if (tr() != nullptr) {
+        tr()->instant(obs::Category::kApp, "app_arrival",
+                      1 + (instances_.size() - 1), 0, now_, "tasks",
+                      static_cast<double>(a.app->dag_task_count()));
+      }
     }
     // Deferred retries whose backoff has elapsed re-enter the ready queue.
     if (!deferred_.empty()) {
@@ -388,8 +405,9 @@ class Engine {
     const double rank = inst.ranks[segment];
     auto push_one = [&](platform::KernelId kernel, std::size_t size,
                         std::size_t bytes) {
+      const std::uint64_t key = next_key_++;
       ready_.push_back(SimTask{
-          .key = next_key_++,
+          .key = key,
           .instance = instance_idx,
           .segment = segment,
           .kernel = kernel,
@@ -399,6 +417,11 @@ class Engine {
           .ready_time = now_,
           .class_mask = class_mask_for(kernel, size),
       });
+      if (tr() != nullptr) {
+        tr()->flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                   platform::kernel_name(kernel).data(), 1 + instance_idx, 0,
+                   now_, key);
+      }
     };
     if (seg.kind == SimSegment::Kind::kCpuGlue) {
       push_one(platform::KernelId::kGeneric,
@@ -427,7 +450,12 @@ class Engine {
     w.current = std::move(w.fifo.front());
     w.fifo.pop_front();
     w.busy = true;
+    w.started = now_;
     w.current_faulted = false;
+    if (tr() != nullptr) {
+      tr()->flow(obs::EventKind::kFlowEnd, obs::Category::kWorker, "execute",
+                 0, 1 + w.pe_index, now_, w.current.key);
+    }
     w.remaining = config_.platform.costs.estimate(
                       w.current.kernel, w.cls, w.current.size,
                       w.current.bytes) /
@@ -476,9 +504,17 @@ class Engine {
   void complete_worker_task(Worker& w) {
     SimTask task = w.current;
     const bool faulted = w.current_faulted;
+    const double started = w.started;
     w.busy = false;
     w.current_faulted = false;
     ++tasks_executed_;
+    if (tr() != nullptr) {
+      tr()->complete_span(obs::Category::kWorker,
+                          platform::kernel_name(task.kernel).data(), 0,
+                          1 + w.pe_index, started, now_ - started, "attempt",
+                          static_cast<double>(task.attempt), "ok",
+                          faulted ? 0.0 : 1.0);
+    }
     start_next_on_worker(w);
     // Under fault injection a scheduling round can legitimately leave work
     // queued (every capable PE quarantined, or a probe already in flight
@@ -488,10 +524,18 @@ class Engine {
 
     const platform::FaultPolicy& policy = config_.faults.policy;
     if (faulted) {
+      if (tr() != nullptr) {
+        tr()->instant(obs::Category::kFault, "fault", 0, 1 + w.pe_index, now_,
+                      "attempt", static_cast<double>(task.attempt));
+      }
       // PE health bookkeeping, mirroring the threaded runtime.
       if (w.quarantined) {
         w.probe_inflight = false;
         w.probe_at = now_ + policy.probe_period_s;  // failed probe
+        if (tr() != nullptr) {
+          tr()->instant(obs::Category::kFault, "probe_failed", 0,
+                        1 + w.pe_index, now_);
+        }
       } else {
         ++w.consecutive_faults;
         if (policy.quarantine_threshold > 0 &&
@@ -500,6 +544,11 @@ class Engine {
           w.probe_inflight = false;
           w.probe_at = now_ + policy.probe_period_s;
           ++pes_quarantined_;
+          if (tr() != nullptr) {
+            tr()->instant(obs::Category::kFault, "pe_quarantined", 0,
+                          1 + w.pe_index, now_, "consecutive_faults",
+                          static_cast<double>(w.consecutive_faults));
+          }
         }
       }
       task.failed_class_mask |= 1u << static_cast<unsigned>(w.cls);
@@ -510,16 +559,35 @@ class Engine {
             policy.backoff_base_s *
             std::pow(policy.backoff_factor,
                      static_cast<double>(task.attempt - 1));
+        if (tr() != nullptr) {
+          tr()->instant(obs::Category::kFault, "retry_backoff", 0,
+                        1 + w.pe_index, now_, "attempt",
+                        static_cast<double>(task.attempt), "backoff_s",
+                        backoff);
+        }
         deferred_.emplace_back(now_ + backoff, std::move(task));
         return;  // not terminal: no completion bookkeeping yet
       }
       ++tasks_lost_;  // retries exhausted; fall through so the app finishes
+      if (tr() != nullptr) {
+        tr()->instant(obs::Category::kFault, "task_failed", 0, 1 + w.pe_index,
+                      now_, "attempts", static_cast<double>(task.attempt + 1));
+      }
     } else {
       w.consecutive_faults = 0;
       w.probe_inflight = false;
       if (w.quarantined) {
         w.quarantined = false;
         ++pes_reinstated_;
+        if (tr() != nullptr) {
+          tr()->instant(obs::Category::kFault, "pe_reinstated", 0,
+                        1 + w.pe_index, now_);
+        }
+      }
+      if (task.attempt > 0 && tr() != nullptr) {
+        tr()->instant(obs::Category::kFault, "task_recovered", 0,
+                      1 + w.pe_index, now_, "attempts",
+                      static_cast<double>(task.attempt + 1));
       }
     }
 
@@ -587,8 +655,9 @@ class Engine {
       push_segment_tasks(instance_idx, inst.segment);
     } else {
       // One call of the serial batch.
+      const std::uint64_t key = next_key_++;
       ready_.push_back(SimTask{
-          .key = next_key_++,
+          .key = key,
           .instance = instance_idx,
           .segment = inst.segment,
           .kernel = seg.kernel,
@@ -598,6 +667,11 @@ class Engine {
           .ready_time = now_,
           .class_mask = class_mask_for(seg.kernel, seg.problem_size),
       });
+      if (tr() != nullptr) {
+        tr()->flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                   platform::kernel_name(seg.kernel).data(), 1 + instance_idx,
+                   0, now_, key);
+      }
       inst.outstanding = 1;
       max_ready_ = std::max(max_ready_, ready_.size());
       queue_dirty_ = true;
@@ -767,6 +841,10 @@ class Engine {
     for (const sched::Assignment& a : result.assignments) {
       pending_assignments_.emplace_back(views[a.queue_index].task_key,
                                         a.pe_index);
+      if (tr() != nullptr) {
+        tr()->flow(obs::EventKind::kFlowStep, obs::Category::kSched,
+                   "dispatch", 0, 0, now_, views[a.queue_index].task_key);
+      }
     }
     double duration = config_.costs.sched_fixed +
                       config_.costs.per_comparison *
@@ -780,6 +858,12 @@ class Engine {
                          config_.costs.per_comparison *
                              static_cast<double>(result.comparisons);
     ++sched_rounds_;
+    if (tr() != nullptr) {
+      tr()->complete_span(obs::Category::kSched, sched_span_name_.c_str(), 0,
+                          0, now_, duration, "ready",
+                          static_cast<double>(views.size()), "assigned",
+                          static_cast<double>(result.assignments.size()));
+    }
     main_busy_ = true;
     main_item_is_sched_ = true;
     main_remaining_ = duration;
@@ -848,6 +932,11 @@ class Engine {
       case MgmtEvent::Kind::kTerminate: {
         inst.terminated = true;
         inst.completion = now_;
+        if (tr() != nullptr) {
+          tr()->instant(obs::Category::kApp, "app_complete",
+                        1 + event.instance, 0, now_, "exec_time_s",
+                        now_ - inst.launch);
+        }
         break;
       }
     }
@@ -897,6 +986,7 @@ class Engine {
   double cpu_speed_factor_ = 1.0;
   std::unique_ptr<sched::Scheduler> scheduler_;
   std::unique_ptr<platform::FaultInjector> injector_;
+  std::string sched_span_name_;
 
   std::vector<Arrival> arrivals_;
   std::size_t arrival_idx_ = 0;

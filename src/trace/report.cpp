@@ -5,6 +5,9 @@
 #include <set>
 #include <sstream>
 
+#include "cedr/obs/chrome_trace.h"
+#include "cedr/obs/metrics.h"
+
 namespace cedr::trace {
 namespace {
 
@@ -36,6 +39,9 @@ Report build_report(const std::vector<TaskRecord>& tasks,
   // failure only when every one of its attempts failed.
   std::map<std::pair<std::uint64_t, std::uint64_t>, bool> task_succeeded;
   double delay_total = 0.0;
+  double service_total = 0.0;
+  obs::QuantileHistogram delay_hist;
+  obs::QuantileHistogram service_hist;
   for (const TaskRecord& task : tasks) {
     auto& pe = pes[task.pe_name];
     pe.name = task.pe_name;
@@ -43,6 +49,9 @@ Report build_report(const std::vector<TaskRecord>& tasks,
     pe.busy_time += task.service_time();
     report.makespan = std::max(report.makespan, task.end_time);
     delay_total += task.queue_delay();
+    service_total += task.service_time();
+    delay_hist.record(task.queue_delay() * 1e6);
+    service_hist.record(task.service_time() * 1e6);
     report.queue_delay_max =
         std::max(report.queue_delay_max, task.queue_delay());
     ++app_tasks[task.app_instance_id];
@@ -55,6 +64,14 @@ Report build_report(const std::vector<TaskRecord>& tasks,
   }
   if (!tasks.empty()) {
     report.queue_delay_mean = delay_total / static_cast<double>(tasks.size());
+    report.service_time_mean =
+        service_total / static_cast<double>(tasks.size());
+    report.queue_delay_p50 = delay_hist.quantile(0.50) / 1e6;
+    report.queue_delay_p95 = delay_hist.quantile(0.95) / 1e6;
+    report.queue_delay_p99 = delay_hist.quantile(0.99) / 1e6;
+    report.service_time_p50 = service_hist.quantile(0.50) / 1e6;
+    report.service_time_p95 = service_hist.quantile(0.95) / 1e6;
+    report.service_time_p99 = service_hist.quantile(0.99) / 1e6;
   }
   for (auto& app : report.apps) {
     const auto it = app_tasks.find(app.instance_id);
@@ -82,7 +99,15 @@ Report summarize(const TraceLog& log) {
   return report;
 }
 
-StatusOr<Report> summarize_json(const json::Value& doc) {
+namespace {
+
+struct ParsedTrace {
+  std::vector<TaskRecord> tasks;
+  std::vector<AppRecord> apps;
+  std::vector<SchedRecord> rounds;
+};
+
+StatusOr<ParsedTrace> parse_trace(const json::Value& doc) {
   if (!doc.is_object()) return InvalidArgument("trace document must be object");
   const json::Value* tasks = doc.find("tasks");
   const json::Value* apps = doc.find("apps");
@@ -92,10 +117,10 @@ StatusOr<Report> summarize_json(const json::Value& doc) {
     return InvalidArgument(
         "trace document needs 'tasks', 'apps' and 'sched_rounds' arrays");
   }
-  std::vector<TaskRecord> task_records;
-  task_records.reserve(tasks->as_array().size());
+  ParsedTrace out;
+  out.tasks.reserve(tasks->as_array().size());
   for (const json::Value& row : tasks->as_array()) {
-    task_records.push_back(TaskRecord{
+    out.tasks.push_back(TaskRecord{
         .app_instance_id =
             static_cast<std::uint64_t>(row.get_int("app_instance_id", 0)),
         .app_name = row.get_string("app_name", ""),
@@ -110,10 +135,9 @@ StatusOr<Report> summarize_json(const json::Value& doc) {
         .ok = row.get_bool("ok", true),
     });
   }
-  std::vector<AppRecord> app_records;
-  app_records.reserve(apps->as_array().size());
+  out.apps.reserve(apps->as_array().size());
   for (const json::Value& row : apps->as_array()) {
-    app_records.push_back(AppRecord{
+    out.apps.push_back(AppRecord{
         .app_instance_id =
             static_cast<std::uint64_t>(row.get_int("app_instance_id", 0)),
         .app_name = row.get_string("app_name", ""),
@@ -122,17 +146,24 @@ StatusOr<Report> summarize_json(const json::Value& doc) {
         .completion_time = row.get_double("completion", 0.0),
     });
   }
-  std::vector<SchedRecord> round_records;
-  round_records.reserve(rounds->as_array().size());
+  out.rounds.reserve(rounds->as_array().size());
   for (const json::Value& row : rounds->as_array()) {
-    round_records.push_back(SchedRecord{
+    out.rounds.push_back(SchedRecord{
         .time = row.get_double("time", 0.0),
         .ready_tasks = static_cast<std::size_t>(row.get_int("ready_tasks", 0)),
         .assigned = static_cast<std::size_t>(row.get_int("assigned", 0)),
         .decision_time = row.get_double("decision_time", 0.0),
     });
   }
-  Report report = build_report(task_records, app_records, round_records);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Report> summarize_json(const json::Value& doc) {
+  auto parsed = parse_trace(doc);
+  if (!parsed.ok()) return parsed.status();
+  Report report = build_report(parsed->tasks, parsed->apps, parsed->rounds);
   if (const json::Value* counters = doc.find("counters");
       counters != nullptr && counters->is_object()) {
     for (const auto& [name, value] : counters->as_object()) {
@@ -175,6 +206,13 @@ std::string render_text(const Report& report) {
       << " ms, max ready queue " << report.max_ready_queue << ")\n";
   out << "  task queue delay:    mean " << report.queue_delay_mean * 1e3
       << " ms, max " << report.queue_delay_max * 1e3 << " ms\n";
+  out << "  queue delay pcts:    p50 " << report.queue_delay_p50 * 1e3
+      << " ms, p95 " << report.queue_delay_p95 * 1e3 << " ms, p99 "
+      << report.queue_delay_p99 * 1e3 << " ms\n";
+  out << "  task service time:   mean " << report.service_time_mean * 1e3
+      << " ms, p50 " << report.service_time_p50 * 1e3 << " ms, p95 "
+      << report.service_time_p95 * 1e3 << " ms, p99 "
+      << report.service_time_p99 * 1e3 << " ms\n";
   // Fault-tolerance summary. The counter lines always print (0 when the run
   // was fault-free) so resilience dashboards can grep for them.
   const auto counter = [&report](const char* name,
@@ -242,6 +280,106 @@ std::string render_gantt(const TraceLog& log, std::size_t width) {
   out << "  (columns span 0.." << t_end * 1e3
       << " ms; digits are app instance ids mod 16)\n";
   return out.str();
+}
+
+StatusOr<json::Value> chrome_trace_from_trace_json(const json::Value& doc) {
+  auto parsed = parse_trace(doc);
+  if (!parsed.ok()) return parsed.status();
+
+  // PE name -> tid, following the live-trace convention (tid 0 = main loop,
+  // tid 1+i = PE), with PEs ordered by name for determinism.
+  std::set<std::string> pe_names;
+  for (const TaskRecord& task : parsed->tasks) pe_names.insert(task.pe_name);
+  std::map<std::string, std::uint64_t> pe_tid;
+  std::vector<obs::TrackName> tracks;
+  tracks.push_back({.pid = 0, .is_process = true, .name = "cedr runtime"});
+  tracks.push_back({.pid = 0, .tid = 0, .name = "main loop"});
+  for (const std::string& name : pe_names) {
+    const std::uint64_t tid = 1 + pe_tid.size();
+    pe_tid.emplace(name, tid);
+    tracks.push_back({.pid = 0, .tid = tid, .name = name});
+  }
+  for (const AppRecord& app : parsed->apps) {
+    tracks.push_back(
+        {.pid = 1 + app.app_instance_id,
+         .is_process = true,
+         .name = app.app_name + " #" + std::to_string(app.app_instance_id)});
+  }
+
+  std::vector<obs::SpanEvent> events;
+  events.reserve(parsed->tasks.size() * 3 + parsed->apps.size() * 2 +
+                 parsed->rounds.size());
+  for (const TaskRecord& task : parsed->tasks) {
+    const std::uint64_t tid = pe_tid[task.pe_name];
+    // One flow per execution attempt: enqueue (on the app's process row)
+    // -> execute (on the PE row). Retries re-enqueue, so the attempt index
+    // keeps flow ids unique per attempt.
+    const std::uint64_t flow_id = (task.task_id << 8) | task.attempt;
+    obs::SpanEvent begin;
+    begin.kind = obs::EventKind::kFlowBegin;
+    begin.category = obs::Category::kApp;
+    begin.set_name(task.kernel_name.c_str());
+    begin.ts = task.enqueue_time;
+    begin.pid = 1 + task.app_instance_id;
+    begin.tid = 0;
+    begin.flow_id = flow_id;
+    events.push_back(begin);
+
+    obs::SpanEvent end = begin;
+    end.kind = obs::EventKind::kFlowEnd;
+    end.category = obs::Category::kWorker;
+    end.set_name("execute");
+    end.ts = task.start_time;
+    end.pid = 0;
+    end.tid = tid;
+    events.push_back(end);
+
+    obs::SpanEvent span;
+    span.kind = obs::EventKind::kComplete;
+    span.category = obs::Category::kWorker;
+    span.set_name(task.kernel_name.c_str());
+    span.ts = task.start_time;
+    span.dur = task.service_time();
+    span.pid = 0;
+    span.tid = tid;
+    span.arg0_name = "attempt";
+    span.arg0 = task.attempt;
+    span.arg1_name = "ok";
+    span.arg1 = task.ok ? 1.0 : 0.0;
+    events.push_back(span);
+  }
+  for (const AppRecord& app : parsed->apps) {
+    obs::SpanEvent arrival;
+    arrival.kind = obs::EventKind::kInstant;
+    arrival.category = obs::Category::kApp;
+    arrival.set_name("app_arrival");
+    arrival.ts = app.arrival_time;
+    arrival.pid = 1 + app.app_instance_id;
+    events.push_back(arrival);
+
+    obs::SpanEvent complete = arrival;
+    complete.set_name("app_complete");
+    complete.ts = app.completion_time;
+    complete.arg0_name = "exec_time_s";
+    complete.arg0 = app.execution_time();
+    events.push_back(complete);
+  }
+  for (const SchedRecord& round : parsed->rounds) {
+    obs::SpanEvent span;
+    span.kind = obs::EventKind::kComplete;
+    span.category = obs::Category::kSched;
+    span.set_name("sched");
+    span.ts = round.time;
+    span.dur = round.decision_time;
+    span.pid = 0;
+    span.tid = 0;
+    span.arg0_name = "ready";
+    span.arg0 = static_cast<double>(round.ready_tasks);
+    span.arg1_name = "assigned";
+    span.arg1 = static_cast<double>(round.assigned);
+    events.push_back(span);
+  }
+  return obs::chrome_trace_json(events, tracks);
 }
 
 }  // namespace cedr::trace

@@ -1,18 +1,29 @@
 #include "cedr/trace/trace.h"
 
 #include <algorithm>
-#include <bit>
+#include <cmath>
 #include <fstream>
 
 namespace cedr::trace {
 
 void LatencyHistogram::record(double seconds) {
   if (!(seconds >= 0.0)) seconds = 0.0;  // clamp NaN/negative clock skew
-  const double us = seconds * 1e6;
+  double us = seconds * 1e6;
+  // Values that are powers of two "in spirit" can land just below the edge
+  // after the seconds->microseconds multiply (2e-6 * 1e6 == 1.999...96 in
+  // binary floating point). Snap to the nearest integer when within a
+  // relative epsilon so exact-boundary samples bucket deterministically.
+  const double nearest = std::round(us);
+  if (nearest > 0.0 && std::abs(us - nearest) <= nearest * 1e-9) us = nearest;
   std::size_t bucket = 0;
-  if (us >= 1.0) {
-    const auto value = static_cast<std::uint64_t>(us);
-    bucket = std::min<std::size_t>(std::bit_width(value) - 1, kBuckets - 1);
+  if (us >= 2.0) {
+    // frexp gives us = frac * 2^exp with frac in [0.5, 1), so the value
+    // lies in [2^(exp-1), 2^exp) and belongs to bucket exp - 1. Unlike a
+    // cast to uint64, this is defined for the whole double range.
+    int exp = 0;
+    std::frexp(us, &exp);
+    bucket = std::min<std::size_t>(static_cast<std::size_t>(exp - 1),
+                                   kBuckets - 1);
   }
   std::lock_guard lock(mutex_);
   ++counts_[bucket];

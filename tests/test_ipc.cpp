@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
+#include "cedr/cedr.h"
 #include "cedr/ipc/ipc.h"
 
 namespace cedr::ipc {
@@ -45,6 +47,66 @@ TEST(Ipc, SubmitRejectsMissingSharedObject) {
 
   IpcClient client(server.socket_path());
   EXPECT_FALSE(client.submit("/nonexistent/app.so").ok());
+
+  server.stop();
+  EXPECT_TRUE(runtime.shutdown().ok());
+}
+
+TEST(Ipc, StatsLineReportsRuntimeState) {
+  rt::Runtime runtime(small_config());
+  ASSERT_TRUE(runtime.start().ok());
+  auto instance = runtime.submit_api("statsy", [] {
+    std::vector<cedr_cplx> buf(64);
+    for (int i = 0; i < 4; ++i) (void)CEDR_FFT(buf.data(), buf.data(), 64);
+  });
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(runtime.wait_all(30.0).ok());
+
+  IpcServer server(runtime, temp_socket("stats"));
+  ASSERT_TRUE(server.start().ok());
+  IpcClient client(server.socket_path());
+  auto stats = client.stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("uptime_s="), std::string::npos);
+  EXPECT_NE(stats->find("submitted=1"), std::string::npos);
+  EXPECT_NE(stats->find("completed=1"), std::string::npos);
+  EXPECT_NE(stats->find("inflight=0"), std::string::npos);
+  EXPECT_NE(stats->find("pe_busy="), std::string::npos);
+
+  server.stop();
+  EXPECT_TRUE(runtime.shutdown().ok());
+}
+
+TEST(Ipc, MetricsReturnsLiveJsonDocument) {
+  rt::RuntimeConfig config = small_config();
+  config.obs.sampler_period_s = 0.005;  // exercise the sampler feed too
+  rt::Runtime runtime(config);
+  ASSERT_TRUE(runtime.start().ok());
+  auto instance = runtime.submit_api("metricsy", [] {
+    std::vector<cedr_cplx> buf(64);
+    for (int i = 0; i < 6; ++i) (void)CEDR_FFT(buf.data(), buf.data(), 64);
+  });
+  ASSERT_TRUE(instance.ok());
+  ASSERT_TRUE(runtime.wait_all(30.0).ok());
+
+  IpcServer server(runtime, temp_socket("metrics"));
+  ASSERT_TRUE(server.start().ok());
+  IpcClient client(server.socket_path());
+  auto doc = client.metrics();
+  ASSERT_TRUE(doc.ok());
+  const json::Value* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const json::Value* hists = metrics->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* service = hists->find("service_time_us");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->get_int("count", -1), 6);
+  EXPECT_GT(service->get_double("p50", 0.0), 0.0);
+  const json::Value* stats = doc->find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->get_int("completed", -1), 1);
+  EXPECT_EQ(stats->get_int("tasks_executed", -1), 6);
+  ASSERT_NE(doc->find("counters"), nullptr);
 
   server.stop();
   EXPECT_TRUE(runtime.shutdown().ok());

@@ -66,6 +66,16 @@ TEST(Report, SummarizesInMemoryLog) {
   EXPECT_EQ(report.max_ready_queue, 7u);
   EXPECT_NEAR(report.queue_delay_mean, (0.05 + 0.10 + 0.05) / 3, 1e-12);
   EXPECT_NEAR(report.queue_delay_max, 0.10, 1e-12);
+  // Streaming quantiles from the log-linear histogram: within ~3 % of the
+  // exact order statistics (delays 50/50/100 ms, services 100/100/200 ms).
+  EXPECT_NEAR(report.queue_delay_p50, 0.05, 0.05 * 0.04);
+  EXPECT_NEAR(report.queue_delay_p99, 0.10, 0.10 * 0.04);
+  EXPECT_LE(report.queue_delay_p50, report.queue_delay_p95);
+  EXPECT_LE(report.queue_delay_p95, report.queue_delay_p99);
+  EXPECT_NEAR(report.service_time_mean, (0.10 + 0.20 + 0.10) / 3, 1e-12);
+  EXPECT_NEAR(report.service_time_p50, 0.10, 0.10 * 0.04);
+  EXPECT_NEAR(report.service_time_p99, 0.20, 0.20 * 0.04);
+  EXPECT_LE(report.service_time_p50, report.service_time_p99);
 }
 
 TEST(Report, JsonRoundTripMatchesInMemory) {
@@ -112,6 +122,37 @@ TEST(Report, TextRenderingContainsKeyNumbers) {
   EXPECT_NE(text.find("pd"), std::string::npos);
   EXPECT_NE(text.find("fft0"), std::string::npos);
   EXPECT_NE(text.find("utilization"), std::string::npos);
+  EXPECT_NE(text.find("queue delay pcts"), std::string::npos);
+  EXPECT_NE(text.find("task service time"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(Report, ChromeExportFromTraceJson) {
+  TraceLog log;
+  fill_sample(log);
+  auto chrome = chrome_trace_from_trace_json(log.to_json());
+  ASSERT_TRUE(chrome.ok());
+  const json::Value* rows = chrome->find("traceEvents");
+  ASSERT_NE(rows, nullptr);
+  std::size_t spans = 0, flows = 0, instants = 0;
+  double last_ts = -1.0;
+  for (const json::Value& row : rows->as_array()) {
+    const std::string ph = row.get_string("ph", "");
+    if (ph == "M") continue;
+    const double ts = row.get_double("ts", -1.0);
+    EXPECT_GE(ts, last_ts);  // exporter sorts by timestamp
+    last_ts = ts;
+    if (ph == "X") ++spans;
+    if (ph == "s" || ph == "f") ++flows;
+    if (ph == "i") ++instants;
+  }
+  // 3 task spans + 2 sched rounds, a begin+end flow pair per task, and an
+  // arrival + completion instant per app.
+  EXPECT_EQ(spans, 5u);
+  EXPECT_EQ(flows, 6u);
+  EXPECT_EQ(instants, 4u);
+  // Malformed input is rejected, not crashed on.
+  EXPECT_FALSE(chrome_trace_from_trace_json(json::Value(1)).ok());
 }
 
 TEST(Gantt, RendersRowsPerPe) {

@@ -3,6 +3,8 @@
 // structural application models.
 #include <gtest/gtest.h>
 
+#include "cedr/obs/chrome_trace.h"
+#include "cedr/obs/span.h"
 #include "cedr/sim/model.h"
 #include "cedr/sim/simulator.h"
 
@@ -259,6 +261,119 @@ TEST(Simulate, HorizonGuardAborts) {
   const Arrival arrival{&app, 0.0};
   EXPECT_EQ(simulate(config, {&arrival, 1}).status().code(),
             StatusCode::kAborted);
+}
+
+// ---- span-stream parity (obs::SpanTracer on virtual time) ------------------
+
+TEST(SimObs, SpanStreamStructure) {
+  obs::SpanTracer tracer;
+  SimConfig config = base_config();
+  config.tracer = &tracer;
+  const SimApp app = tiny_app(8);
+  std::vector<Arrival> arrivals{{&app, 0.0}, {&app, 1e-3}};
+  const auto metrics = simulate(config, arrivals);
+  ASSERT_TRUE(metrics.ok());
+
+  const std::vector<obs::SpanEvent> events = tracer.snapshot();
+  ASSERT_FALSE(events.empty());
+  std::size_t arrivals_seen = 0, completes_seen = 0;
+  std::size_t flow_begins = 0, flow_ends = 0, worker_spans = 0,
+              sched_spans = 0;
+  for (const obs::SpanEvent& e : events) {
+    // Every timestamp is virtual time inside the run.
+    EXPECT_GE(e.ts, 0.0);
+    EXPECT_LE(e.ts, metrics->makespan + 1e-9);
+    const std::string name = e.name;
+    if (name == "app_arrival") ++arrivals_seen;
+    if (name == "app_complete") ++completes_seen;
+    if (e.kind == obs::EventKind::kFlowBegin) ++flow_begins;
+    if (e.kind == obs::EventKind::kFlowEnd) ++flow_ends;
+    if (e.kind == obs::EventKind::kComplete) {
+      if (e.category == obs::Category::kWorker) {
+        ++worker_spans;
+        EXPECT_GE(e.dur, 0.0);
+        EXPECT_GT(e.tid, 0u);  // worker spans live on PE tracks
+      } else if (e.category == obs::Category::kSched) {
+        ++sched_spans;
+        EXPECT_EQ(e.tid, 0u);  // scheduler runs on the main loop track
+      }
+    }
+  }
+  EXPECT_EQ(arrivals_seen, arrivals.size());
+  EXPECT_EQ(completes_seen, arrivals.size());
+  // Every executed task came from one enqueue flow and one execute flow end.
+  EXPECT_EQ(worker_spans, metrics->tasks_executed);
+  EXPECT_EQ(flow_ends, metrics->tasks_executed);
+  EXPECT_EQ(flow_begins, flow_ends);  // no retries in a fault-free run
+  EXPECT_EQ(sched_spans, metrics->sched_rounds);
+}
+
+TEST(SimObs, GoldenChromeTrace) {
+  // The engine is deterministic, timestamps are virtual, and the exporter
+  // sorts stably: two identical runs must export byte-identical JSON.
+  const SimApp app = tiny_app(6);
+  std::vector<Arrival> arrivals{{&app, 0.0}, {&app, 5e-4}, {&app, 2e-3}};
+  auto run_once = [&]() -> std::string {
+    obs::SpanTracer tracer;
+    SimConfig config = base_config(ProgrammingModel::kDagBased);
+    config.tracer = &tracer;
+    const auto metrics = simulate(config, arrivals);
+    EXPECT_TRUE(metrics.ok());
+    return obs::chrome_trace_json(tracer.snapshot()).dump();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // And it is a loadable trace document.
+  auto doc = json::parse(first);
+  ASSERT_TRUE(doc.ok());
+  const json::Value* rows = doc->find("traceEvents");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_FALSE(rows->as_array().empty());
+}
+
+TEST(SimObs, FaultRunEmitsFaultInstants) {
+  obs::SpanTracer tracer;
+  SimConfig config = base_config(ProgrammingModel::kDagBased);
+  config.tracer = &tracer;
+  config.faults.seed = 42;
+  config.faults.defaults.fail_prob = 0.35;
+  config.faults.policy.max_retries = 4;
+  config.faults.policy.quarantine_threshold = 3;
+  config.faults.policy.probe_period_s = 5e-3;
+  const SimApp app = tiny_app(16);
+  const Arrival arrival{&app, 0.0};
+  const auto metrics = simulate(config, {&arrival, 1});
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_GT(metrics->faults_injected, 0u);
+  std::size_t fault_instants = 0, retry_instants = 0;
+  for (const obs::SpanEvent& e : tracer.snapshot()) {
+    if (e.category != obs::Category::kFault) continue;
+    const std::string name = e.name;
+    if (name == "fault") ++fault_instants;
+    if (name == "retry_backoff") ++retry_instants;
+  }
+  EXPECT_EQ(fault_instants, metrics->faults_injected);
+  EXPECT_EQ(retry_instants, metrics->tasks_retried);
+}
+
+TEST(SimObs, TracingDoesNotPerturbVirtualTime) {
+  // The tracer is an observer: metrics with and without it are identical.
+  const SimApp app = tiny_app(8);
+  std::vector<Arrival> arrivals{{&app, 0.0}, {&app, 1e-3}};
+  SimConfig plain = base_config();
+  const auto a = simulate(plain, arrivals);
+  obs::SpanTracer tracer;
+  SimConfig traced = base_config();
+  traced.tracer = &tracer;
+  const auto b = simulate(traced, arrivals);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->makespan, b->makespan);
+  EXPECT_EQ(a->tasks_executed, b->tasks_executed);
+  EXPECT_EQ(a->runtime_overhead, b->runtime_overhead);
+  EXPECT_GT(tracer.recorded(), 0u);
 }
 
 TEST(Simulate, RuntimeOverheadLowerInApiMode) {

@@ -1,6 +1,8 @@
 // Tests for the execution trace log and PAPI-substitute counters.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <fstream>
 #include <thread>
 
@@ -115,6 +117,52 @@ TEST(TraceLog, ConcurrentAppendsAreSafe) {
             static_cast<std::size_t>(kThreads * kPerThread));
 }
 
+TEST(LatencyHistogram, BucketZeroHoldsSubMicrosecondAndUpToTwo) {
+  LatencyHistogram h;
+  h.record(0.0);
+  h.record(0.4e-6);   // 0.4 us
+  h.record(1.0e-6);   // exactly 1 us
+  h.record(1.9e-6);   // just under the first edge
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 4u);
+  for (std::size_t i = 1; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(buckets[i], 0u) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, EveryBucketEdgeOpensItsBucket) {
+  // Bucket i >= 1 covers [2^i, 2^(i+1)) us: the exact power of two lands in
+  // the bucket it opens — including when the value arrives as seconds and
+  // the *1e6 conversion leaves it one ulp below the edge — and the value
+  // just below (outside the 1e-9 snap) stays in the bucket before it.
+  for (std::size_t i = 1; i < LatencyHistogram::kBuckets; ++i) {
+    const double edge_us = std::ldexp(1.0, static_cast<int>(i));
+    LatencyHistogram h;
+    h.record(edge_us * 1e-6);              // exact edge, via seconds
+    h.record(edge_us * (1.0 - 1e-6) * 1e-6);  // just below the edge
+    const auto buckets = h.buckets();
+    EXPECT_EQ(buckets[i], 1u) << "edge 2^" << i << " us";
+    EXPECT_EQ(buckets[i - 1], 1u) << "below edge 2^" << i << " us";
+  }
+}
+
+TEST(LatencyHistogram, LastBucketSaturates) {
+  LatencyHistogram h;
+  h.record(std::ldexp(1.0, 30) * 1e-6);  // 2^30 us, far past the last edge
+  h.record(1e6);                         // 10^12 us
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[LatencyHistogram::kBuckets - 1], 2u);
+}
+
+TEST(LatencyHistogram, NegativeAndNanClampToBucketZero) {
+  LatencyHistogram h;
+  h.record(-1.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.total_seconds(), 0.0);  // clamped before accumulation
+}
+
 TEST(CounterSet, AddGetSnapshot) {
   CounterSet counters;
   EXPECT_EQ(counters.get("missing"), 0u);
@@ -144,6 +192,36 @@ TEST(CounterSet, ConcurrentIncrementsAreExact) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(counters.get("hits"),
             static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(CounterSet, HammerMixedNamesWithConcurrentReaders) {
+  // Writers race on counter *creation* (first add of each name) while
+  // readers snapshot continuously; every increment must survive.
+  CounterSet counters;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  constexpr int kNames = 8;
+  std::atomic<bool> done{false};
+  std::thread reader([&counters, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)counters.snapshot();
+      (void)counters.get("name0");
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counters, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counters.add("name" + std::to_string((t + i) % kNames));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : counters.snapshot()) total += value;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
 }  // namespace

@@ -7,7 +7,13 @@
 // usage: cedr_daemon <socket-path> [--platform host|zcu102|jetson]
 //                    [--cpus N] [--ffts N] [--mmults N] [--gpus N]
 //                    [--scheduler RR|EFT|ETF|HEFT_RT] [--trace PATH]
-//                    [--fault-plan JSON]
+//                    [--fault-plan JSON] [--metrics-interval SECONDS]
+//                    [--trace-out CHROME_JSON]
+//
+// --metrics-interval starts the background sampler (queue depth and per-PE
+// utilization time series, served live via the METRICS IPC command);
+// --trace-out writes the span ring as Chrome trace-event JSON on shutdown
+// (loadable in chrome://tracing or Perfetto).
 
 #include <cstdio>
 #include <cstring>
@@ -25,7 +31,8 @@ int main(int argc, char** argv) {
                  "usage: %s <socket-path> [--platform host|zcu102|jetson] "
                  "[--cpus N] [--ffts N] [--mmults N] [--gpus N] "
                  "[--scheduler NAME] [--trace PATH] [--config JSON] "
-                 "[--fault-plan JSON] [--verbose]\n",
+                 "[--fault-plan JSON] [--metrics-interval SECONDS] "
+                 "[--trace-out CHROME_JSON] [--verbose]\n",
                  argv[0]);
     return 2;
   }
@@ -35,6 +42,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string config_path;
   std::string fault_plan_path;
+  std::string chrome_trace_path;
+  double metrics_interval_s = 0.0;
   std::size_t cpus = 2;
   std::size_t ffts = 1;
   std::size_t mmults = 0;
@@ -53,6 +62,9 @@ int main(int argc, char** argv) {
     else if (arg == "--gpus") gpus = std::strtoul(next(), nullptr, 10);
     else if (arg == "--config") config_path = next();
     else if (arg == "--fault-plan") fault_plan_path = next();
+    else if (arg == "--metrics-interval")
+      metrics_interval_s = std::strtod(next(), nullptr);
+    else if (arg == "--trace-out") chrome_trace_path = next();
     else if (arg == "--verbose") log::set_level(log::Level::kInfo);
   }
 
@@ -86,6 +98,9 @@ int main(int argc, char** argv) {
     }
     config.fault_plan = *std::move(plan);
   }
+  if (metrics_interval_s > 0.0) {
+    config.obs.sampler_period_s = metrics_interval_s;
+  }
 
   rt::Runtime runtime(config);
   if (const Status s = runtime.start(); !s.ok()) {
@@ -103,6 +118,17 @@ int main(int argc, char** argv) {
   server.wait_for_shutdown();
   server.stop();
   (void)runtime.shutdown();
+  if (!chrome_trace_path.empty()) {
+    // Written after shutdown so the span ring carries the whole run.
+    if (const Status s = runtime.write_chrome_trace(chrome_trace_path);
+        !s.ok()) {
+      std::fprintf(stderr, "chrome trace export failed: %s\n",
+                   s.to_string().c_str());
+    } else {
+      std::printf("cedr_daemon: chrome trace written to %s\n",
+                  chrome_trace_path.c_str());
+    }
+  }
   std::printf("cedr_daemon: %llu apps completed; bye\n",
               static_cast<unsigned long long>(runtime.completed_apps()));
   return 0;

@@ -3,6 +3,8 @@
 // usage:
 //   cedr_submit <socket> submit <shared-object> [app-name]
 //   cedr_submit <socket> status
+//   cedr_submit <socket> stats     (one-line live runtime snapshot)
+//   cedr_submit <socket> metrics   (JSON metrics snapshot)
 //   cedr_submit <socket> wait
 //   cedr_submit <socket> shutdown
 
@@ -17,7 +19,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <socket> submit <so-path> [name] | submitdag <json> "
-                 "| status | wait | shutdown\n",
+                 "| status | stats | metrics | wait | shutdown\n",
                  argv[0]);
     return 2;
   }
@@ -64,6 +66,26 @@ int main(int argc, char** argv) {
     std::printf("submitted=%llu completed=%llu\n",
                 static_cast<unsigned long long>(status->first),
                 static_cast<unsigned long long>(status->second));
+    return 0;
+  }
+  if (verb == "stats") {
+    auto line = client.stats();
+    if (!line.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   line.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n", line->c_str());
+    return 0;
+  }
+  if (verb == "metrics") {
+    auto doc = client.metrics();
+    if (!doc.ok()) {
+      std::fprintf(stderr, "metrics failed: %s\n",
+                   doc.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n", doc->dump_pretty().c_str());
     return 0;
   }
   if (verb == "wait") {

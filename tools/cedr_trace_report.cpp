@@ -2,6 +2,12 @@
 // serialized at shutdown "for later offline analysis by the user").
 //
 // usage: cedr_trace_report <trace.json> [--gantt [WIDTH]]
+//                          [--chrome <out.json>]
+//
+// --chrome reconstructs a Chrome trace-event document from the trace
+// records and writes it to <out.json> (loadable in chrome://tracing or
+// Perfetto). A missing or malformed trace file is diagnosed on stderr and
+// exits nonzero.
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,28 +19,38 @@ using namespace cedr;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [--gantt [WIDTH]]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [--gantt [WIDTH]] "
+                 "[--chrome <out.json>]\n",
+                 argv[0]);
     return 2;
   }
   const std::string path = argv[1];
-  auto report = trace::summarize_file(path);
+
+  // Parse once; every view (summary, gantt, chrome export) reads this
+  // document, and a missing/malformed file is diagnosed exactly once.
+  auto doc = json::parse_file(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "cannot read trace %s: %s\n", path.c_str(),
+                 doc.status().to_string().c_str());
+    return 1;
+  }
+  auto report = trace::summarize_json(*doc);
   if (!report.ok()) {
-    std::fprintf(stderr, "cannot analyze %s: %s\n", path.c_str(),
+    std::fprintf(stderr, "malformed trace %s: %s\n", path.c_str(),
                  report.status().to_string().c_str());
     return 1;
   }
   std::fputs(trace::render_text(*report).c_str(), stdout);
 
   for (int i = 2; i < argc; ++i) {
-    if (std::string(argv[i]) == "--gantt") {
+    const std::string arg = argv[i];
+    if (arg == "--gantt") {
       std::size_t width = 100;
       if (i + 1 < argc) {
         const unsigned long parsed = std::strtoul(argv[i + 1], nullptr, 10);
         if (parsed > 0) width = parsed;
       }
-      // Re-load the raw records for the Gantt rendering.
-      auto doc = json::parse_file(path);
-      if (!doc.ok()) break;
       trace::TraceLog log;
       if (const json::Value* tasks = doc->find("tasks");
           tasks != nullptr && tasks->is_array()) {
@@ -54,6 +70,24 @@ int main(int argc, char** argv) {
       }
       std::printf("\ngantt (task placement over time)\n%s",
                   trace::render_gantt(log, width).c_str());
+    } else if (arg == "--chrome") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--chrome requires an output path\n");
+        return 2;
+      }
+      const std::string out_path = argv[++i];
+      auto chrome = trace::chrome_trace_from_trace_json(*doc);
+      if (!chrome.ok()) {
+        std::fprintf(stderr, "chrome export failed: %s\n",
+                     chrome.status().to_string().c_str());
+        return 1;
+      }
+      if (const Status s = json::write_file(out_path, *chrome); !s.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                     s.to_string().c_str());
+        return 1;
+      }
+      std::printf("\nchrome trace written to %s\n", out_path.c_str());
     }
   }
   return 0;

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the observability layer against a live daemon:
+#
+#   1. start cedr_daemon with the metrics sampler and a Chrome trace sink,
+#   2. submit the example IPC application,
+#   3. poll STATS (and METRICS) while it runs,
+#   4. shut down over IPC,
+#   5. validate the exported Chrome trace: well-formed JSON, non-empty
+#      traceEvents, timestamps monotonic per (pid, tid) track, and at least
+#      one complete enqueue->execute flow pair.
+#
+# usage: run_obs_smoke.sh [BUILD_DIR]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+DAEMON="$BUILD_DIR/tools/cedr_daemon"
+SUBMIT="$BUILD_DIR/tools/cedr_submit"
+APP_SO="$BUILD_DIR/examples/libipc_app.so"
+
+for f in "$DAEMON" "$SUBMIT" "$APP_SO"; do
+  if [ ! -e "$f" ]; then
+    echo "missing $f (build the tree first)" >&2
+    exit 1
+  fi
+done
+
+WORK_DIR="$(mktemp -d)"
+SOCK="$WORK_DIR/cedr.sock"
+CHROME="$WORK_DIR/chrome.json"
+DAEMON_LOG="$WORK_DIR/daemon.log"
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+"$DAEMON" "$SOCK" --platform zcu102 --metrics-interval 0.01 \
+    --trace-out "$CHROME" >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the socket to appear.
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.05
+done
+[ -S "$SOCK" ] || { echo "daemon never opened $SOCK" >&2; cat "$DAEMON_LOG" >&2; exit 1; }
+
+"$SUBMIT" "$SOCK" submit "$APP_SO" obs_pd
+"$SUBMIT" "$SOCK" submit "$APP_SO" obs_tx
+
+# Live STATS while (or right after) the apps run: must be a single OK line
+# with the expected keys.
+STATS="$("$SUBMIT" "$SOCK" stats)"
+echo "STATS: $STATS"
+case "$STATS" in
+  *uptime_s=*submitted=2*pe_busy=*) ;;
+  *) echo "unexpected STATS line" >&2; exit 1 ;;
+esac
+
+"$SUBMIT" "$SOCK" wait
+
+# METRICS must be valid JSON with live histograms.
+"$SUBMIT" "$SOCK" metrics > "$WORK_DIR/metrics.json"
+python3 - "$WORK_DIR/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert "metrics" in doc and "stats" in doc, "missing top-level keys"
+hists = doc["metrics"]["histograms"]
+assert hists["service_time_us"]["count"] > 0, "no service-time samples"
+assert doc["stats"]["completed"] == 2, doc["stats"]
+print("METRICS ok: %d tasks, p95 service %.1f us" % (
+    hists["service_time_us"]["count"], hists["service_time_us"]["p95"]))
+EOF
+
+"$SUBMIT" "$SOCK" shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+# Validate the exported Chrome trace.
+python3 - "$CHROME" <<'EOF'
+import collections, json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc["traceEvents"]
+assert rows, "empty traceEvents"
+last = {}
+flows = collections.defaultdict(set)
+spans = instants = 0
+for row in rows:
+    ph = row["ph"]
+    if ph == "M":
+        continue
+    key = (row["pid"], row["tid"])
+    ts = row["ts"]
+    assert ts >= last.get(key, 0.0), f"ts not monotonic on track {key}"
+    last[key] = ts
+    if ph == "X":
+        spans += 1
+        assert row["dur"] >= 0.0
+    elif ph == "i":
+        instants += 1
+    elif ph in ("s", "t", "f"):
+        flows[row["id"]].add(ph)
+complete_flows = sum(1 for phases in flows.values()
+                     if "s" in phases and "f" in phases)
+assert spans > 0, "no complete spans"
+assert instants > 0, "no instant events"
+assert complete_flows >= 1, f"no enqueue->execute flow pairs: {dict(flows)}"
+print(f"chrome trace ok: {spans} spans, {instants} instants, "
+      f"{complete_flows} complete flows over {len(last)} tracks")
+EOF
+
+echo "obs smoke passed"

@@ -16,8 +16,10 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${ROOT}/build-${SANITIZER}"
 
 # The concurrency-sensitive tier: threaded runtime, fault injection with
-# retry/quarantine, the 500-instance soak, cross-module properties and IPC.
-TARGETS=(test_runtime test_faults test_stress test_properties test_api test_ipc)
+# retry/quarantine, the 500-instance soak, cross-module properties, IPC,
+# and the observability layer (lock-free span ring, sampler thread).
+TARGETS=(test_runtime test_faults test_stress test_properties test_api
+         test_ipc test_obs)
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCEDR_SANITIZE="${SANITIZER}" \
