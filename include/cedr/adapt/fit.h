@@ -1,0 +1,105 @@
+#pragma once
+// Shared least-squares core for cost-model coefficient fitting.
+//
+// Two consumers fit the same KernelCost polynomial
+//   service ~= fixed + per_point * n + per_nlogn * n * log2(n)
+// from (problem size, measured service seconds) observations: the offline
+// trace profiler (platform::profile_costs) and the online
+// adapt::OnlineCostEstimator. Both run on the one recursive least-squares
+// engine below — batch fitting is the same filter with a forgetting factor
+// of 1 (all samples weighted equally), fed once per sample.
+//
+// The engine is deterministic: its state is a pure function of the
+// observation sequence (no clocks, no RNG), so the threaded runtime and
+// the virtual-time sim produce identical coefficients from identical
+// observation streams.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "cedr/platform/cost_model.h"
+
+namespace cedr::adapt {
+
+/// One (problem size, measured service seconds) observation.
+struct FitSample {
+  double n = 0.0;
+  double service_s = 0.0;
+};
+
+/// Which columns of the cost polynomial a fit estimates.
+enum class FitBasis {
+  kAffine,  ///< [1, n] — per_nlogn left at 0 (robust at few distinct sizes)
+  kPoly,    ///< [1, n, n*log2(n)] — the full KernelCost basis
+};
+
+/// Exponentially-weighted recursive least squares over the KernelCost
+/// feature vector.
+///
+/// `half_life_samples` sets the forgetting factor lambda =
+/// 2^(-1 / half_life): an observation's influence halves every half_life
+/// updates, so the fit tracks drifting device latency. Pass kNoDecay for
+/// an ordinary least-squares fit over all samples.
+///
+/// Features and target are normalized by the first observation's
+/// magnitudes so the covariance stays well-conditioned across problem
+/// sizes from 64-point FFTs to multi-megapoint generic kernels and across
+/// nanosecond-to-second service-time scales.
+class RlsFit {
+ public:
+  static constexpr double kNoDecay = 0.0;
+
+  explicit RlsFit(FitBasis basis = FitBasis::kPoly,
+                  double half_life_samples = kNoDecay);
+
+  /// Folds one observation into the filter.
+  void update(double n, double service_s);
+
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  /// True once at least two distinct problem sizes have been observed;
+  /// until then only the mean (fixed term) is identifiable.
+  [[nodiscard]] bool multi_size() const noexcept { return multi_size_; }
+
+  /// Model prediction at problem size n (0.0 before any update).
+  [[nodiscard]] double predict(double n) const noexcept;
+
+  /// Raw denormalized coefficients [fixed_s, per_point_s, per_nlogn_s],
+  /// unclamped — callers that need the fallback-to-mean rule inspect the
+  /// sign here.
+  [[nodiscard]] std::array<double, 3> raw_coefficients() const noexcept;
+
+  /// Mean of the observed service times under the same exponential decay.
+  [[nodiscard]] double mean_service() const noexcept { return mean_; }
+
+  /// Fitted coefficients with every term clamped nonnegative (negative
+  /// execution-time terms are non-physical).
+  [[nodiscard]] platform::KernelCost coefficients() const noexcept;
+
+ private:
+  static constexpr std::size_t kMaxDim = 3;
+
+  std::size_t dim_ = kMaxDim;
+  double lambda_ = 1.0;
+  std::size_t samples_ = 0;
+  bool multi_size_ = false;
+  double first_n_ = 0.0;
+  double mean_ = 0.0;
+  double mean_weight_ = 0.0;
+  double scale_y_ = 1.0;
+  std::array<double, kMaxDim> scale_{1.0, 1.0, 1.0};
+  std::array<double, kMaxDim> theta_{};
+  std::array<std::array<double, kMaxDim>, kMaxDim> p_{};
+
+  void features(double n, std::array<double, kMaxDim>& phi) const noexcept;
+};
+
+/// Batch affine fit service ~= fixed + per_point * n with the slope clamped
+/// nonnegative; degenerate sample sets (a single distinct size, or a
+/// negative fitted slope) fall back to the sample mean. This is the
+/// offline profiler's fit, run through the same RLS engine with no decay.
+[[nodiscard]] platform::KernelCost fit_affine(
+    const std::vector<FitSample>& samples);
+
+}  // namespace cedr::adapt

@@ -1,0 +1,145 @@
+#pragma once
+// Online cost-model adaptation.
+//
+// CEDR's cost-aware heuristics (EFT/ETF/HEFT_RT) are only as good as their
+// profiling tables; the real framework obtains those offline, so a
+// mis-calibrated or drifting table silently degrades every scheduling
+// decision. OnlineCostEstimator closes the loop at run time: worker
+// threads (threaded runtime) and the sim engine (virtual time) feed it one
+// observation per completed task — (kernel, PE class, problem size, bytes
+// moved, measured service seconds) — and it refines the per-(kernel, PE
+// class) KernelCost polynomial with exponentially-decayed recursive least
+// squares (cedr/adapt/fit.h).
+//
+// Serving is lock-free: learned coefficients are published as immutable
+// CostModel snapshots behind an atomic shared_ptr, so `finish_time_on` and
+// the heuristics read refreshed tables with zero locking on the scheduling
+// hot path. Cold start falls back to the analytic preset tables; learned
+// values blend in linearly as a pairing's sample count clears the warmup
+// gate. Observations that disagree with the current fit by more than
+// `outlier_threshold`x are rejected so fault-injected retries and latency
+// spikes don't poison the coefficients.
+//
+// The estimator is deterministic: identical observation sequences produce
+// identical published tables (no clocks, no RNG), which is what lets the
+// threaded runtime and the discrete-event sim be compared bit-for-bit.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cedr/adapt/fit.h"
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/platform/cost_model.h"
+
+namespace cedr::adapt {
+
+/// Tuning knobs for the online estimator.
+struct AdaptConfig {
+  bool enabled = false;
+  /// Decay half-life in *samples*: an observation's weight on a pairing's
+  /// fit halves every `half_life` accepted observations of that pairing.
+  /// Sample-count (not wall-clock) decay keeps the estimator deterministic
+  /// across the threaded runtime and the virtual-time sim.
+  double half_life = 64.0;
+  /// Warmup gate: a pairing's learned coefficients are not served until it
+  /// has accepted this many observations; blending to fully-learned
+  /// completes after twice this many.
+  std::size_t min_samples = 8;
+  /// Observations further than this factor from the current prediction
+  /// (either direction) are rejected once a pairing is past warmup.
+  double outlier_threshold = 4.0;
+  /// Accepted observations between snapshot publishes.
+  std::size_t publish_interval = 16;
+
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<AdaptConfig> from_json(const json::Value& value);
+};
+
+/// Reporting view of one adapted (kernel, PE class) pairing.
+struct PairStats {
+  platform::KernelId kernel = platform::KernelId::kGeneric;
+  platform::PeClass cls = platform::PeClass::kCpu;
+  std::size_t samples = 0;   ///< accepted observations
+  std::size_t rejected = 0;  ///< outlier-rejected observations
+  double blend = 0.0;        ///< 0 = all preset, 1 = all learned
+  double rel_error = 0.0;    ///< decayed mean |obs - pred| / pred
+  platform::KernelCost learned;
+  platform::KernelCost preset;
+};
+
+/// Continuously refined cost model. Thread-safe: observe() may be called
+/// concurrently from any number of worker threads; snapshot() is wait-free
+/// for readers.
+class OnlineCostEstimator {
+ public:
+  OnlineCostEstimator(AdaptConfig config, platform::CostModel preset);
+
+  /// Ingests one completed-task observation. Callers must only report
+  /// successful executions (no faulted attempts) — retry and latency-spike
+  /// pollution beyond that is handled by outlier rejection.
+  void observe(platform::KernelId kernel, platform::PeClass cls,
+               std::size_t n, std::size_t bytes, double service_s);
+
+  /// Current published cost model (preset blended with learned values).
+  /// Lock-free; the returned snapshot is immutable and safe to hold across
+  /// an entire scheduling round.
+  [[nodiscard]] std::shared_ptr<const platform::CostModel> snapshot() const;
+
+  /// Per-pairing statistics, sorted by (kernel, class).
+  [[nodiscard]] std::vector<PairStats> pair_stats() const;
+
+  [[nodiscard]] std::uint64_t observations() const noexcept;
+  [[nodiscard]] std::uint64_t rejected() const noexcept;
+  [[nodiscard]] std::uint64_t publishes() const noexcept;
+
+  /// Decayed mean relative error over every pairing with ≥2 samples
+  /// (0.0 when nothing has been observed yet).
+  [[nodiscard]] double mean_rel_error() const;
+
+  /// Mean relative error restricted to one PE class (metrics gauges).
+  [[nodiscard]] double class_rel_error(platform::PeClass cls) const;
+
+  /// COSTS-verb payload: config, counters, and per-pairing static vs
+  /// learned coefficients.
+  [[nodiscard]] json::Value to_json() const;
+
+  [[nodiscard]] const AdaptConfig& config() const noexcept { return config_; }
+
+ private:
+  struct PairState {
+    RlsFit fit;
+    std::size_t rejected = 0;
+    double rel_error = 0.0;
+    double rel_error_weight = 0.0;
+
+    explicit PairState(double half_life)
+        : fit(FitBasis::kPoly, half_life) {}
+  };
+
+  /// Rebuilds and atomically publishes a blended snapshot. Caller holds
+  /// mutex_.
+  void publish_locked();
+  [[nodiscard]] double blend_for(std::size_t samples) const noexcept;
+
+  AdaptConfig config_;
+  platform::CostModel preset_;
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<int, int>, PairState> pairs_;
+  std::uint64_t accepted_since_publish_ = 0;
+
+  // Counters are atomics so the accessors stay lock-free for samplers.
+  std::atomic<std::uint64_t> observations_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+
+  std::atomic<std::shared_ptr<const platform::CostModel>> snapshot_;
+};
+
+}  // namespace cedr::adapt

@@ -11,13 +11,18 @@
 //   STATUS                                      -> OK submitted=N completed=M
 //   STATS                                       -> OK uptime_s=... ready=...
 //   METRICS                                     -> OK {json}   (one line)
+//   COSTS                                       -> OK {json}   (one line)
 //   WAIT                                        -> OK            (drains apps)
 //   SHUTDOWN                                    -> OK            (stops daemon)
 //
 // STATS is a one-line key=value snapshot of live runtime state (queue depth,
 // per-PE busy fractions); METRICS returns the full MetricsRegistry snapshot
 // plus counters as compact JSON. Both work while applications are in flight
-// (see docs/observability.md for field-by-field definitions).
+// (see docs/observability.md for field-by-field definitions). COSTS dumps
+// the online cost-model adaptation state — static vs learned coefficients,
+// sample/rejection counts and relative error per (kernel, PE class) — as
+// JSON; on a daemon without --adapt it reports {"enabled": false}
+// (see docs/adaptive_costs.md).
 //
 // A submitted shared object must export  extern "C" void cedr_app_main(void);
 // The daemon dlopens it and launches cedr_app_main as an API-mode
@@ -89,6 +94,9 @@ class IpcClient {
   /// Returns the METRICS snapshot, parsed:
   /// {"metrics": {...}, "counters": {...}, "stats": {...}}.
   StatusOr<json::Value> metrics();
+  /// Returns the COSTS snapshot, parsed (adapt::OnlineCostEstimator JSON;
+  /// {"enabled": false} when the daemon runs without --adapt).
+  StatusOr<json::Value> costs();
   /// Blocks server-side until all submitted applications complete.
   Status wait_all();
   /// Asks the daemon to serialize logs and exit its accept loop.

@@ -8,6 +8,7 @@
 // configuration and data transfer for their device (paper §II-A).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,9 @@ inline constexpr std::size_t kNumPeClasses =
 
 /// Stable string name ("cpu", "fft", "mmult", "gpu").
 std::string_view pe_class_name(PeClass cls) noexcept;
+
+/// Inverse of pe_class_name; nullopt for unknown names.
+std::optional<PeClass> pe_class_from_name(std::string_view name) noexcept;
 
 /// One processing element in the resource pool.
 struct PeDescriptor {

@@ -12,7 +12,10 @@
 // Fit: for each (kernel, PE class) with enough samples, least squares of
 //   service_time ~= fixed + per_point * problem_size
 // (the per-n·log n term is left to the analytic presets; an affine fit is
-// robust at the few sizes a real workload exercises).
+// robust at the few sizes a real workload exercises). The least-squares
+// implementation is shared with the *online* estimator — see
+// cedr/adapt/fit.h and cedr/adapt/online_estimator.h; this module is the
+// offline, whole-trace entry point.
 
 #include "cedr/common/status.h"
 #include "cedr/platform/cost_model.h"

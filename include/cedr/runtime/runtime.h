@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "cedr/adapt/online_estimator.h"
 #include "cedr/common/queue.h"
 #include "cedr/json/json.h"
 #include "cedr/common/status.h"
@@ -100,6 +101,10 @@ struct RuntimeConfig {
   platform::FaultPlan fault_plan;
   /// Live telemetry (span tracer, metrics sampler).
   ObsConfig obs;
+  /// Online cost-model adaptation (see docs/adaptive_costs.md). Off by
+  /// default; when enabled the schedulers consume continuously refined
+  /// cost tables instead of the static platform presets.
+  adapt::AdaptConfig adapt;
 
   /// Serialization to/from the JSON runtime-configuration file the paper's
   /// daemon consumes ("Runtime Configuration" input of Fig. 1).
@@ -197,6 +202,12 @@ class Runtime {
   /// Current fault-tolerance state of every PE, in platform order.
   [[nodiscard]] std::vector<PeHealth> pe_health() const;
 
+  /// Online cost estimator; nullptr unless RuntimeConfig::adapt.enabled.
+  [[nodiscard]] const adapt::OnlineCostEstimator* adapt_estimator()
+      const noexcept {
+    return adapt_.get();
+  }
+
   /// Wall-clock seconds the runtime spent receiving, managing and
   /// terminating applications, *excluding* heuristic decision time — the
   /// paper's "runtime overhead" metric (§IV-A).
@@ -235,6 +246,9 @@ class Runtime {
   /// Non-null when the fault plan injects anything. Per-PE streams are only
   /// touched from the owning worker thread, so no extra locking is needed.
   std::unique_ptr<platform::FaultInjector> fault_injector_;
+  /// Non-null when online cost adaptation is enabled. Workers feed it
+  /// completions; scheduling rounds read its lock-free snapshots.
+  std::unique_ptr<adapt::OnlineCostEstimator> adapt_;
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "cedr/adapt/online_estimator.h"
 #include "cedr/common/status.h"
 #include "cedr/obs/span.h"
 #include "cedr/platform/fault.h"
@@ -146,6 +147,17 @@ struct SimConfig {
   /// (obs/chrome_trace.h). Because the engine is deterministic, identical
   /// inputs produce a byte-identical exported Chrome trace.
   obs::SpanTracer* tracer = nullptr;
+  /// Optional online cost estimator (docs/adaptive_costs.md). When non-null
+  /// the engine feeds it one observation per successful task completion
+  /// (on the virtual clock) and every scheduling round consumes its latest
+  /// published snapshot — the same wiring as the threaded runtime, so
+  /// identical seeded runs produce identical learned tables.
+  adapt::OnlineCostEstimator* adapt = nullptr;
+  /// Optional override for the tables the *scheduler* consults when `adapt`
+  /// is null. Ground-truth execution durations always come from
+  /// platform.costs; pointing this at a perturbed copy models a
+  /// mis-calibrated static baseline (bench/micro_adapt.cpp).
+  const platform::CostModel* sched_costs = nullptr;
 };
 
 /// Runs one emulation over the given arrival sequence (need not be sorted).

@@ -256,6 +256,19 @@ std::string IpcServer::handle_command(const std::string& line) {
     return "OK " + doc.dump() + "\n";
   }
 
+  if (verb == "COSTS") {
+    // Static vs learned cost tables from the online estimator. Served even
+    // while applications are in flight: pair_stats() takes the estimator's
+    // mutex briefly but never blocks the scheduling hot path (the
+    // schedulers read lock-free snapshots, not this reporting view).
+    const adapt::OnlineCostEstimator* estimator = runtime_.adapt_estimator();
+    if (estimator == nullptr) {
+      const json::Value doc = json::Object{{"enabled", json::Value(false)}};
+      return "OK " + doc.dump() + "\n";
+    }
+    return "OK " + estimator->to_json().dump() + "\n";
+  }
+
   if (verb == "WAIT") {
     const Status status = runtime_.wait_all();
     return status.ok() ? "OK\n" : "ERR " + status.to_string() + "\n";
@@ -365,6 +378,20 @@ StatusOr<json::Value> IpcClient::metrics() {
   auto doc = json::parse(std::string_view(*reply).substr(3));
   if (!doc.ok()) {
     return Internal("METRICS reply is not valid JSON: " +
+                    doc.status().to_string());
+  }
+  return doc;
+}
+
+StatusOr<json::Value> IpcClient::costs() {
+  auto reply = round_trip("COSTS");
+  if (!reply.ok()) return reply.status();
+  if (reply->rfind("OK ", 0) != 0) {
+    return Internal("malformed COSTS reply: " + *reply);
+  }
+  auto doc = json::parse(std::string_view(*reply).substr(3));
+  if (!doc.ok()) {
+    return Internal("COSTS reply is not valid JSON: " +
                     doc.status().to_string());
   }
   return doc;

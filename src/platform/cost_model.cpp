@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
 
 namespace cedr::platform {
 
@@ -89,16 +91,30 @@ StatusOr<CostModel> CostModel::from_json(const json::Value& value) {
       if (!classes.is_object()) {
         return InvalidArgument("kernel cost entry must be object");
       }
-      for (std::size_t c = 0; c < kNumPeClasses; ++c) {
-        const PeClass cls = static_cast<PeClass>(c);
-        const json::Value* entry = classes.find(pe_class_name(cls));
-        if (entry == nullptr) continue;
-        model.set(*kernel, cls,
-                  KernelCost{
-                      .fixed_s = entry->get_double("fixed_s", 0.0),
-                      .per_point_s = entry->get_double("per_point_s", 0.0),
-                      .per_nlogn_s = entry->get_double("per_nlogn_s", 0.0),
-                  });
+      // Iterate the document's own keys so a misspelled PE class fails
+      // loudly instead of being silently skipped.
+      for (const auto& [cname, entry] : classes.as_object()) {
+        const auto cls = pe_class_from_name(cname);
+        if (!cls) {
+          return InvalidArgument("unknown PE class name '" + cname +
+                                 "' in kernel '" + kname + "'");
+        }
+        const KernelCost cost{
+            .fixed_s = entry.get_double("fixed_s", 0.0),
+            .per_point_s = entry.get_double("per_point_s", 0.0),
+            .per_nlogn_s = entry.get_double("per_nlogn_s", 0.0),
+        };
+        for (const auto& [coeff_key, coeff] :
+             {std::pair<const char*, double>{"fixed_s", cost.fixed_s},
+              {"per_point_s", cost.per_point_s},
+              {"per_nlogn_s", cost.per_nlogn_s}}) {
+          if (coeff < 0.0) {
+            return InvalidArgument(
+                std::string("negative coefficient '") + coeff_key +
+                "' for kernel '" + kname + "' class '" + cname + "'");
+          }
+        }
+        model.set(*kernel, *cls, cost);
       }
     }
   }
@@ -106,12 +122,19 @@ StatusOr<CostModel> CostModel::from_json(const json::Value& value) {
     if (!transfers->is_object()) {
       return InvalidArgument("cost model 'transfers' must be object");
     }
-    for (std::size_t c = 0; c < kNumPeClasses; ++c) {
-      const PeClass cls = static_cast<PeClass>(c);
-      const json::Value* entry = transfers->find(pe_class_name(cls));
-      if (entry == nullptr) continue;
-      model.set_transfer(cls, entry->get_double("per_byte_s", 0.0),
-                         entry->get_double("fixed_s", 0.0));
+    for (const auto& [cname, entry] : transfers->as_object()) {
+      const auto cls = pe_class_from_name(cname);
+      if (!cls) {
+        return InvalidArgument("unknown PE class name '" + cname +
+                               "' in transfers");
+      }
+      const double per_byte = entry.get_double("per_byte_s", 0.0);
+      const double fixed = entry.get_double("fixed_s", 0.0);
+      if (per_byte < 0.0 || fixed < 0.0) {
+        return InvalidArgument("negative transfer coefficient for class '" +
+                               cname + "'");
+      }
+      model.set_transfer(*cls, per_byte, fixed);
     }
   }
   return model;

@@ -13,6 +13,14 @@ std::string_view pe_class_name(PeClass cls) noexcept {
   return "unknown";
 }
 
+std::optional<PeClass> pe_class_from_name(std::string_view name) noexcept {
+  for (std::size_t c = 0; c < kNumPeClasses; ++c) {
+    const auto cls = static_cast<PeClass>(c);
+    if (name == pe_class_name(cls)) return cls;
+  }
+  return std::nullopt;
+}
+
 bool pe_class_supports(PeClass cls, KernelId kernel) noexcept {
   switch (cls) {
     case PeClass::kCpu:

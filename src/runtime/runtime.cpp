@@ -219,6 +219,7 @@ json::Value RuntimeConfig::to_json() const {
       {"enable_counters", json::Value(enable_counters)},
       {"fault_plan", fault_plan.to_json()},
       {"obs", obs.to_json()},
+      {"adapt", adapt.to_json()},
   };
 }
 
@@ -253,6 +254,11 @@ StatusOr<RuntimeConfig> RuntimeConfig::from_json(const json::Value& value) {
     auto parsed = ObsConfig::from_json(*obs);
     if (!parsed.ok()) return parsed.status();
     config.obs = *std::move(parsed);
+  }
+  if (const json::Value* adapt = value.find("adapt")) {
+    auto parsed = adapt::AdaptConfig::from_json(*adapt);
+    if (!parsed.ok()) return parsed.status();
+    config.adapt = *std::move(parsed);
   }
   return config;
 }
@@ -384,6 +390,13 @@ Status Runtime::start() {
     CEDR_LOG(kInfo, kLogTag) << "fault injection enabled: seed=0x" << std::hex
                              << config_.fault_plan.seed << std::dec;
   }
+  if (config_.adapt.enabled) {
+    adapt_ = std::make_unique<adapt::OnlineCostEstimator>(
+        config_.adapt, config_.platform.costs);
+    CEDR_LOG(kInfo, kLogTag) << "online cost adaptation enabled: half_life="
+                             << config_.adapt.half_life << " min_samples="
+                             << config_.adapt.min_samples;
+  }
 
   std::lock_guard lock(impl_->mutex);
   if (impl_->started) return FailedPrecondition("runtime already started");
@@ -453,6 +466,17 @@ Status Runtime::start() {
             const std::string name = "pe." + impl_->workers[i]->pe.name + ".busy";
             metrics_.set_gauge(name, frac);
             metrics_.sample(name, t, frac);
+          }
+          if (adapt_ != nullptr) {
+            metrics_.set_gauge("adapt.publishes",
+                               static_cast<double>(adapt_->publishes()));
+            metrics_.set_gauge("adapt.rel_error", adapt_->mean_rel_error());
+            for (std::size_t c = 0; c < platform::kNumPeClasses; ++c) {
+              const auto cls = static_cast<platform::PeClass>(c);
+              metrics_.set_gauge(
+                  "adapt.rel_error." + std::string(platform::pe_class_name(cls)),
+                  adapt_->class_rel_error(cls));
+            }
           }
           prev_t = t;
         });
@@ -619,11 +643,16 @@ Status Runtime::enqueue_kernel(KernelRequest request, CompletionPtr completion) 
   inflight->impls = std::move(request.impls);
   inflight->completion = std::move(completion);
   // Single API calls have no DAG context; rank them by their average cost
-  // so HEFT_RT still prioritizes heavyweight kernels.
+  // so HEFT_RT still prioritizes heavyweight kernels. Ranks use the live
+  // adapted tables when adaptation is on.
+  const std::shared_ptr<const platform::CostModel> learned =
+      adapt_ != nullptr ? adapt_->snapshot() : nullptr;
+  const platform::CostModel& costs =
+      learned != nullptr ? *learned : config_.platform.costs;
   double rank_total = 0.0;
   std::size_t rank_count = 0;
   for (const platform::PeDescriptor& pe : config_.platform.pes) {
-    const double est = config_.platform.costs.estimate(
+    const double est = costs.estimate(
         inflight->kernel, pe.cls, inflight->problem_size, inflight->data_bytes);
     if (std::isfinite(est)) {
       rank_total += est;
@@ -936,8 +965,14 @@ void Runtime::run_scheduling_round() {
     });
   }
 
-  const sched::ScheduleContext ctx{.now = t_now,
-                                   .costs = &config_.platform.costs};
+  // With adaptation on, the round schedules against the latest published
+  // cost snapshot — one lock-free shared_ptr load, held for the whole round
+  // so every finish_time_on comparison sees one consistent table.
+  const std::shared_ptr<const platform::CostModel> learned =
+      adapt_ != nullptr ? adapt_->snapshot() : nullptr;
+  const sched::ScheduleContext ctx{
+      .now = t_now,
+      .costs = learned != nullptr ? learned.get() : &config_.platform.costs};
   Stopwatch decision;
   const sched::ScheduleResult result =
       scheduler_->schedule(views, pe_states, ctx);
@@ -1078,6 +1113,13 @@ void Runtime::worker_loop(Worker& worker) {
         end - start > config_.fault_plan.policy.task_timeout_s) {
       count("deadline_misses");
       status = Unavailable("task exceeded deadline on " + worker.pe.name);
+    }
+    // Feed the online cost estimator with successful executions only;
+    // faulted attempts never describe the pairing's true cost, and latency
+    // spikes that slipped through are handled by its outlier rejection.
+    if (adapt_ != nullptr && status.ok()) {
+      adapt_->observe(task->kernel, worker.pe.cls, task->problem_size,
+                      task->data_bytes, end - start);
     }
     trace_.add_task(trace::TaskRecord{
         .app_instance_id = task->app_instance_id,

@@ -515,6 +515,12 @@ class Engine {
                           static_cast<double>(task.attempt), "ok",
                           faulted ? 0.0 : 1.0);
     }
+    // Mirror the threaded runtime's worker_loop: successful executions feed
+    // the online cost estimator with their measured (virtual) service time.
+    if (config_.adapt != nullptr && !faulted) {
+      config_.adapt->observe(task.kernel, w.cls, task.size, task.bytes,
+                             now_ - started);
+    }
     start_next_on_worker(w);
     // Under fault injection a scheduling round can legitimately leave work
     // queued (every capable PE quarantined, or a probe already in flight
@@ -830,8 +836,17 @@ class Engine {
           .quarantined = excluded,
       });
     }
-    const sched::ScheduleContext ctx{.now = now_,
-                                     .costs = &config_.platform.costs};
+    // The heuristics see (in priority order) the live adapted snapshot, an
+    // explicit static override, or the platform tables; execution durations
+    // (start_next_on_worker) always come from the ground-truth platform
+    // tables, so a mis-calibrated scheduler view shows up as real makespan.
+    const std::shared_ptr<const platform::CostModel> learned =
+        config_.adapt != nullptr ? config_.adapt->snapshot() : nullptr;
+    const platform::CostModel* sched_view =
+        learned != nullptr          ? learned.get()
+        : config_.sched_costs != nullptr ? config_.sched_costs
+                                         : &config_.platform.costs;
+    const sched::ScheduleContext ctx{.now = now_, .costs = sched_view};
     const sched::ScheduleResult result =
         scheduler_->schedule(views, pe_states, ctx);
     for (const sched::PeState& pe : pe_states) {

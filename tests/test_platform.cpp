@@ -79,6 +79,71 @@ TEST(CostModel, JsonRoundTrip) {
   }
 }
 
+TEST(CostModel, FromJsonRejectsUnknownKernelName) {
+  auto doc = json::parse(R"({"kernels": {"FFTT": {"cpu": {"fixed_s": 1.0}}}})");
+  ASSERT_TRUE(doc.ok());
+  auto parsed = CostModel::from_json(*doc);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // The error must name the offending key, not silently skip it.
+  EXPECT_NE(parsed.status().to_string().find("FFTT"), std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(CostModel, FromJsonRejectsUnknownPeClassName) {
+  auto doc = json::parse(R"({"kernels": {"FFT": {"cppu": {"fixed_s": 1.0}}}})");
+  ASSERT_TRUE(doc.ok());
+  auto parsed = CostModel::from_json(*doc);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().to_string().find("cppu"), std::string::npos)
+      << parsed.status().to_string();
+
+  auto transfers = json::parse(R"({"transfers": {"fftt": {"fixed_s": 1.0}}})");
+  ASSERT_TRUE(transfers.ok());
+  auto parsed2 = CostModel::from_json(*transfers);
+  ASSERT_FALSE(parsed2.ok());
+  EXPECT_NE(parsed2.status().to_string().find("fftt"), std::string::npos);
+}
+
+TEST(CostModel, FromJsonRejectsNegativeCoefficients) {
+  auto doc = json::parse(
+      R"({"kernels": {"FFT": {"cpu": {"fixed_s": 1.0, "per_point_s": -2.0}}}})");
+  ASSERT_TRUE(doc.ok());
+  auto parsed = CostModel::from_json(*doc);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().to_string().find("per_point_s"), std::string::npos)
+      << parsed.status().to_string();
+
+  auto transfers =
+      json::parse(R"({"transfers": {"fft": {"per_byte_s": -1e-9}}})");
+  ASSERT_TRUE(transfers.ok());
+  EXPECT_FALSE(CostModel::from_json(*transfers).ok());
+}
+
+TEST(CostModel, FromJsonAcceptsValidDocument) {
+  auto doc = json::parse(
+      R"({"kernels": {"FFT": {"cpu": {"fixed_s": 1.0, "per_point_s": 2.0}}},
+          "transfers": {"fft": {"per_byte_s": 1e-9, "fixed_s": 1e-6}}})");
+  ASSERT_TRUE(doc.ok());
+  auto parsed = CostModel::from_json(*doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->get(KernelId::kFft, PeClass::kCpu).fixed_s, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->get(KernelId::kFft, PeClass::kCpu).per_point_s, 2.0);
+}
+
+TEST(PeClassNames, RoundTrip) {
+  for (std::size_t c = 0; c < kNumPeClasses; ++c) {
+    const auto cls = static_cast<PeClass>(c);
+    const auto back = pe_class_from_name(pe_class_name(cls));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, cls);
+  }
+  EXPECT_FALSE(pe_class_from_name("not-a-class").has_value());
+  EXPECT_FALSE(pe_class_from_name("").has_value());
+}
+
 TEST(Platform, Zcu102Preset) {
   const PlatformConfig p = zcu102(3, 8, 1);
   EXPECT_TRUE(p.validate().ok());

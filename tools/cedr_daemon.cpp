@@ -8,12 +8,20 @@
 //                    [--cpus N] [--ffts N] [--mmults N] [--gpus N]
 //                    [--scheduler RR|EFT|ETF|HEFT_RT] [--trace PATH]
 //                    [--fault-plan JSON] [--metrics-interval SECONDS]
-//                    [--trace-out CHROME_JSON]
+//                    [--trace-out CHROME_JSON] [--adapt]
+//                    [--adapt-half-life SAMPLES] [--adapt-min-samples N]
 //
 // --metrics-interval starts the background sampler (queue depth and per-PE
 // utilization time series, served live via the METRICS IPC command);
 // --trace-out writes the span ring as Chrome trace-event JSON on shutdown
 // (loadable in chrome://tracing or Perfetto).
+//
+// --adapt turns on online cost-model adaptation (docs/adaptive_costs.md):
+// worker threads feed measured service times into an OnlineCostEstimator
+// and the scheduling heuristics consume its continuously refined tables;
+// inspect with `cedr_submit <socket> costs`. --adapt-half-life and
+// --adapt-min-samples override the estimator's decay half-life (in
+// samples) and warmup gate.
 
 #include <cstdio>
 #include <cstring>
@@ -32,7 +40,9 @@ int main(int argc, char** argv) {
                  "[--cpus N] [--ffts N] [--mmults N] [--gpus N] "
                  "[--scheduler NAME] [--trace PATH] [--config JSON] "
                  "[--fault-plan JSON] [--metrics-interval SECONDS] "
-                 "[--trace-out CHROME_JSON] [--verbose]\n",
+                 "[--trace-out CHROME_JSON] [--adapt] "
+                 "[--adapt-half-life SAMPLES] [--adapt-min-samples N] "
+                 "[--verbose]\n",
                  argv[0]);
     return 2;
   }
@@ -44,6 +54,9 @@ int main(int argc, char** argv) {
   std::string fault_plan_path;
   std::string chrome_trace_path;
   double metrics_interval_s = 0.0;
+  bool adapt_enabled = false;
+  double adapt_half_life = 0.0;
+  std::size_t adapt_min_samples = 0;
   std::size_t cpus = 2;
   std::size_t ffts = 1;
   std::size_t mmults = 0;
@@ -65,6 +78,11 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics-interval")
       metrics_interval_s = std::strtod(next(), nullptr);
     else if (arg == "--trace-out") chrome_trace_path = next();
+    else if (arg == "--adapt") adapt_enabled = true;
+    else if (arg == "--adapt-half-life")
+      adapt_half_life = std::strtod(next(), nullptr);
+    else if (arg == "--adapt-min-samples")
+      adapt_min_samples = std::strtoul(next(), nullptr, 10);
     else if (arg == "--verbose") log::set_level(log::Level::kInfo);
   }
 
@@ -101,6 +119,11 @@ int main(int argc, char** argv) {
   if (metrics_interval_s > 0.0) {
     config.obs.sampler_period_s = metrics_interval_s;
   }
+  // The flags layer over whatever the config file carried, so `--adapt`
+  // can switch adaptation on for an otherwise-static configuration.
+  if (adapt_enabled) config.adapt.enabled = true;
+  if (adapt_half_life > 0.0) config.adapt.half_life = adapt_half_life;
+  if (adapt_min_samples > 0) config.adapt.min_samples = adapt_min_samples;
 
   rt::Runtime runtime(config);
   if (const Status s = runtime.start(); !s.ok()) {

@@ -9,11 +9,20 @@
 //            [--scheduler NAME] [--model dag|api] [--rate MBPS]
 //            [--trials N] [--ld-scale N] [--nonblocking]
 //            [--pd N] [--tx N] [--ld N] [--fault-plan JSON]
-//            [--trace-out CHROME_JSON]
+//            [--trace-out CHROME_JSON] [--adapt]
+//            [--adapt-half-life SAMPLES] [--adapt-min-samples N]
 //
 // Prints one line of metrics; designed for scripting sweeps. --trace-out
 // runs one additional traced emulation (the first trial's arrival sequence)
 // and writes its span stream as a Chrome trace-event JSON on virtual time.
+//
+// --adapt enables online cost-model adaptation (docs/adaptive_costs.md):
+// the engine feeds each successful task's virtual service time into one
+// OnlineCostEstimator shared across trials (learning carries over, as it
+// would in a long-lived daemon) and every scheduling round consumes its
+// latest snapshot. A summary line (observations, rejections, publishes,
+// mean relative error) is printed after the metrics. Because the engine is
+// deterministic, identical invocations produce identical learned tables.
 
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +31,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "cedr/adapt/online_estimator.h"
 #include "cedr/common/rng.h"
 #include "cedr/obs/chrome_trace.h"
 #include "cedr/obs/span.h"
@@ -43,6 +55,9 @@ int main(int argc, char** argv) {
   bool nonblocking = false;
   std::string fault_plan_path;
   std::string trace_out;
+  bool adapt_enabled = false;
+  double adapt_half_life = 0.0;
+  std::size_t adapt_min_samples = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,6 +80,11 @@ int main(int argc, char** argv) {
     else if (arg == "--nonblocking") nonblocking = true;
     else if (arg == "--fault-plan") fault_plan_path = next();
     else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--adapt") adapt_enabled = true;
+    else if (arg == "--adapt-half-life")
+      adapt_half_life = std::strtod(next(), nullptr);
+    else if (arg == "--adapt-min-samples")
+      adapt_min_samples = std::strtoul(next(), nullptr, 10);
     else if (arg == "--help" || arg == "-h") {
       std::printf("see header of tools/cedr_sim.cpp for usage\n");
       return 0;
@@ -90,6 +110,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     config.faults = *std::move(plan);
+  }
+  std::unique_ptr<adapt::OnlineCostEstimator> estimator;
+  if (adapt_enabled) {
+    adapt::AdaptConfig adapt_config;
+    adapt_config.enabled = true;
+    if (adapt_half_life > 0.0) adapt_config.half_life = adapt_half_life;
+    if (adapt_min_samples > 0) adapt_config.min_samples = adapt_min_samples;
+    estimator = std::make_unique<adapt::OnlineCostEstimator>(
+        adapt_config, config.platform.costs);
+    config.adapt = estimator.get();
   }
 
   const sim::SimApp pd = sim::make_pulse_doppler_model(nonblocking);
@@ -125,6 +155,15 @@ int main(int argc, char** argv) {
         "lost=%zu\n",
         m.faults_injected, m.tasks_retried, m.pes_quarantined,
         m.pes_reinstated, m.tasks_lost);
+  }
+  if (estimator != nullptr) {
+    std::printf(
+        "adapt: observations=%llu rejected=%llu publishes=%llu "
+        "mean_rel_error=%.4f pairs=%zu\n",
+        static_cast<unsigned long long>(estimator->observations()),
+        static_cast<unsigned long long>(estimator->rejected()),
+        static_cast<unsigned long long>(estimator->publishes()),
+        estimator->mean_rel_error(), estimator->pair_stats().size());
   }
 
   if (!trace_out.empty()) {

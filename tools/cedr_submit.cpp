@@ -5,6 +5,7 @@
 //   cedr_submit <socket> status
 //   cedr_submit <socket> stats     (one-line live runtime snapshot)
 //   cedr_submit <socket> metrics   (JSON metrics snapshot)
+//   cedr_submit <socket> costs     (static vs learned cost tables, JSON)
 //   cedr_submit <socket> wait
 //   cedr_submit <socket> shutdown
 
@@ -19,7 +20,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <socket> submit <so-path> [name] | submitdag <json> "
-                 "| status | stats | metrics | wait | shutdown\n",
+                 "| status | stats | metrics | costs | wait | shutdown\n",
                  argv[0]);
     return 2;
   }
@@ -82,6 +83,16 @@ int main(int argc, char** argv) {
     auto doc = client.metrics();
     if (!doc.ok()) {
       std::fprintf(stderr, "metrics failed: %s\n",
+                   doc.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n", doc->dump_pretty().c_str());
+    return 0;
+  }
+  if (verb == "costs") {
+    auto doc = client.costs();
+    if (!doc.ok()) {
+      std::fprintf(stderr, "costs failed: %s\n",
                    doc.status().to_string().c_str());
       return 1;
     }

@@ -17,9 +17,10 @@ BUILD_DIR="${ROOT}/build-${SANITIZER}"
 
 # The concurrency-sensitive tier: threaded runtime, fault injection with
 # retry/quarantine, the 500-instance soak, cross-module properties, IPC,
-# and the observability layer (lock-free span ring, sampler thread).
+# the observability layer (lock-free span ring, sampler thread), and the
+# online cost adaptation (concurrent observe + lock-free snapshot swap).
 TARGETS=(test_runtime test_faults test_stress test_properties test_api
-         test_ipc test_obs)
+         test_ipc test_obs test_adapt)
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCEDR_SANITIZE="${SANITIZER}" \
@@ -30,7 +31,9 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)" --target "${TARGETS[@]}"
 
 # halt_on_error: a single data race fails the run loudly instead of
 # scrolling past; second_deadlock_stack helps diagnose lock inversions.
-export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+# The suppressions file silences a known libstdc++ atomic<shared_ptr>
+# false positive (see tools/tsan_suppressions.txt).
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=${ROOT}/tools/tsan_suppressions.txt"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 
