@@ -16,8 +16,10 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cedr/json/json.h"
 #include "cedr/sim/model.h"
 #include "cedr/sim/simulator.h"
 #include "cedr/workload/workload.h"
@@ -128,6 +130,61 @@ class Table {
   std::vector<std::string> columns_;
   std::vector<Row> rows_;
 };
+
+/// Machine-readable benchmark results (BENCH_*.json), so the performance
+/// trajectory is tracked across PRs instead of living in scrollback.
+///
+/// Layout written by write_with_baseline():
+///   {"bench": <name>, "baseline": {"points": [...]}, "current": {"points":
+///   [...]}}
+/// The first run of a bench promotes its own points to the baseline block;
+/// later runs preserve whatever baseline the file already carries and only
+/// replace "current". Delete the file to re-baseline.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add_point(json::Object point) { points_.emplace_back(std::move(point)); }
+
+  /// One {"points": [...]} run block.
+  [[nodiscard]] json::Value run_block() const {
+    json::Object block;
+    block.emplace("points", json::Value(points_));
+    return json::Value(std::move(block));
+  }
+
+  Status write_with_baseline(const std::string& path) const {
+    json::Value baseline = run_block();
+    if (auto existing = json::parse_file(path); existing.ok()) {
+      if (const json::Value* prior = existing->find("baseline");
+          prior != nullptr && prior->is_object()) {
+        baseline = *prior;
+      }
+    }
+    json::Object doc;
+    doc.emplace("bench", bench_);
+    doc.emplace("baseline", std::move(baseline));
+    doc.emplace("current", run_block());
+    const Status s = json::write_file(path, json::Value(std::move(doc)));
+    if (s.ok()) std::printf("[json written to %s]\n", path.c_str());
+    return s;
+  }
+
+ private:
+  std::string bench_;
+  json::Array points_;
+};
+
+/// {"count","p50","p95","max"} summary of a wall-clock histogram, for
+/// embedding in a JsonReport point.
+inline json::Value histogram_summary(const obs::QuantileHistogram& h) {
+  json::Object o;
+  o.emplace("count", h.count());
+  o.emplace("p50", h.quantile(0.50));
+  o.emplace("p95", h.quantile(0.95));
+  o.emplace("max", h.max());
+  return json::Value(std::move(o));
+}
 
 /// PD + TX workload of §IV-A (5 instances each).
 inline std::vector<workload::Stream> pdtx_streams(const sim::SimApp& pd,

@@ -91,5 +91,56 @@ int main(int argc, char** argv) {
       "time: ZCU102 sweep %.3f%%, Jetson sweep %.3f%%  (paper: ~0.1%% and "
       "~0.5%%)\n",
       worst_sched_fraction[0] * 100.0, worst_sched_fraction[1] * 100.0);
+
+  // Decision-time scaling sweep (BENCH_fig10.json): how long the *real*
+  // heuristic takes per round, wall-clock, as the PE pool grows past the
+  // paper's testbeds. DAG mode floods the ready queue (hundreds of entries),
+  // which is where the per-round scan cost lives. Results are written
+  // machine-readable with a preserved baseline block so refactors can be
+  // judged against the pre-refactor numbers.
+  {
+    bench::JsonReport report("fig10_scalability");
+    bench::Table table(
+        "Decision-time scaling - sched_decision_us p95 vs PE count, "
+        "ZCU102-style mixed pool, 500 Mbps, DAG-based",
+        "pe_count", {"RR", "EFT", "ETF", "HEFT_RT"});
+    for (const std::size_t pes : {4ul, 8ul, 16ul, 24ul, 32ul}) {
+      std::vector<double> row;
+      for (const char* scheduler : bench::kSchedulers) {
+        obs::QuantileHistogram decision_us;
+        sim::SimConfig config;
+        config.platform =
+            platform::zcu102(pes / 2, pes / 4, pes - pes / 2 - pes / 4);
+        config.scheduler = scheduler;
+        config.model = sim::ProgrammingModel::kDagBased;
+        config.sched_decision_us = &decision_us;
+        auto result =
+            workload::run_point(config, streams, 500.0, opts.trials, 42);
+        if (!result.ok()) {
+          std::fprintf(stderr, "fig10 decision sweep: %s\n",
+                       result.status().to_string().c_str());
+          return 1;
+        }
+        row.push_back(decision_us.quantile(0.95));
+        json::Object point;
+        point.emplace("platform", "zcu102");
+        point.emplace("pes", pes);
+        point.emplace("scheduler", scheduler);
+        point.emplace("makespan_ms", result->mean.makespan * 1e3);
+        point.emplace("exec_ms", result->mean.avg_execution_time * 1e3);
+        point.emplace("total_comparisons", result->mean.total_comparisons);
+        point.emplace("sched_decision_us",
+                      bench::histogram_summary(decision_us));
+        report.add_point(std::move(point));
+      }
+      table.add_row(static_cast<double>(pes), std::move(row));
+    }
+    table.print();
+    if (const Status s = report.write_with_baseline("BENCH_fig10.json");
+        !s.ok()) {
+      std::fprintf(stderr, "fig10 json: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <utility>
 
 namespace cedr {
@@ -30,6 +31,23 @@ class BlockingQueue {
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
+  }
+
+  /// Enqueues a whole batch under one lock acquisition with one wakeup —
+  /// the runtime's batched dispatch (one signal per worker per scheduling
+  /// round instead of one per task). Returns false (enqueuing nothing) if
+  /// the queue has been closed.
+  bool push_batch(std::span<T> batch) {
+    if (batch.empty()) return true;
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      for (T& item : batch) items_.push_back(std::move(item));
+    }
+    // One notify wakes the (single-consumer mailbox) worker; it drains the
+    // rest without blocking since the queue stays non-empty.
+    cv_.notify_all();
     return true;
   }
 

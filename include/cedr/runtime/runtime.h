@@ -93,6 +93,10 @@ struct RuntimeConfig {
   /// Upper bound on how long the event loop sleeps between scheduling
   /// rounds when no events arrive.
   double scheduler_period_s = 200e-6;
+  /// Default timeout for wait_all / wait_app when the caller passes none:
+  /// seconds to wait before giving up with Unavailable. 0 waits forever
+  /// (the daemon's `--wait-timeout 0`).
+  double default_wait_timeout_s = 300.0;
   /// Enables the PAPI-substitute event counters.
   bool enable_counters = true;
   /// Fault-injection scenario plus the fault-tolerance response policy
@@ -163,10 +167,13 @@ class Runtime {
   /// one kernel task. `completion` is signalled by the executing worker.
   Status enqueue_kernel(KernelRequest request, CompletionPtr completion);
 
-  /// Blocks until every submitted application has completed.
-  Status wait_all(double timeout_s = 300.0);
-  /// Blocks until one application instance completes.
-  Status wait_app(std::uint64_t instance_id, double timeout_s = 300.0);
+  /// Blocks until every submitted application has completed. A negative
+  /// timeout (the default) uses RuntimeConfig::default_wait_timeout_s;
+  /// 0 waits forever; positive values are explicit deadlines in seconds.
+  Status wait_all(double timeout_s = -1.0);
+  /// Blocks until one application instance completes. Timeout semantics as
+  /// in wait_all.
+  Status wait_app(std::uint64_t instance_id, double timeout_s = -1.0);
 
   /// Number of applications submitted / completed so far.
   [[nodiscard]] std::uint64_t submitted_apps() const noexcept;
@@ -220,12 +227,21 @@ class Runtime {
   struct AppInstance;
   struct Worker;
 
+  // The implementation is split across focused translation units
+  // (docs/scheduling.md):
+  //   runtime.cpp       — configuration, lifecycle, observability accessors
+  //   app_lifecycle.cpp — submissions, enqueue_kernel, waiting
+  //   ready_state.cpp   — main event loop, completion processing
+  //   dispatch.cpp      — scheduling rounds, worker threads
   void main_loop();
   void worker_loop(Worker& worker);
-  void process_submissions();
   void process_completions();
   void run_scheduling_round();
+  /// Marks an application finished. Caller holds the app-lifecycle mutex.
   void finish_app_locked(AppInstance& app);
+  /// Finishes API apps whose main returned with no kernels outstanding and
+  /// reaps exited application threads. Returns whether any app finished.
+  bool finish_idle_api_apps();
   Status execute_on_pe(InFlightTask& task, Worker& worker);
   /// Bumps a counter iff RuntimeConfig::enable_counters is set.
   void count(const char* name, std::uint64_t delta = 1);

@@ -10,6 +10,13 @@
 //   HEFT_RT — runtime variant of Heterogeneous Earliest Finish Time
 //             (Mack et al., TPDS 2022): tasks ordered by upward rank, then
 //             EFT placement.
+//
+// All heuristics consume a CandidateView (docs/scheduling.md): ineligible
+// (task, PE) pairs are pruned up front and cost estimates are evaluated
+// once per class instead of once per PE. Assignments and the reported
+// `comparisons` counts are identical to the historical per-pair scans —
+// the comparisons number remains the *naive* decision complexity, which is
+// what the emulator charges as virtual decision time (Fig. 7).
 
 #include "cedr/common/rng.h"
 #include "cedr/sched/scheduler.h"
@@ -18,10 +25,9 @@ namespace cedr::sched {
 
 class RoundRobinScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
   [[nodiscard]] std::string_view name() const noexcept override { return "RR"; }
-  ScheduleResult schedule(std::span<const ReadyTask> ready,
-                          std::span<PeState> pes,
-                          const ScheduleContext& ctx) override;
+  ScheduleResult schedule(CandidateView& view) override;
 
  private:
   std::size_t next_pe_ = 0;  ///< rotation cursor persisted across rounds
@@ -29,32 +35,29 @@ class RoundRobinScheduler final : public Scheduler {
 
 class EftScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "EFT";
   }
-  ScheduleResult schedule(std::span<const ReadyTask> ready,
-                          std::span<PeState> pes,
-                          const ScheduleContext& ctx) override;
+  ScheduleResult schedule(CandidateView& view) override;
 };
 
 class EtfScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "ETF";
   }
-  ScheduleResult schedule(std::span<const ReadyTask> ready,
-                          std::span<PeState> pes,
-                          const ScheduleContext& ctx) override;
+  ScheduleResult schedule(CandidateView& view) override;
 };
 
 class HeftRtScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "HEFT_RT";
   }
-  ScheduleResult schedule(std::span<const ReadyTask> ready,
-                          std::span<PeState> pes,
-                          const ScheduleContext& ctx) override;
+  ScheduleResult schedule(CandidateView& view) override;
 };
 
 /// Shared helper: finish time of `t` if started on `pe` no earlier than now.
@@ -70,25 +73,23 @@ double finish_time_on(const ReadyTask& t, const PeState& pe,
 /// static-mapping strawman the paper's introduction argues against).
 class MetScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "MET";
   }
-  ScheduleResult schedule(std::span<const ReadyTask> ready,
-                          std::span<PeState> pes,
-                          const ScheduleContext& ctx) override;
+  ScheduleResult schedule(CandidateView& view) override;
 };
 
 /// RANDOM — uniformly random compatible PE per task; the no-information
 /// floor for scheduler comparisons. Deterministically seeded.
 class RandomScheduler final : public Scheduler {
  public:
+  using Scheduler::schedule;
   explicit RandomScheduler(std::uint64_t seed = 0x5eedu) : rng_(seed) {}
   [[nodiscard]] std::string_view name() const noexcept override {
     return "RANDOM";
   }
-  ScheduleResult schedule(std::span<const ReadyTask> ready,
-                          std::span<PeState> pes,
-                          const ScheduleContext& ctx) override;
+  ScheduleResult schedule(CandidateView& view) override;
 
  private:
   Rng rng_;

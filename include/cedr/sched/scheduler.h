@@ -11,7 +11,9 @@
 // time, which is how the paper's scheduling-overhead trends (Fig. 7)
 // reproduce mechanistically.
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -77,6 +79,190 @@ struct ScheduleResult {
   std::uint64_t comparisons = 0;
 };
 
+/// Precomputed per-class candidate structure for one scheduling round
+/// (docs/scheduling.md). Built once from the merged ready snapshot, it gives
+/// every heuristic:
+///
+///   * per-task eligible-PE slot lists, so ineligible (task, PE) pairs are
+///     skipped up front instead of being probed one by one;
+///   * per-(task, class) cost estimates evaluated once per class instead of
+///     once per PE — the arithmetic (class estimate / pe.speed) is identical
+///     to the legacy per-pair evaluation, so assignments are unchanged;
+///   * an optional class restriction (`admit_mask`) so a heuristic can be
+///     invoked per-shard over a subset of the PE pool.
+///
+/// Two eligibility predicates exist because the heuristics historically used
+/// two: RR and RANDOM probe nominal kernel support
+/// (platform::pe_class_supports), while the cost-aware heuristics admit any
+/// pairing whose cost-table estimate is finite. Both also require
+/// ReadyTask::allowed_on and exclude quarantined PEs.
+///
+/// The view is built per round and used by one thread; it is not
+/// thread-safe. `pes()` exposes the caller's PeState array mutably so
+/// heuristics keep updating available_time in place.
+///
+/// Construction is allocation-conscious: reset() reuses every internal
+/// buffer (Scheduler::schedule keeps one thread_local view warm across
+/// rounds, so steady-state rounds allocate nothing), and the cost side
+/// (per-class estimates, cost eligibility) is evaluated lazily on first
+/// access — RR and RANDOM decide from nominal kernel support and never pay
+/// for a single cost-table lookup.
+class CandidateView {
+ public:
+  static constexpr std::uint32_t kAdmitAll = 0xffffffffu;
+
+  CandidateView() = default;
+  CandidateView(std::span<const ReadyTask> ready, std::span<PeState> pes,
+                const ScheduleContext& ctx,
+                std::uint32_t admit_mask = kAdmitAll) {
+    reset(ready, pes, ctx, admit_mask);
+  }
+
+  /// Rebuilds the view for a new round, reusing internal buffer capacity.
+  /// The spans must stay valid for as long as the view is read.
+  void reset(std::span<const ReadyTask> ready, std::span<PeState> pes,
+             const ScheduleContext& ctx,
+             std::uint32_t admit_mask = kAdmitAll);
+
+  [[nodiscard]] std::span<const ReadyTask> ready() const noexcept {
+    return ready_;
+  }
+  [[nodiscard]] std::span<PeState> pes() const noexcept { return pes_; }
+  [[nodiscard]] const ScheduleContext& ctx() const noexcept { return *ctx_; }
+
+  /// Queue indices admitted by the view, in queue order. An unrestricted
+  /// view admits every task — including unassignable ones, which the legacy
+  /// comparison formulas count — so `tasks().size()` is the Q of those
+  /// formulas (served from a shared iota table, not per-round stores). A
+  /// restricted view admits only tasks eligible on an admitted class.
+  [[nodiscard]] std::span<const std::size_t> tasks() const noexcept {
+    return task_span_;
+  }
+
+  /// Number of PEs in the admitted pool, quarantined included — the P of
+  /// the legacy comparison formulas (pes().size() when unrestricted).
+  [[nodiscard]] std::size_t pe_count() const noexcept {
+    return admitted_slots_.size();
+  }
+
+  /// Admitted PE slots (indices into pes()), ascending, quarantined
+  /// included — RR's rotation space.
+  [[nodiscard]] std::span<const std::size_t> admitted_slots() const noexcept {
+    return admitted_slots_;
+  }
+
+  /// Rotation position of an admitted slot within admitted_slots().
+  [[nodiscard]] std::size_t rotation_position(std::size_t slot) const noexcept;
+
+  /// Admitted, non-quarantined PE slots of one class, ascending.
+  [[nodiscard]] std::span<const std::size_t> class_slots(
+      platform::PeClass cls) const noexcept {
+    return class_slots_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Slots where task q may run under the support predicate (RR/RANDOM):
+  /// admitted && !quarantined && pe_class_supports && allowed_on. Ascending.
+  [[nodiscard]] std::span<const std::size_t> support_eligible(
+      std::size_t q) const {
+    return merged_slots(support_mask_[q]);
+  }
+  /// Slots where task q may run under the cost predicate (EFT/ETF/HEFT_RT/
+  /// MET): admitted && !quarantined && allowed_on && finite estimate.
+  [[nodiscard]] std::span<const std::size_t> cost_eligible(
+      std::size_t q) const {
+    return merged_slots(cost_mask(q));
+  }
+
+  [[nodiscard]] std::uint32_t support_mask(std::size_t q) const noexcept {
+    return support_mask_[q];
+  }
+  [[nodiscard]] std::uint32_t cost_mask(std::size_t q) const {
+    const std::uint32_t allowed =
+        ready_[q].class_mask & admit_mask_ & kClassBits;
+    return kind_costs(q).finite_mask & allowed;
+  }
+
+  /// Cached class-table estimate for (task q, class cls), in seconds at
+  /// speed 1.0; +infinity when the pairing is inadmissible.
+  [[nodiscard]] double class_estimate(std::size_t q,
+                                      platform::PeClass cls) const {
+    return kind_costs(q).est[static_cast<std::size_t>(cls)];
+  }
+
+  /// Execution estimate of task q on `pe` — bit-identical arithmetic to the
+  /// legacy per-pair evaluation (class estimate / pe.speed).
+  [[nodiscard]] double exec_estimate(std::size_t q,
+                                     const PeState& pe) const {
+    return class_estimate(q, pe.cls) / pe.speed;
+  }
+
+  /// Finish time of task q started on `pe` no earlier than ctx().now.
+  [[nodiscard]] double finish_time_on(std::size_t q, const PeState& pe) const;
+
+ private:
+  /// One distinct (kernel, size, bytes) shape in this round's queue. DAG
+  /// mode floods the queue with hundreds of copies of a handful of kinds,
+  /// so per-kind memoization turns Q*C table evaluations into kinds*C.
+  struct Kind {
+    platform::KernelId kernel = platform::KernelId::kGeneric;
+    std::size_t size = 0;
+    std::size_t bytes = 0;
+    std::array<double, platform::kNumPeClasses> est{};
+    std::uint32_t finite_mask = 0;  ///< classes with a finite estimate
+    bool costs_done = false;        ///< est/finite_mask populated
+  };
+
+  [[nodiscard]] std::span<const std::size_t> merged_slots(
+      std::uint32_t class_mask) const;
+
+  /// Cost side of task q's kind, populated on first use — one table
+  /// evaluation per (kind, class), and only for kinds a heuristic actually
+  /// prices. Kind identification itself is lazy too, so reset() does no
+  /// per-task (kernel, size, bytes) searching; support-only heuristics pay
+  /// for neither.
+  [[nodiscard]] const Kind& kind_costs(std::size_t q) const {
+    std::uint32_t k = kind_of_[q];
+    if (k == kNoKind) k = identify_kind(q);
+    Kind& kind = kinds_[k];
+    if (!kind.costs_done) compute_kind_costs(kind);
+    return kind;
+  }
+  std::uint32_t identify_kind(std::size_t q) const;
+  void compute_kind_costs(Kind& kind) const;
+
+  static constexpr std::uint32_t kNoKind =
+      std::numeric_limits<std::uint32_t>::max();
+
+  static constexpr std::uint32_t kClassBits =
+      (1u << platform::kNumPeClasses) - 1u;
+
+  std::span<const ReadyTask> ready_;
+  std::span<PeState> pes_;
+  const ScheduleContext* ctx_ = nullptr;
+  std::uint32_t admit_mask_ = kAdmitAll;
+  std::uint32_t slotted_classes_ = 0;  ///< classes with >= 1 eligible slot
+
+  std::vector<std::size_t> task_indices_;  ///< restricted views only
+  std::vector<std::size_t> iota_;          ///< grown monotonically, 0..max Q
+  std::span<const std::size_t> task_span_;
+  std::vector<std::size_t> admitted_slots_;
+  bool admitted_is_identity_ = true;
+  std::array<std::vector<std::size_t>, platform::kNumPeClasses> class_slots_;
+  std::vector<std::uint8_t> support_mask_;
+
+  /// Kind cache: flat + linearly searched (a round sees few distinct
+  /// kinds, so this beats a hash map and reuses its storage across resets).
+  mutable std::vector<Kind> kinds_;
+  /// task index -> kinds_ index, kNoKind until first priced.
+  mutable std::vector<std::uint32_t> kind_of_;
+
+  /// Lazily merged eligible-slot lists, one per class-mask value.
+  static constexpr std::size_t kMaskSpace = 1u << platform::kNumPeClasses;
+  mutable std::array<std::vector<std::size_t>, kMaskSpace> merged_;
+  mutable std::array<bool, kMaskSpace> merged_built_{};
+  mutable std::vector<std::size_t> merge_scratch_;
+};
+
 /// Base class for scheduling heuristics.
 class Scheduler {
  public:
@@ -88,9 +274,34 @@ class Scheduler {
   /// Assigns ready tasks to PEs. Implementations must only produce
   /// assignments where the PE class supports the task's kernel, and should
   /// assign every assignable task (CEDR drains its ready queue each round).
-  virtual ScheduleResult schedule(std::span<const ReadyTask> ready,
-                                  std::span<PeState> pes,
-                                  const ScheduleContext& ctx) = 0;
+  /// Builds an unrestricted CandidateView and runs the heuristic over it;
+  /// assignments and `comparisons` are identical to the historical
+  /// direct-scan implementations.
+  ScheduleResult schedule(std::span<const ReadyTask> ready,
+                          std::span<PeState> pes, const ScheduleContext& ctx) {
+    // One warm workspace per scheduling thread: after the first rounds the
+    // view's buffers reach steady-state capacity and a round allocates
+    // nothing. Heuristics never re-enter schedule() from schedule(view).
+    thread_local CandidateView view;
+    view.reset(ready, pes, ctx);
+    return schedule(view);
+  }
+
+  /// Per-shard invocation: restricts candidates to PE classes in
+  /// `class_mask` (bit per platform::PeClass). Tasks not eligible on an
+  /// admitted class are skipped entirely and `comparisons` is accounted
+  /// against the restricted pool (docs/scheduling.md).
+  ScheduleResult schedule_shard(std::span<const ReadyTask> ready,
+                                std::span<PeState> pes,
+                                const ScheduleContext& ctx,
+                                std::uint32_t class_mask) {
+    thread_local CandidateView view;
+    view.reset(ready, pes, ctx, class_mask);
+    return schedule(view);
+  }
+
+  /// Heuristic entry point over a prebuilt candidate view.
+  virtual ScheduleResult schedule(CandidateView& view) = 0;
 };
 
 /// Creates a heuristic by configuration name: "RR", "EFT", "ETF", "HEFT_RT".

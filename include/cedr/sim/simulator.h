@@ -32,6 +32,7 @@
 
 #include "cedr/adapt/online_estimator.h"
 #include "cedr/common/status.h"
+#include "cedr/obs/metrics.h"
 #include "cedr/obs/span.h"
 #include "cedr/platform/fault.h"
 #include "cedr/platform/platform.h"
@@ -114,6 +115,10 @@ struct SimMetrics {
   std::size_t tasks_executed = 0;
   std::size_t sched_rounds = 0;
   std::size_t max_ready_queue = 0;
+  /// Sum of per-round `comparisons` reported by the heuristic. This is the
+  /// exact decision-complexity count Fig. 7 is built from; the shard
+  /// refactor must keep it bit-identical for a given input.
+  std::uint64_t total_comparisons = 0;
   double makespan = 0.0;               ///< completion of the last app
   double avg_execution_time = 0.0;     ///< per app, launch -> termination
   double avg_sched_overhead = 0.0;     ///< total decision time / apps
@@ -158,6 +163,16 @@ struct SimConfig {
   /// platform.costs; pointing this at a perturbed copy models a
   /// mis-calibrated static baseline (bench/micro_adapt.cpp).
   const platform::CostModel* sched_costs = nullptr;
+  /// Optional *wall-clock* histogram of the real heuristic's decision time
+  /// per scheduling round, in microseconds. The virtual clock is untouched —
+  /// this measures the host-side cost of running the sched:: heuristic over
+  /// the emulated ready queue, which is what bench/fig10_scalability tracks
+  /// across PRs (BENCH_fig10.json).
+  obs::QuantileHistogram* sched_decision_us = nullptr;
+  /// Optional wall-clock histogram of contended ready-queue shard lock
+  /// waits, in microseconds (docs/scheduling.md). Zero contention in the
+  /// single-threaded emulator; wired so sim and runtime share plumbing.
+  obs::QuantileHistogram* sched_lock_wait_us = nullptr;
 };
 
 /// Runs one emulation over the given arrival sequence (need not be sorted).

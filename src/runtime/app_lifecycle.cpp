@@ -1,0 +1,277 @@
+// Application lifecycle: submissions (DAG and API mode), enqueue_kernel,
+// app completion bookkeeping and the wait_* entry points. All lifecycle
+// state lives under Impl::app_mutex (Level 0 of the lock hierarchy,
+// runtime_impl.h); ready-queue pushes go through the sharded queue's own
+// leaf locks after the lifecycle lock is released, so submitters never
+// serialize against the scheduling round.
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "cedr/common/log.h"
+#include "cedr/sched/rank.h"
+#include "runtime_impl.h"
+
+namespace cedr::rt {
+
+StatusOr<std::uint64_t> Runtime::submit_dag(
+    std::shared_ptr<const task::AppDescriptor> app) {
+  if (!app) return InvalidArgument("null application descriptor");
+  const auto topo = app->graph.topological_order();
+  if (!topo.ok()) return topo.status();
+  if (app->graph.size() == 0) {
+    return InvalidArgument("application graph is empty");
+  }
+
+  Stopwatch overhead;
+  // "Parsing application DAG files" happens here in DAG-based CEDR: the
+  // in-degree table and HEFT ranks are built per instance — outside the
+  // lifecycle lock, since they depend only on the immutable descriptor.
+  auto instance = std::make_unique<AppInstance>();
+  instance->name = app->name;
+  instance->is_dag = true;
+  instance->dag = app;
+  instance->tasks_remaining = app->graph.size();
+  for (const task::Task& t : app->graph.tasks()) {
+    instance->remaining_preds[t.id] = app->graph.predecessors(t.id).size();
+  }
+  instance->ranks = sched::upward_ranks(app->graph, config_.platform);
+  const std::size_t total_tasks = instance->tasks_remaining;
+
+  // Head nodes enter the ready queue immediately (paper §II-A). Build them
+  // while the instance is still locally owned — after it is published to
+  // the apps map, only app_mutex holders may touch it.
+  std::vector<std::shared_ptr<InFlightTask>> heads;
+  for (const task::TaskId head : app->graph.head_nodes()) {
+    const task::Task& t = app->graph.get(head);
+    auto inflight = std::make_shared<InFlightTask>();
+    inflight->name = t.name;
+    inflight->kernel = t.kernel;
+    inflight->problem_size = t.problem_size;
+    inflight->data_bytes = t.data_bytes;
+    inflight->impls = t.impls;
+    inflight->is_dag = true;
+    inflight->dag_task_id = t.id;
+    inflight->rank = instance->ranks[t.id];
+    heads.push_back(std::move(inflight));
+  }
+
+  std::uint64_t id = 0;
+  double arrival = 0.0;
+  {
+    std::lock_guard lock(impl_->app_mutex);
+    if (!impl_->started || !impl_->accepting) {
+      return FailedPrecondition("runtime is not accepting submissions");
+    }
+    id = impl_->next_instance_id++;
+    instance->id = id;
+    arrival = now();
+    instance->arrival_time = arrival;
+    instance->launch_time = arrival;
+    impl_->apps.emplace(id, std::move(instance));
+    impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+    impl_->runtime_overhead += overhead.elapsed();
+  }
+  tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0, arrival,
+                  "tasks", static_cast<double>(total_tasks));
+  count("apps_submitted_dag");
+
+  // Pushing outside the lifecycle lock keeps DAG fan-out off the submission
+  // critical section; each push takes only its shard's leaf lock.
+  for (auto& inflight : heads) {
+    inflight->key =
+        impl_->next_task_key.fetch_add(1, std::memory_order_relaxed);
+    inflight->app_instance_id = id;
+    inflight->enqueue_time = now();
+    inflight->first_enqueue_time = inflight->enqueue_time;
+    tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                 inflight->name.c_str(), 1 + id, 0, inflight->enqueue_time,
+                 inflight->key);
+    impl_->push_ready(std::move(inflight));
+  }
+  impl_->sched_epoch.fetch_add(1, std::memory_order_relaxed);
+  impl_->wake_main();
+  return id;
+}
+
+StatusOr<std::uint64_t> Runtime::submit_api(std::string app_name,
+                                            std::function<void()> main_fn) {
+  if (!main_fn) return InvalidArgument("null application main function");
+
+  Stopwatch overhead;
+  auto instance = std::make_unique<AppInstance>();
+  instance->name = std::move(app_name);
+  instance->is_dag = false;
+  AppInstance* raw = instance.get();
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(impl_->app_mutex);
+    if (!impl_->started || !impl_->accepting) {
+      return FailedPrecondition("runtime is not accepting submissions");
+    }
+    id = impl_->next_instance_id++;
+    instance->id = id;
+    instance->arrival_time = now();
+    instance->launch_time = instance->arrival_time;
+    impl_->apps.emplace(id, std::move(instance));
+    impl_->submitted.fetch_add(1, std::memory_order_relaxed);
+    impl_->runtime_overhead += overhead.elapsed();
+  }
+  tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0,
+                  raw->arrival_time);
+  count("apps_submitted_api");
+
+  // "A new system thread is spawned that executes that application's main
+  // function" (paper §II-C). The binding routes its libCEDR calls here.
+  // The AppInstance address is stable (owned by the map via unique_ptr),
+  // so spawning after the lock is released is safe. The handle is stored
+  // under app_mutex: the spawned thread can run — and set thread_exited —
+  // before the move-assignment completes, and the main loop's reaper reads
+  // app_thread.joinable() under that lock.
+  std::thread app_thread([this, raw, fn = std::move(main_fn)] {
+    thread_binding() = ThreadBinding{this, raw->id};
+    fn();
+    thread_binding() = ThreadBinding{};
+    raw->main_done.store(true, std::memory_order_release);
+    raw->thread_exited.store(true, std::memory_order_release);
+    impl_->wake_main();
+  });
+  {
+    std::lock_guard lock(impl_->app_mutex);
+    raw->app_thread = std::move(app_thread);
+  }
+  impl_->wake_main();
+  return id;
+}
+
+Status Runtime::enqueue_kernel(KernelRequest request, CompletionPtr completion) {
+  const ThreadBinding binding = thread_binding();
+  if (binding.runtime != this) {
+    return FailedPrecondition(
+        "enqueue_kernel called from a thread not bound to this runtime");
+  }
+  if (!completion) return InvalidArgument("null completion");
+
+  auto inflight = std::make_shared<InFlightTask>();
+  inflight->app_instance_id = binding.instance_id;
+  inflight->name = std::move(request.name);
+  inflight->kernel = request.kernel;
+  inflight->problem_size = request.problem_size;
+  inflight->data_bytes = request.data_bytes;
+  inflight->impls = std::move(request.impls);
+  inflight->completion = std::move(completion);
+  // Single API calls have no DAG context; rank them by their average cost
+  // so HEFT_RT still prioritizes heavyweight kernels. Ranks use the live
+  // adapted tables when adaptation is on.
+  const std::shared_ptr<const platform::CostModel> learned =
+      adapt_ != nullptr ? adapt_->snapshot() : nullptr;
+  const platform::CostModel& costs =
+      learned != nullptr ? *learned : config_.platform.costs;
+  double rank_total = 0.0;
+  std::size_t rank_count = 0;
+  for (const platform::PeDescriptor& pe : config_.platform.pes) {
+    const double est = costs.estimate(
+        inflight->kernel, pe.cls, inflight->problem_size, inflight->data_bytes);
+    if (std::isfinite(est)) {
+      rank_total += est;
+      ++rank_count;
+    }
+  }
+  inflight->rank = rank_count == 0 ? 0.0 : rank_total / rank_count;
+
+  {
+    std::lock_guard lock(impl_->app_mutex);
+    auto it = impl_->apps.find(binding.instance_id);
+    if (it == impl_->apps.end() || it->second->finished) {
+      return FailedPrecondition("application instance is not active");
+    }
+    // Incrementing under the lifecycle lock pins the app open: it cannot
+    // finish until this kernel's completion is processed.
+    ++it->second->outstanding_kernels;
+  }
+  inflight->key = impl_->next_task_key.fetch_add(1, std::memory_order_relaxed);
+  inflight->enqueue_time = now();
+  inflight->first_enqueue_time = inflight->enqueue_time;
+  tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+               inflight->name.c_str(), 1 + binding.instance_id, 0,
+               inflight->enqueue_time, inflight->key);
+  // "Pushing tasks to the ready queue ... is handled by the application
+  // thread" in API-based CEDR (paper §IV-A) — this push is on the app
+  // thread, not the main loop. It takes only the task's shard lock, so
+  // concurrent app threads enqueueing for different PE classes don't
+  // contend with each other or with the dispatching main loop.
+  impl_->push_ready(std::move(inflight));
+  impl_->sched_epoch.fetch_add(1, std::memory_order_relaxed);
+  count("kernels_enqueued");
+  impl_->wake_main();
+  return Status::Ok();
+}
+
+void Runtime::finish_app_locked(AppInstance& app) {
+  app.finished = true;
+  const double completion = now();
+  trace_.add_app(trace::AppRecord{
+      .app_instance_id = app.id,
+      .app_name = app.name,
+      .arrival_time = app.arrival_time,
+      .launch_time = app.launch_time,
+      .completion_time = completion,
+  });
+  tracer_.instant(obs::Category::kApp, "app_complete", 1 + app.id, 0,
+                  completion, "exec_time_s", completion - app.arrival_time);
+  impl_->completed.fetch_add(1, std::memory_order_relaxed);
+  count("apps_completed");
+}
+
+// ---------------------------------------------------------------------------
+// Waiting
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Resolves the caller's timeout against the configured default: negative
+/// means "use RuntimeConfig::default_wait_timeout_s", and a resolved value
+/// of 0 means wait forever.
+double resolve_timeout(double timeout_s, const RuntimeConfig& config) {
+  return timeout_s < 0.0 ? config.default_wait_timeout_s : timeout_s;
+}
+}  // namespace
+
+Status Runtime::wait_all(double timeout_s) {
+  const double deadline = resolve_timeout(timeout_s, config_);
+  const auto done = [this] {
+    return impl_->completed.load(std::memory_order_relaxed) ==
+           impl_->submitted.load(std::memory_order_relaxed);
+  };
+  std::unique_lock lock(impl_->app_mutex);
+  if (deadline == 0.0) {
+    impl_->app_done_cv.wait(lock, done);
+    return Status::Ok();
+  }
+  if (!impl_->app_done_cv.wait_for(
+          lock, std::chrono::duration<double>(deadline), done)) {
+    return Unavailable("wait_all timed out");
+  }
+  return Status::Ok();
+}
+
+Status Runtime::wait_app(std::uint64_t instance_id, double timeout_s) {
+  const double deadline = resolve_timeout(timeout_s, config_);
+  const auto done = [this, instance_id] {
+    auto it = impl_->apps.find(instance_id);
+    return it == impl_->apps.end() || it->second->finished;
+  };
+  std::unique_lock lock(impl_->app_mutex);
+  if (deadline == 0.0) {
+    impl_->app_done_cv.wait(lock, done);
+    return Status::Ok();
+  }
+  if (!impl_->app_done_cv.wait_for(
+          lock, std::chrono::duration<double>(deadline), done)) {
+    return Unavailable("wait_app timed out");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cedr::rt

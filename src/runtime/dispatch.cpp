@@ -1,0 +1,296 @@
+// Scheduling rounds and worker threads: snapshot the sharded ready queue,
+// run the configured heuristic, dispatch assignments to per-worker
+// mailboxes in batches (one wakeup per worker per round), and execute
+// tasks on the emulated PEs.
+//
+// The round runs on the main event-loop thread with no global lock: the
+// queue snapshot takes per-shard leaf locks, PE health is read under
+// health_mutex, and everything else it touches is main-loop private
+// (runtime_impl.h).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "cedr/common/log.h"
+#include "runtime_impl.h"
+
+namespace cedr::rt {
+
+void Runtime::run_scheduling_round() {
+  // A blocked round stays blocked until new work / a completion bumps the
+  // epoch or the earliest unblocking timer (backoff release, probe window)
+  // passes; re-running the heuristic before then cannot dispatch anything.
+  if (impl_->sched_blocked) {
+    if (impl_->sched_epoch.load(std::memory_order_relaxed) ==
+            impl_->sched_blocked_epoch &&
+        now() < impl_->sched_blocked_until) {
+      return;
+    }
+    impl_->sched_blocked = false;
+  }
+  // Release deferred retries whose backoff has elapsed. The re-push
+  // recomputes the effective class mask, so the retry's failed-class
+  // narrowing takes effect on its new shard placement.
+  if (!impl_->deferred.empty()) {
+    const double release_now = now();
+    std::deque<std::shared_ptr<InFlightTask>> still_waiting;
+    for (auto& t : impl_->deferred) {
+      if (t->retry_at <= release_now) {
+        t->enqueue_time = release_now;
+        impl_->push_ready(std::move(t));
+      } else {
+        still_waiting.push_back(std::move(t));
+      }
+    }
+    impl_->deferred = std::move(still_waiting);
+    impl_->deferred_count.store(impl_->deferred.size(),
+                                std::memory_order_relaxed);
+  }
+  if (impl_->ready.size() == 0) return;
+
+  // Epoch to blame a blocked round on — captured *before* the snapshot so
+  // a task pushed while the round runs (missing from the snapshot, bumping
+  // the epoch) always unblocks the next round.
+  const std::uint64_t pre_snapshot_epoch =
+      impl_->sched_epoch.load(std::memory_order_acquire);
+  const sched::ReadyQueueShards::Snapshot snap = impl_->ready.snapshot();
+  if (snap.empty()) return;
+
+  const double t_now = now();
+  std::vector<sched::PeState> pe_states;
+  pe_states.reserve(impl_->workers.size());
+  {
+    std::lock_guard health(impl_->health_mutex);
+    for (std::size_t i = 0; i < impl_->workers.size(); ++i) {
+      const Worker& w = *impl_->workers[i];
+      // A quarantined PE is hidden from the heuristic, except when its
+      // probe window is open: then it is admitted so one probe task can
+      // test it.
+      bool excluded = w.quarantined;
+      if (excluded && !w.probe_inflight && t_now >= w.probe_at) {
+        excluded = false;
+      }
+      pe_states.push_back(sched::PeState{
+          .pe_index = i,
+          .cls = w.pe.cls,
+          .available_time = std::max(t_now, impl_->pe_available[i]),
+          .speed = w.pe.speed_factor,
+          .quarantined = excluded,
+      });
+    }
+  }
+
+  // With adaptation on, the round schedules against the latest published
+  // cost snapshot — one lock-free shared_ptr load, held for the whole round
+  // so every finish_time_on comparison sees one consistent table.
+  const std::shared_ptr<const platform::CostModel> learned =
+      adapt_ != nullptr ? adapt_->snapshot() : nullptr;
+  const sched::ScheduleContext ctx{
+      .now = t_now,
+      .costs = learned != nullptr ? learned.get() : &config_.platform.costs};
+  Stopwatch decision;
+  const sched::ScheduleResult result =
+      scheduler_->schedule(snap.views, pe_states, ctx);
+  const double decision_time = decision.elapsed();
+  trace_.add_sched(trace::SchedRecord{
+      .time = t_now,
+      .ready_tasks = snap.size(),
+      .assigned = result.assignments.size(),
+      .decision_time = decision_time,
+  });
+  sched_decision_us_->record(decision_time * 1e6);
+  tracer_.complete_span(obs::Category::kSched, sched_span_name_.c_str(), 0, 0,
+                        t_now, decision_time, "ready",
+                        static_cast<double>(snap.size()), "assigned",
+                        static_cast<double>(result.assignments.size()));
+  count("sched_rounds");
+  count("sched_comparisons", result.comparisons);
+
+  // Group assigned tasks into one batch per worker; keep the rest queued.
+  // A quarantined PE whose probe window admitted it takes exactly one task
+  // (the probe); further assignments to it stay queued for the next round.
+  std::vector<std::vector<std::shared_ptr<InFlightTask>>> batches(
+      impl_->workers.size());
+  std::vector<sched::ReadyQueueShards::Entry> taken;
+  taken.reserve(result.assignments.size());
+  {
+    std::lock_guard health(impl_->health_mutex);
+    for (const sched::Assignment& a : result.assignments) {
+      Worker& w = *impl_->workers[a.pe_index];
+      if (w.quarantined) {
+        if (w.probe_inflight) continue;  // one probe at a time
+        w.probe_inflight = true;
+        count("probes_dispatched");
+      }
+      const sched::ReadyQueueShards::Entry& entry = snap.entries[a.queue_index];
+      batches[a.pe_index].push_back(
+          std::static_pointer_cast<InFlightTask>(entry.payload));
+      taken.push_back(entry);
+    }
+  }
+  // Remove before dispatching so a task is never simultaneously queued and
+  // executing; entries pushed since the snapshot are untouched.
+  impl_->ready.remove(taken);
+  const std::size_t dispatched = taken.size();
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (batches[i].empty()) continue;
+    for (const auto& task : batches[i]) {
+      tracer_.flow(obs::EventKind::kFlowStep, obs::Category::kSched,
+                   "dispatch", 0, 0, now(), task->key);
+    }
+    // Batched handoff: one mailbox lock and one wakeup per worker per
+    // round, instead of one of each per task.
+    impl_->workers[i]->mailbox.push_batch(std::span(batches[i]));
+  }
+  for (const sched::PeState& pe : pe_states) {
+    impl_->pe_available[pe.pe_index] = pe.available_time;
+  }
+  if (dispatched == 0 && impl_->ready.size() != 0) {
+    // Nothing moved: block further rounds until the state epoch changes or
+    // the earliest timer that could free a PE / release a retry fires.
+    double until = std::numeric_limits<double>::infinity();
+    for (const auto& t : impl_->deferred) {
+      until = std::min(until, t->retry_at);
+    }
+    {
+      std::lock_guard health(impl_->health_mutex);
+      for (const auto& w : impl_->workers) {
+        if (w->quarantined && !w->probe_inflight) {
+          until = std::min(until, w->probe_at);
+        }
+      }
+    }
+    impl_->sched_blocked = true;
+    impl_->sched_blocked_epoch = pre_snapshot_epoch;
+    impl_->sched_blocked_until = until;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+Status Runtime::execute_on_pe(InFlightTask& task, Worker& worker) {
+  const task::TaskFn& impl =
+      task.impls[static_cast<std::size_t>(worker.pe.cls)];
+  platform::MmioDevice* device = worker.devices.for_kernel(task.kernel);
+
+  if (fault_injector_ != nullptr) {
+    const platform::FaultDecision fault =
+        fault_injector_->next(worker.pe_index);
+    switch (fault.kind) {
+      case platform::FaultKind::kNone:
+        break;
+      case platform::FaultKind::kTransientFail:
+        count("faults_injected");
+        return Unavailable("injected transient fault on " + worker.pe.name);
+      case platform::FaultKind::kLatencySpike:
+        // The execution still succeeds, it just takes longer (thermal
+        // throttling / contention); the deadline check may still fail it.
+        count("faults_injected");
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault.duration_s));
+        break;
+      case platform::FaultKind::kDeviceHang:
+        count("faults_injected");
+        if (device != nullptr && impl) {
+          // Wedge the MMIO device: the impl's polling loop spins until the
+          // emulated watchdog flips the status register to kStatusError.
+          device->inject_hang();
+        } else {
+          // CPU-style PE with no device to wedge: the worker is simply
+          // unresponsive for the hang dwell (clipped to the task deadline).
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              std::min(fault.duration_s,
+                       config_.fault_plan.policy.task_timeout_s)));
+          return Unavailable("injected PE hang on " + worker.pe.name);
+        }
+        break;
+    }
+  }
+
+  // Tasks without implementations (timing/structural studies) are no-ops.
+  if (!impl) return Status::Ok();
+  task::ExecContext ctx{
+      .pe = &worker.pe,
+      .device = device,
+  };
+  Status status = impl(ctx);
+  // Recover the device after a failed operation (hang, error) so the next
+  // task dispatched here starts from a clean register file.
+  if (!status.ok() && device != nullptr) device->reset();
+  return status;
+}
+
+void Runtime::worker_loop(Worker& worker) {
+  while (auto item = worker.mailbox.pop()) {
+    std::shared_ptr<InFlightTask> task = std::move(*item);
+    const double start = now();
+    worker.busy_since.store(start, std::memory_order_relaxed);
+    Status status = execute_on_pe(*task, worker);
+    const double end = now();
+    worker.busy_seconds.store(
+        worker.busy_seconds.load(std::memory_order_relaxed) + (end - start),
+        std::memory_order_relaxed);
+    worker.busy_since.store(-1.0, std::memory_order_relaxed);
+    worker.tasks_done.fetch_add(1, std::memory_order_relaxed);
+    // Per-task deadline: when fault injection is active, an execution that
+    // overran the policy deadline is treated as a failure (and retried) even
+    // if it eventually produced a result — the paper's real-time framing.
+    if (fault_injector_ != nullptr && status.ok() &&
+        end - start > config_.fault_plan.policy.task_timeout_s) {
+      count("deadline_misses");
+      status = Unavailable("task exceeded deadline on " + worker.pe.name);
+    }
+    // Feed the online cost estimator with successful executions only;
+    // faulted attempts never describe the pairing's true cost, and latency
+    // spikes that slipped through are handled by its outlier rejection.
+    if (adapt_ != nullptr && status.ok()) {
+      adapt_->observe(task->kernel, worker.pe.cls, task->problem_size,
+                      task->data_bytes, end - start);
+    }
+    trace_.add_task(trace::TaskRecord{
+        .app_instance_id = task->app_instance_id,
+        .app_name = "",
+        .task_id = task->key,
+        .kernel_name = std::string(platform::kernel_name(task->kernel)),
+        .pe_name = worker.pe.name,
+        .problem_size = task->problem_size,
+        .enqueue_time = task->enqueue_time,
+        .start_time = start,
+        .end_time = end,
+        .attempt = task->attempt,
+        .ok = status.ok(),
+    });
+    count("tasks_executed");
+    if (config_.enable_counters) {
+      counters_.add(std::string("tasks_on_") + worker.pe.name);
+    }
+    queue_delay_us_->record((start - task->enqueue_time) * 1e6);
+    service_time_us_->record((end - start) * 1e6);
+    tracer_.flow(obs::EventKind::kFlowEnd, obs::Category::kWorker, "execute",
+                 0, 1 + worker.pe_index, start, task->key);
+    tracer_.complete_span(obs::Category::kWorker, task->name.c_str(), 0,
+                          1 + worker.pe_index, start, end - start, "attempt",
+                          static_cast<double>(task->attempt), "ok",
+                          status.ok() ? 1.0 : 0.0);
+    // Fig. 4: the worker signals the sleeping application thread directly —
+    // but only on success. Failures first go through the main loop's retry
+    // machinery; only a terminal failure is signalled (from there).
+    if (status.ok() && task->completion) task->completion->signal(status);
+    {
+      std::lock_guard lock(impl_->event_mutex);
+      impl_->completions.push_back(Impl::CompletionRecord{
+          .task = std::move(task),
+          .status = std::move(status),
+          .pe_index = worker.pe_index,
+      });
+    }
+    impl_->event_cv.notify_all();
+  }
+}
+
+}  // namespace cedr::rt

@@ -1,0 +1,248 @@
+// The main event loop and completion processing: worker-reported results
+// drive PE health (quarantine/probe), bounded retry with backoff, DAG
+// successor release and application completion. This TU owns the ready
+// state transitions; the scheduling round itself lives in dispatch.cpp.
+//
+// Locking (runtime_impl.h): completion records are drained under the leaf
+// event_mutex, then processed with health_mutex (PE health) and app_mutex
+// (lifecycle) taken separately and never together with event_mutex held.
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "cedr/common/log.h"
+#include "runtime_impl.h"
+
+namespace cedr::rt {
+
+void Runtime::main_loop() {
+  while (true) {
+    {
+      std::unique_lock lock(impl_->event_mutex);
+      impl_->event_cv.wait_for(
+          lock, std::chrono::duration<double>(config_.scheduler_period_s),
+          [this] {
+            // A ready queue the last round could not dispatch from (all
+            // capable PEs quarantined / probes pending / retries backing
+            // off) is not a wake reason until something changes; otherwise
+            // the loop would busy-spin empty scheduling rounds.
+            const bool schedulable =
+                impl_->ready.size() != 0 &&
+                !(impl_->sched_blocked &&
+                  impl_->sched_epoch.load(std::memory_order_relaxed) ==
+                      impl_->sched_blocked_epoch);
+            return impl_->stopping.load(std::memory_order_relaxed) ||
+                   !impl_->completions.empty() || schedulable;
+          });
+      if (impl_->stopping.load(std::memory_order_relaxed) &&
+          impl_->completions.empty() && impl_->ready.size() == 0 &&
+          impl_->deferred.empty()) {
+        break;
+      }
+    }
+    process_completions();
+    run_scheduling_round();
+  }
+}
+
+void Runtime::process_completions() {
+  // Drain the records under the leaf event lock, process them without it —
+  // workers reporting further completions never wait on this loop's health
+  // or lifecycle work.
+  std::deque<Impl::CompletionRecord> batch;
+  {
+    std::lock_guard lock(impl_->event_mutex);
+    batch.swap(impl_->completions);
+  }
+  if (batch.empty()) {
+    // Still sweep API apps: an application main returning (main_done) is
+    // not a completion record but can finish the app.
+    finish_idle_api_apps();
+    return;
+  }
+  Stopwatch overhead;
+  bool any_app_finished = false;
+  const platform::FaultPolicy& policy = config_.fault_plan.policy;
+  for (Impl::CompletionRecord& rec : batch) {
+    // Every completion changes PE health or releases work: any blocked
+    // scheduling state is stale now.
+    impl_->sched_epoch.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<InFlightTask> inflight = std::move(rec.task);
+    const Status status = std::move(rec.status);
+    Worker& worker = *impl_->workers[rec.pe_index];
+    const double t_now = now();
+
+    if (!status.ok()) {
+      {
+        // --- PE health: consecutive faults drive quarantine. ---------------
+        std::lock_guard health(impl_->health_mutex);
+        ++worker.faults_seen;
+        tracer_.instant(obs::Category::kFault, "fault", 0,
+                        1 + worker.pe_index, t_now, "attempt",
+                        static_cast<double>(inflight->attempt));
+        if (worker.quarantined) {
+          // A failed probe: the PE stays out; schedule the next probe window.
+          worker.probe_inflight = false;
+          worker.probe_at = t_now + policy.probe_period_s;
+          count("probes_failed");
+          tracer_.instant(obs::Category::kFault, "probe_failed", 0,
+                          1 + worker.pe_index, t_now);
+        } else {
+          ++worker.consecutive_faults;
+          if (policy.quarantine_threshold > 0 &&
+              worker.consecutive_faults >= policy.quarantine_threshold) {
+            worker.quarantined = true;
+            worker.probe_inflight = false;
+            worker.probe_at = t_now + policy.probe_period_s;
+            ++worker.quarantines;
+            count("pes_quarantined");
+            tracer_.instant(obs::Category::kFault, "pe_quarantined", 0,
+                            1 + worker.pe_index, t_now, "consecutive_faults",
+                            static_cast<double>(worker.consecutive_faults));
+            CEDR_LOG(kWarn, kLogTag)
+                << "PE " << worker.pe.name << " quarantined after "
+                << worker.consecutive_faults << " consecutive faults";
+          }
+        }
+      }
+      // --- Bounded retry with exponential backoff. -------------------------
+      // Remember the class that failed so the retry prefers a different PE
+      // type (graceful degradation: a quarantined accelerator's work lands
+      // on the CPU implementation through the same dispatch table).
+      inflight->failed_class_mask |=
+          1u << static_cast<unsigned>(worker.pe.cls);
+      if (inflight->attempt < policy.max_retries) {
+        ++inflight->attempt;
+        count("tasks_retried");
+        const double backoff =
+            policy.backoff_base_s *
+            std::pow(policy.backoff_factor,
+                     static_cast<double>(inflight->attempt - 1));
+        inflight->retry_at = t_now + backoff;
+        tracer_.instant(obs::Category::kFault, "retry_backoff", 0,
+                        1 + worker.pe_index, t_now, "attempt",
+                        static_cast<double>(inflight->attempt), "backoff_s",
+                        backoff);
+        impl_->deferred.push_back(std::move(inflight));
+        impl_->deferred_count.store(impl_->deferred.size(),
+                                    std::memory_order_relaxed);
+        continue;  // not terminal: no successor release, no app signal
+      }
+      // Terminal failure: retries exhausted. Only now does the failure
+      // become visible to the application.
+      count("tasks_failed");
+      tracer_.instant(obs::Category::kFault, "task_failed", 0,
+                      1 + worker.pe_index, t_now, "attempts",
+                      static_cast<double>(inflight->attempt + 1));
+      CEDR_LOG(kWarn, kLogTag)
+          << "task '" << inflight->name << "' failed after "
+          << (inflight->attempt + 1)
+          << " attempts: " << status.to_string();
+      if (inflight->completion) inflight->completion->signal(status);
+    } else {
+      // --- Success: reset health, reinstate a probed PE, book recovery. ----
+      {
+        std::lock_guard health(impl_->health_mutex);
+        worker.consecutive_faults = 0;
+        worker.probe_inflight = false;
+        if (worker.quarantined) {
+          worker.quarantined = false;
+          count("pes_reinstated");
+          tracer_.instant(obs::Category::kFault, "pe_reinstated", 0,
+                          1 + worker.pe_index, t_now);
+          CEDR_LOG(kInfo, kLogTag)
+              << "PE " << worker.pe.name << " reinstated after probe success";
+        }
+      }
+      if (inflight->attempt > 0) {
+        count("tasks_recovered");
+        trace_.add_retry_latency(t_now - inflight->first_enqueue_time);
+        tracer_.instant(obs::Category::kFault, "task_recovered", 0,
+                        1 + worker.pe_index, t_now, "latency_s",
+                        t_now - inflight->first_enqueue_time);
+      }
+    }
+
+    // --- Application bookkeeping: successor release / finish. --------------
+    // DAG successors are built under app_mutex (they read per-instance
+    // state) and pushed to the shards afterwards — shard locks are leaves
+    // and must not nest inside, but pushing outside keeps the lifecycle
+    // lock narrow anyway.
+    std::vector<std::shared_ptr<InFlightTask>> released;
+    {
+      std::lock_guard lock(impl_->app_mutex);
+      auto it = impl_->apps.find(inflight->app_instance_id);
+      if (it == impl_->apps.end()) continue;
+      AppInstance& app = *it->second;
+      if (inflight->is_dag) {
+        for (const task::TaskId succ :
+             app.dag->graph.successors(inflight->dag_task_id)) {
+          if (--app.remaining_preds[succ] != 0) continue;
+          const task::Task& t = app.dag->graph.get(succ);
+          auto next = std::make_shared<InFlightTask>();
+          next->key =
+              impl_->next_task_key.fetch_add(1, std::memory_order_relaxed);
+          next->app_instance_id = app.id;
+          next->name = t.name;
+          next->kernel = t.kernel;
+          next->problem_size = t.problem_size;
+          next->data_bytes = t.data_bytes;
+          next->impls = t.impls;
+          next->is_dag = true;
+          next->dag_task_id = t.id;
+          next->rank = app.ranks[t.id];
+          released.push_back(std::move(next));
+        }
+        if (--app.tasks_remaining == 0) {
+          finish_app_locked(app);
+          any_app_finished = true;
+        }
+      } else {
+        --app.outstanding_kernels;
+      }
+    }
+    for (auto& next : released) {
+      next->enqueue_time = now();
+      next->first_enqueue_time = next->enqueue_time;
+      tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                   next->name.c_str(), 1 + next->app_instance_id, 0,
+                   next->enqueue_time, next->key);
+      impl_->push_ready(std::move(next));
+    }
+  }
+  if (finish_idle_api_apps()) any_app_finished = true;
+  {
+    std::lock_guard lock(impl_->app_mutex);
+    impl_->runtime_overhead += overhead.elapsed();
+  }
+  if (any_app_finished) impl_->app_done_cv.notify_all();
+}
+
+bool Runtime::finish_idle_api_apps() {
+  // API applications finish when their main returned and no kernels remain.
+  // Exited app threads are reaped here: collected under the lifecycle lock,
+  // joined outside it.
+  bool any_finished = false;
+  std::vector<std::thread> exited;
+  {
+    std::lock_guard lock(impl_->app_mutex);
+    for (auto& [id, app] : impl_->apps) {
+      if (app->is_dag) continue;
+      if (!app->finished && app->main_done.load(std::memory_order_acquire) &&
+          app->outstanding_kernels == 0) {
+        finish_app_locked(*app);
+        any_finished = true;
+      }
+      if (app->thread_exited.load(std::memory_order_acquire) &&
+          app->app_thread.joinable()) {
+        exited.push_back(std::move(app->app_thread));
+      }
+    }
+  }
+  for (std::thread& t : exited) t.join();
+  if (any_finished) impl_->app_done_cv.notify_all();
+  return any_finished;
+}
+
+}  // namespace cedr::rt

@@ -1,25 +1,17 @@
-#include "cedr/runtime/runtime.h"
+// Runtime lifecycle and configuration: construction, start()/shutdown(),
+// the Runtime Configuration file, and the observability accessors. The
+// event loop, submissions and dispatch live in the sibling TUs (see
+// runtime_impl.h for the lock hierarchy).
+
+#include "runtime_impl.h"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <limits>
-#include <condition_variable>
-#include <deque>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
+#include <utility>
 
 #include "cedr/common/log.h"
-#include "cedr/common/stopwatch.h"
 #include "cedr/obs/chrome_trace.h"
-#include "cedr/sched/rank.h"
 
 namespace cedr::rt {
-
-namespace {
-constexpr std::string_view kLogTag = "runtime";
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Thread binding: which runtime/app-instance the current thread belongs to.
@@ -33,156 +25,6 @@ ThreadBinding& thread_binding() noexcept {
   thread_local ThreadBinding binding;
   return binding;
 }
-
-// ---------------------------------------------------------------------------
-// Internal structures
-// ---------------------------------------------------------------------------
-
-/// A task in flight through the runtime (one DAG node or one API call).
-struct Runtime::InFlightTask {
-  std::uint64_t key = 0;  ///< unique per runtime
-  std::uint64_t app_instance_id = 0;
-  std::string name;
-  platform::KernelId kernel = platform::KernelId::kGeneric;
-  std::size_t problem_size = 0;
-  std::size_t data_bytes = 0;
-  std::array<task::TaskFn, platform::kNumPeClasses> impls{};
-  CompletionPtr completion;      ///< API-mode latch; null for DAG tasks
-  task::TaskId dag_task_id = 0;  ///< valid when is_dag
-  bool is_dag = false;
-  double rank = 0.0;
-  double enqueue_time = 0.0;  ///< most recent (re-)enqueue
-  // Fault-tolerance state (guarded by the runtime state mutex).
-  std::uint32_t attempt = 0;           ///< executions beyond the first
-  std::uint32_t failed_class_mask = 0; ///< PE classes that already failed it
-  double first_enqueue_time = 0.0;     ///< for retry-latency accounting
-  double retry_at = 0.0;               ///< backoff release time (deferred)
-};
-
-/// One application instance being managed by the runtime.
-struct Runtime::AppInstance {
-  std::uint64_t id = 0;
-  std::string name;
-  bool is_dag = false;
-  double arrival_time = 0.0;
-  double launch_time = 0.0;
-  bool finished = false;
-
-  // DAG mode.
-  std::shared_ptr<const task::AppDescriptor> dag;
-  std::unordered_map<task::TaskId, std::size_t> remaining_preds;
-  std::unordered_map<task::TaskId, double> ranks;
-  std::size_t tasks_remaining = 0;
-
-  // API mode.
-  std::thread app_thread;
-  std::atomic<bool> main_done{false};
-  std::atomic<bool> thread_exited{false};
-  std::int64_t outstanding_kernels = 0;  ///< guarded by runtime state mutex
-};
-
-/// Emulated accelerator devices owned by one worker.
-struct DeviceBundle {
-  std::unique_ptr<platform::FftDevice> fft;
-  std::unique_ptr<platform::ZipDevice> zip;
-  std::unique_ptr<platform::MmultDevice> mmult;
-
-  [[nodiscard]] platform::MmioDevice* for_kernel(
-      platform::KernelId kernel) const noexcept {
-    switch (kernel) {
-      case platform::KernelId::kFft:
-      case platform::KernelId::kIfft:
-        return fft.get();
-      case platform::KernelId::kZip:
-        return zip.get();
-      case platform::KernelId::kMmult:
-        return mmult.get();
-      default:
-        return nullptr;
-    }
-  }
-};
-
-/// One PE and the worker thread that manages it.
-struct Runtime::Worker {
-  std::size_t pe_index = 0;
-  platform::PeDescriptor pe;
-  DeviceBundle devices;
-  BlockingQueue<std::shared_ptr<InFlightTask>> mailbox;
-  std::thread thread;
-
-  // Fault-tolerance health, guarded by the runtime state mutex (only the
-  // main event loop reads/writes these, never the worker thread itself).
-  std::uint32_t consecutive_faults = 0;
-  std::uint64_t faults_seen = 0;
-  std::uint64_t quarantines = 0;
-  bool quarantined = false;
-  bool probe_inflight = false;  ///< a probe task is on this PE right now
-  double probe_at = 0.0;        ///< when the next probe may be dispatched
-
-  // Busy-time accounting for the utilization sampler and STATS. Written
-  // only by the owning worker thread; read by the sampler / stats() without
-  // the state mutex, hence atomics (plain store/load, single writer).
-  std::atomic<double> busy_seconds{0.0};
-  std::atomic<double> busy_since{-1.0};  ///< start of current task, or -1
-  std::atomic<std::uint64_t> tasks_done{0};
-
-  /// Busy seconds including the currently running task, at runtime time `t`.
-  [[nodiscard]] double busy_at(double t) const {
-    double busy = busy_seconds.load(std::memory_order_relaxed);
-    const double since = busy_since.load(std::memory_order_relaxed);
-    if (since >= 0.0 && t > since) busy += t - since;
-    return busy;
-  }
-};
-
-struct Runtime::Impl {
-  mutable std::mutex mutex;
-  std::condition_variable event_cv;      ///< wakes the main event loop
-  std::condition_variable app_done_cv;   ///< wakes wait_all / wait_app
-
-  bool started = false;
-  bool accepting = false;
-  bool stopping = false;
-
-  /// One finished execution attempt, as reported by a worker thread.
-  struct CompletionRecord {
-    std::shared_ptr<InFlightTask> task;
-    Status status;
-    std::size_t pe_index = 0;
-  };
-
-  std::deque<std::shared_ptr<InFlightTask>> ready_queue;
-  /// Tasks backing off before a retry; released into the ready queue by the
-  /// scheduling round once their retry_at time passes.
-  std::deque<std::shared_ptr<InFlightTask>> deferred;
-  std::deque<CompletionRecord> completions;
-
-  /// Under fault injection a non-empty ready queue can be legitimately
-  /// undispatchable (every capable PE quarantined, a probe already in
-  /// flight, all retries backing off). Re-running the heuristic before
-  /// anything changed would busy-spin the event loop and flood the trace
-  /// with empty rounds, so the round records *why* it is blocked: the state
-  /// epoch it observed (bumped by every enqueue and completion) and the
-  /// earliest timer (backoff release / probe window) that could unblock it.
-  std::uint64_t sched_epoch = 0;
-  bool sched_blocked = false;
-  std::uint64_t sched_blocked_epoch = 0;
-  double sched_blocked_until = 0.0;
-  std::unordered_map<std::uint64_t, std::unique_ptr<AppInstance>> apps;
-
-  std::vector<std::unique_ptr<Worker>> workers;
-  std::vector<double> pe_available;  ///< scheduler availability estimates
-  std::thread main_thread;
-
-  std::uint64_t next_instance_id = 1;
-  std::uint64_t next_task_key = 1;
-  std::atomic<std::uint64_t> submitted{0};
-  std::atomic<std::uint64_t> completed{0};
-
-  Stopwatch epoch;
-  double runtime_overhead = 0.0;  ///< guarded by mutex
-};
 
 // ---------------------------------------------------------------------------
 // Runtime configuration file
@@ -216,6 +58,7 @@ json::Value RuntimeConfig::to_json() const {
       {"platform", platform.to_json()},
       {"scheduler", json::Value(scheduler)},
       {"scheduler_period_s", json::Value(scheduler_period_s)},
+      {"default_wait_timeout_s", json::Value(default_wait_timeout_s)},
       {"enable_counters", json::Value(enable_counters)},
       {"fault_plan", fault_plan.to_json()},
       {"obs", obs.to_json()},
@@ -243,6 +86,12 @@ StatusOr<RuntimeConfig> RuntimeConfig::from_json(const json::Value& value) {
       value.get_double("scheduler_period_s", 200e-6);
   if (config.scheduler_period_s <= 0.0) {
     return InvalidArgument("scheduler period must be positive");
+  }
+  config.default_wait_timeout_s =
+      value.get_double("default_wait_timeout_s", 300.0);
+  if (config.default_wait_timeout_s < 0.0) {
+    return InvalidArgument(
+        "default_wait_timeout_s must be >= 0 (0 waits forever)");
   }
   config.enable_counters = value.get_bool("enable_counters", true);
   if (const json::Value* plan = value.find("fault_plan")) {
@@ -274,14 +123,15 @@ StatusOr<RuntimeConfig> RuntimeConfig::load(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(RuntimeConfig config)
-    : config_(std::move(config)),
-      tracer_(config_.obs.ring_capacity),
-      impl_(std::make_unique<Impl>()) {
+    : config_(std::move(config)), tracer_(config_.obs.ring_capacity) {
   tracer_.set_enabled(config_.obs.tracing);
   queue_delay_us_ = &metrics_.histogram("queue_delay_us");
   service_time_us_ = &metrics_.histogram("service_time_us");
   sched_decision_us_ = &metrics_.histogram("sched_decision_us");
   sched_span_name_ = "sched " + config_.scheduler;
+  // The sharded ready queue times contended shard-lock acquisitions into
+  // this histogram (docs/observability.md); metrics_ outlives impl_.
+  impl_ = std::make_unique<Impl>(&metrics_.histogram("sched_lock_wait_us"));
 }
 
 Runtime::~Runtime() {
@@ -310,12 +160,12 @@ std::uint64_t Runtime::completed_apps() const noexcept {
 }
 
 double Runtime::runtime_overhead_s() const noexcept {
-  std::lock_guard lock(impl_->mutex);
+  std::lock_guard lock(impl_->app_mutex);
   return impl_->runtime_overhead;
 }
 
 std::vector<PeHealth> Runtime::pe_health() const {
-  std::lock_guard lock(impl_->mutex);
+  std::lock_guard lock(impl_->health_mutex);
   std::vector<PeHealth> out;
   out.reserve(impl_->workers.size());
   for (const auto& worker : impl_->workers) {
@@ -337,9 +187,11 @@ RuntimeStats Runtime::stats() const {
   out.submitted = submitted_apps();
   out.completed = completed_apps();
   out.inflight = out.submitted - out.completed;
-  std::lock_guard lock(impl_->mutex);
-  out.ready_tasks = impl_->ready_queue.size();
-  out.deferred_tasks = impl_->deferred.size();
+  // Queue depths are lock-free; only the quarantine flags take a (narrow)
+  // lock, so a stats poll never contends with submissions or dispatch.
+  out.ready_tasks = impl_->ready.size();
+  out.deferred_tasks = impl_->deferred_count.load(std::memory_order_relaxed);
+  std::lock_guard lock(impl_->health_mutex);
   for (const auto& worker : impl_->workers) {
     const std::uint64_t tasks =
         worker->tasks_done.load(std::memory_order_relaxed);
@@ -361,12 +213,12 @@ Status Runtime::write_chrome_trace(const std::string& path) const {
   tracks.push_back({.pid = 0, .is_process = true, .name = "cedr runtime"});
   tracks.push_back({.pid = 0, .tid = 0, .name = "main loop"});
   tracks.push_back({.pid = 0, .tid = obs::kIpcTid, .name = "ipc"});
+  for (const auto& worker : impl_->workers) {
+    tracks.push_back(
+        {.pid = 0, .tid = 1 + worker->pe_index, .name = worker->pe.name});
+  }
   {
-    std::lock_guard lock(impl_->mutex);
-    for (const auto& worker : impl_->workers) {
-      tracks.push_back(
-          {.pid = 0, .tid = 1 + worker->pe_index, .name = worker->pe.name});
-    }
+    std::lock_guard lock(impl_->app_mutex);
     // App instances are never erased from the map, so every pid that can
     // appear in the span stream gets a name.
     for (const auto& [id, app] : impl_->apps) {
@@ -398,7 +250,7 @@ Status Runtime::start() {
                              << config_.adapt.min_samples;
   }
 
-  std::lock_guard lock(impl_->mutex);
+  std::lock_guard lock(impl_->app_mutex);
   if (impl_->started) return FailedPrecondition("runtime already started");
   impl_->started = true;
   impl_->accepting = true;
@@ -410,6 +262,7 @@ Status Runtime::start() {
     auto worker = std::make_unique<Worker>();
     worker->pe_index = i;
     worker->pe = config_.platform.pes[i];
+    impl_->present_classes |= 1u << static_cast<unsigned>(worker->pe.cls);
     switch (worker->pe.cls) {
       case platform::PeClass::kFftAccel:
         worker->devices.fft = std::make_unique<platform::FftDevice>();
@@ -442,18 +295,24 @@ Status Runtime::start() {
          prev_t = 0.0](double) mutable {
           const double t = now();
           const double interval = t - prev_t;
-          std::size_t ready = 0;
-          std::size_t deferred = 0;
-          {
-            std::lock_guard lock(impl_->mutex);
-            ready = impl_->ready_queue.size();
-            deferred = impl_->deferred.size();
-          }
+          // Queue depths are lock-free atomics; per-shard depths expose
+          // where ready work is class-constrained (docs/observability.md).
+          const auto depths = impl_->ready.depths();
+          const std::size_t ready = impl_->ready.size();
+          const std::size_t deferred =
+              impl_->deferred_count.load(std::memory_order_relaxed);
           const double inflight = static_cast<double>(
               submitted_apps() - completed_apps());
           metrics_.set_gauge("ready_queue_depth", static_cast<double>(ready));
           metrics_.set_gauge("deferred_tasks", static_cast<double>(deferred));
           metrics_.set_gauge("inflight_apps", inflight);
+          for (std::size_t s = 0; s < sched::ReadyQueueShards::kShardCount;
+               ++s) {
+            metrics_.set_gauge(
+                "ready_queue_depth." +
+                    std::string(sched::ReadyQueueShards::shard_name(s)),
+                static_cast<double>(depths[s]));
+          }
           metrics_.sample("ready_queue_depth", t, static_cast<double>(ready));
           metrics_.sample("inflight_apps", t, inflight);
           for (std::size_t i = 0; i < impl_->workers.size(); ++i) {
@@ -491,19 +350,18 @@ Status Runtime::start() {
 
 Status Runtime::shutdown() {
   {
-    std::lock_guard lock(impl_->mutex);
-    if (!impl_->started || impl_->stopping) return Status::Ok();
+    std::lock_guard lock(impl_->app_mutex);
+    if (!impl_->started || impl_->stopping.load(std::memory_order_relaxed)) {
+      return Status::Ok();
+    }
     impl_->accepting = false;
   }
   // Drain all in-flight applications before stopping the machinery.
   const Status drain = wait_all();
   if (sampler_ != nullptr) sampler_->stop();
   tracer_.instant(obs::Category::kRuntime, "runtime_shutdown", 0, 0, now());
-  {
-    std::lock_guard lock(impl_->mutex);
-    impl_->stopping = true;
-  }
-  impl_->event_cv.notify_all();
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->wake_main();
   if (impl_->main_thread.joinable()) impl_->main_thread.join();
   for (auto& worker : impl_->workers) {
     worker->mailbox.close();
@@ -511,681 +369,20 @@ Status Runtime::shutdown() {
   for (auto& worker : impl_->workers) {
     if (worker->thread.joinable()) worker->thread.join();
   }
-  // Join any application threads not yet reaped.
-  for (auto& [id, app] : impl_->apps) {
-    if (app->app_thread.joinable()) app->app_thread.join();
+  // Join any application threads not yet reaped. Collect under the lock,
+  // join outside it (the threads have already exited their main functions).
+  std::vector<std::thread> app_threads;
+  {
+    std::lock_guard lock(impl_->app_mutex);
+    for (auto& [id, app] : impl_->apps) {
+      if (app->app_thread.joinable()) {
+        app_threads.push_back(std::move(app->app_thread));
+      }
+    }
   }
+  for (std::thread& t : app_threads) t.join();
   CEDR_LOG(kInfo, kLogTag) << "runtime stopped: apps=" << completed_apps();
   return drain;
-}
-
-// ---------------------------------------------------------------------------
-// Submission
-// ---------------------------------------------------------------------------
-
-StatusOr<std::uint64_t> Runtime::submit_dag(
-    std::shared_ptr<const task::AppDescriptor> app) {
-  if (!app) return InvalidArgument("null application descriptor");
-  const auto topo = app->graph.topological_order();
-  if (!topo.ok()) return topo.status();
-  if (app->graph.size() == 0) {
-    return InvalidArgument("application graph is empty");
-  }
-
-  Stopwatch overhead;
-  std::unique_lock lock(impl_->mutex);
-  if (!impl_->started || !impl_->accepting) {
-    return FailedPrecondition("runtime is not accepting submissions");
-  }
-  const std::uint64_t id = impl_->next_instance_id++;
-  auto instance = std::make_unique<AppInstance>();
-  instance->id = id;
-  instance->name = app->name;
-  instance->is_dag = true;
-  instance->arrival_time = now();
-  instance->launch_time = instance->arrival_time;
-  instance->dag = app;
-  instance->tasks_remaining = app->graph.size();
-  // "Parsing application DAG files" happens here in DAG-based CEDR: the
-  // in-degree table and HEFT ranks are built per instance.
-  for (const task::Task& t : app->graph.tasks()) {
-    instance->remaining_preds[t.id] = app->graph.predecessors(t.id).size();
-  }
-  instance->ranks = sched::upward_ranks(app->graph, config_.platform);
-
-  // Head nodes enter the ready queue immediately (paper §II-A).
-  for (const task::TaskId head : app->graph.head_nodes()) {
-    const task::Task& t = app->graph.get(head);
-    auto inflight = std::make_shared<InFlightTask>();
-    inflight->key = impl_->next_task_key++;
-    inflight->app_instance_id = id;
-    inflight->name = t.name;
-    inflight->kernel = t.kernel;
-    inflight->problem_size = t.problem_size;
-    inflight->data_bytes = t.data_bytes;
-    inflight->impls = t.impls;
-    inflight->is_dag = true;
-    inflight->dag_task_id = t.id;
-    inflight->rank = instance->ranks[t.id];
-    inflight->enqueue_time = now();
-    inflight->first_enqueue_time = inflight->enqueue_time;
-    tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
-                 t.name.c_str(), 1 + id, 0, inflight->enqueue_time,
-                 inflight->key);
-    impl_->ready_queue.push_back(std::move(inflight));
-  }
-  tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0,
-                  instance->arrival_time, "tasks",
-                  static_cast<double>(instance->tasks_remaining));
-  ++impl_->sched_epoch;
-  impl_->apps.emplace(id, std::move(instance));
-  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
-  impl_->runtime_overhead += overhead.elapsed();
-  count("apps_submitted_dag");
-  lock.unlock();
-  impl_->event_cv.notify_all();
-  return id;
-}
-
-StatusOr<std::uint64_t> Runtime::submit_api(std::string app_name,
-                                            std::function<void()> main_fn) {
-  if (!main_fn) return InvalidArgument("null application main function");
-
-  Stopwatch overhead;
-  std::unique_lock lock(impl_->mutex);
-  if (!impl_->started || !impl_->accepting) {
-    return FailedPrecondition("runtime is not accepting submissions");
-  }
-  const std::uint64_t id = impl_->next_instance_id++;
-  auto instance = std::make_unique<AppInstance>();
-  instance->id = id;
-  instance->name = std::move(app_name);
-  instance->is_dag = false;
-  instance->arrival_time = now();
-  instance->launch_time = instance->arrival_time;
-  AppInstance* raw = instance.get();
-  tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0,
-                  instance->arrival_time);
-  impl_->apps.emplace(id, std::move(instance));
-  impl_->submitted.fetch_add(1, std::memory_order_relaxed);
-  count("apps_submitted_api");
-
-  // "A new system thread is spawned that executes that application's main
-  // function" (paper §II-C). The binding routes its libCEDR calls here.
-  raw->app_thread = std::thread([this, raw, fn = std::move(main_fn)] {
-    thread_binding() = ThreadBinding{this, raw->id};
-    fn();
-    thread_binding() = ThreadBinding{};
-    raw->main_done.store(true, std::memory_order_release);
-    raw->thread_exited.store(true, std::memory_order_release);
-    impl_->event_cv.notify_all();
-  });
-  impl_->runtime_overhead += overhead.elapsed();
-  lock.unlock();
-  impl_->event_cv.notify_all();
-  return id;
-}
-
-Status Runtime::enqueue_kernel(KernelRequest request, CompletionPtr completion) {
-  const ThreadBinding binding = thread_binding();
-  if (binding.runtime != this) {
-    return FailedPrecondition(
-        "enqueue_kernel called from a thread not bound to this runtime");
-  }
-  if (!completion) return InvalidArgument("null completion");
-
-  auto inflight = std::make_shared<InFlightTask>();
-  inflight->app_instance_id = binding.instance_id;
-  inflight->name = std::move(request.name);
-  inflight->kernel = request.kernel;
-  inflight->problem_size = request.problem_size;
-  inflight->data_bytes = request.data_bytes;
-  inflight->impls = std::move(request.impls);
-  inflight->completion = std::move(completion);
-  // Single API calls have no DAG context; rank them by their average cost
-  // so HEFT_RT still prioritizes heavyweight kernels. Ranks use the live
-  // adapted tables when adaptation is on.
-  const std::shared_ptr<const platform::CostModel> learned =
-      adapt_ != nullptr ? adapt_->snapshot() : nullptr;
-  const platform::CostModel& costs =
-      learned != nullptr ? *learned : config_.platform.costs;
-  double rank_total = 0.0;
-  std::size_t rank_count = 0;
-  for (const platform::PeDescriptor& pe : config_.platform.pes) {
-    const double est = costs.estimate(
-        inflight->kernel, pe.cls, inflight->problem_size, inflight->data_bytes);
-    if (std::isfinite(est)) {
-      rank_total += est;
-      ++rank_count;
-    }
-  }
-  inflight->rank = rank_count == 0 ? 0.0 : rank_total / rank_count;
-
-  {
-    std::lock_guard lock(impl_->mutex);
-    auto it = impl_->apps.find(binding.instance_id);
-    if (it == impl_->apps.end() || it->second->finished) {
-      return FailedPrecondition("application instance is not active");
-    }
-    inflight->key = impl_->next_task_key++;
-    inflight->enqueue_time = now();
-    inflight->first_enqueue_time = inflight->enqueue_time;
-    tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
-                 inflight->name.c_str(), 1 + binding.instance_id, 0,
-                 inflight->enqueue_time, inflight->key);
-    ++impl_->sched_epoch;
-    ++it->second->outstanding_kernels;
-    // "Pushing tasks to the ready queue ... is handled by the application
-    // thread" in API-based CEDR (paper §IV-A) — this push is on the app
-    // thread, not the main loop, which is one source of the overhead gap.
-    impl_->ready_queue.push_back(std::move(inflight));
-  }
-  count("kernels_enqueued");
-  impl_->event_cv.notify_all();
-  return Status::Ok();
-}
-
-// ---------------------------------------------------------------------------
-// Main event loop
-// ---------------------------------------------------------------------------
-
-void Runtime::main_loop() {
-  std::unique_lock lock(impl_->mutex);
-  while (true) {
-    impl_->event_cv.wait_for(
-        lock, std::chrono::duration<double>(config_.scheduler_period_s),
-        [this] {
-          // A ready queue the last round could not dispatch from (all
-          // capable PEs quarantined / probes pending / retries backing
-          // off) is not a wake reason until something changes; otherwise
-          // the loop would busy-spin empty scheduling rounds.
-          const bool schedulable =
-              !impl_->ready_queue.empty() &&
-              !(impl_->sched_blocked &&
-                impl_->sched_epoch == impl_->sched_blocked_epoch);
-          return impl_->stopping || !impl_->completions.empty() ||
-                 schedulable;
-        });
-    if (impl_->stopping && impl_->completions.empty() &&
-        impl_->ready_queue.empty() && impl_->deferred.empty()) {
-      break;
-    }
-    process_completions();
-    run_scheduling_round();
-  }
-}
-
-void Runtime::process_completions() {
-  // Caller holds impl_->mutex.
-  Stopwatch overhead;
-  bool any_app_finished = false;
-  const platform::FaultPolicy& policy = config_.fault_plan.policy;
-  while (!impl_->completions.empty()) {
-    Impl::CompletionRecord rec = std::move(impl_->completions.front());
-    impl_->completions.pop_front();
-    // Every completion changes PE health or releases work: any blocked
-    // scheduling state is stale now.
-    ++impl_->sched_epoch;
-    std::shared_ptr<InFlightTask> inflight = std::move(rec.task);
-    const Status status = std::move(rec.status);
-    Worker& worker = *impl_->workers[rec.pe_index];
-    const double t_now = now();
-
-    if (!status.ok()) {
-      // --- PE health: consecutive faults drive quarantine. -----------------
-      ++worker.faults_seen;
-      tracer_.instant(obs::Category::kFault, "fault", 0,
-                      1 + worker.pe_index, t_now, "attempt",
-                      static_cast<double>(inflight->attempt));
-      if (worker.quarantined) {
-        // A failed probe: the PE stays out; schedule the next probe window.
-        worker.probe_inflight = false;
-        worker.probe_at = t_now + policy.probe_period_s;
-        count("probes_failed");
-        tracer_.instant(obs::Category::kFault, "probe_failed", 0,
-                        1 + worker.pe_index, t_now);
-      } else {
-        ++worker.consecutive_faults;
-        if (policy.quarantine_threshold > 0 &&
-            worker.consecutive_faults >= policy.quarantine_threshold) {
-          worker.quarantined = true;
-          worker.probe_inflight = false;
-          worker.probe_at = t_now + policy.probe_period_s;
-          ++worker.quarantines;
-          count("pes_quarantined");
-          tracer_.instant(obs::Category::kFault, "pe_quarantined", 0,
-                          1 + worker.pe_index, t_now, "consecutive_faults",
-                          static_cast<double>(worker.consecutive_faults));
-          CEDR_LOG(kWarn, kLogTag)
-              << "PE " << worker.pe.name << " quarantined after "
-              << worker.consecutive_faults << " consecutive faults";
-        }
-      }
-      // --- Bounded retry with exponential backoff. -------------------------
-      // Remember the class that failed so the retry prefers a different PE
-      // type (graceful degradation: a quarantined accelerator's work lands
-      // on the CPU implementation through the same dispatch table).
-      inflight->failed_class_mask |=
-          1u << static_cast<unsigned>(worker.pe.cls);
-      if (inflight->attempt < policy.max_retries) {
-        ++inflight->attempt;
-        count("tasks_retried");
-        const double backoff =
-            policy.backoff_base_s *
-            std::pow(policy.backoff_factor,
-                     static_cast<double>(inflight->attempt - 1));
-        inflight->retry_at = t_now + backoff;
-        tracer_.instant(obs::Category::kFault, "retry_backoff", 0,
-                        1 + worker.pe_index, t_now, "attempt",
-                        static_cast<double>(inflight->attempt), "backoff_s",
-                        backoff);
-        impl_->deferred.push_back(std::move(inflight));
-        continue;  // not terminal: no successor release, no app signal
-      }
-      // Terminal failure: retries exhausted. Only now does the failure
-      // become visible to the application.
-      count("tasks_failed");
-      tracer_.instant(obs::Category::kFault, "task_failed", 0,
-                      1 + worker.pe_index, t_now, "attempts",
-                      static_cast<double>(inflight->attempt + 1));
-      CEDR_LOG(kWarn, kLogTag)
-          << "task '" << inflight->name << "' failed after "
-          << (inflight->attempt + 1)
-          << " attempts: " << status.to_string();
-      if (inflight->completion) inflight->completion->signal(status);
-    } else {
-      // --- Success: reset health, reinstate a probed PE, book recovery. ----
-      worker.consecutive_faults = 0;
-      worker.probe_inflight = false;
-      if (worker.quarantined) {
-        worker.quarantined = false;
-        count("pes_reinstated");
-        tracer_.instant(obs::Category::kFault, "pe_reinstated", 0,
-                        1 + worker.pe_index, t_now);
-        CEDR_LOG(kInfo, kLogTag)
-            << "PE " << worker.pe.name << " reinstated after probe success";
-      }
-      if (inflight->attempt > 0) {
-        count("tasks_recovered");
-        trace_.add_retry_latency(t_now - inflight->first_enqueue_time);
-        tracer_.instant(obs::Category::kFault, "task_recovered", 0,
-                        1 + worker.pe_index, t_now, "latency_s",
-                        t_now - inflight->first_enqueue_time);
-      }
-    }
-    auto it = impl_->apps.find(inflight->app_instance_id);
-    if (it == impl_->apps.end()) continue;
-    AppInstance& app = *it->second;
-    if (inflight->is_dag) {
-      // Release DAG successors whose predecessors are all complete.
-      for (const task::TaskId succ :
-           app.dag->graph.successors(inflight->dag_task_id)) {
-        if (--app.remaining_preds[succ] != 0) continue;
-        const task::Task& t = app.dag->graph.get(succ);
-        auto next = std::make_shared<InFlightTask>();
-        next->key = impl_->next_task_key++;
-        next->app_instance_id = app.id;
-        next->name = t.name;
-        next->kernel = t.kernel;
-        next->problem_size = t.problem_size;
-        next->data_bytes = t.data_bytes;
-        next->impls = t.impls;
-        next->is_dag = true;
-        next->dag_task_id = t.id;
-        next->rank = app.ranks[t.id];
-        next->enqueue_time = now();
-        tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
-                     t.name.c_str(), 1 + app.id, 0, next->enqueue_time,
-                     next->key);
-        impl_->ready_queue.push_back(std::move(next));
-      }
-      if (--app.tasks_remaining == 0) {
-        finish_app_locked(app);
-        any_app_finished = true;
-      }
-    } else {
-      --app.outstanding_kernels;
-    }
-  }
-  // API applications finish when their main returned and no kernels remain.
-  for (auto& [id, app] : impl_->apps) {
-    if (!app->is_dag && !app->finished &&
-        app->main_done.load(std::memory_order_acquire) &&
-        app->outstanding_kernels == 0) {
-      finish_app_locked(*app);
-      any_app_finished = true;
-    }
-    if (!app->is_dag && app->thread_exited.load(std::memory_order_acquire) &&
-        app->app_thread.joinable()) {
-      app->app_thread.join();
-    }
-  }
-  impl_->runtime_overhead += overhead.elapsed();
-  if (any_app_finished) impl_->app_done_cv.notify_all();
-}
-
-void Runtime::finish_app_locked(AppInstance& app) {
-  app.finished = true;
-  const double completion = now();
-  trace_.add_app(trace::AppRecord{
-      .app_instance_id = app.id,
-      .app_name = app.name,
-      .arrival_time = app.arrival_time,
-      .launch_time = app.launch_time,
-      .completion_time = completion,
-  });
-  tracer_.instant(obs::Category::kApp, "app_complete", 1 + app.id, 0,
-                  completion, "exec_time_s", completion - app.arrival_time);
-  impl_->completed.fetch_add(1, std::memory_order_relaxed);
-  count("apps_completed");
-}
-
-void Runtime::run_scheduling_round() {
-  // Caller holds impl_->mutex.
-  // A blocked round stays blocked until new work / a completion bumps the
-  // epoch or the earliest unblocking timer (backoff release, probe window)
-  // passes; re-running the heuristic before then cannot dispatch anything.
-  if (impl_->sched_blocked) {
-    if (impl_->sched_epoch == impl_->sched_blocked_epoch &&
-        now() < impl_->sched_blocked_until) {
-      return;
-    }
-    impl_->sched_blocked = false;
-  }
-  // Release deferred retries whose backoff has elapsed.
-  if (!impl_->deferred.empty()) {
-    const double release_now = now();
-    std::deque<std::shared_ptr<InFlightTask>> still_waiting;
-    for (auto& t : impl_->deferred) {
-      if (t->retry_at <= release_now) {
-        t->enqueue_time = release_now;
-        impl_->ready_queue.push_back(std::move(t));
-      } else {
-        still_waiting.push_back(std::move(t));
-      }
-    }
-    impl_->deferred = std::move(still_waiting);
-  }
-  if (impl_->ready_queue.empty()) return;
-
-  std::uint32_t present_classes = 0;
-  for (const auto& worker : impl_->workers) {
-    present_classes |= 1u << static_cast<unsigned>(worker->pe.cls);
-  }
-  std::vector<sched::ReadyTask> views;
-  views.reserve(impl_->ready_queue.size());
-  for (const auto& t : impl_->ready_queue) {
-    // Classes with a bound implementation; tasks with no impls at all
-    // (timing-only studies) are admissible anywhere the kernel runs.
-    std::uint32_t mask = 0;
-    bool any_impl = false;
-    for (std::size_t c = 0; c < platform::kNumPeClasses; ++c) {
-      if (t->impls[c]) {
-        mask |= 1u << c;
-        any_impl = true;
-      }
-    }
-    if (!any_impl) mask = 0xffffffffu;
-    // Retries prefer a PE type that has not failed this task yet. The
-    // narrowed mask must still name a class that exists on this platform —
-    // otherwise the task would become permanently unschedulable — so when
-    // every present class has failed it, fall back to the full set.
-    if (t->failed_class_mask != 0) {
-      const std::uint32_t narrowed = mask & ~t->failed_class_mask;
-      if ((narrowed & present_classes) != 0) mask = narrowed;
-    }
-    views.push_back(sched::ReadyTask{
-        .task_key = t->key,
-        .app_instance_id = t->app_instance_id,
-        .kernel = t->kernel,
-        .problem_size = t->problem_size,
-        .data_bytes = t->data_bytes,
-        .ready_time = t->enqueue_time,
-        .rank = t->rank,
-        .class_mask = mask,
-    });
-  }
-  const double t_now = now();
-  std::vector<sched::PeState> pe_states;
-  pe_states.reserve(impl_->workers.size());
-  for (std::size_t i = 0; i < impl_->workers.size(); ++i) {
-    const Worker& w = *impl_->workers[i];
-    // A quarantined PE is hidden from the heuristic, except when its probe
-    // window is open: then it is admitted so one probe task can test it.
-    bool excluded = w.quarantined;
-    if (excluded && !w.probe_inflight && t_now >= w.probe_at) {
-      excluded = false;
-    }
-    pe_states.push_back(sched::PeState{
-        .pe_index = i,
-        .cls = w.pe.cls,
-        .available_time = std::max(t_now, impl_->pe_available[i]),
-        .speed = w.pe.speed_factor,
-        .quarantined = excluded,
-    });
-  }
-
-  // With adaptation on, the round schedules against the latest published
-  // cost snapshot — one lock-free shared_ptr load, held for the whole round
-  // so every finish_time_on comparison sees one consistent table.
-  const std::shared_ptr<const platform::CostModel> learned =
-      adapt_ != nullptr ? adapt_->snapshot() : nullptr;
-  const sched::ScheduleContext ctx{
-      .now = t_now,
-      .costs = learned != nullptr ? learned.get() : &config_.platform.costs};
-  Stopwatch decision;
-  const sched::ScheduleResult result =
-      scheduler_->schedule(views, pe_states, ctx);
-  const double decision_time = decision.elapsed();
-  trace_.add_sched(trace::SchedRecord{
-      .time = t_now,
-      .ready_tasks = views.size(),
-      .assigned = result.assignments.size(),
-      .decision_time = decision_time,
-  });
-  sched_decision_us_->record(decision_time * 1e6);
-  tracer_.complete_span(obs::Category::kSched, sched_span_name_.c_str(), 0, 0,
-                        t_now, decision_time, "ready",
-                        static_cast<double>(views.size()), "assigned",
-                        static_cast<double>(result.assignments.size()));
-  count("sched_rounds");
-  count("sched_comparisons", result.comparisons);
-
-  // Dispatch assigned tasks to their worker mailboxes; keep the rest queued.
-  // A quarantined PE whose probe window admitted it takes exactly one task
-  // (the probe); further assignments to it stay queued for the next round.
-  std::vector<std::uint8_t> assigned(impl_->ready_queue.size(), 0);
-  for (const sched::Assignment& a : result.assignments) {
-    Worker& w = *impl_->workers[a.pe_index];
-    if (w.quarantined) {
-      if (w.probe_inflight) continue;  // one probe at a time
-      w.probe_inflight = true;
-      count("probes_dispatched");
-    }
-    assigned[a.queue_index] = 1;
-    tracer_.flow(obs::EventKind::kFlowStep, obs::Category::kSched, "dispatch",
-                 0, 0, now(), impl_->ready_queue[a.queue_index]->key);
-    w.mailbox.push(impl_->ready_queue[a.queue_index]);
-  }
-  std::deque<std::shared_ptr<InFlightTask>> remaining;
-  std::size_t dispatched = 0;
-  for (std::size_t i = 0; i < impl_->ready_queue.size(); ++i) {
-    if (!assigned[i]) {
-      remaining.push_back(std::move(impl_->ready_queue[i]));
-    } else {
-      ++dispatched;
-    }
-  }
-  impl_->ready_queue = std::move(remaining);
-  for (const sched::PeState& pe : pe_states) {
-    impl_->pe_available[pe.pe_index] = pe.available_time;
-  }
-  if (dispatched == 0 && !impl_->ready_queue.empty()) {
-    // Nothing moved: block further rounds until the state epoch changes or
-    // the earliest timer that could free a PE / release a retry fires.
-    double until = std::numeric_limits<double>::infinity();
-    for (const auto& t : impl_->deferred) {
-      until = std::min(until, t->retry_at);
-    }
-    for (const auto& w : impl_->workers) {
-      if (w->quarantined && !w->probe_inflight) {
-        until = std::min(until, w->probe_at);
-      }
-    }
-    impl_->sched_blocked = true;
-    impl_->sched_blocked_epoch = impl_->sched_epoch;
-    impl_->sched_blocked_until = until;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Workers
-// ---------------------------------------------------------------------------
-
-Status Runtime::execute_on_pe(InFlightTask& task, Worker& worker) {
-  const task::TaskFn& impl =
-      task.impls[static_cast<std::size_t>(worker.pe.cls)];
-  platform::MmioDevice* device = worker.devices.for_kernel(task.kernel);
-
-  if (fault_injector_ != nullptr) {
-    const platform::FaultDecision fault =
-        fault_injector_->next(worker.pe_index);
-    switch (fault.kind) {
-      case platform::FaultKind::kNone:
-        break;
-      case platform::FaultKind::kTransientFail:
-        count("faults_injected");
-        return Unavailable("injected transient fault on " + worker.pe.name);
-      case platform::FaultKind::kLatencySpike:
-        // The execution still succeeds, it just takes longer (thermal
-        // throttling / contention); the deadline check may still fail it.
-        count("faults_injected");
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(fault.duration_s));
-        break;
-      case platform::FaultKind::kDeviceHang:
-        count("faults_injected");
-        if (device != nullptr && impl) {
-          // Wedge the MMIO device: the impl's polling loop spins until the
-          // emulated watchdog flips the status register to kStatusError.
-          device->inject_hang();
-        } else {
-          // CPU-style PE with no device to wedge: the worker is simply
-          // unresponsive for the hang dwell (clipped to the task deadline).
-          std::this_thread::sleep_for(std::chrono::duration<double>(
-              std::min(fault.duration_s,
-                       config_.fault_plan.policy.task_timeout_s)));
-          return Unavailable("injected PE hang on " + worker.pe.name);
-        }
-        break;
-    }
-  }
-
-  // Tasks without implementations (timing/structural studies) are no-ops.
-  if (!impl) return Status::Ok();
-  task::ExecContext ctx{
-      .pe = &worker.pe,
-      .device = device,
-  };
-  Status status = impl(ctx);
-  // Recover the device after a failed operation (hang, error) so the next
-  // task dispatched here starts from a clean register file.
-  if (!status.ok() && device != nullptr) device->reset();
-  return status;
-}
-
-void Runtime::worker_loop(Worker& worker) {
-  while (auto item = worker.mailbox.pop()) {
-    std::shared_ptr<InFlightTask> task = std::move(*item);
-    const double start = now();
-    worker.busy_since.store(start, std::memory_order_relaxed);
-    Status status = execute_on_pe(*task, worker);
-    const double end = now();
-    worker.busy_seconds.store(
-        worker.busy_seconds.load(std::memory_order_relaxed) + (end - start),
-        std::memory_order_relaxed);
-    worker.busy_since.store(-1.0, std::memory_order_relaxed);
-    worker.tasks_done.fetch_add(1, std::memory_order_relaxed);
-    // Per-task deadline: when fault injection is active, an execution that
-    // overran the policy deadline is treated as a failure (and retried) even
-    // if it eventually produced a result — the paper's real-time framing.
-    if (fault_injector_ != nullptr && status.ok() &&
-        end - start > config_.fault_plan.policy.task_timeout_s) {
-      count("deadline_misses");
-      status = Unavailable("task exceeded deadline on " + worker.pe.name);
-    }
-    // Feed the online cost estimator with successful executions only;
-    // faulted attempts never describe the pairing's true cost, and latency
-    // spikes that slipped through are handled by its outlier rejection.
-    if (adapt_ != nullptr && status.ok()) {
-      adapt_->observe(task->kernel, worker.pe.cls, task->problem_size,
-                      task->data_bytes, end - start);
-    }
-    trace_.add_task(trace::TaskRecord{
-        .app_instance_id = task->app_instance_id,
-        .app_name = "",
-        .task_id = task->key,
-        .kernel_name = std::string(platform::kernel_name(task->kernel)),
-        .pe_name = worker.pe.name,
-        .problem_size = task->problem_size,
-        .enqueue_time = task->enqueue_time,
-        .start_time = start,
-        .end_time = end,
-        .attempt = task->attempt,
-        .ok = status.ok(),
-    });
-    count("tasks_executed");
-    if (config_.enable_counters) {
-      counters_.add(std::string("tasks_on_") + worker.pe.name);
-    }
-    queue_delay_us_->record((start - task->enqueue_time) * 1e6);
-    service_time_us_->record((end - start) * 1e6);
-    tracer_.flow(obs::EventKind::kFlowEnd, obs::Category::kWorker, "execute",
-                 0, 1 + worker.pe_index, start, task->key);
-    tracer_.complete_span(obs::Category::kWorker, task->name.c_str(), 0,
-                          1 + worker.pe_index, start, end - start, "attempt",
-                          static_cast<double>(task->attempt), "ok",
-                          status.ok() ? 1.0 : 0.0);
-    // Fig. 4: the worker signals the sleeping application thread directly —
-    // but only on success. Failures first go through the main loop's retry
-    // machinery; only a terminal failure is signalled (from there).
-    if (status.ok() && task->completion) task->completion->signal(status);
-    {
-      std::lock_guard lock(impl_->mutex);
-      impl_->completions.push_back(Impl::CompletionRecord{
-          .task = std::move(task),
-          .status = std::move(status),
-          .pe_index = worker.pe_index,
-      });
-    }
-    impl_->event_cv.notify_all();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Waiting
-// ---------------------------------------------------------------------------
-
-Status Runtime::wait_all(double timeout_s) {
-  std::unique_lock lock(impl_->mutex);
-  const bool ok = impl_->app_done_cv.wait_for(
-      lock, std::chrono::duration<double>(timeout_s), [this] {
-        return impl_->completed.load(std::memory_order_relaxed) ==
-               impl_->submitted.load(std::memory_order_relaxed);
-      });
-  if (!ok) return Unavailable("wait_all timed out");
-  return Status::Ok();
-}
-
-Status Runtime::wait_app(std::uint64_t instance_id, double timeout_s) {
-  std::unique_lock lock(impl_->mutex);
-  const bool ok = impl_->app_done_cv.wait_for(
-      lock, std::chrono::duration<double>(timeout_s), [this, instance_id] {
-        auto it = impl_->apps.find(instance_id);
-        return it == impl_->apps.end() || it->second->finished;
-      });
-  if (!ok) return Unavailable("wait_app timed out");
-  return Status::Ok();
 }
 
 }  // namespace cedr::rt

@@ -1,0 +1,255 @@
+#pragma once
+// Private runtime internals shared by the runtime/ translation units
+// (runtime.cpp, app_lifecycle.cpp, ready_state.cpp, dispatch.cpp).
+//
+// Lock hierarchy (docs/scheduling.md) — acquire strictly downward, never
+// hold a lower lock while taking a higher one:
+//
+//   Level 0  app_mutex     application lifecycle: apps map, instance ids,
+//                          accepting/started flags, runtime_overhead,
+//                          app_done_cv predicates
+//   Level 1  health_mutex  per-PE fault-tolerance state (quarantine,
+//                          probe windows, consecutive faults)
+//   Leaves   event_mutex   completion records + main-loop wakeups
+//            shard locks   inside ReadyQueueShards (one per PE class)
+//
+// Main-loop-private state (deferred retries, scheduler-blocked bookkeeping,
+// PE availability estimates) is touched only by the main event-loop thread
+// and needs no lock at all; counters crossing threads are plain atomics.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cedr/common/stopwatch.h"
+#include "cedr/runtime/runtime.h"
+#include "cedr/sched/ready_queue.h"
+
+namespace cedr::rt {
+
+inline constexpr std::string_view kLogTag = "runtime";
+
+/// A task in flight through the runtime (one DAG node or one API call).
+/// Retry state (attempt, failed_class_mask, retry_at) is only touched by
+/// the main event loop while the task is out of the ready queue, so it
+/// needs no lock.
+struct Runtime::InFlightTask {
+  std::uint64_t key = 0;  ///< unique per runtime
+  std::uint64_t app_instance_id = 0;
+  std::string name;
+  platform::KernelId kernel = platform::KernelId::kGeneric;
+  std::size_t problem_size = 0;
+  std::size_t data_bytes = 0;
+  std::array<task::TaskFn, platform::kNumPeClasses> impls{};
+  CompletionPtr completion;      ///< API-mode latch; null for DAG tasks
+  task::TaskId dag_task_id = 0;  ///< valid when is_dag
+  bool is_dag = false;
+  double rank = 0.0;
+  double enqueue_time = 0.0;  ///< most recent (re-)enqueue
+  // Fault-tolerance state (main-loop private, see above).
+  std::uint32_t attempt = 0;           ///< executions beyond the first
+  std::uint32_t failed_class_mask = 0; ///< PE classes that already failed it
+  double first_enqueue_time = 0.0;     ///< for retry-latency accounting
+  double retry_at = 0.0;               ///< backoff release time (deferred)
+};
+
+/// One application instance being managed by the runtime. Guarded by the
+/// app-lifecycle mutex (Impl::app_mutex) unless noted.
+struct Runtime::AppInstance {
+  std::uint64_t id = 0;
+  std::string name;
+  bool is_dag = false;
+  double arrival_time = 0.0;
+  double launch_time = 0.0;
+  bool finished = false;
+
+  // DAG mode.
+  std::shared_ptr<const task::AppDescriptor> dag;
+  std::unordered_map<task::TaskId, std::size_t> remaining_preds;
+  std::unordered_map<task::TaskId, double> ranks;
+  std::size_t tasks_remaining = 0;
+
+  // API mode.
+  std::thread app_thread;
+  std::atomic<bool> main_done{false};
+  std::atomic<bool> thread_exited{false};
+  std::int64_t outstanding_kernels = 0;  ///< guarded by app_mutex
+};
+
+/// Emulated accelerator devices owned by one worker.
+struct DeviceBundle {
+  std::unique_ptr<platform::FftDevice> fft;
+  std::unique_ptr<platform::ZipDevice> zip;
+  std::unique_ptr<platform::MmultDevice> mmult;
+
+  [[nodiscard]] platform::MmioDevice* for_kernel(
+      platform::KernelId kernel) const noexcept {
+    switch (kernel) {
+      case platform::KernelId::kFft:
+      case platform::KernelId::kIfft:
+        return fft.get();
+      case platform::KernelId::kZip:
+        return zip.get();
+      case platform::KernelId::kMmult:
+        return mmult.get();
+      default:
+        return nullptr;
+    }
+  }
+};
+
+/// One PE and the worker thread that manages it.
+struct Runtime::Worker {
+  std::size_t pe_index = 0;
+  platform::PeDescriptor pe;
+  DeviceBundle devices;
+  BlockingQueue<std::shared_ptr<InFlightTask>> mailbox;
+  std::thread thread;
+
+  // Fault-tolerance health, guarded by Impl::health_mutex (written only by
+  // the main event loop; read by stats() / pe_health() / the sampler).
+  std::uint32_t consecutive_faults = 0;
+  std::uint64_t faults_seen = 0;
+  std::uint64_t quarantines = 0;
+  bool quarantined = false;
+  bool probe_inflight = false;  ///< a probe task is on this PE right now
+  double probe_at = 0.0;        ///< when the next probe may be dispatched
+
+  // Busy-time accounting for the utilization sampler and STATS. Written
+  // only by the owning worker thread; read elsewhere without locks, hence
+  // atomics (plain store/load, single writer).
+  std::atomic<double> busy_seconds{0.0};
+  std::atomic<double> busy_since{-1.0};  ///< start of current task, or -1
+  std::atomic<std::uint64_t> tasks_done{0};
+
+  /// Busy seconds including the currently running task, at runtime time `t`.
+  [[nodiscard]] double busy_at(double t) const {
+    double busy = busy_seconds.load(std::memory_order_relaxed);
+    const double since = busy_since.load(std::memory_order_relaxed);
+    if (since >= 0.0 && t > since) busy += t - since;
+    return busy;
+  }
+};
+
+struct Runtime::Impl {
+  explicit Impl(obs::QuantileHistogram* lock_wait_us)
+      : ready(lock_wait_us) {}
+
+  // --- Level 0: application lifecycle. -------------------------------------
+  mutable std::mutex app_mutex;
+  std::condition_variable app_done_cv;  ///< wakes wait_all / wait_app
+  bool started = false;                 ///< app_mutex
+  bool accepting = false;               ///< app_mutex
+  std::unordered_map<std::uint64_t, std::unique_ptr<AppInstance>> apps;
+  std::uint64_t next_instance_id = 1;  ///< app_mutex
+  double runtime_overhead = 0.0;       ///< app_mutex
+
+  // --- Level 1: PE health. -------------------------------------------------
+  // The vector itself is fixed after start(); health fields inside each
+  // Worker are guarded by health_mutex, busy accounting is atomic.
+  mutable std::mutex health_mutex;
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  // --- Leaf: completion events + main-loop wakeups. ------------------------
+  mutable std::mutex event_mutex;
+  std::condition_variable event_cv;  ///< wakes the main event loop
+
+  /// One finished execution attempt, as reported by a worker thread.
+  struct CompletionRecord {
+    std::shared_ptr<InFlightTask> task;
+    Status status;
+    std::size_t pe_index = 0;
+  };
+  std::deque<CompletionRecord> completions;  ///< event_mutex
+
+  // --- Leaf: the sharded ready queue (its own per-class locks). ------------
+  sched::ReadyQueueShards ready;
+
+  // --- Main-loop private (no lock). ----------------------------------------
+  /// Tasks backing off before a retry; released into the ready queue by the
+  /// scheduling round once their retry_at time passes.
+  std::deque<std::shared_ptr<InFlightTask>> deferred;
+  /// Under fault injection a non-empty ready queue can be legitimately
+  /// undispatchable (every capable PE quarantined, a probe already in
+  /// flight, all retries backing off). Re-running the heuristic before
+  /// anything changed would busy-spin the event loop and flood the trace
+  /// with empty rounds, so the round records *why* it is blocked: the state
+  /// epoch it observed (bumped by every enqueue and completion) and the
+  /// earliest timer (backoff release / probe window) that could unblock it.
+  bool sched_blocked = false;
+  std::uint64_t sched_blocked_epoch = 0;
+  double sched_blocked_until = 0.0;
+  std::vector<double> pe_available;  ///< scheduler availability estimates
+
+  // --- Cross-thread atomics. -----------------------------------------------
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> sched_epoch{0};
+  std::atomic<std::size_t> deferred_count{0};  ///< mirrors deferred.size()
+  std::atomic<std::uint64_t> next_task_key{1};
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+
+  /// Bit per PeClass present on this platform; fixed after start().
+  std::uint32_t present_classes = 0;
+
+  std::thread main_thread;
+  Stopwatch epoch;
+
+  /// Wakes the main event loop. The empty critical section pairs with the
+  /// loop's predicate check so a wake between "predicate false" and "begin
+  /// waiting" is never lost.
+  void wake_main() {
+    { std::lock_guard lock(event_mutex); }
+    event_cv.notify_all();
+  }
+
+  /// Effective scheduling class mask of a task: classes with a bound
+  /// implementation (or every class, for impl-less timing studies),
+  /// narrowed away from classes that already faulted this task — unless
+  /// that would leave no class present on this platform. Computed at push
+  /// time; valid because retry state only changes while the task is out of
+  /// the queue.
+  [[nodiscard]] std::uint32_t effective_class_mask(
+      const InFlightTask& task) const noexcept {
+    std::uint32_t mask = 0;
+    bool any_impl = false;
+    for (std::size_t c = 0; c < platform::kNumPeClasses; ++c) {
+      if (task.impls[c]) {
+        mask |= 1u << c;
+        any_impl = true;
+      }
+    }
+    if (!any_impl) mask = 0xffffffffu;
+    if (task.failed_class_mask != 0) {
+      const std::uint32_t narrowed = mask & ~task.failed_class_mask;
+      if ((narrowed & present_classes) != 0) mask = narrowed;
+    }
+    return mask;
+  }
+
+  /// Builds the scheduler-facing view and pushes a task into its shard.
+  /// The caller must have set enqueue_time (and key) already.
+  void push_ready(std::shared_ptr<InFlightTask> task) {
+    const sched::ReadyTask view{
+        .task_key = task->key,
+        .app_instance_id = task->app_instance_id,
+        .kernel = task->kernel,
+        .problem_size = task->problem_size,
+        .data_bytes = task->data_bytes,
+        .ready_time = task->enqueue_time,
+        .rank = task->rank,
+        .class_mask = effective_class_mask(*task),
+    };
+    ready.push(view, std::move(task));
+  }
+};
+
+}  // namespace cedr::rt

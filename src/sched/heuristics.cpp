@@ -9,78 +9,85 @@ namespace cedr::sched {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Execution estimate of `t` on `pe`'s class.
-double exec_estimate(const ReadyTask& t, const PeState& pe,
-                     const ScheduleContext& ctx) noexcept {
-  return ctx.costs->estimate(t.kernel, pe.cls, t.problem_size, t.data_bytes) /
-         pe.speed;
-}
-
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 }  // namespace
 
 double finish_time_on(const ReadyTask& t, const PeState& pe,
                       const ScheduleContext& ctx) noexcept {
   if (pe.quarantined) return kInf;
   if (!t.allowed_on(pe.cls)) return kInf;
-  const double exec = exec_estimate(t, pe, ctx);
+  const double exec =
+      ctx.costs->estimate(t.kernel, pe.cls, t.problem_size, t.data_bytes) /
+      pe.speed;
   if (exec == kInf) return kInf;
   return std::max(ctx.now, pe.available_time) + exec;
 }
 
-ScheduleResult RoundRobinScheduler::schedule(std::span<const ReadyTask> ready,
-                                             std::span<PeState> pes,
-                                             const ScheduleContext& ctx) {
+ScheduleResult RoundRobinScheduler::schedule(CandidateView& view) {
   ScheduleResult result;
-  if (pes.empty()) return result;
-  for (std::size_t q = 0; q < ready.size(); ++q) {
+  const std::size_t p_count = view.pe_count();
+  if (p_count == 0) return result;
+  const std::span<PeState> pes = view.pes();
+  const ScheduleContext& ctx = view.ctx();
+  for (const std::size_t q : view.tasks()) {
     // Rotate to the next PE that supports this kernel; RR "tries to use all
-    // of the PEs equally" (paper §IV-C) with no cost awareness.
-    std::size_t probes = 0;
-    while (probes < pes.size()) {
-      PeState& pe = pes[next_pe_ % pes.size()];
-      next_pe_ = (next_pe_ + 1) % pes.size();
-      ++probes;
-      ++result.comparisons;
-      if (pe.quarantined ||
-          !platform::pe_class_supports(pe.cls, ready[q].kernel) ||
-          !ready[q].allowed_on(pe.cls)) {
-        continue;
-      }
-      const double exec = exec_estimate(ready[q], pe, ctx);
-      pe.available_time = std::max(ctx.now, pe.available_time) + exec;
-      result.assignments.push_back({q, pe.pe_index});
-      break;
+    // of the PEs equally" (paper §IV-C) with no cost awareness. The legacy
+    // loop probed PE by PE from the cursor, charging one comparison per
+    // probe; the eligible list lets us land on the same PE with cursor
+    // arithmetic while charging the identical probe count.
+    const std::span<const std::size_t> eligible = view.support_eligible(q);
+    if (eligible.empty()) {
+      // A full fruitless rotation: P probes, cursor back where it started.
+      result.comparisons += p_count;
+      continue;
     }
+    const std::size_t cursor = next_pe_ % p_count;
+    const std::size_t cursor_slot = view.admitted_slots()[cursor];
+    // First eligible slot at/after the cursor, wrapping to the front.
+    const auto it =
+        std::lower_bound(eligible.begin(), eligible.end(), cursor_slot);
+    const std::size_t slot = it != eligible.end() ? *it : eligible.front();
+    const std::size_t position = view.rotation_position(slot);
+    result.comparisons += (position + p_count - cursor) % p_count + 1;
+    next_pe_ = (position + 1) % p_count;
+    PeState& pe = pes[slot];
+    pe.available_time =
+        std::max(ctx.now, pe.available_time) + view.exec_estimate(q, pe);
+    result.assignments.push_back({q, pe.pe_index});
   }
   return result;
 }
 
-ScheduleResult EftScheduler::schedule(std::span<const ReadyTask> ready,
-                                      std::span<PeState> pes,
-                                      const ScheduleContext& ctx) {
+ScheduleResult EftScheduler::schedule(CandidateView& view) {
   ScheduleResult result;
-  for (std::size_t q = 0; q < ready.size(); ++q) {
+  const std::span<PeState> pes = view.pes();
+  const ScheduleContext& ctx = view.ctx();
+  const std::size_t p_count = view.pe_count();
+  for (const std::size_t q : view.tasks()) {
+    // The legacy scan evaluated every PE; ineligible ones produced +inf and
+    // never won. Charging P comparisons while scanning only the eligible
+    // list keeps both the count and the winner (strict <, ascending slots)
+    // identical.
+    result.comparisons += p_count;
     double best = kInf;
-    PeState* best_pe = nullptr;
-    for (PeState& pe : pes) {
-      ++result.comparisons;
-      const double finish = finish_time_on(ready[q], pe, ctx);
+    std::size_t best_slot = kNoSlot;
+    for (const std::size_t slot : view.cost_eligible(q)) {
+      const PeState& pe = pes[slot];
+      const double finish =
+          std::max(ctx.now, pe.available_time) + view.exec_estimate(q, pe);
       if (finish < best) {
         best = finish;
-        best_pe = &pe;
+        best_slot = slot;
       }
     }
-    if (best_pe == nullptr) continue;  // no PE supports this kernel
-    best_pe->available_time = best;
-    result.assignments.push_back({q, best_pe->pe_index});
+    if (best_slot == kNoSlot) continue;  // no PE supports this kernel
+    pes[best_slot].available_time = best;
+    result.assignments.push_back({q, pes[best_slot].pe_index});
   }
   return result;
 }
 
-ScheduleResult EtfScheduler::schedule(std::span<const ReadyTask> ready,
-                                      std::span<PeState> pes,
-                                      const ScheduleContext& ctx) {
+ScheduleResult EtfScheduler::schedule(CandidateView& view) {
   // ETF semantics: each step assigns the globally earliest-finishing
   // (task, PE) pair among all unassigned tasks. The reference
   // implementation rescans every pair each step — O(Q^2 * P) cost
@@ -92,9 +99,12 @@ ScheduleResult EtfScheduler::schedule(std::span<const ReadyTask> ready,
   // unchanged is globally minimal, and stale entries are recomputed and
   // reinserted.
   ScheduleResult result;
-  const std::size_t q_count = ready.size();
-  const std::size_t p_count = pes.size();
+  const std::span<const std::size_t> tasks = view.tasks();
+  const std::size_t q_count = tasks.size();
+  const std::size_t p_count = view.pe_count();
   if (q_count == 0 || p_count == 0) return result;
+  const std::span<PeState> pes = view.pes();
+  const ScheduleContext& ctx = view.ctx();
 
   // Naive-reference cost: P * (Q + Q-1 + ... + 1).
   result.comparisons = static_cast<std::uint64_t>(p_count) * q_count *
@@ -109,16 +119,18 @@ ScheduleResult EtfScheduler::schedule(std::span<const ReadyTask> ready,
   const auto later = [](const Entry& a, const Entry& b) {
     return a.finish > b.finish;
   };
-  std::vector<std::uint64_t> version(p_count, 0);
+  std::vector<std::uint64_t> version(pes.size(), 0);
 
   const auto best_for = [&](std::size_t q) -> Entry {
     Entry e{kInf, q, 0, 0};
-    for (std::size_t p = 0; p < p_count; ++p) {
-      const double finish = finish_time_on(ready[q], pes[p], ctx);
+    for (const std::size_t slot : view.cost_eligible(q)) {
+      const PeState& pe = pes[slot];
+      const double finish =
+          std::max(ctx.now, pe.available_time) + view.exec_estimate(q, pe);
       if (finish < e.finish) {
         e.finish = finish;
-        e.pe_slot = p;
-        e.stamp = version[p];
+        e.pe_slot = slot;
+        e.stamp = version[slot];
       }
     }
     return e;
@@ -126,7 +138,7 @@ ScheduleResult EtfScheduler::schedule(std::span<const ReadyTask> ready,
 
   std::vector<Entry> heap;
   heap.reserve(q_count);
-  for (std::size_t q = 0; q < q_count; ++q) {
+  for (const std::size_t q : tasks) {
     const Entry e = best_for(q);
     if (e.finish < kInf) heap.push_back(e);
   }
@@ -152,86 +164,85 @@ ScheduleResult EtfScheduler::schedule(std::span<const ReadyTask> ready,
   return result;
 }
 
-ScheduleResult HeftRtScheduler::schedule(std::span<const ReadyTask> ready,
-                                         std::span<PeState> pes,
-                                         const ScheduleContext& ctx) {
+ScheduleResult HeftRtScheduler::schedule(CandidateView& view) {
   ScheduleResult result;
+  const std::span<const ReadyTask> ready = view.ready();
+  const std::span<PeState> pes = view.pes();
+  const ScheduleContext& ctx = view.ctx();
+  const std::size_t p_count = view.pe_count();
   // Order by upward rank (descending): tasks on the critical path first.
-  std::vector<std::size_t> order(ready.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::span<const std::size_t> tasks = view.tasks();
+  std::vector<std::size_t> order(tasks.begin(), tasks.end());
   std::stable_sort(order.begin(), order.end(),
                    [&ready](std::size_t a, std::size_t b) {
                      return ready[a].rank > ready[b].rank;
                    });
   // Sorting cost: ~Q log2 Q comparisons.
-  if (ready.size() > 1) {
+  if (order.size() > 1) {
     result.comparisons += static_cast<std::uint64_t>(
-        static_cast<double>(ready.size()) *
-        std::max(1.0, std::log2(static_cast<double>(ready.size()))));
+        static_cast<double>(order.size()) *
+        std::max(1.0, std::log2(static_cast<double>(order.size()))));
   }
   for (const std::size_t q : order) {
+    result.comparisons += p_count;
     double best = kInf;
-    PeState* best_pe = nullptr;
-    for (PeState& pe : pes) {
-      ++result.comparisons;
-      const double finish = finish_time_on(ready[q], pe, ctx);
+    std::size_t best_slot = kNoSlot;
+    for (const std::size_t slot : view.cost_eligible(q)) {
+      const PeState& pe = pes[slot];
+      const double finish =
+          std::max(ctx.now, pe.available_time) + view.exec_estimate(q, pe);
       if (finish < best) {
         best = finish;
-        best_pe = &pe;
+        best_slot = slot;
       }
     }
-    if (best_pe == nullptr) continue;
-    best_pe->available_time = best;
-    result.assignments.push_back({q, best_pe->pe_index});
+    if (best_slot == kNoSlot) continue;
+    pes[best_slot].available_time = best;
+    result.assignments.push_back({q, pes[best_slot].pe_index});
   }
   return result;
 }
 
-ScheduleResult MetScheduler::schedule(std::span<const ReadyTask> ready,
-                                      std::span<PeState> pes,
-                                      const ScheduleContext& ctx) {
+ScheduleResult MetScheduler::schedule(CandidateView& view) {
   ScheduleResult result;
-  for (std::size_t q = 0; q < ready.size(); ++q) {
+  const std::span<PeState> pes = view.pes();
+  const ScheduleContext& ctx = view.ctx();
+  const std::size_t p_count = view.pe_count();
+  for (const std::size_t q : view.tasks()) {
+    result.comparisons += p_count;
     double best = kInf;
-    PeState* best_pe = nullptr;
-    for (PeState& pe : pes) {
-      ++result.comparisons;
-      if (pe.quarantined || !ready[q].allowed_on(pe.cls)) continue;
-      const double exec = exec_estimate(ready[q], pe, ctx);
+    std::size_t best_slot = kNoSlot;
+    for (const std::size_t slot : view.cost_eligible(q)) {
+      const double exec = view.exec_estimate(q, pes[slot]);
       if (exec < best) {
         best = exec;
-        best_pe = &pe;
+        best_slot = slot;
       }
     }
-    if (best_pe == nullptr) continue;
+    if (best_slot == kNoSlot) continue;
     // Availability is tracked (so traces stay meaningful) but never read:
     // MET ignores queueing, which is exactly its pathology.
-    best_pe->available_time =
-        std::max(ctx.now, best_pe->available_time) + best;
-    result.assignments.push_back({q, best_pe->pe_index});
+    PeState& pe = pes[best_slot];
+    pe.available_time = std::max(ctx.now, pe.available_time) + best;
+    result.assignments.push_back({q, pe.pe_index});
   }
   return result;
 }
 
-ScheduleResult RandomScheduler::schedule(std::span<const ReadyTask> ready,
-                                         std::span<PeState> pes,
-                                         const ScheduleContext& ctx) {
+ScheduleResult RandomScheduler::schedule(CandidateView& view) {
   ScheduleResult result;
-  std::vector<PeState*> compatible;
-  for (std::size_t q = 0; q < ready.size(); ++q) {
-    compatible.clear();
-    for (PeState& pe : pes) {
-      ++result.comparisons;
-      if (!pe.quarantined &&
-          platform::pe_class_supports(pe.cls, ready[q].kernel) &&
-          ready[q].allowed_on(pe.cls)) {
-        compatible.push_back(&pe);
-      }
-    }
-    if (compatible.empty()) continue;
-    PeState& pe = *compatible[rng_.next_below(compatible.size())];
-    pe.available_time = std::max(ctx.now, pe.available_time) +
-                        exec_estimate(ready[q], pe, ctx);
+  const std::span<PeState> pes = view.pes();
+  const ScheduleContext& ctx = view.ctx();
+  const std::size_t p_count = view.pe_count();
+  for (const std::size_t q : view.tasks()) {
+    result.comparisons += p_count;
+    // The eligible list is ascending by slot — the same candidate order the
+    // legacy scan built — so the seeded pick lands on the same PE.
+    const std::span<const std::size_t> eligible = view.support_eligible(q);
+    if (eligible.empty()) continue;
+    PeState& pe = pes[eligible[rng_.next_below(eligible.size())]];
+    pe.available_time =
+        std::max(ctx.now, pe.available_time) + view.exec_estimate(q, pe);
     result.assignments.push_back({q, pe.pe_index});
   }
   return result;

@@ -12,6 +12,8 @@
 #include <cstdio>
 #endif
 
+#include "cedr/common/stopwatch.h"
+#include "cedr/sched/ready_queue.h"
 #include "cedr/sched/scheduler.h"
 
 namespace cedr::sim {
@@ -94,8 +96,9 @@ struct MgmtEvent {
 class Engine {
  public:
   Engine(const SimConfig& config, std::span<const Arrival> arrivals)
-      : config_(config), cores_(static_cast<double>(
-                             config.platform.total_app_cores)) {
+      : config_(config),
+        cores_(static_cast<double>(config.platform.total_app_cores)),
+        ready_(config.sched_lock_wait_us) {
     // Application-thread work (glue, call issue, condvar wake) runs on the
     // platform's CPU cores: scale reference-core durations by the
     // platform's GENERIC cost (seconds per reference nanosecond * 1e9).
@@ -117,6 +120,9 @@ class Engine {
       workers_.push_back(std::move(w));
     }
     pe_available_.assign(workers_.size(), 0.0);
+    for (const Worker& w : workers_) {
+      present_classes_ |= 1u << static_cast<unsigned>(w.cls);
+    }
   }
 
   StatusOr<SimMetrics> run() {
@@ -256,7 +262,7 @@ class Engine {
       t = std::min(t, arrivals_[arrival_idx_].time);
     }
     if (main_busy_) t = std::min(t, now_ + main_remaining_);
-    if (!main_busy_ && mgmt_.empty() && queue_dirty_ && !ready_.empty()) {
+    if (!main_busy_ && mgmt_.empty() && queue_dirty_ && ready_.size() != 0) {
       t = std::min(t, std::max(now_, next_round_allowed_));
     }
     for (const Instance& inst : instances_) {
@@ -274,7 +280,7 @@ class Engine {
     // idle, no queued mgmt work, and the round-rate gate. Without those
     // floors this clause keeps returning now_ while the round cannot run
     // and the event loop spins at a frozen virtual time.
-    if (!main_busy_ && mgmt_.empty() && !ready_.empty()) {
+    if (!main_busy_ && mgmt_.empty() && ready_.size() != 0) {
       for (const Worker& w : workers_) {
         if (w.quarantined && !w.probe_inflight) {
           t = std::min(t, std::max(std::max(now_, w.probe_at),
@@ -334,23 +340,23 @@ class Engine {
       }
     }
     // Deferred retries whose backoff has elapsed re-enter the ready queue.
+    // The re-push recomputes the effective class mask, so the retry's
+    // failed-class narrowing takes effect on its new shard placement.
     if (!deferred_.empty()) {
       std::vector<std::pair<double, SimTask>> still_waiting;
       for (auto& [release_at, task] : deferred_) {
         if (release_at <= now_ + kEps) {
           task.ready_time = now_;
-          ready_.push_back(std::move(task));
-          queue_dirty_ = true;
+          push_ready(std::move(task));
         } else {
           still_waiting.emplace_back(release_at, std::move(task));
         }
       }
       deferred_ = std::move(still_waiting);
-      max_ready_ = std::max(max_ready_, ready_.size());
     }
     // A quarantined PE whose probe window just opened makes queued work
     // schedulable again.
-    if (!ready_.empty()) {
+    if (ready_.size() != 0) {
       for (const Worker& w : workers_) {
         if (w.quarantined && !w.probe_inflight && w.probe_at <= now_ + kEps) {
           queue_dirty_ = true;
@@ -399,6 +405,39 @@ class Engine {
     return mask;
   }
 
+  /// The mask the scheduler sees: implementation classes, narrowed by the
+  /// classes that already failed this task — unless that would leave no
+  /// class present on the platform (the retry must stay schedulable).
+  /// Computed at push time: retry state only changes while the task is out
+  /// of the queue, so this equals the legacy per-round computation.
+  [[nodiscard]] std::uint32_t effective_mask(
+      const SimTask& t) const noexcept {
+    std::uint32_t mask = t.class_mask;
+    if (t.failed_class_mask != 0) {
+      const std::uint32_t narrowed = mask & ~t.failed_class_mask;
+      if ((narrowed & present_classes_) != 0) mask = narrowed;
+    }
+    return mask;
+  }
+
+  /// Routes one task into the sharded ready queue — the same component the
+  /// threaded runtime dispatches from (docs/scheduling.md).
+  void push_ready(SimTask task) {
+    const sched::ReadyTask view{
+        .task_key = task.key,
+        .app_instance_id = task.instance,
+        .kernel = task.kernel,
+        .problem_size = task.size,
+        .data_bytes = task.bytes,
+        .ready_time = task.ready_time,
+        .rank = task.rank,
+        .class_mask = effective_mask(task),
+    };
+    ready_.push(view, std::make_shared<SimTask>(std::move(task)));
+    max_ready_ = std::max(max_ready_, ready_.size());
+    queue_dirty_ = true;
+  }
+
   void push_segment_tasks(std::size_t instance_idx, std::size_t segment) {
     Instance& inst = instances_[instance_idx];
     const SimSegment& seg = inst.model->segments[segment];
@@ -406,7 +445,7 @@ class Engine {
     auto push_one = [&](platform::KernelId kernel, std::size_t size,
                         std::size_t bytes) {
       const std::uint64_t key = next_key_++;
-      ready_.push_back(SimTask{
+      push_ready(SimTask{
           .key = key,
           .instance = instance_idx,
           .segment = segment,
@@ -435,8 +474,6 @@ class Engine {
       }
       inst.outstanding = seg.count;
     }
-    max_ready_ = std::max(max_ready_, ready_.size());
-    queue_dirty_ = true;
   }
 
   void dispatch_to_worker(std::size_t pe_index, SimTask task) {
@@ -526,7 +563,7 @@ class Engine {
     // queued (every capable PE quarantined, or a probe already in flight
     // absorbed the only admitted slot). Any completion changes PE health /
     // availability, so re-arm the scheduler if work is still waiting.
-    if (injector_ != nullptr && !ready_.empty()) queue_dirty_ = true;
+    if (injector_ != nullptr && ready_.size() != 0) queue_dirty_ = true;
 
     const platform::FaultPolicy& policy = config_.faults.policy;
     if (faulted) {
@@ -662,7 +699,7 @@ class Engine {
     } else {
       // One call of the serial batch.
       const std::uint64_t key = next_key_++;
-      ready_.push_back(SimTask{
+      push_ready(SimTask{
           .key = key,
           .instance = instance_idx,
           .segment = inst.segment,
@@ -679,8 +716,6 @@ class Engine {
                    0, now_, key);
       }
       inst.outstanding = 1;
-      max_ready_ = std::max(max_ready_, ready_.size());
-      queue_dirty_ = true;
     }
   }
 
@@ -775,7 +810,7 @@ class Engine {
         main_remaining_ = duration;
         return;
       }
-      if (queue_dirty_ && !ready_.empty() &&
+      if (queue_dirty_ && ready_.size() != 0 &&
           now_ + kEps >= next_round_allowed_) {
         start_sched_round();
         return;
@@ -790,36 +825,14 @@ class Engine {
     // round may begin at most once per event-loop period. For blocking API
     // calls this period is the dominant per-call round-trip latency.
     next_round_allowed_ = now_ + config_.costs.loop_period;
-    // Snapshot the queue and run the heuristic now; the decision's virtual
-    // cost is charged before the assignments take effect.
+    // Snapshot the sharded queue — merged back into global FIFO (push)
+    // order, the exact sequence the legacy single deque presented — and run
+    // the heuristic now; the decision's virtual cost is charged before the
+    // assignments take effect. The per-task effective class mask (failed
+    // classes narrowed, present-class fallback) was computed at push time.
     queue_dirty_ = false;
-    std::uint32_t present_classes = 0;
-    for (const Worker& w : workers_) {
-      present_classes |= 1u << static_cast<unsigned>(w.cls);
-    }
-    std::vector<sched::ReadyTask> views;
-    views.reserve(ready_.size());
-    for (const SimTask& t : ready_) {
-      // Retries prefer a PE class that has not failed this task (graceful
-      // degradation onto the CPU path). The narrowed mask must still name a
-      // class that exists on this platform, otherwise the task would become
-      // permanently unschedulable; if not, fall back to the full mask.
-      std::uint32_t mask = t.class_mask;
-      if (t.failed_class_mask != 0) {
-        const std::uint32_t narrowed = mask & ~t.failed_class_mask;
-        if ((narrowed & present_classes) != 0) mask = narrowed;
-      }
-      views.push_back(sched::ReadyTask{
-          .task_key = t.key,
-          .app_instance_id = t.instance,
-          .kernel = t.kernel,
-          .problem_size = t.size,
-          .data_bytes = t.bytes,
-          .ready_time = t.ready_time,
-          .rank = t.rank,
-          .class_mask = mask,
-      });
-    }
+    round_snapshot_ = ready_.snapshot();
+    const std::span<const sched::ReadyTask> views(round_snapshot_.views);
     std::vector<sched::PeState> pe_states;
     pe_states.reserve(workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -847,8 +860,13 @@ class Engine {
         : config_.sched_costs != nullptr ? config_.sched_costs
                                          : &config_.platform.costs;
     const sched::ScheduleContext ctx{.now = now_, .costs = sched_view};
+    Stopwatch decision_clock;
     const sched::ScheduleResult result =
         scheduler_->schedule(views, pe_states, ctx);
+    if (config_.sched_decision_us != nullptr) {
+      config_.sched_decision_us->record(decision_clock.elapsed_us());
+    }
+    total_comparisons_ += result.comparisons;
     for (const sched::PeState& pe : pe_states) {
       pe_available_[pe.pe_index] = pe.available_time;
     }
@@ -887,31 +905,34 @@ class Engine {
   void complete_main_item() {
     main_busy_ = false;
     if (main_item_is_sched_) {
-      // Dispatch the decided assignments; tasks pushed mid-round remain.
+      // Dispatch the decided assignments in snapshot (global FIFO) order —
+      // the order the legacy deque walked — gating probes against the
+      // *current* worker state; tasks pushed mid-round and assignments a
+      // probe absorbed stay queued for the next round.
       std::unordered_map<std::uint64_t, std::size_t> assigned;
       assigned.reserve(pending_assignments_.size());
       for (const auto& [key, pe_index] : pending_assignments_) {
         assigned.emplace(key, pe_index);
       }
-      std::deque<SimTask> remaining_tasks;
-      for (SimTask& task : ready_) {
-        const auto it = assigned.find(task.key);
-        if (it == assigned.end()) {
-          remaining_tasks.push_back(std::move(task));
-        } else {
-          Worker& w = workers_[it->second];
-          if (w.quarantined) {
-            // Quarantined PE in its probe window: exactly one probe task.
-            if (w.probe_inflight) {
-              remaining_tasks.push_back(std::move(task));
-              continue;
-            }
-            w.probe_inflight = true;
-          }
-          dispatch_to_worker(it->second, std::move(task));
+      std::vector<sched::ReadyQueueShards::Entry> taken;
+      taken.reserve(assigned.size());
+      for (const sched::ReadyQueueShards::Entry& entry :
+           round_snapshot_.entries) {
+        const auto it = assigned.find(entry.view.task_key);
+        if (it == assigned.end()) continue;
+        Worker& w = workers_[it->second];
+        if (w.quarantined) {
+          // Quarantined PE in its probe window: exactly one probe task.
+          if (w.probe_inflight) continue;
+          w.probe_inflight = true;
         }
+        taken.push_back(entry);
+        dispatch_to_worker(
+            it->second,
+            std::move(*std::static_pointer_cast<SimTask>(entry.payload)));
       }
-      ready_ = std::move(remaining_tasks);
+      ready_.remove(taken);
+      round_snapshot_ = {};
       pending_assignments_.clear();
       return;
     }
@@ -965,6 +986,7 @@ class Engine {
     m.tasks_executed = tasks_executed_;
     m.sched_rounds = sched_rounds_;
     m.max_ready_queue = max_ready_;
+    m.total_comparisons = total_comparisons_;
     m.total_sched_time = total_sched_time_;
     double exec_total = 0.0;
     for (const Instance& inst : instances_) {
@@ -1010,7 +1032,14 @@ class Engine {
   std::vector<Worker> workers_;
   std::vector<double> pe_available_;
 
-  std::deque<SimTask> ready_;
+  /// The same sharded ready queue the threaded runtime schedules from;
+  /// single-threaded here, so every lock acquisition takes the
+  /// uncontended fast path and the snapshot order is exactly push order.
+  sched::ReadyQueueShards ready_;
+  /// The queue snapshot the in-flight scheduling round decided over; the
+  /// dispatch at complete_main_item consumes and clears it.
+  sched::ReadyQueueShards::Snapshot round_snapshot_;
+  std::uint32_t present_classes_ = 0;
   /// (release time, task) pairs backing off before a retry.
   std::vector<std::pair<double, SimTask>> deferred_;
   bool queue_dirty_ = false;
@@ -1029,6 +1058,7 @@ class Engine {
   double runtime_overhead_ = 0.0;
   double total_sched_time_ = 0.0;
   std::size_t sched_rounds_ = 0;
+  std::uint64_t total_comparisons_ = 0;
   std::size_t tasks_executed_ = 0;
   std::size_t max_ready_ = 0;
   std::size_t faults_injected_ = 0;

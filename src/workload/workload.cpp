@@ -66,6 +66,7 @@ StatusOr<TrialResult> run_point(const sim::SimConfig& config,
     acc.apps = m.apps;
     acc.tasks_executed += m.tasks_executed;
     acc.sched_rounds += m.sched_rounds;
+    acc.total_comparisons += m.total_comparisons;
     acc.max_ready_queue = std::max(acc.max_ready_queue, m.max_ready_queue);
     acc.makespan += m.makespan;
     acc.avg_execution_time += m.avg_execution_time;
@@ -92,6 +93,8 @@ StatusOr<TrialResult> run_point(const sim::SimConfig& config,
       static_cast<std::size_t>(static_cast<double>(acc.tasks_executed) * inv);
   acc.sched_rounds =
       static_cast<std::size_t>(static_cast<double>(acc.sched_rounds) * inv);
+  acc.total_comparisons = static_cast<std::uint64_t>(
+      static_cast<double>(acc.total_comparisons) * inv);
   acc.makespan *= inv;
   acc.avg_execution_time *= inv;
   acc.avg_sched_overhead *= inv;

@@ -1,13 +1,16 @@
 // Tests for the scheduling heuristics: assignment validity, policy
-// behavior on crafted scenarios, complexity accounting, HEFT ranks.
+// behavior on crafted scenarios, complexity accounting, HEFT ranks, the
+// sharded ready queue, and per-class (schedule_shard) candidate views.
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 
 #include "cedr/common/rng.h"
 
 #include "cedr/sched/heuristics.h"
 #include "cedr/sched/rank.h"
+#include "cedr/sched/ready_queue.h"
 #include "cedr/sched/scheduler.h"
 
 namespace cedr::sched {
@@ -107,13 +110,259 @@ TEST_P(AllSchedulers, RespectsClassMask) {
   }
 }
 
+std::vector<std::string> all_scheduler_names() {
+  std::vector<std::string> names;
+  for (const std::string_view name : scheduler_names()) {
+    names.emplace_back(name);
+  }
+  return names;
+}
+
 INSTANTIATE_TEST_SUITE_P(Names, AllSchedulers,
-                         ::testing::Values("RR", "EFT", "ETF", "HEFT_RT"),
+                         ::testing::ValuesIn(all_scheduler_names()),
                          [](const auto& info) { return info.param; });
 
 TEST(SchedulerFactory, RejectsUnknownName) {
-  EXPECT_EQ(make_scheduler("FIFO").status().code(), StatusCode::kNotFound);
+  const auto result = make_scheduler("FIFO");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // The error must name the offender so a config typo is diagnosable.
+  EXPECT_NE(result.status().to_string().find("FIFO"), std::string::npos);
   EXPECT_EQ(scheduler_names().size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-class candidate views (schedule_shard)
+// ---------------------------------------------------------------------------
+
+class ShardViews : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardViews, RestrictedViewOnlyUsesAdmittedClasses) {
+  auto scheduler = make_scheduler(GetParam());
+  ASSERT_TRUE(scheduler.ok());
+  const auto platform = test_platform();  // 3 CPU + 1 FFT + 1 MMULT
+  std::vector<ReadyTask> ready;
+  for (std::uint64_t i = 0; i < 8; ++i) ready.push_back(fft_task(i));
+  for (std::uint64_t i = 8; i < 12; ++i) ready.push_back(generic_task(i, 500));
+  auto pes = pe_states(platform);
+  const ScheduleContext ctx{.now = 0.0, .costs = &platform.costs};
+  const std::uint32_t fft_only =
+      1u << static_cast<unsigned>(platform::PeClass::kFftAccel);
+  const ScheduleResult result =
+      (*scheduler)->schedule_shard(ready, pes, ctx, fft_only);
+  EXPECT_FALSE(result.assignments.empty());
+  for (const Assignment& a : result.assignments) {
+    // Only FFT-accelerator PEs may appear, and only FFT tasks may land
+    // there (the generic tasks are not eligible on the admitted class).
+    EXPECT_EQ(platform.pes[a.pe_index].cls, platform::PeClass::kFftAccel);
+    EXPECT_EQ(ready[a.queue_index].kernel, platform::KernelId::kFft);
+  }
+}
+
+TEST_P(ShardViews, RestrictedViewHonorsTaskClassMask) {
+  auto scheduler = make_scheduler(GetParam());
+  ASSERT_TRUE(scheduler.ok());
+  const auto platform = test_platform();
+  // FFT tasks whose effective mask excludes the accelerator (>2048 points):
+  // a view admitting only the FFT class must assign none of them.
+  std::vector<ReadyTask> ready;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ReadyTask t = fft_task(i, 4096);
+    t.class_mask = 1u << static_cast<unsigned>(platform::PeClass::kCpu);
+    ready.push_back(t);
+  }
+  auto pes = pe_states(platform);
+  const ScheduleContext ctx{.now = 0.0, .costs = &platform.costs};
+  const std::uint32_t fft_only =
+      1u << static_cast<unsigned>(platform::PeClass::kFftAccel);
+  const ScheduleResult result =
+      (*scheduler)->schedule_shard(ready, pes, ctx, fft_only);
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST_P(ShardViews, QuarantinedPesGetNothingOnRestrictedViews) {
+  auto scheduler = make_scheduler(GetParam());
+  ASSERT_TRUE(scheduler.ok());
+  const auto platform = test_platform();
+  std::vector<ReadyTask> ready;
+  for (std::uint64_t i = 0; i < 10; ++i) ready.push_back(fft_task(i));
+  auto pes = pe_states(platform);
+  for (PeState& pe : pes) {
+    if (platform.pes[pe.pe_index].cls == platform::PeClass::kCpu) {
+      pe.quarantined = true;
+    }
+  }
+  const ScheduleContext ctx{.now = 0.0, .costs = &platform.costs};
+  const std::uint32_t cpu_only =
+      1u << static_cast<unsigned>(platform::PeClass::kCpu);
+  const ScheduleResult result =
+      (*scheduler)->schedule_shard(ready, pes, ctx, cpu_only);
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, ShardViews,
+                         ::testing::ValuesIn(all_scheduler_names()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Comparison accounting (Fig. 7's input)
+// ---------------------------------------------------------------------------
+
+TEST(Comparisons, EftCountsPePoolPerTask) {
+  // EFT's legacy accounting: P evaluations per queued task, assignable or
+  // not — the formula fig10's baseline comparison relies on.
+  EftScheduler eft;
+  const auto platform = test_platform();
+  std::vector<ReadyTask> ready;
+  for (std::uint64_t i = 0; i < 17; ++i) ready.push_back(fft_task(i));
+  auto pes = pe_states(platform);
+  const ScheduleContext ctx{.now = 0.0, .costs = &platform.costs};
+  const ScheduleResult result = eft.schedule(ready, pes, ctx);
+  EXPECT_EQ(result.comparisons, 17u * platform.pes.size());
+}
+
+TEST(Comparisons, RoundRobinCountsCursorProbes) {
+  RoundRobinScheduler rr;
+  // Homogeneous all-CPU platform: every probe hits an eligible PE on the
+  // first try, so the cursor arithmetic yields exactly one probe per task.
+  platform::PlatformConfig plat = platform::zcu102(3, 0, 0);
+  std::vector<ReadyTask> ready;
+  for (std::uint64_t i = 0; i < 9; ++i) ready.push_back(fft_task(i));
+  auto pes = pe_states(plat);
+  const ScheduleContext ctx{.now = 0.0, .costs = &plat.costs};
+  const ScheduleResult result = rr.schedule(ready, pes, ctx);
+  EXPECT_EQ(result.assignments.size(), 9u);
+  EXPECT_EQ(result.comparisons, 9u);
+}
+
+TEST(Comparisons, RoundRobinChargesFullRotationForUnassignable) {
+  RoundRobinScheduler rr;
+  platform::PlatformConfig plat = platform::zcu102(3, 0, 0);
+  std::vector<ReadyTask> ready{fft_task(0)};
+  ready[0].class_mask = 0;  // eligible nowhere
+  auto pes = pe_states(plat);
+  const ScheduleContext ctx{.now = 0.0, .costs = &plat.costs};
+  const ScheduleResult result = rr.schedule(ready, pes, ctx);
+  EXPECT_TRUE(result.assignments.empty());
+  // The legacy scan probed every PE before giving up on the task.
+  EXPECT_EQ(result.comparisons, plat.pes.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded ready queue
+// ---------------------------------------------------------------------------
+
+ReadyTask masked_task(std::uint64_t key, std::uint32_t mask) {
+  ReadyTask t = fft_task(key);
+  t.class_mask = mask;
+  return t;
+}
+
+TEST(ReadyQueueShardsTest, RoutesSingleClassMasksToTheirShard) {
+  for (std::size_t c = 0; c < platform::kNumPeClasses; ++c) {
+    EXPECT_EQ(ReadyQueueShards::shard_for(1u << c), c);
+  }
+  const std::uint32_t cpu_and_fft =
+      (1u << static_cast<unsigned>(platform::PeClass::kCpu)) |
+      (1u << static_cast<unsigned>(platform::PeClass::kFftAccel));
+  EXPECT_EQ(ReadyQueueShards::shard_for(cpu_and_fft),
+            ReadyQueueShards::kMultiShard);
+  EXPECT_EQ(ReadyQueueShards::shard_for(0xffffffffu),
+            ReadyQueueShards::kMultiShard);
+  EXPECT_EQ(ReadyQueueShards::shard_for(0u), ReadyQueueShards::kMultiShard);
+}
+
+TEST(ReadyQueueShardsTest, SnapshotMergesInGlobalFifoOrder) {
+  ReadyQueueShards queue;
+  // Interleave pushes across three shards; the snapshot must present the
+  // global push order, exactly as the legacy single deque did.
+  const std::uint32_t cpu =
+      1u << static_cast<unsigned>(platform::PeClass::kCpu);
+  const std::uint32_t fft =
+      1u << static_cast<unsigned>(platform::PeClass::kFftAccel);
+  const std::uint32_t masks[] = {cpu, fft, 0xffffffffu, fft, cpu, 0xffffffffu};
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    queue.push(masked_task(i, masks[i]), std::make_shared<std::uint64_t>(i));
+  }
+  EXPECT_EQ(queue.size(), 6u);
+  const ReadyQueueShards::Snapshot snap = queue.snapshot();
+  ASSERT_EQ(snap.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(snap.views[i].task_key, i);
+    EXPECT_EQ(snap.entries[i].view.task_key, i);
+    EXPECT_EQ(*std::static_pointer_cast<std::uint64_t>(snap.entries[i].payload),
+              i);
+  }
+}
+
+TEST(ReadyQueueShardsTest, RemoveTakesOnlySnapshottedEntries) {
+  ReadyQueueShards queue;
+  const std::uint32_t cpu =
+      1u << static_cast<unsigned>(platform::PeClass::kCpu);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    queue.push(masked_task(i, i % 2 == 0 ? cpu : 0xffffffffu),
+               std::make_shared<std::uint64_t>(i));
+  }
+  const ReadyQueueShards::Snapshot snap = queue.snapshot();
+  // Entries pushed after the snapshot must survive removal untouched.
+  queue.push(masked_task(4, cpu), std::make_shared<std::uint64_t>(4));
+  queue.push(masked_task(5, 0xffffffffu), std::make_shared<std::uint64_t>(5));
+  queue.remove(snap.entries);
+  EXPECT_EQ(queue.size(), 2u);
+  const ReadyQueueShards::Snapshot rest = queue.snapshot();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest.views[0].task_key, 4u);
+  EXPECT_EQ(rest.views[1].task_key, 5u);
+}
+
+TEST(ReadyQueueShardsTest, PartialRemovalKeepsFifoOrder) {
+  ReadyQueueShards queue;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    queue.push(masked_task(i, 0xffffffffu),
+               std::make_shared<std::uint64_t>(i));
+  }
+  const ReadyQueueShards::Snapshot snap = queue.snapshot();
+  // Dispatch a non-contiguous subset, as a round with a busy PE pool would.
+  const ReadyQueueShards::Entry taken[] = {snap.entries[1], snap.entries[4]};
+  queue.remove(taken);
+  const ReadyQueueShards::Snapshot rest = queue.snapshot();
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest.views[0].task_key, 0u);
+  EXPECT_EQ(rest.views[1].task_key, 2u);
+  EXPECT_EQ(rest.views[2].task_key, 3u);
+  EXPECT_EQ(rest.views[3].task_key, 5u);
+}
+
+TEST(ReadyQueueShardsTest, DepthsTrackPerShardOccupancy) {
+  ReadyQueueShards queue;
+  const auto cpu_shard = static_cast<std::size_t>(platform::PeClass::kCpu);
+  const auto fft_shard =
+      static_cast<std::size_t>(platform::PeClass::kFftAccel);
+  queue.push(masked_task(0, 1u << cpu_shard), std::make_shared<int>(0));
+  queue.push(masked_task(1, 1u << cpu_shard), std::make_shared<int>(1));
+  queue.push(masked_task(2, 1u << fft_shard), std::make_shared<int>(2));
+  queue.push(masked_task(3, 0xffffffffu), std::make_shared<int>(3));
+  const auto depths = queue.depths();
+  EXPECT_EQ(depths[cpu_shard], 2u);
+  EXPECT_EQ(depths[fft_shard], 1u);
+  EXPECT_EQ(depths[ReadyQueueShards::kMultiShard], 1u);
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(ReadyQueueShards::shard_name(cpu_shard), "cpu");
+  EXPECT_EQ(ReadyQueueShards::shard_name(ReadyQueueShards::kMultiShard),
+            "multi");
+}
+
+TEST(ReadyQueueShardsTest, SnapshotViewsCarryTheEffectiveMask) {
+  // The heuristics read eligibility straight off the snapshot views; the
+  // queue must hand back exactly the mask it was given at push time.
+  ReadyQueueShards queue;
+  const std::uint32_t cpu =
+      1u << static_cast<unsigned>(platform::PeClass::kCpu);
+  queue.push(masked_task(7, cpu), std::make_shared<int>(0));
+  const ReadyQueueShards::Snapshot snap = queue.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.views[0].class_mask, cpu);
+  EXPECT_EQ(snap.entries[0].shard,
+            static_cast<std::uint8_t>(platform::PeClass::kCpu));
 }
 
 TEST(RoundRobin, SpreadsAcrossCompatiblePes) {

@@ -10,6 +10,11 @@
 //                    [--fault-plan JSON] [--metrics-interval SECONDS]
 //                    [--trace-out CHROME_JSON] [--adapt]
 //                    [--adapt-half-life SAMPLES] [--adapt-min-samples N]
+//                    [--wait-timeout SECONDS]
+//
+// --wait-timeout sets RuntimeConfig::default_wait_timeout_s, the deadline
+// wait_all/wait_app apply when the caller passes none (shutdown drains
+// through wait_all). 0 waits forever.
 //
 // --metrics-interval starts the background sampler (queue depth and per-PE
 // utilization time series, served live via the METRICS IPC command);
@@ -42,7 +47,7 @@ int main(int argc, char** argv) {
                  "[--fault-plan JSON] [--metrics-interval SECONDS] "
                  "[--trace-out CHROME_JSON] [--adapt] "
                  "[--adapt-half-life SAMPLES] [--adapt-min-samples N] "
-                 "[--verbose]\n",
+                 "[--wait-timeout SECONDS] [--verbose]\n",
                  argv[0]);
     return 2;
   }
@@ -57,6 +62,7 @@ int main(int argc, char** argv) {
   bool adapt_enabled = false;
   double adapt_half_life = 0.0;
   std::size_t adapt_min_samples = 0;
+  double wait_timeout_s = -1.0;
   std::size_t cpus = 2;
   std::size_t ffts = 1;
   std::size_t mmults = 0;
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
       adapt_half_life = std::strtod(next(), nullptr);
     else if (arg == "--adapt-min-samples")
       adapt_min_samples = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--wait-timeout")
+      wait_timeout_s = std::strtod(next(), nullptr);
     else if (arg == "--verbose") log::set_level(log::Level::kInfo);
   }
 
@@ -124,6 +132,7 @@ int main(int argc, char** argv) {
   if (adapt_enabled) config.adapt.enabled = true;
   if (adapt_half_life > 0.0) config.adapt.half_life = adapt_half_life;
   if (adapt_min_samples > 0) config.adapt.min_samples = adapt_min_samples;
+  if (wait_timeout_s >= 0.0) config.default_wait_timeout_s = wait_timeout_s;
 
   rt::Runtime runtime(config);
   if (const Status s = runtime.start(); !s.ok()) {
