@@ -1,0 +1,55 @@
+#pragma once
+// Buffered line framing for the IPC protocol.
+//
+// The protocol is LF-delimited text (docs/ipc.md). LineFramer replaces the
+// byte-at-a-time read loop the first IPC server used: callers append whole
+// read(2) chunks and extract as many complete lines as the buffer holds, so
+// a pipelined burst of commands costs one syscall instead of one per byte.
+//
+// Over-long lines are a protocol error, not a truncation: once the buffered
+// partial line exceeds kMaxLine the framer latches `overflowed()` and stops
+// yielding lines — a clipped-and-parsed line would desync every later
+// command on the connection. The server replies `ERR line too long` and
+// drops the connection.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace cedr::ipc {
+
+/// Growable read buffer that yields LF-terminated lines.
+class LineFramer {
+ public:
+  /// Longest accepted line, sized for METRICS replies (a full registry
+  /// snapshot is a few KB; 1 MB leaves ample headroom without risking
+  /// unbounded buffering from a misbehaving peer).
+  static constexpr std::size_t kMaxLine = 1u << 20;
+
+  /// Appends one read(2) chunk to the buffer.
+  void append(const char* data, std::size_t size);
+
+  /// Extracts the next complete line (without its LF) into `line`. Returns
+  /// false when no complete line is buffered — or the framer has
+  /// overflowed, which callers must check before treating false as
+  /// "need more bytes".
+  bool next_line(std::string& line);
+
+  /// True once a partial line has exceeded kMaxLine. Latched: the
+  /// connection cannot be resynchronized and must be dropped.
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+  /// Bytes currently buffered (incomplete tail included).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+  void clear();
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted lazily
+  bool overflowed_ = false;
+};
+
+}  // namespace cedr::ipc

@@ -27,6 +27,9 @@ class QuantileHistogram {
   static constexpr int kSubBuckets = 32;     ///< linear slices per octave
 
   void record(double value);
+  /// Zeroes all counts — starts a fresh measurement epoch. Safe to call
+  /// while recorders are live (they just land in the new epoch).
+  void reset();
   std::uint64_t count() const;
   double sum() const;
   double min() const;

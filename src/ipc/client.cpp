@@ -1,0 +1,250 @@
+// IpcClient: persistent connection, buffered reads, connect backoff.
+//
+// One connection is opened lazily on the first command and reused for every
+// later round-trip; replies are read through a LineFramer so a reply costs
+// a handful of read(2) calls instead of one per byte. The destructor sends
+// BYE (best effort) so the daemon reaps the connection promptly.
+//
+// Two failure behaviours matter to callers:
+//   * connect: retried with exponential backoff inside
+//     IpcClientConfig::connect_timeout_s, so tools no longer race daemon
+//     startup with external sleep loops;
+//   * a connection the daemon dropped between round-trips: idempotent verbs
+//     reconnect and retry once; SUBMIT/SUBMITDAG surface Unavailable
+//     instead, because retrying a submission that may have been applied
+//     could double-submit the application.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "cedr/common/stopwatch.h"
+#include "cedr/ipc/ipc.h"
+#include "ipc_internal.h"
+
+namespace cedr::ipc {
+namespace {
+
+bool is_submit_command(const std::string& command) {
+  return command.rfind("SUBMIT", 0) == 0;  // SUBMIT and SUBMITDAG
+}
+
+/// Parses "BUSY <retry-after-ms>" into a ResourceExhausted status.
+Status busy_status(const std::string& reply) {
+  std::uint32_t retry_ms = 0;
+  if (std::sscanf(reply.c_str(), "BUSY %u", &retry_ms) == 1 && retry_ms > 0) {
+    return ResourceExhausted("daemon saturated; retry after " +
+                             std::to_string(retry_ms) + " ms");
+  }
+  return ResourceExhausted("daemon saturated");
+}
+
+}  // namespace
+
+IpcClient::~IpcClient() {
+  if (fd_ >= 0) {
+    (void)write_all(fd_, "BYE\n");  // best effort; server also reaps on EOF
+    ::close(fd_);
+  }
+}
+
+Status IpcClient::ensure_connected() {
+  if (fd_ >= 0) return Status::Ok();
+  sockaddr_un addr{};
+  CEDR_RETURN_IF_ERROR(fill_sockaddr(socket_path_, addr));
+  Stopwatch window;
+  std::uint32_t backoff_ms = config_.backoff_initial_ms;
+  std::string last_error;
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Unavailable(std::string("socket(): ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      fd_ = fd;
+      framer_.clear();
+      return Status::Ok();
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+    // Retry while the window allows: the daemon may still be binding its
+    // socket (smoke tests start both sides concurrently).
+    if (window.elapsed() + static_cast<double>(backoff_ms) * 1e-3 >
+        config_.connect_timeout_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+    if (backoff_ms == 0) backoff_ms = 1;
+  }
+  return Unavailable("cannot connect to daemon at " + socket_path_ + ": " +
+                     last_error);
+}
+
+void IpcClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  framer_.clear();
+}
+
+StatusOr<std::string> IpcClient::round_trip(const std::string& command) {
+  // One transparent reconnect-and-retry for idempotent verbs: a persistent
+  // connection can be stale if the daemon restarted or reaped us.
+  const int max_attempts = is_submit_command(command) ? 1 : 2;
+  Status failure = Unavailable("unreachable");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const bool fresh = fd_ < 0;
+    CEDR_RETURN_IF_ERROR(ensure_connected());
+    if (!write_all(fd_, command + "\n")) {
+      disconnect();
+      failure = Unavailable("failed to send command");
+      if (fresh) break;  // brand-new connection already broken: don't loop
+      continue;
+    }
+    std::string reply;
+    bool got_reply = framer_.next_line(reply);
+    while (!got_reply) {
+      char buf[16384];
+      const ssize_t n = ::read(fd_, buf, sizeof buf);
+      if (n > 0) {
+        framer_.append(buf, static_cast<std::size_t>(n));
+        got_reply = framer_.next_line(reply);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    if (!got_reply) {
+      disconnect();
+      failure = Unavailable("daemon closed connection");
+      if (fresh) break;
+      continue;
+    }
+    if (reply.rfind("BUSY", 0) == 0) return busy_status(reply);
+    if (reply.rfind("ERR", 0) == 0) {
+      return Internal(reply.size() > 4 ? reply.substr(4) : "daemon error");
+    }
+    return reply;
+  }
+  return failure;
+}
+
+StatusOr<std::vector<std::string>> IpcClient::pipeline(
+    const std::vector<std::string>& commands) {
+  if (commands.empty()) return std::vector<std::string>{};
+  CEDR_RETURN_IF_ERROR(ensure_connected());
+  std::string batch;
+  for (const std::string& command : commands) {
+    batch += command;
+    batch += '\n';
+  }
+  if (!write_all(fd_, batch)) {
+    disconnect();
+    return Unavailable("failed to send pipelined batch");
+  }
+  std::vector<std::string> replies;
+  replies.reserve(commands.size());
+  std::string line;
+  while (replies.size() < commands.size()) {
+    if (framer_.next_line(line)) {
+      replies.push_back(line);
+      continue;
+    }
+    char buf[16384];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      framer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // Mid-batch close: some commands may have been applied. Surface the
+    // break rather than retrying (a batch may contain SUBMITs).
+    disconnect();
+    return Unavailable("daemon closed connection mid-batch after " +
+                       std::to_string(replies.size()) + " of " +
+                       std::to_string(commands.size()) + " replies");
+  }
+  return replies;
+}
+
+StatusOr<std::uint64_t> IpcClient::submit(const std::string& so_path,
+                                          const std::string& app_name) {
+  auto reply = round_trip("SUBMIT " + so_path +
+                          (app_name.empty() ? "" : " " + app_name));
+  if (!reply.ok()) return reply.status();
+  // "OK <id>"
+  const std::size_t space = reply->find(' ');
+  if (space == std::string::npos) return Internal("malformed SUBMIT reply");
+  return static_cast<std::uint64_t>(
+      std::strtoull(reply->c_str() + space + 1, nullptr, 10));
+}
+
+StatusOr<std::uint64_t> IpcClient::submit_dag(const std::string& json_path) {
+  auto reply = round_trip("SUBMITDAG " + json_path);
+  if (!reply.ok()) return reply.status();
+  const std::size_t space = reply->find(' ');
+  if (space == std::string::npos) return Internal("malformed SUBMITDAG reply");
+  return static_cast<std::uint64_t>(
+      std::strtoull(reply->c_str() + space + 1, nullptr, 10));
+}
+
+StatusOr<std::pair<std::uint64_t, std::uint64_t>> IpcClient::status() {
+  auto reply = round_trip("STATUS");
+  if (!reply.ok()) return reply.status();
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  if (std::sscanf(reply->c_str(), "OK submitted=%lu completed=%lu",
+                  &submitted, &completed) != 2) {
+    return Internal("malformed STATUS reply: " + *reply);
+  }
+  return std::make_pair(submitted, completed);
+}
+
+StatusOr<std::string> IpcClient::stats() {
+  auto reply = round_trip("STATS");
+  if (!reply.ok()) return reply.status();
+  if (reply->rfind("OK ", 0) != 0) {
+    return Internal("malformed STATS reply: " + *reply);
+  }
+  return reply->substr(3);
+}
+
+StatusOr<json::Value> IpcClient::metrics() {
+  auto reply = round_trip("METRICS");
+  if (!reply.ok()) return reply.status();
+  if (reply->rfind("OK ", 0) != 0) {
+    return Internal("malformed METRICS reply: " + *reply);
+  }
+  auto doc = json::parse(std::string_view(*reply).substr(3));
+  if (!doc.ok()) {
+    return Internal("METRICS reply is not valid JSON: " +
+                    doc.status().to_string());
+  }
+  return doc;
+}
+
+StatusOr<json::Value> IpcClient::costs() {
+  auto reply = round_trip("COSTS");
+  if (!reply.ok()) return reply.status();
+  if (reply->rfind("OK ", 0) != 0) {
+    return Internal("malformed COSTS reply: " + *reply);
+  }
+  auto doc = json::parse(std::string_view(*reply).substr(3));
+  if (!doc.ok()) {
+    return Internal("COSTS reply is not valid JSON: " +
+                    doc.status().to_string());
+  }
+  return doc;
+}
+
+Status IpcClient::wait_all() { return round_trip("WAIT").status(); }
+
+Status IpcClient::shutdown() { return round_trip("SHUTDOWN").status(); }
+
+}  // namespace cedr::ipc

@@ -1,0 +1,38 @@
+#include "cedr/ipc/framing.h"
+
+namespace cedr::ipc {
+
+void LineFramer::append(const char* data, std::size_t size) {
+  if (overflowed_) return;  // connection is already condemned; drop bytes
+  // Compact once the consumed prefix dominates, so a long-lived pipelined
+  // connection does not grow the buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, size);
+}
+
+bool LineFramer::next_line(std::string& line) {
+  if (overflowed_) return false;
+  const std::size_t lf = buf_.find('\n', pos_);
+  if (lf == std::string::npos) {
+    if (buffered() > kMaxLine) overflowed_ = true;
+    return false;
+  }
+  if (lf - pos_ > kMaxLine) {
+    overflowed_ = true;
+    return false;
+  }
+  line.assign(buf_, pos_, lf - pos_);
+  pos_ = lf + 1;
+  return true;
+}
+
+void LineFramer::clear() {
+  buf_.clear();
+  pos_ = 0;
+  overflowed_ = false;
+}
+
+}  // namespace cedr::ipc

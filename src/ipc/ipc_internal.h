@@ -1,0 +1,57 @@
+#pragma once
+// Helpers shared by the IPC server and client translation units.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <string_view>
+
+#include "cedr/common/status.h"
+
+namespace cedr::ipc {
+
+inline Status fill_sockaddr(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("socket path empty or too long: " + path);
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  return Status::Ok();
+}
+
+/// Blocking full write; false on error or peer close. MSG_NOSIGNAL: a peer
+/// that disappeared mid-write must surface as EPIPE, not kill the process.
+inline bool write_all(int fd, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Protocol verbs with a pre-built `ipc_cmd_us.<verb>` histogram slot.
+inline constexpr std::string_view kCmdVerbs[] = {
+    "SUBMIT", "SUBMITDAG", "STATUS", "STATS",
+    "METRICS", "COSTS", "WAIT", "SHUTDOWN"};
+
+/// Index into IpcServer::cmd_hist_, or -1 for an unknown verb.
+inline int cmd_verb_index(std::string_view verb) {
+  for (std::size_t i = 0; i < std::size(kCmdVerbs); ++i) {
+    if (verb == kCmdVerbs[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace cedr::ipc

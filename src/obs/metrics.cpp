@@ -39,6 +39,15 @@ void QuantileHistogram::record(double value) {
   ++buckets_[bucket_index(value)];
 }
 
+void QuantileHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::fill(std::begin(buckets_), std::end(buckets_), 0);
+}
+
 std::uint64_t QuantileHistogram::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return count_;

@@ -223,20 +223,42 @@ bool Runtime::finish_idle_api_apps() {
   // API applications finish when their main returned and no kernels remain.
   // Exited app threads are reaped here: collected under the lifecycle lock,
   // joined outside it.
+  //
+  // Finished instances are then erased from the map. Completion paths treat
+  // a missing id as finished, so the only thing lost is the name — saved
+  // aside for trace export when tracing is on. Without this, every
+  // lifecycle scan and the map itself grow with total submissions, which
+  // under a daemon taking tens of thousands of submissions per second
+  // turns this function into the scheduler's bottleneck within seconds.
   bool any_finished = false;
   std::vector<std::thread> exited;
   {
     std::lock_guard lock(impl_->app_mutex);
-    for (auto& [id, app] : impl_->apps) {
-      if (app->is_dag) continue;
-      if (!app->finished && app->main_done.load(std::memory_order_acquire) &&
-          app->outstanding_kernels == 0) {
-        finish_app_locked(*app);
-        any_finished = true;
+    for (auto it = impl_->apps.begin(); it != impl_->apps.end();) {
+      AppInstance& app = *it->second;
+      if (!app.is_dag) {
+        if (!app.finished && app.main_done.load(std::memory_order_acquire) &&
+            app.outstanding_kernels == 0) {
+          finish_app_locked(app);
+          any_finished = true;
+        }
+        if (app.thread_exited.load(std::memory_order_acquire) &&
+            app.app_thread.joinable()) {
+          exited.push_back(std::move(app.app_thread));
+          app.thread_reaped = true;
+        }
       }
-      if (app->thread_exited.load(std::memory_order_acquire) &&
-          app->app_thread.joinable()) {
-        exited.push_back(std::move(app->app_thread));
+      // Reap once finished and (for API apps) the thread has been claimed
+      // for joining — thread_exited alone is not enough, submit_api may not
+      // have move-assigned the handle yet. The join happens after the lock
+      // is released; nothing touches the instance after its thread exited.
+      if (app.finished && (app.is_dag || app.thread_reaped)) {
+        if (config_.obs.tracing) {
+          impl_->reaped_app_names.emplace_back(it->first, app.name);
+        }
+        it = impl_->apps.erase(it);
+      } else {
+        ++it;
       }
     }
   }

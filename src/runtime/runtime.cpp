@@ -219,12 +219,17 @@ Status Runtime::write_chrome_trace(const std::string& path) const {
   }
   {
     std::lock_guard lock(impl_->app_mutex);
-    // App instances are never erased from the map, so every pid that can
-    // appear in the span stream gets a name.
+    // Live instances plus names saved when finished instances were reaped
+    // (kept only while tracing), so every pid in the span stream is named.
     for (const auto& [id, app] : impl_->apps) {
       tracks.push_back({.pid = 1 + id,
                         .is_process = true,
                         .name = app->name + " #" + std::to_string(id)});
+    }
+    for (const auto& [id, name] : impl_->reaped_app_names) {
+      tracks.push_back({.pid = 1 + id,
+                        .is_process = true,
+                        .name = name + " #" + std::to_string(id)});
     }
   }
   return obs::write_chrome_trace(path, tracer_.snapshot(), tracks);

@@ -81,6 +81,10 @@ struct Runtime::AppInstance {
   std::thread app_thread;
   std::atomic<bool> main_done{false};
   std::atomic<bool> thread_exited{false};
+  /// The reaper claimed `app_thread` for joining (app_mutex). Gates erasure:
+  /// `thread_exited` can be observed before the handle is move-assigned in
+  /// submit_api, so "not joinable" alone does not mean "safe to destroy".
+  bool thread_reaped = false;
   std::int64_t outstanding_kernels = 0;  ///< guarded by app_mutex
 };
 
@@ -149,6 +153,12 @@ struct Runtime::Impl {
   bool started = false;                 ///< app_mutex
   bool accepting = false;               ///< app_mutex
   std::unordered_map<std::uint64_t, std::unique_ptr<AppInstance>> apps;
+  /// (id, name) of reaped instances, kept only while tracing so Chrome
+  /// trace export can still name their pid tracks; empty in perf mode.
+  /// `apps` itself holds live instances only — finished apps are erased by
+  /// the reaper so lifecycle scans and daemon memory stay bounded by the
+  /// in-flight population, not by total submissions since start.
+  std::vector<std::pair<std::uint64_t, std::string>> reaped_app_names;
   std::uint64_t next_instance_id = 1;  ///< app_mutex
   double runtime_overhead = 0.0;       ///< app_mutex
 

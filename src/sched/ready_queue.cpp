@@ -217,9 +217,13 @@ void ReadyQueueShards::push(const ReadyTask& view,
   {
     const auto lock = acquire(shards_[shard]);
     shards_[shard].entries.push_back(std::move(entry));
+    // Counted inside the critical section: once the entry is visible to a
+    // concurrent snapshot/remove cycle, its decrement must find the
+    // increment already applied — counting after unlock lets a fast
+    // dispatch remove the entry first and wrap total_ below zero.
+    depths_[shard].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
   }
-  depths_[shard].fetch_add(1, std::memory_order_relaxed);
-  total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 ReadyQueueShards::Snapshot ReadyQueueShards::snapshot() const {
@@ -251,7 +255,6 @@ void ReadyQueueShards::remove(std::span<const Entry> taken) {
     }
     if (seqs.empty()) continue;
     std::sort(seqs.begin(), seqs.end());
-    std::size_t erased = 0;
     {
       const auto lock = acquire(shards_[shard]);
       auto& entries = shards_[shard].entries;
@@ -259,11 +262,11 @@ void ReadyQueueShards::remove(std::span<const Entry> taken) {
           entries.begin(), entries.end(), [&seqs](const Entry& e) {
             return std::binary_search(seqs.begin(), seqs.end(), e.seq);
           });
-      erased = static_cast<std::size_t>(entries.end() - new_end);
+      const auto erased = static_cast<std::size_t>(entries.end() - new_end);
       entries.erase(new_end, entries.end());
+      depths_[shard].fetch_sub(erased, std::memory_order_relaxed);
+      total_.fetch_sub(erased, std::memory_order_relaxed);
     }
-    depths_[shard].fetch_sub(erased, std::memory_order_relaxed);
-    total_.fetch_sub(erased, std::memory_order_relaxed);
   }
 }
 

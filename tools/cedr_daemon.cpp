@@ -10,11 +10,18 @@
 //                    [--fault-plan JSON] [--metrics-interval SECONDS]
 //                    [--trace-out CHROME_JSON] [--adapt]
 //                    [--adapt-half-life SAMPLES] [--adapt-min-samples N]
-//                    [--wait-timeout SECONDS]
+//                    [--wait-timeout SECONDS] [--ipc-workers N]
+//                    [--max-inflight N] [--busy-retry-ms MS]
 //
 // --wait-timeout sets RuntimeConfig::default_wait_timeout_s, the deadline
 // wait_all/wait_app apply when the caller passes none (shutdown drains
 // through wait_all). 0 waits forever.
+//
+// --ipc-workers sizes the IPC worker pool (slow verbs: SUBMIT's dlopen,
+// SUBMITDAG's JSON load, WAIT, SHUTDOWN). --max-inflight bounds admitted
+// in-flight application instances: SUBMIT/SUBMITDAG beyond the bound get
+// `BUSY <retry-after-ms>` (the hint set by --busy-retry-ms) instead of
+// queueing without bound; 0 = unbounded. See docs/ipc.md.
 //
 // --metrics-interval starts the background sampler (queue depth and per-PE
 // utilization time series, served live via the METRICS IPC command);
@@ -47,7 +54,8 @@ int main(int argc, char** argv) {
                  "[--fault-plan JSON] [--metrics-interval SECONDS] "
                  "[--trace-out CHROME_JSON] [--adapt] "
                  "[--adapt-half-life SAMPLES] [--adapt-min-samples N] "
-                 "[--wait-timeout SECONDS] [--verbose]\n",
+                 "[--wait-timeout SECONDS] [--ipc-workers N] "
+                 "[--max-inflight N] [--busy-retry-ms MS] [--verbose]\n",
                  argv[0]);
     return 2;
   }
@@ -63,6 +71,7 @@ int main(int argc, char** argv) {
   double adapt_half_life = 0.0;
   std::size_t adapt_min_samples = 0;
   double wait_timeout_s = -1.0;
+  ipc::IpcServerConfig ipc_config;
   std::size_t cpus = 2;
   std::size_t ffts = 1;
   std::size_t mmults = 0;
@@ -91,6 +100,13 @@ int main(int argc, char** argv) {
       adapt_min_samples = std::strtoul(next(), nullptr, 10);
     else if (arg == "--wait-timeout")
       wait_timeout_s = std::strtod(next(), nullptr);
+    else if (arg == "--ipc-workers")
+      ipc_config.worker_threads = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--max-inflight")
+      ipc_config.max_inflight_apps = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--busy-retry-ms")
+      ipc_config.busy_retry_ms =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     else if (arg == "--verbose") log::set_level(log::Level::kInfo);
   }
 
@@ -139,7 +155,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "runtime start failed: %s\n", s.to_string().c_str());
     return 1;
   }
-  ipc::IpcServer server(runtime, socket_path, trace_path);
+  ipc::IpcServer server(runtime, socket_path, trace_path, ipc_config);
   if (const Status s = server.start(); !s.ok()) {
     std::fprintf(stderr, "IPC server failed: %s\n", s.to_string().c_str());
     return 1;

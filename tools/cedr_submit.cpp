@@ -1,57 +1,90 @@
 // IPC client for the CEDR daemon.
 //
 // usage:
-//   cedr_submit <socket> submit <shared-object> [app-name]
-//   cedr_submit <socket> status
-//   cedr_submit <socket> stats     (one-line live runtime snapshot)
-//   cedr_submit <socket> metrics   (JSON metrics snapshot)
-//   cedr_submit <socket> costs     (static vs learned cost tables, JSON)
-//   cedr_submit <socket> wait
-//   cedr_submit <socket> shutdown
+//   cedr_submit [--timeout SECONDS] <socket> submit <shared-object> [app-name]
+//   cedr_submit [--timeout SECONDS] <socket> submitdag <dag-json>
+//   cedr_submit [--timeout SECONDS] <socket> status
+//   cedr_submit [--timeout SECONDS] <socket> stats    (one-line live snapshot)
+//   cedr_submit [--timeout SECONDS] <socket> metrics  (JSON metrics snapshot)
+//   cedr_submit [--timeout SECONDS] <socket> costs    (cost tables, JSON)
+//   cedr_submit [--timeout SECONDS] <socket> wait
+//   cedr_submit [--timeout SECONDS] <socket> shutdown
+//
+// --timeout keeps retrying the initial connect with exponential backoff for
+// up to SECONDS, so scripts can start the daemon and submit concurrently
+// without an external sleep loop. Default: one attempt.
+//
+// exit codes: 0 success, 1 daemon/transport error, 2 usage,
+// 3 daemon saturated (BUSY back-pressure — retry after the hinted delay).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "cedr/ipc/ipc.h"
 
 using namespace cedr;
 
+namespace {
+
+constexpr int kExitBusy = 3;
+
+/// BUSY back-pressure gets its own exit code so retry loops can
+/// distinguish "come back later" from a hard failure.
+int failure_exit(const Status& s) {
+  return s.code() == StatusCode::kResourceExhausted ? kExitBusy : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  ipc::IpcClientConfig client_config;
+  std::vector<const char*> args;  // positional: socket, verb, operands
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeout" && i + 1 < argc) {
+      client_config.connect_timeout_s = std::strtod(argv[++i], nullptr);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) {
     std::fprintf(stderr,
-                 "usage: %s <socket> submit <so-path> [name] | submitdag <json> "
+                 "usage: %s [--timeout SECONDS] <socket> "
+                 "submit <so-path> [name] | submitdag <json> "
                  "| status | stats | metrics | costs | wait | shutdown\n",
                  argv[0]);
     return 2;
   }
-  ipc::IpcClient client(argv[1]);
-  const std::string verb = argv[2];
+  ipc::IpcClient client(args[0], client_config);
+  const std::string verb = args[1];
 
   if (verb == "submit") {
-    if (argc < 4) {
+    if (args.size() < 3) {
       std::fprintf(stderr, "submit requires a shared-object path\n");
       return 2;
     }
-    auto id = client.submit(argv[3], argc > 4 ? argv[4] : "");
+    auto id = client.submit(args[2], args.size() > 3 ? args[3] : "");
     if (!id.ok()) {
       std::fprintf(stderr, "submit failed: %s\n",
                    id.status().to_string().c_str());
-      return 1;
+      return failure_exit(id.status());
     }
     std::printf("submitted as instance %llu\n",
                 static_cast<unsigned long long>(*id));
     return 0;
   }
   if (verb == "submitdag") {
-    if (argc < 4) {
+    if (args.size() < 3) {
       std::fprintf(stderr, "submitdag requires a DAG JSON path\n");
       return 2;
     }
-    auto id = client.submit_dag(argv[3]);
+    auto id = client.submit_dag(args[2]);
     if (!id.ok()) {
       std::fprintf(stderr, "submitdag failed: %s\n",
                    id.status().to_string().c_str());
-      return 1;
+      return failure_exit(id.status());
     }
     std::printf("submitted DAG as instance %llu\n",
                 static_cast<unsigned long long>(*id));

@@ -16,12 +16,13 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${ROOT}/build-${SANITIZER}"
 
 # The concurrency-sensitive tier: threaded runtime, fault injection with
-# retry/quarantine, the 500-instance soak, cross-module properties, IPC,
+# retry/quarantine, the 500-instance soak, cross-module properties, IPC
+# (including the event-loop front-end hammered by pipelining clients),
 # the observability layer (lock-free span ring, sampler thread), the
 # online cost adaptation (concurrent observe + lock-free snapshot swap),
 # and the scheduling layer (sharded ready queue with per-shard locks).
 TARGETS=(test_runtime test_faults test_stress test_properties test_api
-         test_ipc test_obs test_adapt test_sched)
+         test_ipc test_ipc_concurrency test_obs test_adapt test_sched)
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCEDR_SANITIZE="${SANITIZER}" \
