@@ -1,0 +1,87 @@
+#pragma once
+// Golden metric bands: the regression contract of the scenario harness.
+//
+// A band file (tests/golden/<file-stem>.band.json) records, for every
+// scenario a .scn file expands to, an [lo, hi] interval per summary metric:
+//
+//   { "scenarios": { "<scenario name>": { "<metric>": [lo, hi], ... } } }
+//
+// `cedr_sweep --regenerate` derives the intervals from a fresh run with a
+// margin around each observed value:
+//
+//   lo = max(0, v - max(|v| * rel, abs)),  hi = v + max(|v| * rel, abs)
+//
+// so exact counters get a tight band and noisy quantiles a proportional
+// one. A later run fails the check when any metric leaves its interval,
+// when a banded scenario is missing from the run, or when the run produces
+// a scenario the band file has never seen — all reported per metric with
+// the offending scenario named (no "something changed" failures).
+//
+// Summaries contain only virtual-clock metrics, so on any host the same
+// scenario file produces the same summary and the bands act as exact
+// regression gates with slack reserved for intentional model retuning.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+
+namespace cedr::scenario {
+
+/// One scenario's metric summary: metric name -> value, sorted (so
+/// serialization and diffs are deterministic).
+using MetricSummary = std::map<std::string, double>;
+
+/// Band derivation margins (see the header comment for the formula).
+struct BandMargins {
+  double rel = 0.05;
+  double abs = 1e-6;
+};
+
+/// All bands of one band file: scenario name -> metric -> [lo, hi].
+struct BandFile {
+  std::map<std::string, std::map<std::string, std::pair<double, double>>>
+      scenarios;
+
+  [[nodiscard]] json::Value to_json() const;
+  static StatusOr<BandFile> from_json(const json::Value& value);
+  static StatusOr<BandFile> load(const std::string& path);
+  [[nodiscard]] Status save(const std::string& path) const;
+};
+
+/// Derives a band file from observed summaries.
+BandFile make_bands(const std::map<std::string, MetricSummary>& summaries,
+                    const BandMargins& margins);
+
+/// One out-of-band metric (or missing scenario/metric).
+struct BandViolation {
+  std::string scenario;
+  std::string metric;  ///< empty when the whole scenario is missing
+  double value = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  /// "out-of-band", "missing-scenario", "new-scenario", "missing-metric",
+  /// "new-metric".
+  std::string kind;
+
+  /// One-line human rendering naming the scenario and metric.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of diffing observed summaries against a band file.
+struct BandCheckResult {
+  std::vector<BandViolation> violations;
+  std::size_t metrics_checked = 0;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Diffs summaries against bands. Both directions are strict: banded
+/// scenarios/metrics absent from the run and run scenarios/metrics absent
+/// from the bands are violations, so stale golden files cannot pass.
+BandCheckResult check_bands(
+    const BandFile& bands,
+    const std::map<std::string, MetricSummary>& summaries);
+
+}  // namespace cedr::scenario

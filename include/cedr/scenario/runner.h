@@ -1,0 +1,81 @@
+#pragma once
+// Scenario execution: compile one parsed Scenario into a fully-seeded
+// emulation and reduce its trials to a MetricSummary.
+//
+// compile_scenario() materializes everything a run needs — platform preset,
+// app models (owned by the CompiledScenario so stream pointers stay valid),
+// workload streams with closed-loop service estimates, arrival spec, fault
+// plan, and the optionally perturbed cost table the scheduler consults
+// (sched_cost_scale) — without running anything. run_scenario() then
+// executes `trials` seeded emulations (trial t draws arrivals from
+// scenario.seed + t * 0x9e3779b9 + 1, matching workload::run_point) and
+// aggregates:
+//
+//   * means of the SimMetrics the figure benchmarks report, plus
+//   * p50/p95 of the virtual-clock queue-delay / service-time / sched-round
+//     histograms accumulated across all trials, plus
+//   * fault counters (when the scenario has a [faults] section) and adapt
+//     convergence counters (when [adapt] is enabled).
+//
+// Everything in the summary lives on the virtual clock, so identical
+// scenario files produce byte-identical summaries on any host and across
+// any sweep parallelism — the property the golden band gate
+// (scenario/band.h) and the determinism tests rely on.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cedr/adapt/online_estimator.h"
+#include "cedr/common/status.h"
+#include "cedr/scenario/band.h"
+#include "cedr/scenario/scenario.h"
+#include "cedr/sim/model.h"
+#include "cedr/sim/simulator.h"
+#include "cedr/workload/workload.h"
+
+namespace cedr::scenario {
+
+/// A Scenario lowered to runnable form. Self-contained: owns the app models
+/// the streams point into and the perturbed scheduler cost table (if any),
+/// so it can be moved to a worker thread and run there without touching the
+/// source Scenario.
+struct CompiledScenario {
+  std::string name;
+  std::uint64_t seed = 42;
+  std::size_t trials = 1;
+  sim::SimConfig config;
+  workload::ArrivalSpec arrival;
+  std::vector<workload::Stream> streams;
+  AdaptSettings adapt;
+
+  /// Owned storage backing `streams[i].app` and `config.sched_costs`.
+  std::shared_ptr<const std::vector<sim::SimApp>> apps;
+  std::shared_ptr<const platform::CostModel> sched_costs;
+};
+
+/// Lowers a validated Scenario. Fails on unknown presets/app kinds (also
+/// caught by Scenario::validate()).
+StatusOr<CompiledScenario> compile_scenario(const Scenario& scenario);
+
+/// One executed scenario: its summary plus the trial aggregate.
+struct ScenarioResult {
+  std::string name;
+  MetricSummary summary;
+  workload::TrialResult trials;
+};
+
+/// Runs all trials of a compiled scenario and reduces them to a summary.
+StatusOr<ScenarioResult> run_scenario(const CompiledScenario& compiled);
+
+/// Convenience: compile + run.
+StatusOr<ScenarioResult> run_scenario(const Scenario& scenario);
+
+/// Runs ONE extra traced emulation of trial 0 and writes its span stream as
+/// a Chrome trace-event JSON (virtual-clock timestamps, the repo's track
+/// conventions). Deterministic: identical scenarios produce byte-identical
+/// trace files.
+Status write_scenario_trace(const CompiledScenario& compiled,
+                            const std::string& path);
+
+}  // namespace cedr::scenario

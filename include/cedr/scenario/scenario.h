@@ -1,0 +1,147 @@
+#pragma once
+// The CEDR scenario-description language (docs/scenarios.md).
+//
+// A scenario file declares, in one small TOML-like document, everything a
+// seeded emulation needs: app mix, arrival process, platform preset,
+// scheduler, programming model, fault plan and adaptation settings — the
+// knobs that today's figure benchmarks hand-wire in C++. One file compiles
+// to a fully-seeded SimConfig + workload (scenario/runner.h) whose metric
+// summary is diffed against golden bands (scenario/band.h) by tools/
+// cedr_sweep, turning each paper figure into one scenario among hundreds.
+//
+// The grammar is a strict TOML subset, parsed line by line:
+//   * `key = value` pairs; values are quoted strings, integers, floats,
+//     booleans, or single-line lists `[v1, v2]` of those scalars.
+//   * `[section]` tables and `[[section]]` array-of-table entries; section
+//     names may be dotted (`[faults.pe.fft0]`).
+//   * `#` starts a comment (outside strings); blank lines are ignored.
+// Parsing is all-or-nothing: any malformed line, duplicate key/section or
+// unknown key yields a single-line `line N: ...` error and NO partial
+// configuration. to_text() emits the canonical full form; parse(to_text(s))
+// reproduces s exactly (the round-trip property tests/test_scenario.cpp
+// locks down).
+//
+// Seeding model: `seed` is the scenario's single entropy root. Trial t
+// draws its arrivals from seed + t * 0x9e3779b9 + 1 (the repo-wide trial
+// discipline), each workload stream derives its own independent RNG from
+// that trial seed (workload::stream_seed), and the fault plan carries its
+// own `faults.seed`. Identical files therefore produce bit-identical
+// metric summaries and exported traces.
+//
+// A `[sweep]` table turns one file into a scenario matrix: each key is a
+// swept parameter (see kSweepableKeys in scenario.cpp) and its list value
+// the axis; expand_sweep() emits the cross product, naming each point
+// `<name>/k1=v1,k2=v2` in the file's axis order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/platform/fault.h"
+
+namespace cedr::scenario {
+
+/// [platform]: preset name plus per-preset PE counts.
+struct PlatformSpec {
+  std::string preset = "zcu102";  ///< zcu102 | jetson | biglittle | host
+  std::size_t cpus = 3;
+  std::size_t ffts = 1;
+  std::size_t mmults = 0;
+  std::size_t gpus = 1;
+  std::size_t big = 2;
+  std::size_t little = 4;
+};
+
+/// One [[app]] entry: a stream of instances of one modeled application.
+struct AppSpec {
+  std::string kind;  ///< pulse_doppler | wifi_tx | lane_detection
+  std::size_t instances = 1;
+  double start_offset_s = 0.0;
+  /// Lane Detection transform-count divisor (1 = the paper's full 16384 +
+  /// 8192 instances); ignored by the other apps.
+  std::size_t scale = 4;
+  bool nonblocking = false;
+};
+
+/// [arrival]: the workload::ArrivalSpec in textual form.
+struct ArrivalSettings {
+  std::string process = "periodic";  ///< periodic | poisson | mmpp | closed
+  double rate_mbps = 200.0;
+  double jitter = 0.2;
+  double burst_ratio = 4.0;
+  double burst_fraction = 0.25;
+  double burst_cycle_s = 0.05;
+  double think_s = 0.01;
+  std::size_t clients = 4;
+};
+
+/// [adapt]: online cost-model adaptation settings (docs/adaptive_costs.md).
+struct AdaptSettings {
+  bool enabled = false;
+  double half_life = 64.0;
+  std::size_t min_samples = 8;
+  double outlier_threshold = 4.0;
+  std::size_t publish_interval = 16;
+};
+
+/// One [sweep] axis: a parameter key and its value list (canonical text).
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// One parsed scenario document.
+struct Scenario {
+  std::string name;
+  std::uint64_t seed = 42;
+  std::size_t trials = 1;
+  std::string scheduler = "EFT";
+  std::string model = "api";  ///< api | dag
+  double max_virtual_time_s = 3600.0;
+  /// Multiplies every coefficient of the cost table the *scheduler*
+  /// consults (ground-truth execution stays untouched) — the static
+  /// miscalibration knob of bench/micro_adapt, here one line in a file.
+  double sched_cost_scale = 1.0;
+  PlatformSpec platform;
+  ArrivalSettings arrival;
+  std::vector<AppSpec> apps;
+  bool has_faults = false;           ///< a [faults] section was present
+  platform::FaultPlan faults;        ///< meaningful when has_faults
+  AdaptSettings adapt;
+  std::vector<SweepAxis> sweep;
+
+  /// Canonical emission: every field, fixed order, round-trip exact.
+  [[nodiscard]] std::string to_text() const;
+  /// Semantic checks beyond grammar (known app kinds, positive counts...).
+  [[nodiscard]] Status validate() const;
+
+  friend bool operator==(const Scenario& a, const Scenario& b) {
+    return a.to_text() == b.to_text();
+  }
+};
+
+/// Parses one scenario document. Errors are single-line `line N: ...`
+/// messages; nothing is returned on failure (no partial config).
+StatusOr<Scenario> parse_scenario(std::string_view text);
+
+/// Reads and parses `path`; errors are prefixed with the path. A scenario
+/// with no `name` key takes the file's stem as its name.
+StatusOr<Scenario> load_scenario(const std::string& path);
+
+/// Sets one sweepable parameter from its canonical text value. Unknown or
+/// non-sweepable keys are errors (the supported list is in scenario.cpp and
+/// docs/scenarios.md).
+Status apply_override(Scenario& scenario, std::string_view key,
+                      std::string_view value);
+
+/// Expands the [sweep] cross product (axis order as written). The result
+/// scenarios carry derived names, cleared sweep tables, and are validated;
+/// a scenario without sweep axes expands to itself.
+StatusOr<std::vector<Scenario>> expand_sweep(const Scenario& scenario);
+
+/// Round-trip-exact double formatting (shortest %g that strtod's back).
+std::string format_double(double value);
+
+}  // namespace cedr::scenario

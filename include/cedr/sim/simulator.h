@@ -173,6 +173,16 @@ struct SimConfig {
   /// waits, in microseconds (docs/scheduling.md). Zero contention in the
   /// single-threaded emulator; wired so sim and runtime share plumbing.
   obs::QuantileHistogram* sched_lock_wait_us = nullptr;
+  /// Optional *virtual-clock* histograms (microseconds), the deterministic
+  /// counterparts of the runtime's queue_delay_us / service_time_us /
+  /// sched_decision_us metrics: ready->dispatch wait, dispatch->completion
+  /// service, and the modeled per-round decision cost (sched_fixed +
+  /// comparisons * per_comparison). Identical inputs fill them identically,
+  /// which is what lets the scenario harness (docs/scenarios.md) diff their
+  /// quantiles against golden metric bands.
+  obs::QuantileHistogram* queue_delay_us = nullptr;
+  obs::QuantileHistogram* service_time_us = nullptr;
+  obs::QuantileHistogram* sched_round_us = nullptr;
 };
 
 /// Runs one emulation over the given arrival sequence (need not be sorted).

@@ -8,8 +8,27 @@
 // workload." Instances of each application arrive periodically with period
 // frame_mbits / rate; trials jitter the phase of each stream and results
 // are averaged per the paper's 25-trial procedure.
+//
+// Beyond the paper's periodic process, the scenario harness
+// (docs/scenarios.md) needs arrival shapes that stress schedulers
+// differently: open-loop Poisson, bursty MMPP (Markov-modulated Poisson —
+// the C-DAG observation that burstiness, not just mean rate, dominates
+// scheduler behavior on heterogeneous PEs), and a closed-loop think-time
+// population. All four are exposed uniformly through ArrivalSpec +
+// generate_arrivals.
+//
+// Seeding model: every generator derives ONE INDEPENDENT RNG PER STREAM,
+//     stream_seed(seed, k) = seed + (k + 1) * 0x9e3779b97f4a7c15
+// (Rng's splitmix64 expansion decorrelates the additive seeds), so stream
+// k's arrival times depend only on (seed, k, its own parameters). Appending
+// a stream to a workload never perturbs the arrivals of the streams already
+// present, and run_point's trial t uses seed_base + t * 0x9e3779b9 + 1 as
+// `seed`, giving every (trial, stream) pair its own reproducible draw
+// sequence.
 
+#include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "cedr/common/rng.h"
@@ -19,20 +38,79 @@
 
 namespace cedr::workload {
 
-/// One periodic application stream within a workload.
+/// One application stream within a workload.
 struct Stream {
   const sim::SimApp* app = nullptr;
   std::size_t instances = 5;  ///< the paper uses 5 instances of PD and TX
   double start_offset_s = 0.0;
+  /// Closed-loop only: estimated service time of one instance, the busy half
+  /// of a client's submit -> complete -> think cycle. The scenario compiler
+  /// fills it from the app model's HEFT rank; 0 degenerates to pure
+  /// think-time pacing.
+  double service_estimate_s = 0.0;
 };
 
-/// Builds the arrival sequence for `streams` at `rate_mbps`: instance i of
-/// a stream arrives at start_offset + i * (frame_mbits / rate). `jitter`
-/// (fraction of the period, uniform in [0, jitter)) staggers instances the
-/// way asynchronous submission does on hardware; rng drives it.
+/// The arrival process shaping one workload.
+enum class ArrivalProcess {
+  kPeriodic,    ///< the paper's jittered periodic grid
+  kPoisson,     ///< open-loop Poisson at the same mean rate
+  kMmpp,        ///< 2-state Markov-modulated Poisson (bursty)
+  kClosedLoop,  ///< fixed client population with exponential think times
+};
+
+/// Stable name ("periodic", "poisson", "mmpp", "closed").
+std::string_view arrival_process_name(ArrivalProcess process) noexcept;
+StatusOr<ArrivalProcess> arrival_process_from_name(std::string_view name);
+
+/// Full description of an arrival process. Fields beyond `rate_mbps` apply
+/// only to the processes that read them (see each comment).
+struct ArrivalSpec {
+  ArrivalProcess process = ArrivalProcess::kPeriodic;
+  /// Injection rate; a stream's mean inter-arrival is frame_mbits / rate.
+  double rate_mbps = 200.0;
+  /// kPeriodic: uniform phase jitter as a fraction of the period, in
+  /// [0, jitter * period).
+  double jitter = 0.2;
+  /// kMmpp: burst-state rate multiplier relative to the quiet state
+  /// (> 1; the long-run mean rate is held at rate_mbps).
+  double burst_ratio = 4.0;
+  /// kMmpp: long-run fraction of time spent in the burst state, in (0, 1).
+  double burst_fraction = 0.25;
+  /// kMmpp: mean quiet+burst modulation cycle in seconds (exponential
+  /// dwells of burst_fraction * cycle and (1 - burst_fraction) * cycle).
+  double burst_cycle_s = 0.05;
+  /// kClosedLoop: mean exponential think time between a client's completion
+  /// estimate and its next submission.
+  double think_s = 10e-3;
+  /// kClosedLoop: clients cycling per stream; instance i belongs to client
+  /// i mod clients.
+  std::size_t clients = 4;
+
+  [[nodiscard]] Status validate() const;
+};
+
+/// RNG seed of stream index `k` under a base seed (see the header comment
+/// for the derivation contract).
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t seed,
+                                                  std::size_t k) noexcept {
+  return seed + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(k) + 1);
+}
+
+/// Builds the paper's arrival sequence for `streams` at `rate_mbps`:
+/// instance i of a stream arrives at start_offset + i * (frame_mbits /
+/// rate), plus a uniform [0, jitter * period) phase draw from that stream's
+/// derived RNG (stream_seed above) — the way asynchronous submission
+/// staggers arrivals on hardware.
 std::vector<sim::Arrival> make_arrivals(std::span<const Stream> streams,
                                         double rate_mbps, double jitter,
-                                        Rng& rng);
+                                        std::uint64_t seed);
+
+/// Builds the arrival sequence for any ArrivalSpec. Validates the spec;
+/// the returned sequence is sorted by time and deterministic in
+/// (streams, spec, seed).
+StatusOr<std::vector<sim::Arrival>> generate_arrivals(
+    std::span<const Stream> streams, const ArrivalSpec& spec,
+    std::uint64_t seed);
 
 /// The paper's 29-point injection-rate grid, 10..2000 Mbps (log-spaced).
 std::vector<double> injection_rate_sweep();
@@ -46,7 +124,8 @@ struct TrialResult {
 };
 
 /// Runs `trials` seeded emulations of the workload at one rate and averages
-/// the metrics (the paper averages 25 trials per point).
+/// the metrics (the paper averages 25 trials per point). Trial t draws its
+/// arrivals from seed_base + t * 0x9e3779b9 + 1.
 StatusOr<TrialResult> run_point(const sim::SimConfig& config,
                                 std::span<const Stream> streams,
                                 double rate_mbps, std::size_t trials,

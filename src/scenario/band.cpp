@@ -1,0 +1,150 @@
+#include "cedr/scenario/band.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cedr/scenario/scenario.h"
+
+namespace cedr::scenario {
+
+json::Value BandFile::to_json() const {
+  json::Object scenarios_obj;
+  for (const auto& [name, metrics] : scenarios) {
+    json::Object metrics_obj;
+    for (const auto& [metric, band] : metrics) {
+      metrics_obj[metric] = json::Array{band.first, band.second};
+    }
+    scenarios_obj[name] = json::Value(std::move(metrics_obj));
+  }
+  json::Object root;
+  root["scenarios"] = json::Value(std::move(scenarios_obj));
+  return json::Value(std::move(root));
+}
+
+StatusOr<BandFile> BandFile::from_json(const json::Value& value) {
+  if (!value.is_object()) return InvalidArgument("band file must be an object");
+  const json::Value* scenarios = value.find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_object()) {
+    return InvalidArgument("band file is missing the 'scenarios' object");
+  }
+  BandFile out;
+  for (const auto& [name, metrics] : scenarios->as_object()) {
+    if (!metrics.is_object()) {
+      return InvalidArgument("bands for scenario '" + name +
+                             "' must be an object");
+    }
+    auto& entry = out.scenarios[name];
+    for (const auto& [metric, band] : metrics.as_object()) {
+      if (!band.is_array() || band.as_array().size() != 2 ||
+          !band.as_array()[0].is_number() || !band.as_array()[1].is_number()) {
+        return InvalidArgument("band '" + name + "'.'" + metric +
+                               "' must be a [lo, hi] number pair");
+      }
+      const double lo = band.as_array()[0].as_double();
+      const double hi = band.as_array()[1].as_double();
+      if (!(lo <= hi)) {
+        return InvalidArgument("band '" + name + "'.'" + metric +
+                               "' has lo > hi");
+      }
+      entry[metric] = {lo, hi};
+    }
+  }
+  return out;
+}
+
+StatusOr<BandFile> BandFile::load(const std::string& path) {
+  auto value = json::parse_file(path);
+  if (!value.ok()) return value.status();
+  auto bands = from_json(*value);
+  if (!bands.ok()) {
+    return Status(bands.status().code(),
+                  path + ": " + bands.status().message());
+  }
+  return bands;
+}
+
+Status BandFile::save(const std::string& path) const {
+  return json::write_file(path, to_json());
+}
+
+BandFile make_bands(const std::map<std::string, MetricSummary>& summaries,
+                    const BandMargins& margins) {
+  BandFile bands;
+  for (const auto& [name, metrics] : summaries) {
+    auto& entry = bands.scenarios[name];
+    for (const auto& [metric, value] : metrics) {
+      const double slack =
+          std::max(std::abs(value) * margins.rel, margins.abs);
+      entry[metric] = {std::max(0.0, value - slack), value + slack};
+    }
+  }
+  return bands;
+}
+
+std::string BandViolation::to_string() const {
+  if (kind == "missing-scenario") {
+    return "FAIL " + scenario + ": banded scenario missing from this run";
+  }
+  if (kind == "new-scenario") {
+    return "FAIL " + scenario + ": scenario has no golden band (regenerate?)";
+  }
+  if (kind == "missing-metric") {
+    return "FAIL " + scenario + " " + metric +
+           ": banded metric missing from this run";
+  }
+  if (kind == "new-metric") {
+    return "FAIL " + scenario + " " + metric +
+           ": metric has no golden band (regenerate?)";
+  }
+  return "FAIL " + scenario + " " + metric + ": " + format_double(value) +
+         " outside [" + format_double(lo) + ", " + format_double(hi) + "]";
+}
+
+BandCheckResult check_bands(
+    const BandFile& bands,
+    const std::map<std::string, MetricSummary>& summaries) {
+  BandCheckResult result;
+  for (const auto& [name, metrics] : bands.scenarios) {
+    const auto run = summaries.find(name);
+    if (run == summaries.end()) {
+      result.violations.push_back({name, "", 0.0, 0.0, 0.0,
+                                   "missing-scenario"});
+      continue;
+    }
+    for (const auto& [metric, band] : metrics) {
+      const auto observed = run->second.find(metric);
+      if (observed == run->second.end()) {
+        result.violations.push_back({name, metric, 0.0, band.first,
+                                     band.second, "missing-metric"});
+        continue;
+      }
+      ++result.metrics_checked;
+      const double v = observed->second;
+      if (v < band.first || v > band.second || std::isnan(v)) {
+        result.violations.push_back({name, metric, v, band.first, band.second,
+                                     "out-of-band"});
+      }
+    }
+    for (const auto& [metric, value] : run->second) {
+      if (metrics.count(metric) == 0) {
+        result.violations.push_back({name, metric, value, 0.0, 0.0,
+                                     "new-metric"});
+      }
+    }
+  }
+  for (const auto& [name, metrics] : summaries) {
+    if (bands.scenarios.count(name) == 0) {
+      result.violations.push_back({name, "", 0.0, 0.0, 0.0, "new-scenario"});
+    }
+  }
+  std::stable_sort(result.violations.begin(), result.violations.end(),
+                   [](const BandViolation& a, const BandViolation& b) {
+                     if (a.scenario != b.scenario) {
+                       return a.scenario < b.scenario;
+                     }
+                     return a.metric < b.metric;
+                   });
+  return result;
+}
+
+}  // namespace cedr::scenario

@@ -1,0 +1,276 @@
+#include "cedr/scenario/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cedr/common/math_util.h"
+#include "cedr/obs/chrome_trace.h"
+#include "cedr/obs/metrics.h"
+#include "cedr/obs/span.h"
+#include "cedr/platform/platform.h"
+
+namespace cedr::scenario {
+namespace {
+
+/// Returns a copy of `costs` with every (kernel, class) polynomial scaled by
+/// `scale`. Transfer coefficients stay unscaled: the miscalibration knob
+/// models wrong *profiling tables*, and data-movement costs come from the
+/// interconnect, not the profiles.
+platform::CostModel scaled_costs(const platform::CostModel& costs,
+                                 double scale) {
+  platform::CostModel out = costs;
+  for (std::size_t k = 0; k < platform::kNumKernelIds; ++k) {
+    for (std::size_t c = 0; c < platform::kNumPeClasses; ++c) {
+      const auto kernel = static_cast<platform::KernelId>(k);
+      const auto cls = static_cast<platform::PeClass>(c);
+      platform::KernelCost cost = costs.get(kernel, cls);
+      cost.fixed_s *= scale;
+      cost.per_point_s *= scale;
+      cost.per_nlogn_s *= scale;
+      out.set(kernel, cls, cost);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<CompiledScenario> compile_scenario(const Scenario& scenario) {
+  CEDR_RETURN_IF_ERROR(scenario.validate());
+  if (!scenario.sweep.empty()) {
+    return InvalidArgument("scenario '" + scenario.name +
+                           "' still carries sweep axes; expand_sweep first");
+  }
+
+  CompiledScenario compiled;
+  compiled.name = scenario.name;
+  compiled.seed = scenario.seed;
+  compiled.trials = scenario.trials;
+  compiled.adapt = scenario.adapt;
+
+  const PlatformSpec& p = scenario.platform;
+  if (p.preset == "zcu102") {
+    compiled.config.platform = platform::zcu102(p.cpus, p.ffts, p.mmults);
+  } else if (p.preset == "jetson") {
+    compiled.config.platform = platform::jetson(p.cpus, p.gpus);
+  } else if (p.preset == "biglittle") {
+    compiled.config.platform = platform::biglittle(p.big, p.little, p.ffts);
+  } else if (p.preset == "host") {
+    compiled.config.platform = platform::host(p.cpus, p.ffts, p.mmults);
+  } else {
+    return InvalidArgument("unknown platform preset '" + p.preset + "'");
+  }
+  compiled.config.scheduler = scenario.scheduler;
+  compiled.config.model = scenario.model == "dag"
+                              ? sim::ProgrammingModel::kDagBased
+                              : sim::ProgrammingModel::kApiBased;
+  compiled.config.max_virtual_time_s = scenario.max_virtual_time_s;
+  if (scenario.has_faults) compiled.config.faults = scenario.faults;
+
+  auto process = workload::arrival_process_from_name(scenario.arrival.process);
+  if (!process.ok()) return process.status();
+  compiled.arrival.process = *process;
+  compiled.arrival.rate_mbps = scenario.arrival.rate_mbps;
+  compiled.arrival.jitter = scenario.arrival.jitter;
+  compiled.arrival.burst_ratio = scenario.arrival.burst_ratio;
+  compiled.arrival.burst_fraction = scenario.arrival.burst_fraction;
+  compiled.arrival.burst_cycle_s = scenario.arrival.burst_cycle_s;
+  compiled.arrival.think_s = scenario.arrival.think_s;
+  compiled.arrival.clients = scenario.arrival.clients;
+  CEDR_RETURN_IF_ERROR(compiled.arrival.validate());
+
+  std::vector<sim::SimApp> apps;
+  apps.reserve(scenario.apps.size());
+  for (const AppSpec& spec : scenario.apps) {
+    if (spec.kind == "pulse_doppler") {
+      apps.push_back(sim::make_pulse_doppler_model(spec.nonblocking));
+    } else if (spec.kind == "wifi_tx") {
+      apps.push_back(sim::make_wifi_tx_model(spec.nonblocking));
+    } else if (spec.kind == "lane_detection") {
+      apps.push_back(
+          sim::make_lane_detection_model(spec.scale, spec.nonblocking));
+    } else {
+      return InvalidArgument("unknown app kind '" + spec.kind + "'");
+    }
+  }
+  compiled.apps =
+      std::make_shared<const std::vector<sim::SimApp>>(std::move(apps));
+  for (std::size_t i = 0; i < scenario.apps.size(); ++i) {
+    workload::Stream stream;
+    stream.app = &(*compiled.apps)[i];
+    stream.instances = scenario.apps[i].instances;
+    stream.start_offset_s = scenario.apps[i].start_offset_s;
+    const std::vector<double> ranks =
+        stream.app->segment_ranks(compiled.config.platform);
+    stream.service_estimate_s = ranks.empty() ? 0.0 : ranks.front();
+    compiled.streams.push_back(stream);
+  }
+
+  if (scenario.sched_cost_scale != 1.0) {
+    compiled.sched_costs = std::make_shared<const platform::CostModel>(
+        scaled_costs(compiled.config.platform.costs,
+                     scenario.sched_cost_scale));
+    compiled.config.sched_costs = compiled.sched_costs.get();
+  }
+  return compiled;
+}
+
+StatusOr<ScenarioResult> run_scenario(const CompiledScenario& compiled) {
+  sim::SimConfig config = compiled.config;
+
+  std::unique_ptr<adapt::OnlineCostEstimator> estimator;
+  if (compiled.adapt.enabled) {
+    adapt::AdaptConfig adapt_config;
+    adapt_config.enabled = true;
+    adapt_config.half_life = compiled.adapt.half_life;
+    adapt_config.min_samples = compiled.adapt.min_samples;
+    adapt_config.outlier_threshold = compiled.adapt.outlier_threshold;
+    adapt_config.publish_interval = compiled.adapt.publish_interval;
+    // The estimator warms up from the *scheduler's* (possibly
+    // mis-calibrated) view, the table adaptation exists to correct.
+    estimator = std::make_unique<adapt::OnlineCostEstimator>(
+        adapt_config, config.sched_costs != nullptr
+                          ? *config.sched_costs
+                          : config.platform.costs);
+    config.adapt = estimator.get();
+  }
+
+  obs::QuantileHistogram queue_delay;
+  obs::QuantileHistogram service_time;
+  obs::QuantileHistogram sched_round;
+  config.queue_delay_us = &queue_delay;
+  config.service_time_us = &service_time;
+  config.sched_round_us = &sched_round;
+
+  double apps = 0, tasks = 0, rounds = 0, max_ready = 0, comparisons = 0;
+  double makespan = 0, exec = 0, sched = 0, sched_total = 0, rtov = 0,
+         rtov_per_app = 0;
+  double faults_injected = 0, tasks_retried = 0, pes_quarantined = 0,
+         pes_reinstated = 0, tasks_lost = 0;
+  std::vector<double> exec_times;
+  exec_times.reserve(compiled.trials);
+
+  for (std::size_t trial = 0; trial < compiled.trials; ++trial) {
+    const std::uint64_t seed =
+        compiled.seed + trial * 0x9e3779b9ull + 1;  // repo trial discipline
+    auto arrivals =
+        workload::generate_arrivals(compiled.streams, compiled.arrival, seed);
+    if (!arrivals.ok()) return arrivals.status();
+    auto metrics = sim::simulate(config, *arrivals);
+    if (!metrics.ok()) return metrics.status();
+    const sim::SimMetrics& m = *metrics;
+    apps += static_cast<double>(m.apps);
+    tasks += static_cast<double>(m.tasks_executed);
+    rounds += static_cast<double>(m.sched_rounds);
+    max_ready += static_cast<double>(m.max_ready_queue);
+    comparisons += static_cast<double>(m.total_comparisons);
+    makespan += m.makespan;
+    exec += m.avg_execution_time;
+    sched += m.avg_sched_overhead;
+    sched_total += m.total_sched_time;
+    rtov += m.runtime_overhead;
+    rtov_per_app += m.runtime_overhead_per_app;
+    faults_injected += static_cast<double>(m.faults_injected);
+    tasks_retried += static_cast<double>(m.tasks_retried);
+    pes_quarantined += static_cast<double>(m.pes_quarantined);
+    pes_reinstated += static_cast<double>(m.pes_reinstated);
+    tasks_lost += static_cast<double>(m.tasks_lost);
+    exec_times.push_back(m.avg_execution_time);
+  }
+  const double n = static_cast<double>(compiled.trials);
+
+  ScenarioResult result;
+  result.name = compiled.name;
+  result.trials.rate_mbps = compiled.arrival.rate_mbps;
+  result.trials.trials = compiled.trials;
+  result.trials.exec_time_stddev = stddev(exec_times);
+  sim::SimMetrics& mean = result.trials.mean;
+  mean.apps = static_cast<std::size_t>(apps / n);
+  mean.tasks_executed = static_cast<std::size_t>(tasks / n);
+  mean.sched_rounds = static_cast<std::size_t>(rounds / n);
+  mean.max_ready_queue = static_cast<std::size_t>(max_ready / n);
+  mean.total_comparisons = static_cast<std::uint64_t>(comparisons / n);
+  mean.makespan = makespan / n;
+  mean.avg_execution_time = exec / n;
+  mean.avg_sched_overhead = sched / n;
+  mean.total_sched_time = sched_total / n;
+  mean.runtime_overhead = rtov / n;
+  mean.runtime_overhead_per_app = rtov_per_app / n;
+  mean.faults_injected = static_cast<std::size_t>(faults_injected / n);
+  mean.tasks_retried = static_cast<std::size_t>(tasks_retried / n);
+  mean.pes_quarantined = static_cast<std::size_t>(pes_quarantined / n);
+  mean.pes_reinstated = static_cast<std::size_t>(pes_reinstated / n);
+  mean.tasks_lost = static_cast<std::size_t>(tasks_lost / n);
+
+  MetricSummary& s = result.summary;
+  s["makespan_ms"] = makespan / n * 1e3;
+  s["exec_ms"] = exec / n * 1e3;
+  s["exec_stddev_ms"] = result.trials.exec_time_stddev * 1e3;
+  s["sched_ms"] = sched / n * 1e3;
+  s["rtov_ms"] = rtov_per_app / n * 1e3;
+  s["tasks"] = tasks / n;
+  s["rounds"] = rounds / n;
+  s["comparisons"] = comparisons / n;
+  s["max_ready"] = max_ready / n;
+  s["queue_delay_p50_us"] = queue_delay.quantile(0.50);
+  s["queue_delay_p95_us"] = queue_delay.quantile(0.95);
+  s["service_p50_us"] = service_time.quantile(0.50);
+  s["service_p95_us"] = service_time.quantile(0.95);
+  s["sched_round_p50_us"] = sched_round.quantile(0.50);
+  s["sched_round_p95_us"] = sched_round.quantile(0.95);
+  if (!compiled.config.faults.empty()) {
+    s["faults_injected"] = faults_injected / n;
+    s["tasks_retried"] = tasks_retried / n;
+    s["pes_quarantined"] = pes_quarantined / n;
+    s["pes_reinstated"] = pes_reinstated / n;
+    s["tasks_lost"] = tasks_lost / n;
+  }
+  if (estimator != nullptr) {
+    s["adapt_observations"] =
+        static_cast<double>(estimator->observations());
+    s["adapt_publishes"] = static_cast<double>(estimator->publishes());
+    s["adapt_rel_error"] = estimator->mean_rel_error();
+  }
+  return result;
+}
+
+StatusOr<ScenarioResult> run_scenario(const Scenario& scenario) {
+  auto compiled = compile_scenario(scenario);
+  if (!compiled.ok()) return compiled.status();
+  return run_scenario(*compiled);
+}
+
+Status write_scenario_trace(const CompiledScenario& compiled,
+                            const std::string& path) {
+  obs::SpanTracer tracer;
+  sim::SimConfig config = compiled.config;
+  config.tracer = &tracer;
+  auto arrivals = workload::generate_arrivals(compiled.streams,
+                                              compiled.arrival,
+                                              compiled.seed + 1);
+  if (!arrivals.ok()) return arrivals.status();
+  auto metrics = sim::simulate(config, *arrivals);
+  if (!metrics.ok()) return metrics.status();
+
+  // Track names mirror the engine's instance numbering (arrival order,
+  // stable-sorted by time) — same convention as tools/cedr_sim.cpp.
+  std::vector<sim::Arrival> sorted = *std::move(arrivals);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const sim::Arrival& a, const sim::Arrival& b) {
+                     return a.time < b.time;
+                   });
+  std::vector<obs::TrackName> tracks;
+  tracks.push_back(
+      {0, 0, true, "cedr scenario " + compiled.name});
+  tracks.push_back({0, 0, false, "main loop"});
+  for (std::size_t i = 0; i < config.platform.pes.size(); ++i) {
+    tracks.push_back({0, 1 + i, false, config.platform.pes[i].name});
+  }
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    tracks.push_back(
+        {1 + i, 0, true, sorted[i].app->name + " #" + std::to_string(i)});
+  }
+  return obs::write_chrome_trace(path, tracer.snapshot(), tracks);
+}
+
+}  // namespace cedr::scenario

@@ -1,0 +1,951 @@
+#include "cedr/scenario/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "cedr/workload/workload.h"
+
+namespace cedr::scenario {
+namespace {
+
+// ---- raw document model --------------------------------------------------
+
+/// One scalar or single-line list value, with its source line for errors.
+struct ScnValue {
+  enum class Kind { kString, kInt, kDouble, kBool, kList };
+  Kind kind = Kind::kString;
+  std::string str;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  std::vector<ScnValue> list;
+  int line = 0;
+
+  /// Canonical text form (strings unquoted — sweep axis values).
+  [[nodiscard]] std::string text() const {
+    switch (kind) {
+      case Kind::kString: return str;
+      case Kind::kInt: return std::to_string(i);
+      case Kind::kDouble: return format_double(d);
+      case Kind::kBool: return b ? "true" : "false";
+      case Kind::kList: return "<list>";
+    }
+    return {};
+  }
+};
+
+struct ScnTable {
+  std::map<std::string, ScnValue> entries;
+  int line = 0;
+};
+
+struct ScnDoc {
+  ScnTable root;
+  std::map<std::string, ScnTable> tables;
+  std::map<std::string, std::vector<ScnTable>> arrays;
+  /// Section order as written (for [sweep] axis order... tables is sorted,
+  /// so remember insertion order of keys needing it).
+  std::vector<std::string> sweep_key_order;
+};
+
+Status err_at(int line, const std::string& message) {
+  return InvalidArgument("line " + std::to_string(line) + ": " + message);
+}
+
+bool is_bare_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-' || c == '.';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strips a trailing `#` comment, honoring double-quoted strings.
+std::string_view strip_comment(std::string_view line) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // escaped char never ends the string
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '#') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+/// Parses one scalar token (no lists). `token` must be fully consumed.
+StatusOr<ScnValue> parse_scalar(std::string_view token, int line) {
+  ScnValue v;
+  v.line = line;
+  if (token.empty()) return err_at(line, "missing value");
+  if (token.front() == '"') {
+    if (token.size() < 2 || token.back() != '"') {
+      return err_at(line, "unterminated string");
+    }
+    v.kind = ScnValue::Kind::kString;
+    const std::string_view body = token.substr(1, token.size() - 2);
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      const char c = body[i];
+      if (c == '"') return err_at(line, "stray '\"' inside string");
+      if (c != '\\') {
+        v.str.push_back(c);
+        continue;
+      }
+      if (++i >= body.size()) return err_at(line, "dangling escape in string");
+      switch (body[i]) {
+        case '"': v.str.push_back('"'); break;
+        case '\\': v.str.push_back('\\'); break;
+        case 'n': v.str.push_back('\n'); break;
+        case 't': v.str.push_back('\t'); break;
+        default:
+          return err_at(line, std::string("unknown escape '\\") + body[i] +
+                                  "' in string");
+      }
+    }
+    return v;
+  }
+  if (token == "true" || token == "false") {
+    v.kind = ScnValue::Kind::kBool;
+    v.b = token == "true";
+    return v;
+  }
+  // Integer: optional sign then digits only.
+  bool integral = !token.empty();
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (i == 0 && (c == '+' || c == '-')) continue;
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      integral = false;
+      break;
+    }
+  }
+  if (integral && token != "+" && token != "-") {
+    errno = 0;
+    char* end = nullptr;
+    const std::string owned(token);
+    const long long parsed = std::strtoll(owned.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return err_at(line, "integer out of range: " + owned);
+    }
+    v.kind = ScnValue::Kind::kInt;
+    v.i = parsed;
+    return v;
+  }
+  // Float.
+  {
+    char* end = nullptr;
+    const std::string owned(token);
+    const double parsed = std::strtod(owned.c_str(), &end);
+    if (end != nullptr && *end == '\0' && end != owned.c_str()) {
+      v.kind = ScnValue::Kind::kDouble;
+      v.d = parsed;
+      return v;
+    }
+  }
+  return err_at(line, "unrecognized value '" + std::string(token) +
+                          "' (strings must be quoted)");
+}
+
+/// Splits a single-line list body `a, b, c` at top-level commas.
+StatusOr<ScnValue> parse_value(std::string_view token, int line) {
+  if (!token.empty() && token.front() == '[') {
+    if (token.back() != ']') {
+      return err_at(line, "unterminated list (lists are single-line)");
+    }
+    ScnValue v;
+    v.kind = ScnValue::Kind::kList;
+    v.line = line;
+    std::string_view body = trim(token.substr(1, token.size() - 2));
+    if (body.empty()) return v;
+    std::size_t start = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i <= body.size(); ++i) {
+      const bool at_end = i == body.size();
+      const char c = at_end ? ',' : body[i];
+      if (!at_end && in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+        continue;
+      }
+      if (!at_end && c == '"') {
+        in_string = true;
+        continue;
+      }
+      if (c == ',') {
+        auto item = parse_scalar(trim(body.substr(start, i - start)), line);
+        if (!item.ok()) return item.status();
+        if (item->kind == ScnValue::Kind::kList) {
+          return err_at(line, "nested lists are not supported");
+        }
+        v.list.push_back(*std::move(item));
+        start = i + 1;
+      }
+    }
+    if (in_string) return err_at(line, "unterminated string in list");
+    return v;
+  }
+  return parse_scalar(token, line);
+}
+
+StatusOr<ScnDoc> parse_doc(std::string_view text) {
+  ScnDoc doc;
+  ScnTable* current = &doc.root;
+  std::string current_name;  // "" = root
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
+    const std::string_view line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      const bool is_array = line.size() >= 2 && line[1] == '[';
+      const std::string_view closer = is_array ? "]]" : "]";
+      const std::size_t open = is_array ? 2 : 1;
+      if (line.size() < open + closer.size() ||
+          line.substr(line.size() - closer.size()) != closer) {
+        return err_at(line_no, "malformed section header");
+      }
+      const std::string_view name =
+          trim(line.substr(open, line.size() - open - closer.size()));
+      if (name.empty()) return err_at(line_no, "empty section name");
+      for (const char c : name) {
+        if (!is_bare_key_char(c)) {
+          return err_at(line_no, "invalid character in section name '" +
+                                     std::string(name) + "'");
+        }
+      }
+      const std::string key(name);
+      if (is_array) {
+        if (doc.tables.count(key) != 0) {
+          return err_at(line_no, "section [[" + key +
+                                     "]] conflicts with earlier [" + key + "]");
+        }
+        doc.arrays[key].push_back(ScnTable{{}, line_no});
+        current = &doc.arrays[key].back();
+      } else {
+        if (doc.arrays.count(key) != 0) {
+          return err_at(line_no, "section [" + key +
+                                     "] conflicts with earlier [[" + key +
+                                     "]]");
+        }
+        if (doc.tables.count(key) != 0) {
+          return err_at(line_no, "duplicate section [" + key + "]");
+        }
+        doc.tables.emplace(key, ScnTable{{}, line_no});
+        current = &doc.tables[key];
+      }
+      current_name = key;
+      continue;
+    }
+
+    const std::size_t eq = [&] {
+      bool in_string = false;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_string) {
+          if (c == '\\') ++i;
+          else if (c == '"') in_string = false;
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == '=') {
+          return i;
+        }
+      }
+      return std::string_view::npos;
+    }();
+    if (eq == std::string_view::npos) {
+      return err_at(line_no, "expected 'key = value' or a [section] header");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    if (key.empty()) return err_at(line_no, "missing key before '='");
+    for (const char c : key) {
+      if (!is_bare_key_char(c)) {
+        return err_at(line_no,
+                      "invalid character in key '" + std::string(key) + "'");
+      }
+    }
+    auto value = parse_value(trim(line.substr(eq + 1)), line_no);
+    if (!value.ok()) return value.status();
+    const std::string key_owned(key);
+    if (current->entries.count(key_owned) != 0) {
+      return err_at(line_no, "duplicate key '" + key_owned + "'" +
+                                 (current_name.empty()
+                                      ? std::string()
+                                      : " in [" + current_name + "]"));
+    }
+    if (current_name == "sweep") doc.sweep_key_order.push_back(key_owned);
+    current->entries.emplace(key_owned, *std::move(value));
+  }
+  return doc;
+}
+
+// ---- strict field mapping ------------------------------------------------
+
+/// Rejects keys outside `allowed` with a single-line error naming the
+/// section — malformed configs fail loudly instead of half-applying.
+Status check_keys(const ScnTable& table, const std::string& section,
+                  std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : table.entries) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      return err_at(value.line, "unknown key '" + key + "'" +
+                                    (section.empty() ? std::string()
+                                                     : " in [" + section + "]"));
+    }
+  }
+  return Status::Ok();
+}
+
+const ScnValue* find(const ScnTable& table, std::string_view key) {
+  const auto it = table.entries.find(std::string(key));
+  return it == table.entries.end() ? nullptr : &it->second;
+}
+
+Status read_string(const ScnTable& t, std::string_view key, std::string* out) {
+  const ScnValue* v = find(t, key);
+  if (v == nullptr) return Status::Ok();
+  if (v->kind != ScnValue::Kind::kString) {
+    return err_at(v->line, "'" + std::string(key) + "' must be a string");
+  }
+  *out = v->str;
+  return Status::Ok();
+}
+
+Status read_double(const ScnTable& t, std::string_view key, double* out) {
+  const ScnValue* v = find(t, key);
+  if (v == nullptr) return Status::Ok();
+  if (v->kind == ScnValue::Kind::kDouble) *out = v->d;
+  else if (v->kind == ScnValue::Kind::kInt) *out = static_cast<double>(v->i);
+  else return err_at(v->line, "'" + std::string(key) + "' must be a number");
+  return Status::Ok();
+}
+
+Status read_size(const ScnTable& t, std::string_view key, std::size_t* out) {
+  const ScnValue* v = find(t, key);
+  if (v == nullptr) return Status::Ok();
+  if (v->kind != ScnValue::Kind::kInt || v->i < 0) {
+    return err_at(v->line,
+                  "'" + std::string(key) + "' must be a non-negative integer");
+  }
+  *out = static_cast<std::size_t>(v->i);
+  return Status::Ok();
+}
+
+Status read_u32(const ScnTable& t, std::string_view key, std::uint32_t* out) {
+  std::size_t wide = *out;
+  CEDR_RETURN_IF_ERROR(read_size(t, key, &wide));
+  *out = static_cast<std::uint32_t>(wide);
+  return Status::Ok();
+}
+
+Status read_u64(const ScnTable& t, std::string_view key, std::uint64_t* out) {
+  const ScnValue* v = find(t, key);
+  if (v == nullptr) return Status::Ok();
+  if (v->kind != ScnValue::Kind::kInt || v->i < 0) {
+    return err_at(v->line,
+                  "'" + std::string(key) + "' must be a non-negative integer");
+  }
+  *out = static_cast<std::uint64_t>(v->i);
+  return Status::Ok();
+}
+
+Status read_bool(const ScnTable& t, std::string_view key, bool* out) {
+  const ScnValue* v = find(t, key);
+  if (v == nullptr) return Status::Ok();
+  if (v->kind != ScnValue::Kind::kBool) {
+    return err_at(v->line,
+                  "'" + std::string(key) + "' must be true or false");
+  }
+  *out = v->b;
+  return Status::Ok();
+}
+
+Status read_fault_spec(const ScnTable& t, platform::FaultSpec* spec) {
+  CEDR_RETURN_IF_ERROR(read_double(t, "fail_prob", &spec->fail_prob));
+  CEDR_RETURN_IF_ERROR(read_double(t, "hang_prob", &spec->hang_prob));
+  CEDR_RETURN_IF_ERROR(read_double(t, "latency_prob", &spec->latency_prob));
+  CEDR_RETURN_IF_ERROR(
+      read_double(t, "latency_spike_s", &spec->latency_spike_s));
+  CEDR_RETURN_IF_ERROR(read_double(t, "hang_s", &spec->hang_s));
+  return Status::Ok();
+}
+
+StatusOr<platform::FaultKind> fault_kind_from_text(const ScnValue& v) {
+  if (v.kind != ScnValue::Kind::kString) {
+    return err_at(v.line, "'kind' must be a string");
+  }
+  if (v.str == "fail") return platform::FaultKind::kTransientFail;
+  if (v.str == "latency") return platform::FaultKind::kLatencySpike;
+  if (v.str == "hang") return platform::FaultKind::kDeviceHang;
+  return err_at(v.line, "unknown fault kind '" + v.str +
+                            "' (expected fail, latency or hang)");
+}
+
+constexpr std::string_view kFaultsPrefix = "faults.pe.";
+
+StatusOr<Scenario> scenario_from_doc(const ScnDoc& doc) {
+  Scenario s;
+  CEDR_RETURN_IF_ERROR(check_keys(
+      doc.root, "",
+      {"name", "seed", "trials", "scheduler", "model", "max_virtual_time_s",
+       "sched_cost_scale"}));
+  CEDR_RETURN_IF_ERROR(read_string(doc.root, "name", &s.name));
+  CEDR_RETURN_IF_ERROR(read_u64(doc.root, "seed", &s.seed));
+  CEDR_RETURN_IF_ERROR(read_size(doc.root, "trials", &s.trials));
+  CEDR_RETURN_IF_ERROR(read_string(doc.root, "scheduler", &s.scheduler));
+  CEDR_RETURN_IF_ERROR(read_string(doc.root, "model", &s.model));
+  CEDR_RETURN_IF_ERROR(
+      read_double(doc.root, "max_virtual_time_s", &s.max_virtual_time_s));
+  CEDR_RETURN_IF_ERROR(
+      read_double(doc.root, "sched_cost_scale", &s.sched_cost_scale));
+
+  for (const auto& [section, table] : doc.tables) {
+    if (section == "platform") {
+      CEDR_RETURN_IF_ERROR(check_keys(
+          table, section,
+          {"preset", "cpus", "ffts", "mmults", "gpus", "big", "little"}));
+      CEDR_RETURN_IF_ERROR(read_string(table, "preset", &s.platform.preset));
+      CEDR_RETURN_IF_ERROR(read_size(table, "cpus", &s.platform.cpus));
+      CEDR_RETURN_IF_ERROR(read_size(table, "ffts", &s.platform.ffts));
+      CEDR_RETURN_IF_ERROR(read_size(table, "mmults", &s.platform.mmults));
+      CEDR_RETURN_IF_ERROR(read_size(table, "gpus", &s.platform.gpus));
+      CEDR_RETURN_IF_ERROR(read_size(table, "big", &s.platform.big));
+      CEDR_RETURN_IF_ERROR(read_size(table, "little", &s.platform.little));
+    } else if (section == "arrival") {
+      CEDR_RETURN_IF_ERROR(check_keys(
+          table, section,
+          {"process", "rate_mbps", "jitter", "burst_ratio", "burst_fraction",
+           "burst_cycle_s", "think_s", "clients"}));
+      CEDR_RETURN_IF_ERROR(read_string(table, "process", &s.arrival.process));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "rate_mbps", &s.arrival.rate_mbps));
+      CEDR_RETURN_IF_ERROR(read_double(table, "jitter", &s.arrival.jitter));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "burst_ratio", &s.arrival.burst_ratio));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "burst_fraction", &s.arrival.burst_fraction));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "burst_cycle_s", &s.arrival.burst_cycle_s));
+      CEDR_RETURN_IF_ERROR(read_double(table, "think_s", &s.arrival.think_s));
+      CEDR_RETURN_IF_ERROR(read_size(table, "clients", &s.arrival.clients));
+    } else if (section == "adapt") {
+      CEDR_RETURN_IF_ERROR(check_keys(table, section,
+                                      {"enabled", "half_life", "min_samples",
+                                       "outlier_threshold",
+                                       "publish_interval"}));
+      s.adapt.enabled = true;  // presence of the section enables adaptation
+      CEDR_RETURN_IF_ERROR(read_bool(table, "enabled", &s.adapt.enabled));
+      CEDR_RETURN_IF_ERROR(read_double(table, "half_life", &s.adapt.half_life));
+      CEDR_RETURN_IF_ERROR(
+          read_size(table, "min_samples", &s.adapt.min_samples));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "outlier_threshold", &s.adapt.outlier_threshold));
+      CEDR_RETURN_IF_ERROR(
+          read_size(table, "publish_interval", &s.adapt.publish_interval));
+    } else if (section == "faults") {
+      CEDR_RETURN_IF_ERROR(check_keys(
+          table, section,
+          {"seed", "fail_prob", "hang_prob", "latency_prob", "latency_spike_s",
+           "hang_s", "max_retries", "backoff_base_s", "backoff_factor",
+           "quarantine_threshold", "probe_period_s", "task_timeout_s"}));
+      s.has_faults = true;
+      CEDR_RETURN_IF_ERROR(read_u64(table, "seed", &s.faults.seed));
+      CEDR_RETURN_IF_ERROR(read_fault_spec(table, &s.faults.defaults));
+      platform::FaultPolicy& p = s.faults.policy;
+      CEDR_RETURN_IF_ERROR(read_u32(table, "max_retries", &p.max_retries));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "backoff_base_s", &p.backoff_base_s));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "backoff_factor", &p.backoff_factor));
+      CEDR_RETURN_IF_ERROR(
+          read_u32(table, "quarantine_threshold", &p.quarantine_threshold));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "probe_period_s", &p.probe_period_s));
+      CEDR_RETURN_IF_ERROR(
+          read_double(table, "task_timeout_s", &p.task_timeout_s));
+    } else if (section.rfind(kFaultsPrefix, 0) == 0) {
+      const std::string pe_name(section.substr(kFaultsPrefix.size()));
+      if (pe_name.empty()) {
+        return err_at(table.line, "empty PE name in [" + section + "]");
+      }
+      CEDR_RETURN_IF_ERROR(check_keys(table, section,
+                                      {"fail_prob", "hang_prob",
+                                       "latency_prob", "latency_spike_s",
+                                       "hang_s"}));
+      s.has_faults = true;
+      platform::FaultSpec spec = s.faults.defaults;
+      CEDR_RETURN_IF_ERROR(read_fault_spec(table, &spec));
+      s.faults.per_pe[pe_name] = spec;
+    } else if (section == "sweep") {
+      for (const std::string& key : doc.sweep_key_order) {
+        const ScnValue& v = table.entries.at(key);
+        if (v.kind != ScnValue::Kind::kList || v.list.empty()) {
+          return err_at(v.line, "sweep axis '" + key +
+                                    "' must be a non-empty list");
+        }
+        SweepAxis axis;
+        axis.key = key;
+        for (const ScnValue& item : v.list) axis.values.push_back(item.text());
+        s.sweep.push_back(std::move(axis));
+      }
+    } else {
+      return err_at(table.line, "unknown section [" + section + "]");
+    }
+  }
+
+  for (const auto& [section, entries] : doc.arrays) {
+    if (section == "app") {
+      for (const ScnTable& table : entries) {
+        CEDR_RETURN_IF_ERROR(check_keys(table, "[app]",
+                                        {"kind", "instances", "start_offset_s",
+                                         "scale", "nonblocking"}));
+        AppSpec app;
+        CEDR_RETURN_IF_ERROR(read_string(table, "kind", &app.kind));
+        if (app.kind.empty()) {
+          return err_at(table.line, "[[app]] entry is missing 'kind'");
+        }
+        CEDR_RETURN_IF_ERROR(read_size(table, "instances", &app.instances));
+        CEDR_RETURN_IF_ERROR(
+            read_double(table, "start_offset_s", &app.start_offset_s));
+        CEDR_RETURN_IF_ERROR(read_size(table, "scale", &app.scale));
+        CEDR_RETURN_IF_ERROR(read_bool(table, "nonblocking", &app.nonblocking));
+        s.apps.push_back(std::move(app));
+      }
+    } else if (section == "faults.scripted") {
+      for (const ScnTable& table : entries) {
+        CEDR_RETURN_IF_ERROR(
+            check_keys(table, "[faults.scripted]", {"pe", "task_index",
+                                                    "kind"}));
+        s.has_faults = true;
+        platform::ScriptedFault scripted;
+        CEDR_RETURN_IF_ERROR(read_string(table, "pe", &scripted.pe));
+        if (scripted.pe.empty()) {
+          return err_at(table.line, "[[faults.scripted]] entry needs 'pe'");
+        }
+        CEDR_RETURN_IF_ERROR(
+            read_u64(table, "task_index", &scripted.task_index));
+        if (const ScnValue* v = find(table, "kind")) {
+          auto kind = fault_kind_from_text(*v);
+          if (!kind.ok()) return kind.status();
+          scripted.kind = *kind;
+        }
+        s.faults.scripted.push_back(std::move(scripted));
+      }
+    } else {
+      return err_at(entries.front().line,
+                    "unknown section [[" + section + "]]");
+    }
+  }
+
+  CEDR_RETURN_IF_ERROR(s.validate());
+  return s;
+}
+
+// ---- emission ------------------------------------------------------------
+
+void emit_kv(std::string& out, std::string_view key, const std::string& str) {
+  out += key;
+  out += " = \"";
+  for (const char c : str) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += "\"\n";
+}
+
+void emit_kv(std::string& out, std::string_view key, double v) {
+  out += key;
+  out += " = ";
+  out += format_double(v);
+  out += '\n';
+}
+
+void emit_kv(std::string& out, std::string_view key, std::uint64_t v) {
+  out += key;
+  out += " = ";
+  out += std::to_string(v);
+  out += '\n';
+}
+
+void emit_kv(std::string& out, std::string_view key, std::uint32_t v) {
+  emit_kv(out, key, static_cast<std::uint64_t>(v));
+}
+
+void emit_kv(std::string& out, std::string_view key, bool v) {
+  out += key;
+  out += " = ";
+  out += v ? "true" : "false";
+  out += '\n';
+}
+
+void emit_fault_spec(std::string& out, const platform::FaultSpec& spec) {
+  emit_kv(out, "fail_prob", spec.fail_prob);
+  emit_kv(out, "hang_prob", spec.hang_prob);
+  emit_kv(out, "latency_prob", spec.latency_prob);
+  emit_kv(out, "latency_spike_s", spec.latency_spike_s);
+  emit_kv(out, "hang_s", spec.hang_s);
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  // Ensure the token re-parses as a float even when it prints integral.
+  std::string text(buf);
+  if (text.find_first_of(".eEnif") == std::string::npos) text += ".0";
+  return text;
+}
+
+std::string Scenario::to_text() const {
+  std::string out;
+  out += "# canonical scenario emission (docs/scenarios.md)\n";
+  emit_kv(out, "name", name);
+  emit_kv(out, "seed", seed);
+  emit_kv(out, "trials", trials);
+  emit_kv(out, "scheduler", scheduler);
+  emit_kv(out, "model", model);
+  emit_kv(out, "max_virtual_time_s", max_virtual_time_s);
+  emit_kv(out, "sched_cost_scale", sched_cost_scale);
+
+  out += "\n[platform]\n";
+  emit_kv(out, "preset", platform.preset);
+  emit_kv(out, "cpus", platform.cpus);
+  emit_kv(out, "ffts", platform.ffts);
+  emit_kv(out, "mmults", platform.mmults);
+  emit_kv(out, "gpus", platform.gpus);
+  emit_kv(out, "big", platform.big);
+  emit_kv(out, "little", platform.little);
+
+  out += "\n[arrival]\n";
+  emit_kv(out, "process", arrival.process);
+  emit_kv(out, "rate_mbps", arrival.rate_mbps);
+  emit_kv(out, "jitter", arrival.jitter);
+  emit_kv(out, "burst_ratio", arrival.burst_ratio);
+  emit_kv(out, "burst_fraction", arrival.burst_fraction);
+  emit_kv(out, "burst_cycle_s", arrival.burst_cycle_s);
+  emit_kv(out, "think_s", arrival.think_s);
+  emit_kv(out, "clients", arrival.clients);
+
+  if (adapt.enabled) {
+    out += "\n[adapt]\n";
+    emit_kv(out, "enabled", adapt.enabled);
+    emit_kv(out, "half_life", adapt.half_life);
+    emit_kv(out, "min_samples", adapt.min_samples);
+    emit_kv(out, "outlier_threshold", adapt.outlier_threshold);
+    emit_kv(out, "publish_interval", adapt.publish_interval);
+  }
+
+  if (has_faults) {
+    out += "\n[faults]\n";
+    emit_kv(out, "seed", faults.seed);
+    emit_fault_spec(out, faults.defaults);
+    emit_kv(out, "max_retries", faults.policy.max_retries);
+    emit_kv(out, "backoff_base_s", faults.policy.backoff_base_s);
+    emit_kv(out, "backoff_factor", faults.policy.backoff_factor);
+    emit_kv(out, "quarantine_threshold", faults.policy.quarantine_threshold);
+    emit_kv(out, "probe_period_s", faults.policy.probe_period_s);
+    emit_kv(out, "task_timeout_s", faults.policy.task_timeout_s);
+    for (const auto& [pe, spec] : faults.per_pe) {
+      out += "\n[faults.pe." + pe + "]\n";
+      emit_fault_spec(out, spec);
+    }
+    for (const platform::ScriptedFault& scripted : faults.scripted) {
+      out += "\n[[faults.scripted]]\n";
+      emit_kv(out, "pe", scripted.pe);
+      emit_kv(out, "task_index", scripted.task_index);
+      std::string kind = "fail";
+      if (scripted.kind == platform::FaultKind::kLatencySpike) kind = "latency";
+      if (scripted.kind == platform::FaultKind::kDeviceHang) kind = "hang";
+      emit_kv(out, "kind", kind);
+    }
+  }
+
+  for (const AppSpec& app : apps) {
+    out += "\n[[app]]\n";
+    emit_kv(out, "kind", app.kind);
+    emit_kv(out, "instances", app.instances);
+    emit_kv(out, "start_offset_s", app.start_offset_s);
+    emit_kv(out, "scale", app.scale);
+    emit_kv(out, "nonblocking", app.nonblocking);
+  }
+
+  if (!sweep.empty()) {
+    out += "\n[sweep]\n";
+    for (const SweepAxis& axis : sweep) {
+      out += axis.key;
+      out += " = [";
+      for (std::size_t i = 0; i < axis.values.size(); ++i) {
+        if (i > 0) out += ", ";
+        // Axis values re-parse through apply_override, which accepts bare
+        // text for every sweepable key; quote them so strings stay strings.
+        out += '"';
+        out += axis.values[i];
+        out += '"';
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+Status Scenario::validate() const {
+  if (trials == 0) return InvalidArgument("trials must be >= 1");
+  if (model != "api" && model != "dag") {
+    return InvalidArgument("model must be 'api' or 'dag', got '" + model +
+                           "'");
+  }
+  if (platform.preset != "zcu102" && platform.preset != "jetson" &&
+      platform.preset != "biglittle" && platform.preset != "host") {
+    return InvalidArgument("unknown platform preset '" + platform.preset +
+                           "' (expected zcu102, jetson, biglittle or host)");
+  }
+  if (!(max_virtual_time_s > 0.0)) {
+    return InvalidArgument("max_virtual_time_s must be > 0");
+  }
+  if (!(sched_cost_scale > 0.0)) {
+    return InvalidArgument("sched_cost_scale must be > 0");
+  }
+  if (apps.empty()) {
+    return InvalidArgument("scenario declares no [[app]] entries");
+  }
+  for (const AppSpec& app : apps) {
+    if (app.kind != "pulse_doppler" && app.kind != "wifi_tx" &&
+        app.kind != "lane_detection") {
+      return InvalidArgument(
+          "unknown app kind '" + app.kind +
+          "' (expected pulse_doppler, wifi_tx or lane_detection)");
+    }
+    if (app.instances == 0) {
+      return InvalidArgument("app '" + app.kind + "' has zero instances");
+    }
+    if (app.scale == 0) {
+      return InvalidArgument("app '" + app.kind + "' has zero scale");
+    }
+    if (app.start_offset_s < 0.0) {
+      return InvalidArgument("app '" + app.kind +
+                             "' has a negative start offset");
+    }
+  }
+  {
+    auto process = workload::arrival_process_from_name(arrival.process);
+    if (!process.ok()) return process.status();
+    workload::ArrivalSpec spec;
+    spec.process = *process;
+    spec.rate_mbps = arrival.rate_mbps;
+    spec.jitter = arrival.jitter;
+    spec.burst_ratio = arrival.burst_ratio;
+    spec.burst_fraction = arrival.burst_fraction;
+    spec.burst_cycle_s = arrival.burst_cycle_s;
+    spec.think_s = arrival.think_s;
+    spec.clients = arrival.clients;
+    CEDR_RETURN_IF_ERROR(spec.validate());
+  }
+  if (has_faults) CEDR_RETURN_IF_ERROR(faults.validate());
+  if (adapt.enabled) {
+    if (!(adapt.half_life > 0.0)) {
+      return InvalidArgument("adapt half_life must be > 0");
+    }
+    if (!(adapt.outlier_threshold > 1.0)) {
+      return InvalidArgument("adapt outlier_threshold must be > 1");
+    }
+  }
+  std::set<std::string> axis_keys;
+  for (const SweepAxis& axis : sweep) {
+    if (axis.values.empty()) {
+      return InvalidArgument("sweep axis '" + axis.key + "' is empty");
+    }
+    if (!axis_keys.insert(axis.key).second) {
+      return InvalidArgument("duplicate sweep axis '" + axis.key + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<Scenario> parse_scenario(std::string_view text) {
+  auto doc = parse_doc(text);
+  if (!doc.ok()) return doc.status();
+  return scenario_from_doc(*doc);
+}
+
+StatusOr<Scenario> load_scenario(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound(path + ": cannot open scenario file");
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  auto scenario = parse_scenario(text);
+  if (!scenario.ok()) {
+    return Status(scenario.status().code(),
+                  path + ": " + scenario.status().message());
+  }
+  if (scenario->name.empty()) {
+    // Default the name to the file stem (directory and extension stripped).
+    std::string stem = path;
+    if (const std::size_t slash = stem.find_last_of('/');
+        slash != std::string::npos) {
+      stem.erase(0, slash + 1);
+    }
+    if (const std::size_t dot = stem.find_last_of('.');
+        dot != std::string::npos && dot > 0) {
+      stem.erase(dot);
+    }
+    scenario->name = stem;
+  }
+  return scenario;
+}
+
+namespace {
+
+template <typename T>
+Status parse_number_text(std::string_view key, std::string_view value,
+                         T* out) {
+  const std::string owned(value);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(owned.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0' || end == owned.c_str()) {
+    return InvalidArgument("sweep value '" + owned + "' for '" +
+                           std::string(key) + "' is not a number");
+  }
+  if constexpr (std::is_integral_v<T>) {
+    if (parsed < 0 || parsed != static_cast<double>(static_cast<T>(parsed))) {
+      return InvalidArgument("sweep value '" + owned + "' for '" +
+                             std::string(key) +
+                             "' is not a non-negative integer");
+    }
+    *out = static_cast<T>(parsed);
+  } else {
+    *out = parsed;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status apply_override(Scenario& s, std::string_view key,
+                      std::string_view value) {
+  // The sweepable surface (docs/scenarios.md): strings assign directly,
+  // numbers parse from canonical text.
+  if (key == "scheduler") { s.scheduler = value; return Status::Ok(); }
+  if (key == "model") { s.model = value; return Status::Ok(); }
+  if (key == "seed") return parse_number_text(key, value, &s.seed);
+  if (key == "trials") return parse_number_text(key, value, &s.trials);
+  if (key == "sched_cost_scale") {
+    return parse_number_text(key, value, &s.sched_cost_scale);
+  }
+  if (key == "platform.preset") {
+    s.platform.preset = value;
+    return Status::Ok();
+  }
+  if (key == "platform.cpus") {
+    return parse_number_text(key, value, &s.platform.cpus);
+  }
+  if (key == "platform.ffts") {
+    return parse_number_text(key, value, &s.platform.ffts);
+  }
+  if (key == "platform.mmults") {
+    return parse_number_text(key, value, &s.platform.mmults);
+  }
+  if (key == "platform.gpus") {
+    return parse_number_text(key, value, &s.platform.gpus);
+  }
+  if (key == "arrival.process") {
+    s.arrival.process = value;
+    return Status::Ok();
+  }
+  if (key == "arrival.rate_mbps") {
+    return parse_number_text(key, value, &s.arrival.rate_mbps);
+  }
+  if (key == "arrival.jitter") {
+    return parse_number_text(key, value, &s.arrival.jitter);
+  }
+  if (key == "arrival.burst_ratio") {
+    return parse_number_text(key, value, &s.arrival.burst_ratio);
+  }
+  if (key == "arrival.burst_fraction") {
+    return parse_number_text(key, value, &s.arrival.burst_fraction);
+  }
+  if (key == "arrival.burst_cycle_s") {
+    return parse_number_text(key, value, &s.arrival.burst_cycle_s);
+  }
+  if (key == "arrival.think_s") {
+    return parse_number_text(key, value, &s.arrival.think_s);
+  }
+  if (key == "arrival.clients") {
+    return parse_number_text(key, value, &s.arrival.clients);
+  }
+  if (key == "faults.fail_prob") {
+    s.has_faults = true;
+    return parse_number_text(key, value, &s.faults.defaults.fail_prob);
+  }
+  return InvalidArgument("'" + std::string(key) + "' is not a sweepable key");
+}
+
+StatusOr<std::vector<Scenario>> expand_sweep(const Scenario& scenario) {
+  CEDR_RETURN_IF_ERROR(scenario.validate());
+  if (scenario.sweep.empty()) return std::vector<Scenario>{scenario};
+
+  std::vector<Scenario> out;
+  std::vector<std::size_t> index(scenario.sweep.size(), 0);
+  while (true) {
+    Scenario point = scenario;
+    point.sweep.clear();
+    std::string suffix;
+    for (std::size_t axis = 0; axis < scenario.sweep.size(); ++axis) {
+      const SweepAxis& a = scenario.sweep[axis];
+      const std::string& value = a.values[index[axis]];
+      CEDR_RETURN_IF_ERROR(apply_override(point, a.key, value));
+      if (!suffix.empty()) suffix += ',';
+      suffix += a.key + "=" + value;
+    }
+    point.name = scenario.name + "/" + suffix;
+    CEDR_RETURN_IF_ERROR(point.validate());
+    out.push_back(std::move(point));
+
+    std::size_t axis = scenario.sweep.size();
+    while (axis > 0) {
+      --axis;
+      if (++index[axis] < scenario.sweep[axis].values.size()) break;
+      index[axis] = 0;
+      if (axis == 0) return out;
+    }
+  }
+}
+
+}  // namespace cedr::scenario

@@ -489,6 +489,9 @@ class Engine {
     w.busy = true;
     w.started = now_;
     w.current_faulted = false;
+    if (config_.queue_delay_us != nullptr) {
+      config_.queue_delay_us->record((now_ - w.current.ready_time) * 1e6);
+    }
     if (tr() != nullptr) {
       tr()->flow(obs::EventKind::kFlowEnd, obs::Category::kWorker, "execute",
                  0, 1 + w.pe_index, now_, w.current.key);
@@ -545,6 +548,9 @@ class Engine {
     w.busy = false;
     w.current_faulted = false;
     ++tasks_executed_;
+    if (config_.service_time_us != nullptr) {
+      config_.service_time_us->record((now_ - started) * 1e6);
+    }
     if (tr() != nullptr) {
       tr()->complete_span(obs::Category::kWorker,
                           platform::kernel_name(task.kernel).data(), 0,
@@ -882,6 +888,11 @@ class Engine {
     double duration = config_.costs.sched_fixed +
                       config_.costs.per_comparison *
                           static_cast<double>(result.comparisons);
+    if (config_.sched_round_us != nullptr) {
+      // The modeled decision cost on the virtual clock (the wakeup term
+      // below is main-loop overhead, not decision time).
+      config_.sched_round_us->record(duration * 1e6);
+    }
     if (main_idle_streak_) {
       runtime_overhead_ += config_.costs.wakeup;
       duration += config_.costs.wakeup;

@@ -6,24 +6,177 @@
 #include <cmath>
 
 namespace cedr::workload {
+namespace {
 
-std::vector<sim::Arrival> make_arrivals(std::span<const Stream> streams,
-                                        double rate_mbps, double jitter,
-                                        Rng& rng) {
-  std::vector<sim::Arrival> arrivals;
-  for (const Stream& stream : streams) {
-    if (stream.app == nullptr || stream.instances == 0) continue;
-    const double period = stream.app->frame_mbits / rate_mbps;
-    for (std::size_t i = 0; i < stream.instances; ++i) {
-      double t = stream.start_offset_s + static_cast<double>(i) * period;
-      if (jitter > 0.0) t += rng.uniform(0.0, jitter * period);
-      arrivals.push_back(sim::Arrival{stream.app, t});
-    }
-  }
+void sort_arrivals(std::vector<sim::Arrival>& arrivals) {
   std::stable_sort(arrivals.begin(), arrivals.end(),
                    [](const sim::Arrival& a, const sim::Arrival& b) {
                      return a.time < b.time;
                    });
+}
+
+/// Exponential variate with the given mean (inverse-CDF; mean 0 -> 0).
+double exponential(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0.0;
+  // next_double() is in [0, 1); 1 - u is in (0, 1] so the log is finite.
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+/// Paper process: jittered periodic grid for one stream.
+void periodic_stream(const Stream& stream, double period, double jitter,
+                     Rng& rng, std::vector<sim::Arrival>& out) {
+  for (std::size_t i = 0; i < stream.instances; ++i) {
+    double t = stream.start_offset_s + static_cast<double>(i) * period;
+    if (jitter > 0.0) t += rng.uniform(0.0, jitter * period);
+    out.push_back(sim::Arrival{stream.app, t});
+  }
+}
+
+/// Open-loop Poisson: exponential inter-arrivals at the stream's mean rate.
+void poisson_stream(const Stream& stream, double period, Rng& rng,
+                    std::vector<sim::Arrival>& out) {
+  double t = stream.start_offset_s;
+  for (std::size_t i = 0; i < stream.instances; ++i) {
+    t += exponential(rng, period);
+    out.push_back(sim::Arrival{stream.app, t});
+  }
+}
+
+/// 2-state MMPP. The quiet/burst rates are chosen so the long-run mean rate
+/// equals the periodic process's 1/period:
+///   lambda_quiet = lambda / (1 - f + f * R),  lambda_burst = R * lambda_quiet
+/// with f = burst_fraction and R = burst_ratio. Dwell times are exponential
+/// with means (1 - f) * cycle (quiet) and f * cycle (burst); exponential
+/// memorylessness lets the generator restart the inter-arrival draw at each
+/// state switch without biasing the process.
+void mmpp_stream(const Stream& stream, double period, const ArrivalSpec& spec,
+                 Rng& rng, std::vector<sim::Arrival>& out) {
+  const double lambda = 1.0 / period;
+  const double f = spec.burst_fraction;
+  const double ratio = spec.burst_ratio;
+  const double lambda_quiet = lambda / (1.0 - f + f * ratio);
+  const double lambda_burst = ratio * lambda_quiet;
+  const double quiet_dwell = (1.0 - f) * spec.burst_cycle_s;
+  const double burst_dwell = f * spec.burst_cycle_s;
+
+  double t = stream.start_offset_s;
+  bool burst = false;  // start quiet: the first dwell draw decides the phase
+  double state_end = t + exponential(rng, quiet_dwell);
+  std::size_t emitted = 0;
+  while (emitted < stream.instances) {
+    const double rate_now = burst ? lambda_burst : lambda_quiet;
+    const double candidate = t + exponential(rng, 1.0 / rate_now);
+    if (candidate <= state_end) {
+      t = candidate;
+      out.push_back(sim::Arrival{stream.app, t});
+      ++emitted;
+    } else {
+      t = state_end;
+      burst = !burst;
+      state_end = t + exponential(rng, burst ? burst_dwell : quiet_dwell);
+    }
+  }
+}
+
+/// Closed-loop think-time population: `clients` clients cycle submit ->
+/// (estimated) service -> exponential think; instance i belongs to client
+/// i mod clients. This is an open-loop approximation of a closed system —
+/// the service term is the stream's a-priori estimate, not simulator
+/// feedback — so the mean per-client cycle has the closed form
+/// service_estimate_s + think_s.
+void closed_loop_stream(const Stream& stream, const ArrivalSpec& spec,
+                        Rng& rng, std::vector<sim::Arrival>& out) {
+  const std::size_t clients = std::max<std::size_t>(1, spec.clients);
+  std::vector<double> next(clients, stream.start_offset_s);
+  for (std::size_t i = 0; i < stream.instances; ++i) {
+    const std::size_t c = i % clients;
+    out.push_back(sim::Arrival{stream.app, next[c]});
+    next[c] += stream.service_estimate_s + exponential(rng, spec.think_s);
+  }
+}
+
+}  // namespace
+
+std::string_view arrival_process_name(ArrivalProcess process) noexcept {
+  switch (process) {
+    case ArrivalProcess::kPeriodic: return "periodic";
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kMmpp: return "mmpp";
+    case ArrivalProcess::kClosedLoop: return "closed";
+  }
+  return "periodic";
+}
+
+StatusOr<ArrivalProcess> arrival_process_from_name(std::string_view name) {
+  if (name == "periodic") return ArrivalProcess::kPeriodic;
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "mmpp") return ArrivalProcess::kMmpp;
+  if (name == "closed") return ArrivalProcess::kClosedLoop;
+  return InvalidArgument("unknown arrival process '" + std::string(name) +
+                         "' (expected periodic, poisson, mmpp or closed)");
+}
+
+Status ArrivalSpec::validate() const {
+  if (!(rate_mbps > 0.0)) return InvalidArgument("rate_mbps must be > 0");
+  if (jitter < 0.0) return InvalidArgument("jitter must be >= 0");
+  if (process == ArrivalProcess::kMmpp) {
+    if (!(burst_ratio > 1.0)) {
+      return InvalidArgument("mmpp burst_ratio must be > 1");
+    }
+    if (!(burst_fraction > 0.0) || !(burst_fraction < 1.0)) {
+      return InvalidArgument("mmpp burst_fraction must be in (0, 1)");
+    }
+    if (!(burst_cycle_s > 0.0)) {
+      return InvalidArgument("mmpp burst_cycle_s must be > 0");
+    }
+  }
+  if (process == ArrivalProcess::kClosedLoop) {
+    if (!(think_s >= 0.0)) return InvalidArgument("think_s must be >= 0");
+    if (clients == 0) return InvalidArgument("clients must be >= 1");
+  }
+  return Status::Ok();
+}
+
+std::vector<sim::Arrival> make_arrivals(std::span<const Stream> streams,
+                                        double rate_mbps, double jitter,
+                                        std::uint64_t seed) {
+  ArrivalSpec spec;
+  spec.process = ArrivalProcess::kPeriodic;
+  spec.rate_mbps = rate_mbps;
+  spec.jitter = jitter;
+  auto arrivals = generate_arrivals(streams, spec, seed);
+  if (!arrivals.ok()) return {};
+  return *std::move(arrivals);
+}
+
+StatusOr<std::vector<sim::Arrival>> generate_arrivals(
+    std::span<const Stream> streams, const ArrivalSpec& spec,
+    std::uint64_t seed) {
+  CEDR_RETURN_IF_ERROR(spec.validate());
+  std::vector<sim::Arrival> arrivals;
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    const Stream& stream = streams[k];
+    if (stream.app == nullptr || stream.instances == 0) continue;
+    // Independent per-stream RNG (header contract): appending a stream
+    // never perturbs the draws of the streams before it.
+    Rng rng(stream_seed(seed, k));
+    const double period = stream.app->frame_mbits / spec.rate_mbps;
+    switch (spec.process) {
+      case ArrivalProcess::kPeriodic:
+        periodic_stream(stream, period, spec.jitter, rng, arrivals);
+        break;
+      case ArrivalProcess::kPoisson:
+        poisson_stream(stream, period, rng, arrivals);
+        break;
+      case ArrivalProcess::kMmpp:
+        mmpp_stream(stream, period, spec, rng, arrivals);
+        break;
+      case ArrivalProcess::kClosedLoop:
+        closed_loop_stream(stream, spec, rng, arrivals);
+        break;
+    }
+  }
+  sort_arrivals(arrivals);
   return arrivals;
 }
 
@@ -54,9 +207,9 @@ StatusOr<TrialResult> run_point(const sim::SimConfig& config,
   exec_samples.reserve(trials);
 
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    Rng rng(seed_base + trial * 0x9e3779b9ull + 1);
     const std::vector<sim::Arrival> arrivals =
-        make_arrivals(streams, rate_mbps, /*jitter=*/0.2, rng);
+        make_arrivals(streams, rate_mbps, /*jitter=*/0.2,
+                      seed_base + trial * 0x9e3779b9ull + 1);
     auto metrics = sim::simulate(config, arrivals);
     if (!metrics.ok()) return metrics.status();
     const sim::SimMetrics& m = *metrics;

@@ -1,0 +1,525 @@
+// Tests for the scenario DSL, sweep expansion, injector statistics, golden
+// metric bands and end-to-end scenario determinism (docs/scenarios.md).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "cedr/scenario/band.h"
+#include "cedr/scenario/runner.h"
+#include "cedr/scenario/scenario.h"
+#include "cedr/workload/workload.h"
+
+namespace cedr::scenario {
+namespace {
+
+constexpr const char* kMinimal = R"(name = "t"
+[[app]]
+kind = "wifi_tx"
+instances = 2
+)";
+
+std::string temp_path(const std::string& leaf) {
+  return ::testing::TempDir() + "cedr_scenario_" + leaf;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good());
+}
+
+std::string read_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- parser robustness ---------------------------------------------------
+
+TEST(ScenarioParse, MinimalDocument) {
+  auto s = parse_scenario(kMinimal);
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  EXPECT_EQ(s->name, "t");
+  ASSERT_EQ(s->apps.size(), 1u);
+  EXPECT_EQ(s->apps[0].kind, "wifi_tx");
+  EXPECT_EQ(s->apps[0].instances, 2u);
+  EXPECT_FALSE(s->has_faults);
+  EXPECT_FALSE(s->adapt.enabled);
+}
+
+TEST(ScenarioParse, MalformedCorpusYieldsCleanSingleLineErrors) {
+  // Fuzz-ish corpus: every entry must produce a non-OK status whose message
+  // is one line and names the offending source line — never a crash, never
+  // a partially-applied configuration.
+  const char* corpus[] = {
+      "trials =",                                  // missing value
+      "= 5",                                       // missing key
+      "[platform",                                 // unterminated header
+      "[]",                                        // empty section name
+      "[pla tform]",                               // bad section character
+      "name = \"a\"\nname = \"b\"",                // duplicate root key
+      "[platform]\ncpus = 1\ncpus = 2",            // duplicate section key
+      "[platform]\n[platform]",                    // duplicate section
+      "[[app]]\n[app]",                            // table vs array clash
+      "[app]\n[[app]]",                            // array vs table clash
+      "bogus_root = 1",                            // unknown root key
+      "[platform]\nbogus = 1",                     // unknown section key
+      "[warp_drive]",                              // unknown section
+      "[[warp_drive]]",                            // unknown array section
+      "name = \"unterminated",                     // unterminated string
+      "name = \"bad \\q escape\"",                 // unknown escape
+      "seed = 99999999999999999999999",            // integer overflow
+      "seed = -1",                                 // negative for unsigned
+      "trials = nope",                             // unquoted string value
+      "trials = \"three\"",                        // wrong type
+      "trials just-text",                          // no '=' at all
+      "[sweep]\nscheduler = \"EFT\"",              // sweep axis not a list
+      "[sweep]\nscheduler = []",                   // empty sweep axis
+      "[sweep]\nscheduler = [\"EFT\", [\"RR\"]]",  // nested list
+      "[sweep]\nscheduler = [\"EFT\"",             // unterminated list
+      "[[app]]\ninstances = 2",                    // app without kind
+      "[[faults.scripted]]\ntask_index = 1",       // scripted without pe
+      "[faults]\nfail_prob = \"high\"",            // non-numeric probability
+      "[faults.pe.]\nfail_prob = 0.5",             // empty PE name
+  };
+  for (const char* text : corpus) {
+    auto s = parse_scenario(std::string(kMinimal) + text);
+    ASSERT_FALSE(s.ok()) << "accepted: " << text;
+    const std::string message = s.status().message();
+    EXPECT_FALSE(message.empty()) << text;
+    EXPECT_EQ(message.find('\n'), std::string::npos)
+        << "multi-line error for: " << text;
+    EXPECT_EQ(message.rfind("line ", 0), 0u)
+        << "no line anchor in '" << message << "' for: " << text;
+  }
+}
+
+TEST(ScenarioParse, SemanticErrorsAreCleanToo) {
+  const char* corpus[] = {
+      "name = \"t\"",                              // no apps at all
+      "name = \"t\"\n[[app]]\nkind = \"doom\"",    // unknown app kind
+      "name = \"t\"\n[[app]]\nkind = \"wifi_tx\"\ninstances = 0",
+      "trials = 0\n[[app]]\nkind = \"wifi_tx\"",   // zero trials
+  };
+  for (const char* text : corpus) {
+    auto s = parse_scenario(text);
+    ASSERT_FALSE(s.ok()) << "accepted: " << text;
+    EXPECT_EQ(s.status().message().find('\n'), std::string::npos) << text;
+  }
+}
+
+TEST(ScenarioParse, CommentsAndStringsInteract) {
+  auto s = parse_scenario(
+      "name = \"has # not a comment\"  # real comment\n"
+      "seed = 7 # trailing\n"
+      "[[app]]\n"
+      "kind = \"wifi_tx\"  # the paper's TX chain\n");
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  EXPECT_EQ(s->name, "has # not a comment");
+  EXPECT_EQ(s->seed, 7u);
+}
+
+TEST(ScenarioParse, TruncatedPrefixesNeverCrash) {
+  // Chop a rich valid document at every byte; each prefix must either parse
+  // or fail with a clean single-line error.
+  Scenario rich;
+  rich.name = "rich";
+  rich.apps.push_back({.kind = "pulse_doppler", .instances = 3});
+  rich.has_faults = true;
+  rich.faults.defaults.fail_prob = 0.01;
+  rich.adapt.enabled = true;
+  rich.sweep.push_back({"scheduler", {"EFT", "RR"}});
+  const std::string text = rich.to_text();
+  for (std::size_t n = 0; n < text.size(); ++n) {
+    auto s = parse_scenario(text.substr(0, n));
+    if (!s.ok()) {
+      EXPECT_EQ(s.status().message().find('\n'), std::string::npos);
+    }
+  }
+}
+
+// ---- round trip ----------------------------------------------------------
+
+TEST(ScenarioRoundTrip, RichDocumentSurvivesParseEmitParse) {
+  Scenario s;
+  s.name = "round/trip";
+  s.seed = 1234567;
+  s.trials = 7;
+  s.scheduler = "HEFT_RT";
+  s.model = "dag";
+  s.max_virtual_time_s = 12.5;
+  s.sched_cost_scale = 2.25;
+  s.platform.preset = "biglittle";
+  s.platform.big = 2;
+  s.platform.little = 6;
+  s.platform.ffts = 3;
+  s.arrival.process = "mmpp";
+  s.arrival.rate_mbps = 333.25;
+  s.arrival.burst_ratio = 6.5;
+  s.arrival.burst_fraction = 0.125;
+  s.apps.push_back({.kind = "pulse_doppler", .instances = 4,
+                    .start_offset_s = 0.001});
+  s.apps.push_back({.kind = "lane_detection", .instances = 1, .scale = 8,
+                    .nonblocking = true});
+  s.has_faults = true;
+  s.faults.seed = 99;
+  s.faults.defaults.fail_prob = 0.03;
+  s.faults.per_pe["fft0"] = {.fail_prob = 0.4, .latency_prob = 0.1};
+  s.faults.scripted.push_back(
+      {"cpu1", 17, platform::FaultKind::kDeviceHang});
+  s.faults.policy.max_retries = 6;
+  s.adapt.enabled = true;
+  s.adapt.half_life = 32.0;
+  s.sweep.push_back({"scheduler", {"EFT", "ETF"}});
+  s.sweep.push_back({"arrival.rate_mbps", {"100.0", "200.0"}});
+
+  const std::string text = s.to_text();
+  auto parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(*parsed, s);                     // to_text equality
+  EXPECT_EQ(parsed->to_text(), text);        // byte equality
+  auto reparsed = parse_scenario(parsed->to_text());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, *parsed);
+}
+
+TEST(ScenarioRoundTrip, FormatDoubleIsExact) {
+  for (const double v : {0.0, 0.05, 1.0 / 3.0, 42.0, 1e-9, 12345.678,
+                         0.1 + 0.2, 2e8}) {
+    const std::string text = format_double(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+  }
+}
+
+TEST(ScenarioLoad, NameDefaultsToFileStemAndErrorsCarryPath) {
+  const std::string path = temp_path("stem_test.scn");
+  write_text(path, "[[app]]\nkind = \"wifi_tx\"\n");
+  auto s = load_scenario(path);
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  EXPECT_EQ(s->name, "cedr_scenario_stem_test");
+
+  write_text(path, "definitely not = a scenario");
+  auto bad = load_scenario(path);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find(path), std::string::npos);
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(load_scenario(temp_path("missing.scn")).ok());
+  std::remove(path.c_str());
+}
+
+// ---- sweep expansion -----------------------------------------------------
+
+TEST(SweepExpansion, CrossProductWithDerivedNames) {
+  auto s = parse_scenario(
+      "name = \"m\"\n"
+      "[[app]]\nkind = \"wifi_tx\"\n"
+      "[sweep]\n"
+      "scheduler = [\"RR\", \"EFT\"]\n"
+      "seed = [\"1\", \"2\", \"3\"]\n");
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  auto points = expand_sweep(*s);
+  ASSERT_TRUE(points.ok()) << points.status().to_string();
+  ASSERT_EQ(points->size(), 6u);
+  EXPECT_EQ((*points)[0].name, "m/scheduler=RR,seed=1");
+  EXPECT_EQ((*points)[5].name, "m/scheduler=EFT,seed=3");
+  EXPECT_EQ((*points)[0].scheduler, "RR");
+  EXPECT_EQ((*points)[5].scheduler, "EFT");
+  EXPECT_EQ((*points)[5].seed, 3u);
+  for (const Scenario& point : *points) {
+    EXPECT_TRUE(point.sweep.empty());
+  }
+}
+
+TEST(SweepExpansion, NonSweepableKeyFails) {
+  auto s = parse_scenario(std::string(kMinimal) +
+                          "[sweep]\nname = [\"a\", \"b\"]\n");
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  EXPECT_FALSE(expand_sweep(*s).ok());
+
+  Scenario base = *parse_scenario(kMinimal);
+  EXPECT_FALSE(apply_override(base, "name", "x").ok());
+  EXPECT_FALSE(apply_override(base, "trials", "-3").ok());
+  EXPECT_TRUE(apply_override(base, "arrival.rate_mbps", "250.0").ok());
+  EXPECT_DOUBLE_EQ(base.arrival.rate_mbps, 250.0);
+}
+
+// ---- scenario compilation ------------------------------------------------
+
+TEST(CompileScenario, AppMixExpandsToStreams) {
+  auto s = parse_scenario(
+      "name = \"mix\"\n"
+      "[platform]\npreset = \"zcu102\"\ncpus = 3\nffts = 2\n"
+      "[[app]]\nkind = \"lane_detection\"\ninstances = 1\nscale = 8\n"
+      "[[app]]\nkind = \"pulse_doppler\"\ninstances = 5\n"
+      "[[app]]\nkind = \"wifi_tx\"\ninstances = 5\n");
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  auto compiled = compile_scenario(*s);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+  ASSERT_EQ(compiled->streams.size(), 3u);
+  EXPECT_EQ(compiled->streams[0].instances, 1u);
+  EXPECT_EQ(compiled->streams[1].instances, 5u);
+  EXPECT_EQ(compiled->streams[2].instances, 5u);
+  EXPECT_EQ(compiled->streams[0].app->name, "LD");
+  EXPECT_EQ(compiled->streams[1].app->name, "PD");
+  // Closed-loop service estimates come from the HEFT rank of the whole app.
+  for (const auto& stream : compiled->streams) {
+    EXPECT_GT(stream.service_estimate_s, 0.0);
+  }
+  EXPECT_EQ(compiled->config.platform.name, "zcu102");
+}
+
+TEST(CompileScenario, RefusesUnexpandedSweep) {
+  auto s = parse_scenario(std::string(kMinimal) +
+                          "[sweep]\nseed = [\"1\", \"2\"]\n");
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(compile_scenario(*s).ok());
+}
+
+// ---- injector statistics -------------------------------------------------
+
+// Mean and squared coefficient of variation of merged inter-arrival gaps.
+void interarrival_stats(const std::vector<sim::Arrival>& arrivals,
+                        double* mean_out, double* cv2_out) {
+  ASSERT_GT(arrivals.size(), 2u);
+  double sum = 0.0, sum2 = 0.0;
+  const std::size_t n = arrivals.size() - 1;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const double gap = arrivals[i].time - arrivals[i - 1].time;
+    sum += gap;
+    sum2 += gap * gap;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum2 / static_cast<double>(n) - mean * mean;
+  *mean_out = mean;
+  *cv2_out = var / (mean * mean);
+}
+
+TEST(InjectorStatistics, PoissonMatchesClosedForm) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const workload::Stream stream{.app = &app, .instances = 20000};
+  workload::ArrivalSpec spec;
+  spec.process = workload::ArrivalProcess::kPoisson;
+  spec.rate_mbps = 200.0;
+  auto arrivals = workload::generate_arrivals({&stream, 1}, spec, 1);
+  ASSERT_TRUE(arrivals.ok());
+  double mean = 0.0, cv2 = 0.0;
+  interarrival_stats(*arrivals, &mean, &cv2);
+  const double expected = app.frame_mbits / spec.rate_mbps;
+  EXPECT_NEAR(mean, expected, 0.03 * expected);
+  EXPECT_NEAR(cv2, 1.0, 0.1);  // exponential gaps: CV^2 = 1
+}
+
+TEST(InjectorStatistics, MmppKeepsMeanRateButIsBursty) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const workload::Stream stream{.app = &app, .instances = 40000};
+  workload::ArrivalSpec spec;
+  spec.process = workload::ArrivalProcess::kMmpp;
+  spec.rate_mbps = 200.0;
+  spec.burst_ratio = 8.0;
+  spec.burst_fraction = 0.25;
+  spec.burst_cycle_s = 0.05;
+  auto arrivals = workload::generate_arrivals({&stream, 1}, spec, 2);
+  ASSERT_TRUE(arrivals.ok());
+  double mean = 0.0, cv2 = 0.0;
+  interarrival_stats(*arrivals, &mean, &cv2);
+  // Long-run mean rate is parameterized to stay at rate_mbps...
+  const double expected = app.frame_mbits / spec.rate_mbps;
+  EXPECT_NEAR(mean, expected, 0.08 * expected);
+  // ...but modulation makes gaps over-dispersed relative to Poisson.
+  EXPECT_GT(cv2, 1.3);
+}
+
+TEST(InjectorStatistics, ClosedLoopPacesByThinkTime) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  workload::Stream stream{.app = &app, .instances = 8000};
+  stream.service_estimate_s = 2e-3;
+  workload::ArrivalSpec spec;
+  spec.process = workload::ArrivalProcess::kClosedLoop;
+  spec.think_s = 1e-3;
+  spec.clients = 4;
+  auto arrivals = workload::generate_arrivals({&stream, 1}, spec, 3);
+  ASSERT_TRUE(arrivals.ok());
+  ASSERT_EQ(arrivals->size(), 8000u);
+  // Each client cycles every service + E[think] = 3 ms; 4 clients merge to
+  // one arrival every 0.75 ms in the long run.
+  const double span = arrivals->back().time - arrivals->front().time;
+  const double merged_gap = span / static_cast<double>(arrivals->size() - 1);
+  const double expected = (stream.service_estimate_s + spec.think_s) / 4.0;
+  EXPECT_NEAR(merged_gap, expected, 0.1 * expected);
+}
+
+// ---- golden bands --------------------------------------------------------
+
+std::map<std::string, MetricSummary> example_summaries() {
+  return {{"a", {{"makespan_ms", 10.0}, {"tasks", 200.0}}},
+          {"b", {{"makespan_ms", 20.0}, {"tasks", 400.0}}}};
+}
+
+TEST(Bands, RegenerateThenCheckPasses) {
+  const auto summaries = example_summaries();
+  const BandFile bands = make_bands(summaries, {.rel = 0.05, .abs = 1e-6});
+  const BandCheckResult check = check_bands(bands, summaries);
+  EXPECT_TRUE(check.ok());
+  EXPECT_EQ(check.metrics_checked, 4u);
+  // Margins: 10 +/- 0.5.
+  const auto& band = bands.scenarios.at("a").at("makespan_ms");
+  EXPECT_DOUBLE_EQ(band.first, 9.5);
+  EXPECT_DOUBLE_EQ(band.second, 10.5);
+}
+
+TEST(Bands, OutOfBandValueFailsWithNamedMetric) {
+  const auto golden = example_summaries();
+  const BandFile bands = make_bands(golden, {.rel = 0.05, .abs = 1e-6});
+  auto drifted = golden;
+  drifted["b"]["makespan_ms"] = 25.0;  // +25%, outside the 5% band
+  const BandCheckResult check = check_bands(bands, drifted);
+  ASSERT_EQ(check.violations.size(), 1u);
+  const BandViolation& v = check.violations[0];
+  EXPECT_EQ(v.scenario, "b");
+  EXPECT_EQ(v.metric, "makespan_ms");
+  EXPECT_EQ(v.kind, "out-of-band");
+  const std::string line = v.to_string();
+  EXPECT_NE(line.find("b"), std::string::npos);
+  EXPECT_NE(line.find("makespan_ms"), std::string::npos);
+  EXPECT_NE(line.find("25"), std::string::npos);
+}
+
+TEST(Bands, MissingAndNewScenariosAreViolations) {
+  const auto golden = example_summaries();
+  const BandFile bands = make_bands(golden, {});
+  std::map<std::string, MetricSummary> run = golden;
+  run.erase("a");
+  run["c"] = {{"makespan_ms", 1.0}};
+  const BandCheckResult check = check_bands(bands, run);
+  ASSERT_EQ(check.violations.size(), 2u);
+  EXPECT_EQ(check.violations[0].kind, "missing-scenario");
+  EXPECT_EQ(check.violations[0].scenario, "a");
+  EXPECT_EQ(check.violations[1].kind, "new-scenario");
+  EXPECT_EQ(check.violations[1].scenario, "c");
+}
+
+TEST(Bands, FileRoundTrip) {
+  const BandFile bands = make_bands(example_summaries(), {});
+  const std::string path = temp_path("bands.band.json");
+  ASSERT_TRUE(bands.save(path).ok());
+  auto loaded = BandFile::load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_TRUE(check_bands(*loaded, example_summaries()).ok());
+  std::remove(path.c_str());
+
+  auto bad = BandFile::from_json(*json::parse(
+      R"({"scenarios": {"a": {"m": [2.0, 1.0]}}})"));
+  EXPECT_FALSE(bad.ok());  // lo > hi
+}
+
+// ---- end-to-end determinism ----------------------------------------------
+
+Scenario small_scenario() {
+  auto s = parse_scenario(
+      "name = \"det\"\nseed = 5\ntrials = 2\n"
+      "[platform]\npreset = \"zcu102\"\ncpus = 3\nffts = 1\n"
+      "[arrival]\nprocess = \"poisson\"\nrate_mbps = 300.0\n"
+      "[[app]]\nkind = \"wifi_tx\"\ninstances = 3\n"
+      "[[app]]\nkind = \"pulse_doppler\"\ninstances = 2\n");
+  EXPECT_TRUE(s.ok()) << s.status().to_string();
+  return *s;
+}
+
+TEST(ScenarioRun, SummaryIsDeterministic) {
+  const Scenario s = small_scenario();
+  auto a = run_scenario(s);
+  auto b = run_scenario(s);
+  ASSERT_TRUE(a.ok()) << a.status().to_string();
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->summary.size(), b->summary.size());
+  for (const auto& [metric, value] : a->summary) {
+    ASSERT_TRUE(b->summary.count(metric)) << metric;
+    EXPECT_EQ(value, b->summary.at(metric)) << metric;  // bit-identical
+  }
+  // The new virtual-clock quantiles are populated and positive.
+  EXPECT_GT(a->summary.at("queue_delay_p95_us"), 0.0);
+  EXPECT_GT(a->summary.at("service_p50_us"), 0.0);
+  EXPECT_GT(a->summary.at("sched_round_p50_us"), 0.0);
+}
+
+TEST(ScenarioRun, SerialAndConcurrentExecutionAgree) {
+  const Scenario s = small_scenario();
+  auto compiled = compile_scenario(s);
+  ASSERT_TRUE(compiled.ok());
+  auto serial = run_scenario(*compiled);
+  ASSERT_TRUE(serial.ok());
+  std::vector<MetricSummary> concurrent(4);
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < concurrent.size(); ++t) {
+    pool.emplace_back([&, t] {
+      auto r = run_scenario(*compiled);
+      if (r.ok()) concurrent[t] = r->summary;
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const MetricSummary& summary : concurrent) {
+    EXPECT_EQ(summary, serial->summary);
+  }
+}
+
+TEST(ScenarioRun, ChromeTraceIsByteIdentical) {
+  auto compiled = compile_scenario(small_scenario());
+  ASSERT_TRUE(compiled.ok());
+  const std::string path_a = temp_path("trace_a.json");
+  const std::string path_b = temp_path("trace_b.json");
+  ASSERT_TRUE(write_scenario_trace(*compiled, path_a).ok());
+  ASSERT_TRUE(write_scenario_trace(*compiled, path_b).ok());
+  const std::string a = read_text(path_a);
+  const std::string b = read_text(path_b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("traceEvents"), std::string::npos);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(ScenarioRun, SchedCostScaleDegradesTheSchedule) {
+  // The acceptance knob: scaling the scheduler's cost view (ground truth
+  // untouched) must move the banded metrics — a deliberately perturbed cost
+  // table fails the golden check.
+  Scenario s = small_scenario();
+  auto honest = run_scenario(s);
+  s.sched_cost_scale = 16.0;
+  auto skewed = run_scenario(s);
+  ASSERT_TRUE(honest.ok());
+  ASSERT_TRUE(skewed.ok());
+  EXPECT_NE(honest->summary.at("makespan_ms"),
+            skewed->summary.at("makespan_ms"));
+  const BandFile bands = make_bands({{s.name, honest->summary}},
+                                    {.rel = 0.01, .abs = 1e-9});
+  const BandCheckResult check =
+      check_bands(bands, {{s.name, skewed->summary}});
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(ScenarioRun, FaultAndAdaptCountersSurface) {
+  auto s = parse_scenario(
+      "name = \"soak\"\nseed = 9\ntrials = 1\n"
+      "[platform]\npreset = \"zcu102\"\ncpus = 3\nffts = 1\n"
+      "[faults]\nseed = 20644\nfail_prob = 0.05\nmax_retries = 5\n"
+      "[adapt]\nenabled = true\n"
+      "[[app]]\nkind = \"pulse_doppler\"\ninstances = 3\n");
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  auto result = run_scenario(*s);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_GT(result->summary.at("faults_injected"), 0.0);
+  EXPECT_GT(result->summary.at("tasks_retried"), 0.0);
+  EXPECT_EQ(result->summary.at("tasks_lost"), 0.0);
+  EXPECT_GT(result->summary.at("adapt_observations"), 0.0);
+  EXPECT_GT(result->summary.at("adapt_publishes"), 0.0);
+}
+
+}  // namespace
+}  // namespace cedr::scenario

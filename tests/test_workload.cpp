@@ -9,9 +9,8 @@ namespace {
 TEST(Arrivals, PeriodFollowsInjectionRate) {
   sim::SimApp app = sim::make_wifi_tx_model();
   const Stream stream{.app = &app, .instances = 5};
-  Rng rng(1);
   const auto arrivals = make_arrivals({&stream, 1}, /*rate_mbps=*/100.0,
-                                      /*jitter=*/0.0, rng);
+                                      /*jitter=*/0.0, /*seed=*/1);
   ASSERT_EQ(arrivals.size(), 5u);
   const double period = app.frame_mbits / 100.0;
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
@@ -23,9 +22,8 @@ TEST(Arrivals, PeriodFollowsInjectionRate) {
 TEST(Arrivals, HigherRateCompressesSchedule) {
   sim::SimApp app = sim::make_pulse_doppler_model();
   const Stream stream{.app = &app, .instances = 5};
-  Rng rng(1);
-  const auto slow = make_arrivals({&stream, 1}, 10.0, 0.0, rng);
-  const auto fast = make_arrivals({&stream, 1}, 1000.0, 0.0, rng);
+  const auto slow = make_arrivals({&stream, 1}, 10.0, 0.0, 1);
+  const auto fast = make_arrivals({&stream, 1}, 1000.0, 0.0, 1);
   EXPECT_GT(slow.back().time, 50.0 * fast.back().time);
 }
 
@@ -33,10 +31,9 @@ TEST(Arrivals, JitterStaysWithinBoundAndIsSeeded) {
   sim::SimApp app = sim::make_wifi_tx_model();
   const Stream stream{.app = &app, .instances = 20};
   const double period = app.frame_mbits / 50.0;
-  Rng rng_a(7), rng_b(7), rng_c(8);
-  const auto a = make_arrivals({&stream, 1}, 50.0, 0.2, rng_a);
-  const auto b = make_arrivals({&stream, 1}, 50.0, 0.2, rng_b);
-  const auto c = make_arrivals({&stream, 1}, 50.0, 0.2, rng_c);
+  const auto a = make_arrivals({&stream, 1}, 50.0, 0.2, 7);
+  const auto b = make_arrivals({&stream, 1}, 50.0, 0.2, 7);
+  const auto c = make_arrivals({&stream, 1}, 50.0, 0.2, 8);
   ASSERT_EQ(a.size(), 20u);
   bool any_diff_seed = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -58,20 +55,85 @@ TEST(Arrivals, MultipleStreamsInterleaveSorted) {
   sim::SimApp tx = sim::make_wifi_tx_model();
   const Stream streams[] = {{.app = &pd, .instances = 5},
                             {.app = &tx, .instances = 5}};
-  Rng rng(3);
-  const auto arrivals = make_arrivals(streams, 200.0, 0.1, rng);
+  const auto arrivals = make_arrivals(streams, 200.0, 0.1, 3);
   ASSERT_EQ(arrivals.size(), 10u);
   for (std::size_t i = 1; i < arrivals.size(); ++i) {
     EXPECT_GE(arrivals[i].time, arrivals[i - 1].time);
   }
 }
 
+TEST(Arrivals, AppendingStreamDoesNotPerturbExistingOnes) {
+  // The seeding contract: stream k draws from stream_seed(seed, k), so the
+  // two-stream workload reproduces the one-stream workload's PD arrivals
+  // exactly — adding an app to a scenario never shifts the others.
+  sim::SimApp pd = sim::make_pulse_doppler_model();
+  sim::SimApp tx = sim::make_wifi_tx_model();
+  const Stream just_pd[] = {{.app = &pd, .instances = 8}};
+  const Stream both[] = {{.app = &pd, .instances = 8},
+                         {.app = &tx, .instances = 8}};
+  const auto alone = make_arrivals(just_pd, 150.0, 0.3, 11);
+  const auto merged = make_arrivals(both, 150.0, 0.3, 11);
+  std::vector<double> pd_alone, pd_merged;
+  for (const auto& a : alone) {
+    if (a.app == &pd) pd_alone.push_back(a.time);
+  }
+  for (const auto& a : merged) {
+    if (a.app == &pd) pd_merged.push_back(a.time);
+  }
+  ASSERT_EQ(pd_alone.size(), 8u);
+  ASSERT_EQ(pd_merged.size(), 8u);
+  for (std::size_t i = 0; i < pd_alone.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pd_alone[i], pd_merged[i]);
+  }
+}
+
+TEST(Arrivals, StreamSeedsAreDistinct) {
+  // Two identical streams in one workload must draw different jitter.
+  sim::SimApp tx = sim::make_wifi_tx_model();
+  const Stream streams[] = {{.app = &tx, .instances = 10},
+                            {.app = &tx, .instances = 10}};
+  const auto arrivals = make_arrivals(streams, 50.0, 0.4, 5);
+  ASSERT_EQ(arrivals.size(), 20u);
+  // With jitter on, the probability all 20 arrivals pair up exactly is nil.
+  std::size_t distinct = 0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i].time != arrivals[i - 1].time) ++distinct;
+  }
+  EXPECT_GT(distinct, 10u);
+}
+
 TEST(Arrivals, SkipsNullAndEmptyStreams) {
   sim::SimApp app = sim::make_wifi_tx_model();
   const Stream streams[] = {{.app = nullptr, .instances = 5},
                             {.app = &app, .instances = 0}};
-  Rng rng(1);
-  EXPECT_TRUE(make_arrivals(streams, 100.0, 0.0, rng).empty());
+  EXPECT_TRUE(make_arrivals(streams, 100.0, 0.0, 1).empty());
+}
+
+TEST(GenerateArrivals, RejectsBadSpecs) {
+  sim::SimApp app = sim::make_wifi_tx_model();
+  const Stream stream{.app = &app, .instances = 3};
+  ArrivalSpec spec;
+  spec.rate_mbps = -1.0;
+  EXPECT_FALSE(generate_arrivals({&stream, 1}, spec, 1).ok());
+  spec = {};
+  spec.process = ArrivalProcess::kMmpp;
+  spec.burst_ratio = 0.5;  // burst must be faster than quiet
+  EXPECT_FALSE(generate_arrivals({&stream, 1}, spec, 1).ok());
+  spec = {};
+  spec.process = ArrivalProcess::kClosedLoop;
+  spec.clients = 0;
+  EXPECT_FALSE(generate_arrivals({&stream, 1}, spec, 1).ok());
+}
+
+TEST(GenerateArrivals, ProcessNamesRoundTrip) {
+  for (const auto process :
+       {ArrivalProcess::kPeriodic, ArrivalProcess::kPoisson,
+        ArrivalProcess::kMmpp, ArrivalProcess::kClosedLoop}) {
+    auto parsed = arrival_process_from_name(arrival_process_name(process));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, process);
+  }
+  EXPECT_FALSE(arrival_process_from_name("uniform").ok());
 }
 
 TEST(RateSweep, MatchesPaperGrid) {

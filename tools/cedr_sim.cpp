@@ -34,7 +34,6 @@
 #include <memory>
 
 #include "cedr/adapt/online_estimator.h"
-#include "cedr/common/rng.h"
 #include "cedr/obs/chrome_trace.h"
 #include "cedr/obs/span.h"
 #include "cedr/sim/model.h"
@@ -173,9 +172,8 @@ int main(int argc, char** argv) {
     obs::SpanTracer tracer;
     sim::SimConfig traced = config;
     traced.tracer = &tracer;
-    Rng rng(42 + 1);
     std::vector<sim::Arrival> arrivals =
-        workload::make_arrivals(streams, rate, /*jitter=*/0.2, rng);
+        workload::make_arrivals(streams, rate, /*jitter=*/0.2, 42 + 1);
     auto traced_run = sim::simulate(traced, arrivals);
     if (!traced_run.ok()) {
       std::fprintf(stderr, "traced emulation failed: %s\n",

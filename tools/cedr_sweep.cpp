@@ -1,0 +1,256 @@
+// Seeded scenario sweep driver with golden metric-band gating.
+//
+// usage:
+//   cedr_sweep [options] FILE.scn [FILE.scn ...]
+//
+//   -j N              worker threads (default: hardware concurrency)
+//   --bands DIR       check each file's expanded scenarios against
+//                     DIR/<file-stem>.band.json
+//   --regenerate      write DIR/<file-stem>.band.json from this run instead
+//                     of checking (requires --bands)
+//   --margin F        relative band half-width on regenerate (default 0.05)
+//   --abs-margin F    absolute band half-width floor (default 1e-6)
+//   --out FILE        write all summaries as one JSON document
+//   --list            expand and print scenario names, run nothing
+//   --override K=V    apply a sweepable-key override to every scenario
+//
+// Each scenario file expands its [sweep] cross product; every expanded
+// scenario is an independent work item fanned across the worker threads.
+// Scenarios are deterministic on the virtual clock, so the collected
+// summaries are identical for any -j — the band diff gates regressions, not
+// host noise. Exit status: 0 all bands pass (or no bands requested), 1 any
+// band violation or failed scenario, 2 usage/parse errors.
+//
+// Band failures print one line per out-of-band metric:
+//   FAIL <scenario> <metric>: <value> outside [<lo>, <hi>]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cedr/scenario/band.h"
+#include "cedr/scenario/runner.h"
+#include "cedr/scenario/scenario.h"
+
+using namespace cedr;
+
+namespace {
+
+std::string file_stem(const std::string& path) {
+  std::string stem = path;
+  if (const std::size_t slash = stem.find_last_of('/');
+      slash != std::string::npos) {
+    stem.erase(0, slash + 1);
+  }
+  if (const std::size_t dot = stem.find_last_of('.');
+      dot != std::string::npos && dot > 0) {
+    stem.erase(dot);
+  }
+  return stem;
+}
+
+struct WorkItem {
+  std::size_t file_index = 0;
+  scenario::Scenario scenario;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  std::string bands_dir;
+  bool regenerate = false;
+  bool list_only = false;
+  scenario::BandMargins margins;
+  std::string out_path;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "-j") {
+      jobs = std::strtoul(next(), nullptr, 10);
+      if (jobs == 0) jobs = 1;
+    } else if (arg == "--bands") {
+      bands_dir = next();
+    } else if (arg == "--regenerate") {
+      regenerate = true;
+    } else if (arg == "--margin") {
+      margins.rel = std::strtod(next(), nullptr);
+    } else if (arg == "--abs-margin") {
+      margins.abs = std::strtod(next(), nullptr);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--override") {
+      const std::string kv = next();
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--override expects KEY=VALUE, got '%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("see header of tools/cedr_sweep.cpp for usage\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "no scenario files given\n");
+    return 2;
+  }
+  if (regenerate && bands_dir.empty()) {
+    std::fprintf(stderr, "--regenerate requires --bands DIR\n");
+    return 2;
+  }
+
+  // Expand every file up front so parse errors surface before any work runs
+  // (all-or-nothing, like the parser itself).
+  std::vector<WorkItem> work;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    auto loaded = scenario::load_scenario(files[f]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().to_string().c_str());
+      return 2;
+    }
+    for (auto& [key, value] : overrides) {
+      if (const Status s = scenario::apply_override(*loaded, key, value);
+          !s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", files[f].c_str(),
+                     s.to_string().c_str());
+        return 2;
+      }
+    }
+    auto expanded = scenario::expand_sweep(*loaded);
+    if (!expanded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", files[f].c_str(),
+                   expanded.status().to_string().c_str());
+      return 2;
+    }
+    for (auto& point : *expanded) {
+      work.push_back({f, std::move(point)});
+    }
+  }
+
+  if (list_only) {
+    for (const WorkItem& item : work) {
+      std::printf("%s\n", item.scenario.name.c_str());
+    }
+    return 0;
+  }
+
+  // Fan scenarios across threads. Results land in a pre-sized slot per
+  // item, so reporting order (and every output byte) is independent of -j.
+  struct Slot {
+    bool ok = false;
+    std::string error;
+    scenario::ScenarioResult result;
+  };
+  std::vector<Slot> slots(work.size());
+  std::atomic<std::size_t> next_item{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next_item.fetch_add(1);
+      if (i >= work.size()) return;
+      auto result = scenario::run_scenario(work[i].scenario);
+      if (result.ok()) {
+        slots[i].ok = true;
+        slots[i].result = *std::move(result);
+      } else {
+        slots[i].error = result.status().to_string();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::size_t threads = std::min(jobs, std::max<std::size_t>(1, work.size()));
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  bool failed = false;
+  // Summaries grouped per input file (band files are per-file).
+  std::vector<std::map<std::string, scenario::MetricSummary>> per_file(
+      files.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (!slots[i].ok) {
+      std::fprintf(stderr, "FAIL %s: %s\n", work[i].scenario.name.c_str(),
+                   slots[i].error.c_str());
+      failed = true;
+      continue;
+    }
+    per_file[work[i].file_index][slots[i].result.name] =
+        slots[i].result.summary;
+  }
+  std::size_t ran = 0;
+  for (const Slot& slot : slots) ran += slot.ok ? 1 : 0;
+  std::printf("ran %zu scenarios from %zu files (%zu threads)\n", ran,
+              files.size(), threads);
+
+  if (!out_path.empty()) {
+    json::Object all;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+      json::Object file_obj;
+      for (const auto& [name, summary] : per_file[f]) {
+        json::Object metrics;
+        for (const auto& [metric, value] : summary) metrics[metric] = value;
+        file_obj[name] = json::Value(std::move(metrics));
+      }
+      all[file_stem(files[f])] = json::Value(std::move(file_obj));
+    }
+    if (const Status s = json::write_file(out_path, json::Value(std::move(all)));
+        !s.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                   s.to_string().c_str());
+      return 2;
+    }
+  }
+
+  if (!bands_dir.empty()) {
+    for (std::size_t f = 0; f < files.size(); ++f) {
+      const std::string band_path =
+          bands_dir + "/" + file_stem(files[f]) + ".band.json";
+      if (regenerate) {
+        const scenario::BandFile bands =
+            scenario::make_bands(per_file[f], margins);
+        if (const Status s = bands.save(band_path); !s.ok()) {
+          std::fprintf(stderr, "cannot write %s: %s\n", band_path.c_str(),
+                       s.to_string().c_str());
+          return 2;
+        }
+        std::printf("wrote %s (%zu scenarios)\n", band_path.c_str(),
+                    bands.scenarios.size());
+        continue;
+      }
+      auto bands = scenario::BandFile::load(band_path);
+      if (!bands.ok()) {
+        std::fprintf(stderr, "%s\n", bands.status().to_string().c_str());
+        failed = true;
+        continue;
+      }
+      const scenario::BandCheckResult check =
+          scenario::check_bands(*bands, per_file[f]);
+      for (const scenario::BandViolation& v : check.violations) {
+        std::fprintf(stderr, "%s\n", v.to_string().c_str());
+      }
+      std::printf("%s: %zu metrics checked, %zu violations\n",
+                  band_path.c_str(), check.metrics_checked,
+                  check.violations.size());
+      if (!check.ok()) failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

@@ -20,9 +20,11 @@ BUILD_DIR="${ROOT}/build-${SANITIZER}"
 # (including the event-loop front-end hammered by pipelining clients),
 # the observability layer (lock-free span ring, sampler thread), the
 # online cost adaptation (concurrent observe + lock-free snapshot swap),
-# and the scheduling layer (sharded ready queue with per-shard locks).
+# the scheduling layer (sharded ready queue with per-shard locks), and the
+# scenario harness (concurrent sweep execution over shared compiled state).
 TARGETS=(test_runtime test_faults test_stress test_properties test_api
-         test_ipc test_ipc_concurrency test_obs test_adapt test_sched)
+         test_ipc test_ipc_concurrency test_obs test_adapt test_sched
+         test_scenario)
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCEDR_SANITIZE="${SANITIZER}" \
