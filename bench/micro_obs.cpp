@@ -3,19 +3,27 @@
 // The headline numbers are the BM_ApiCallRoundTrip_* pair: the same
 // end-to-end blocking CEDR_FFT round-trip as micro_runtime, once with span
 // tracing + metrics histograms disabled and once fully enabled (plus a
-// variant with the background sampler running). The tracing-on/tracing-off
-// delta is the observability tax on the runtime's hottest path; the
-// acceptance target is < 5 % (recorded in EXPERIMENTS.md). The remaining
-// benchmarks isolate the primitives: ring record cost (enabled, disabled,
-// contended), histogram record cost, and Chrome export throughput.
+// variant with the background sampler running, and one with the full
+// continuous trace pipeline — sampler + periodic segment flushing to disk
+// — active). The tracing-on/tracing-off delta is the observability tax on
+// the runtime's hottest path; the acceptance target is < 5 % (recorded in
+// EXPERIMENTS.md). The flush-enabled variants isolate the pipeline's
+// volume-proportional cost, which runs on its own thread. The remaining benchmarks
+// isolate the primitives: ring record cost (enabled, disabled, contended),
+// histogram record cost, Chrome export throughput, and binary segment
+// encode throughput.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "cedr/cedr.h"
 #include "cedr/obs/chrome_trace.h"
 #include "cedr/obs/metrics.h"
+#include "cedr/obs/segment.h"
 #include "cedr/obs/span.h"
 #include "cedr/runtime/runtime.h"
 
@@ -81,15 +89,47 @@ void BM_ChromeExport(benchmark::State& state) {
 }
 BENCHMARK(BM_ChromeExport)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
 
+/// Binary `.cbt` segment encode + atomic write throughput: the per-flush
+/// cost the trace pipeline's flusher thread pays (docs/observability.md).
+void BM_SegmentWrite(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  obs::SpanTracer tracer(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tracer.complete_span(obs::Category::kWorker, "FFT", 0, 1 + (i % 4),
+                         i * 1e-5, 1e-5, "attempt", 0.0, "ok", 1.0);
+  }
+  std::uint64_t cursor = 0;
+  const auto events = tracer.drain(cursor);
+  const std::vector<obs::TrackName> tracks = {
+      {0, 0, true, "bench"}, {0, 1, false, "cpu0"}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench_segment.cbt").string();
+  for (auto _ : state) {
+    if (!obs::write_segment_file(path, 0, 0, tracks, events).ok()) {
+      state.SkipWithError("segment write failed");
+      return;
+    }
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SegmentWrite)->Arg(1024)->Arg(16384)->Unit(benchmark::kMillisecond);
+
 /// End-to-end latency of one blocking CEDR_FFT through the threaded runtime
 /// (enqueue -> schedule -> worker -> condvar signal), parameterized on the
 /// observability configuration.
 void api_round_trip(benchmark::State& state, bool tracing,
-                    double sampler_period_s) {
+                    double sampler_period_s,
+                    const std::string& trace_dir = "",
+                    double flush_interval_s = 0.0) {
   rt::RuntimeConfig config;
   config.platform = platform::host(2);
   config.obs.tracing = tracing;
   config.obs.sampler_period_s = sampler_period_s;
+  if (!trace_dir.empty()) {
+    config.obs.trace_dir = trace_dir;
+    config.obs.trace_flush_interval_s = flush_interval_s;
+  }
   rt::Runtime runtime(config);
   if (!runtime.start().ok()) {
     state.SkipWithError("runtime failed to start");
@@ -123,6 +163,37 @@ void BM_ApiCallRoundTrip_TracingAndSampler(benchmark::State& state) {
   api_round_trip(state, /*tracing=*/true, /*sampler_period_s=*/0.01);
 }
 BENCHMARK(BM_ApiCallRoundTrip_TracingAndSampler)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The whole continuous trace pipeline live: tracing + sampler + a flusher
+/// draining the ring into rotated `.cbt` segments on its own thread. Two
+/// cadences: 250 ms flushes (a realistic daemon configuration) and 10 ms
+/// flushes (a deliberate stress — each flush durably rewrites the open
+/// segment, so fast cadences pay rewrite amplification on top). Note this
+/// benchmark records ~175 k spans/s, ~100x a realistic daemon's trace
+/// volume, so on a single core the flusher visibly competes with the
+/// workers in both variants; EXPERIMENTS.md M2 quantifies the split
+/// between recording cost (flat) and flusher-thread contention
+/// (volume-proportional).
+void BM_ApiCallRoundTrip_FullPipeline(benchmark::State& state) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "bench_obs_segments";
+  std::filesystem::remove_all(dir);
+  api_round_trip(state, /*tracing=*/true, /*sampler_period_s=*/0.01,
+                 dir.string(), /*flush_interval_s=*/0.25);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ApiCallRoundTrip_FullPipeline)->Unit(benchmark::kMicrosecond);
+
+void BM_ApiCallRoundTrip_FullPipelineStress(benchmark::State& state) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "bench_obs_segments_stress";
+  std::filesystem::remove_all(dir);
+  api_round_trip(state, /*tracing=*/true, /*sampler_period_s=*/0.01,
+                 dir.string(), /*flush_interval_s=*/0.01);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ApiCallRoundTrip_FullPipelineStress)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

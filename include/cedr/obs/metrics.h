@@ -30,6 +30,27 @@ class QuantileHistogram {
   /// Zeroes all counts — starts a fresh measurement epoch. Safe to call
   /// while recorders are live (they just land in the new epoch).
   void reset();
+
+  /// Caller-owned delta cursor for snapshot_delta(). Each consumer keeps
+  /// its own Epoch, so — unlike reset(), which clobbers every reader's
+  /// view — any number of independent delta readers can coexist with each
+  /// other and with lifetime-aggregate consumers.
+  struct Epoch {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  /// Samples recorded since `epoch` was last passed in.
+  struct Delta {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    [[nodiscard]] double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  /// Returns the count/sum recorded since the previous call with this
+  /// `epoch` and advances it. A reset() in between (totals went backwards)
+  /// restarts the epoch: the delta is everything recorded since the reset.
+  Delta snapshot_delta(Epoch& epoch) const;
   std::uint64_t count() const;
   double sum() const;
   double min() const;

@@ -101,6 +101,38 @@ class SpanTracer {
   /// may not be included.
   std::vector<SpanEvent> snapshot() const;
 
+  /// An event paired with its global record index, as returned by drain().
+  /// Tickets are unique and monotonically increasing over the tracer's
+  /// lifetime, which is what lets a segment reader dedup and re-sort events
+  /// across rotated files.
+  struct TicketedEvent {
+    std::uint64_t ticket = 0;
+    SpanEvent event;
+  };
+
+  /// Incremental consumer API for the continuous trace pipeline
+  /// (docs/observability.md). Copies every event with ticket >= `cursor`
+  /// that still survives in the ring, advances `cursor` past the end of the
+  /// copied window, and returns the events in ticket order. The cursor is
+  /// caller-owned (start at 0); recording is never blocked — a drain takes
+  /// the same per-slot claim a writer does, for the duration of one struct
+  /// copy. Events the ring overwrote before the cursor reached them are
+  /// lost and counted into the drain-drop counter (consume_dropped()).
+  std::vector<TicketedEvent> drain(std::uint64_t& cursor) const;
+
+  /// Drain-drop counter: events that fell out of the ring before a drain()
+  /// cursor reached them, accumulated since the previous call; calling
+  /// consumes (zeroes) the counter, so a segment flusher can stamp each
+  /// segment with the drops *since the previous segment* instead of the
+  /// lifetime total dropped() reports. Single-consumer by design.
+  std::uint64_t consume_dropped() const {
+    return drain_dropped_.exchange(0, std::memory_order_relaxed);
+  }
+  /// Current (unconsumed) drain-drop count.
+  std::uint64_t drain_dropped() const {
+    return drain_dropped_.load(std::memory_order_relaxed);
+  }
+
   std::size_t capacity() const { return capacity_; }
   /// Total events recorded since construction.
   std::uint64_t recorded() const {
@@ -124,6 +156,10 @@ class SpanTracer {
   std::size_t mask_;
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> cursor_{0};
+  /// Events overwritten before a drain() cursor reached them; zeroed by
+  /// consume_dropped(). Mutable: draining is logically const (it never
+  /// changes the stored events), but must account what it could not read.
+  mutable std::atomic<std::uint64_t> drain_dropped_{0};
   std::unique_ptr<Slot[]> slots_;
 };
 

@@ -30,6 +30,7 @@
 #include "cedr/common/status.h"
 #include "cedr/obs/metrics.h"
 #include "cedr/obs/sampler.h"
+#include "cedr/obs/segment.h"
 #include "cedr/obs/span.h"
 #include "cedr/platform/fault.h"
 #include "cedr/platform/platform.h"
@@ -63,6 +64,20 @@ struct ObsConfig {
   /// Period of the background sampler thread that records queue depth and
   /// per-PE busy fraction time series; <= 0 disables the sampler.
   double sampler_period_s = 0.0;
+  /// Continuous trace pipeline (docs/observability.md): when non-empty, the
+  /// span ring is periodically drained into rotated `.cbt` segment files
+  /// under this directory, so traces survive crashes and unbounded runs.
+  /// Empty (the default) disables segment flushing.
+  std::string trace_dir;
+  /// Period of the background flush that drains the ring into the open
+  /// segment; also the upper bound on trace data lost to a SIGKILL.
+  double trace_flush_interval_s = 1.0;
+  /// Size-based segment rotation threshold (span records per segment).
+  std::size_t trace_segment_events = 8192;
+  /// Age-based segment rotation threshold; <= 0 disables age rotation.
+  double trace_segment_age_s = 10.0;
+  /// Retention: finalized segments kept on disk (0 = unbounded).
+  std::size_t trace_retention = 64;
 
   [[nodiscard]] json::Value to_json() const;
   static StatusOr<ObsConfig> from_json(const json::Value& value);
@@ -206,6 +221,15 @@ class Runtime {
   /// instance, one tid per PE; Perfetto-loadable).
   Status write_chrome_trace(const std::string& path) const;
 
+  /// Current track table (process/thread names) for trace export: runtime
+  /// tracks, workers, and every live or reaped app instance.
+  [[nodiscard]] std::vector<obs::TrackName> trace_tracks() const;
+
+  /// Continuous-trace flusher; nullptr unless ObsConfig::trace_dir is set.
+  [[nodiscard]] const obs::TraceFlusher* trace_flusher() const noexcept {
+    return flusher_.get();
+  }
+
   /// Current fault-tolerance state of every PE, in platform order.
   [[nodiscard]] std::vector<PeHealth> pe_health() const;
 
@@ -253,6 +277,10 @@ class Runtime {
   obs::SpanTracer tracer_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::Sampler> sampler_;
+  /// Continuous trace pipeline: periodic ring drain into `.cbt` segments on
+  /// its own sampler thread (so a slow disk never delays the metrics tick).
+  std::unique_ptr<obs::TraceFlusher> flusher_;
+  std::unique_ptr<obs::Sampler> flush_sampler_;
   /// Cached histogram handles so hot paths skip the registry map lookup.
   obs::QuantileHistogram* queue_delay_us_ = nullptr;
   obs::QuantileHistogram* service_time_us_ = nullptr;

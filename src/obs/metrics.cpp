@@ -48,6 +48,22 @@ void QuantileHistogram::reset() {
   std::fill(std::begin(buckets_), std::end(buckets_), 0);
 }
 
+QuantileHistogram::Delta QuantileHistogram::snapshot_delta(Epoch& epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Delta delta;
+  if (count_ < epoch.count) {
+    // A reset() intervened; everything recorded since is the new delta.
+    delta.count = count_;
+    delta.sum = sum_;
+  } else {
+    delta.count = count_ - epoch.count;
+    delta.sum = sum_ - epoch.sum;
+  }
+  epoch.count = count_;
+  epoch.sum = sum_;
+  return delta;
+}
+
 std::uint64_t QuantileHistogram::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return count_;

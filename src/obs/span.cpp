@@ -164,4 +164,62 @@ std::vector<SpanEvent> SpanTracer::snapshot() const {
   return events;
 }
 
+std::vector<SpanTracer::TicketedEvent> SpanTracer::drain(
+    std::uint64_t& cursor) const {
+  const std::uint64_t end = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t window = end > capacity_ ? end - capacity_ : 0;
+  // Events between the cursor and the surviving window were overwritten
+  // before we got to them; they are gone for good, so account them now.
+  const std::uint64_t begin = std::max(cursor, window);
+  if (begin > cursor) {
+    drain_dropped_.fetch_add(begin - cursor, std::memory_order_relaxed);
+  }
+  std::vector<TicketedEvent> staged;
+  staged.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t ticket = begin; ticket < end; ++ticket) {
+    Slot& slot = slots_[ticket & mask_];
+    // Same claim protocol as snapshot(): flip the slot odd for one struct
+    // copy so a concurrent writer spins briefly instead of racing.
+    std::uint32_t seq;
+    for (int spins = 0;;) {
+      seq = slot.seq.load(std::memory_order_relaxed);
+      if ((seq & 1u) == 0 &&
+          slot.seq.compare_exchange_weak(seq, seq + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        break;
+      }
+      if (++spins >= 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    const std::uint64_t stored_ticket = slot.ticket;
+    SpanEvent copy = slot.event;
+    slot.seq.store(seq + 2, std::memory_order_release);
+    if (stored_ticket >= begin && stored_ticket < end) {
+      staged.push_back(TicketedEvent{stored_ticket, copy});
+    }
+  }
+  std::sort(staged.begin(), staged.end(),
+            [](const TicketedEvent& a, const TicketedEvent& b) {
+              return a.ticket < b.ticket;
+            });
+  staged.erase(std::unique(staged.begin(), staged.end(),
+                           [](const TicketedEvent& a, const TicketedEvent& b) {
+                             return a.ticket == b.ticket;
+                           }),
+               staged.end());
+  // Slots recycled by writers that lapped the window mid-drain carry
+  // tickets >= end (the next drain picks those up); the window events they
+  // displaced will never be seen again, so they count as drain drops too.
+  const std::uint64_t expected = end - begin;
+  if (staged.size() < expected) {
+    drain_dropped_.fetch_add(expected - staged.size(),
+                             std::memory_order_relaxed);
+  }
+  cursor = end;
+  return staged;
+}
+
 }  // namespace cedr::obs

@@ -35,6 +35,11 @@ json::Value ObsConfig::to_json() const {
       {"tracing", json::Value(tracing)},
       {"ring_capacity", json::Value(ring_capacity)},
       {"sampler_period_s", json::Value(sampler_period_s)},
+      {"trace_dir", json::Value(trace_dir)},
+      {"trace_flush_interval_s", json::Value(trace_flush_interval_s)},
+      {"trace_segment_events", json::Value(trace_segment_events)},
+      {"trace_segment_age_s", json::Value(trace_segment_age_s)},
+      {"trace_retention", json::Value(trace_retention)},
   };
 }
 
@@ -50,6 +55,23 @@ StatusOr<ObsConfig> ObsConfig::from_json(const json::Value& value) {
   if (ring <= 0) return InvalidArgument("obs ring_capacity must be positive");
   config.ring_capacity = static_cast<std::size_t>(ring);
   config.sampler_period_s = value.get_double("sampler_period_s", 0.0);
+  config.trace_dir = value.get_string("trace_dir", "");
+  config.trace_flush_interval_s =
+      value.get_double("trace_flush_interval_s", 1.0);
+  if (!config.trace_dir.empty() && config.trace_flush_interval_s <= 0.0) {
+    return InvalidArgument("obs trace_flush_interval_s must be positive");
+  }
+  const std::int64_t seg_events = value.get_int("trace_segment_events", 8192);
+  if (seg_events <= 0) {
+    return InvalidArgument("obs trace_segment_events must be positive");
+  }
+  config.trace_segment_events = static_cast<std::size_t>(seg_events);
+  config.trace_segment_age_s = value.get_double("trace_segment_age_s", 10.0);
+  const std::int64_t retention = value.get_int("trace_retention", 64);
+  if (retention < 0) {
+    return InvalidArgument("obs trace_retention must be >= 0 (0 = unbounded)");
+  }
+  config.trace_retention = static_cast<std::size_t>(retention);
   return config;
 }
 
@@ -208,7 +230,7 @@ RuntimeStats Runtime::stats() const {
   return out;
 }
 
-Status Runtime::write_chrome_trace(const std::string& path) const {
+std::vector<obs::TrackName> Runtime::trace_tracks() const {
   std::vector<obs::TrackName> tracks;
   tracks.push_back({.pid = 0, .is_process = true, .name = "cedr runtime"});
   tracks.push_back({.pid = 0, .tid = 0, .name = "main loop"});
@@ -221,6 +243,9 @@ Status Runtime::write_chrome_trace(const std::string& path) const {
     std::lock_guard lock(impl_->app_mutex);
     // Live instances plus names saved when finished instances were reaped
     // (kept only while tracing), so every pid in the span stream is named.
+    // Names are never forgotten while tracing, so each snapshot of this
+    // table is a superset of earlier ones — the property the .cbt stitcher
+    // relies on when unioning per-segment track tables.
     for (const auto& [id, app] : impl_->apps) {
       tracks.push_back({.pid = 1 + id,
                         .is_process = true,
@@ -232,7 +257,11 @@ Status Runtime::write_chrome_trace(const std::string& path) const {
                         .name = name + " #" + std::to_string(id)});
     }
   }
-  return obs::write_chrome_trace(path, tracer_.snapshot(), tracks);
+  return tracks;
+}
+
+Status Runtime::write_chrome_trace(const std::string& path) const {
+  return obs::write_chrome_trace(path, tracer_.snapshot(), trace_tracks());
 }
 
 Status Runtime::start() {
@@ -253,6 +282,25 @@ Status Runtime::start() {
     CEDR_LOG(kInfo, kLogTag) << "online cost adaptation enabled: half_life="
                              << config_.adapt.half_life << " min_samples="
                              << config_.adapt.min_samples;
+  }
+
+  if (!config_.obs.trace_dir.empty()) {
+    // Continuous trace pipeline: fail start() outright if the segment
+    // directory cannot be created — better than silently tracing nowhere.
+    flusher_ = std::make_unique<obs::TraceFlusher>(
+        tracer_,
+        obs::SegmentWriter::Config{
+            .dir = config_.obs.trace_dir,
+            .max_segment_events = config_.obs.trace_segment_events,
+            .max_segment_age_s = config_.obs.trace_segment_age_s,
+            .max_segments = config_.obs.trace_retention,
+        },
+        [this] { return trace_tracks(); });
+    const Status opened = flusher_->open();
+    if (!opened.ok()) {
+      flusher_.reset();
+      return opened;
+    }
   }
 
   std::lock_guard lock(impl_->app_mutex);
@@ -297,6 +345,9 @@ Status Runtime::start() {
     sampler_ = std::make_unique<obs::Sampler>(
         config_.obs.sampler_period_s,
         [this, prev_busy = std::vector<double>(impl_->workers.size(), 0.0),
+         queue_epoch = obs::QuantileHistogram::Epoch{},
+         service_epoch = obs::QuantileHistogram::Epoch{},
+         sched_epoch = obs::QuantileHistogram::Epoch{},
          prev_t = 0.0](double) mutable {
           const double t = now();
           const double interval = t - prev_t;
@@ -331,6 +382,31 @@ Status Runtime::start() {
             metrics_.set_gauge(name, frac);
             metrics_.sample(name, t, frac);
           }
+          // Interval-rate gauges from the sampler's private delta epochs:
+          // dashboards get "what happened since the last tick" without
+          // reset()ing the histograms out from under lifetime consumers.
+          const auto publish_rate = [&](const char* name,
+                                        obs::QuantileHistogram* hist,
+                                        obs::QuantileHistogram::Epoch& epoch) {
+            const auto delta = hist->snapshot_delta(epoch);
+            metrics_.set_gauge(
+                std::string(name) + ".rate_per_s",
+                interval > 0.0
+                    ? static_cast<double>(delta.count) / interval
+                    : 0.0);
+            metrics_.set_gauge(std::string(name) + ".interval_mean",
+                               delta.mean());
+          };
+          publish_rate("queue_delay_us", queue_delay_us_, queue_epoch);
+          publish_rate("service_time_us", service_time_us_, service_epoch);
+          publish_rate("sched_decision_us", sched_decision_us_, sched_epoch);
+          if (flusher_ != nullptr) {
+            metrics_.set_gauge("obs.trace_dropped_total",
+                               static_cast<double>(flusher_->dropped_total()));
+            metrics_.set_gauge(
+                "obs.trace_segments",
+                static_cast<double>(flusher_->writer().segments_finalized()));
+          }
           if (adapt_ != nullptr) {
             metrics_.set_gauge("adapt.publishes",
                                static_cast<double>(adapt_->publishes()));
@@ -345,6 +421,23 @@ Status Runtime::start() {
           prev_t = t;
         });
     sampler_->start();
+  }
+  if (flusher_ != nullptr) {
+    // Dedicated thread (not the metrics tick): a slow disk may stall a
+    // flush for longer than the sampler period, and utilization series
+    // should not gap when it does.
+    flush_sampler_ = std::make_unique<obs::Sampler>(
+        config_.obs.trace_flush_interval_s, [this](double) {
+          const Status flushed = flusher_->flush(now());
+          if (!flushed.ok()) {
+            CEDR_LOG(kWarn, kLogTag)
+                << "trace flush failed: " << flushed.to_string();
+          }
+        });
+    flush_sampler_->start();
+    CEDR_LOG(kInfo, kLogTag) << "trace pipeline enabled: dir="
+                             << config_.obs.trace_dir << " flush_interval="
+                             << config_.obs.trace_flush_interval_s << "s";
   }
   CEDR_LOG(kInfo, kLogTag) << "runtime started: platform="
                            << config_.platform.name
@@ -364,6 +457,7 @@ Status Runtime::shutdown() {
   // Drain all in-flight applications before stopping the machinery.
   const Status drain = wait_all();
   if (sampler_ != nullptr) sampler_->stop();
+  if (flush_sampler_ != nullptr) flush_sampler_->stop();
   tracer_.instant(obs::Category::kRuntime, "runtime_shutdown", 0, 0, now());
   impl_->stopping.store(true, std::memory_order_release);
   impl_->wake_main();
@@ -386,6 +480,16 @@ Status Runtime::shutdown() {
     }
   }
   for (std::thread& t : app_threads) t.join();
+  if (flusher_ != nullptr) {
+    // Tail flush after every producer has quiesced: whatever the periodic
+    // flush missed (including the runtime_shutdown instant above) lands in
+    // the final, finalized segment.
+    const Status flushed = flusher_->finish(now());
+    if (!flushed.ok()) {
+      CEDR_LOG(kWarn, kLogTag)
+          << "final trace flush failed: " << flushed.to_string();
+    }
+  }
   CEDR_LOG(kInfo, kLogTag) << "runtime stopped: apps=" << completed_apps();
   return drain;
 }

@@ -12,6 +12,17 @@
 //                    [--adapt-half-life SAMPLES] [--adapt-min-samples N]
 //                    [--wait-timeout SECONDS] [--ipc-workers N]
 //                    [--max-inflight N] [--busy-retry-ms MS]
+//                    [--trace-dir DIR] [--trace-flush-interval SECONDS]
+//                    [--trace-segment-events N] [--trace-segment-age SECONDS]
+//                    [--trace-retention N]
+//
+// --trace-dir enables the continuous trace pipeline: the span ring is
+// drained every --trace-flush-interval seconds into rotated binary `.cbt`
+// segments under DIR (size bound --trace-segment-events, age bound
+// --trace-segment-age, retention --trace-retention finalized files), so the
+// trace survives a crash and a run of unbounded length; convert with
+// `cedr_trace_report --from-segments DIR --chrome out.json`. See
+// docs/observability.md.
 //
 // --wait-timeout sets RuntimeConfig::default_wait_timeout_s, the deadline
 // wait_all/wait_app apply when the caller passes none (shutdown drains
@@ -55,7 +66,10 @@ int main(int argc, char** argv) {
                  "[--trace-out CHROME_JSON] [--adapt] "
                  "[--adapt-half-life SAMPLES] [--adapt-min-samples N] "
                  "[--wait-timeout SECONDS] [--ipc-workers N] "
-                 "[--max-inflight N] [--busy-retry-ms MS] [--verbose]\n",
+                 "[--max-inflight N] [--busy-retry-ms MS] "
+                 "[--trace-dir DIR] [--trace-flush-interval SECONDS] "
+                 "[--trace-segment-events N] [--trace-segment-age SECONDS] "
+                 "[--trace-retention N] [--verbose]\n",
                  argv[0]);
     return 2;
   }
@@ -71,6 +85,11 @@ int main(int argc, char** argv) {
   double adapt_half_life = 0.0;
   std::size_t adapt_min_samples = 0;
   double wait_timeout_s = -1.0;
+  std::string trace_dir;
+  double trace_flush_interval_s = 0.0;
+  std::size_t trace_segment_events = 0;
+  double trace_segment_age_s = -1.0;
+  long trace_retention = -1;
   ipc::IpcServerConfig ipc_config;
   std::size_t cpus = 2;
   std::size_t ffts = 1;
@@ -107,6 +126,15 @@ int main(int argc, char** argv) {
     else if (arg == "--busy-retry-ms")
       ipc_config.busy_retry_ms =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--trace-dir") trace_dir = next();
+    else if (arg == "--trace-flush-interval")
+      trace_flush_interval_s = std::strtod(next(), nullptr);
+    else if (arg == "--trace-segment-events")
+      trace_segment_events = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--trace-segment-age")
+      trace_segment_age_s = std::strtod(next(), nullptr);
+    else if (arg == "--trace-retention")
+      trace_retention = std::strtol(next(), nullptr, 10);
     else if (arg == "--verbose") log::set_level(log::Level::kInfo);
   }
 
@@ -142,6 +170,20 @@ int main(int argc, char** argv) {
   }
   if (metrics_interval_s > 0.0) {
     config.obs.sampler_period_s = metrics_interval_s;
+  }
+  // Trace-pipeline flags layer over the config file like the others.
+  if (!trace_dir.empty()) config.obs.trace_dir = trace_dir;
+  if (trace_flush_interval_s > 0.0) {
+    config.obs.trace_flush_interval_s = trace_flush_interval_s;
+  }
+  if (trace_segment_events > 0) {
+    config.obs.trace_segment_events = trace_segment_events;
+  }
+  if (trace_segment_age_s >= 0.0) {
+    config.obs.trace_segment_age_s = trace_segment_age_s;
+  }
+  if (trace_retention >= 0) {
+    config.obs.trace_retention = static_cast<std::size_t>(trace_retention);
   }
   // The flags layer over whatever the config file carried, so `--adapt`
   // can switch adaptation on for an otherwise-static configuration.

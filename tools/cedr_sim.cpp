@@ -11,10 +11,16 @@
 //            [--pd N] [--tx N] [--ld N] [--fault-plan JSON]
 //            [--trace-out CHROME_JSON] [--adapt]
 //            [--adapt-half-life SAMPLES] [--adapt-min-samples N]
+//            [--trace-dir DIR] [--trace-segment-events N]
 //
 // Prints one line of metrics; designed for scripting sweeps. --trace-out
 // runs one additional traced emulation (the first trial's arrival sequence)
 // and writes its span stream as a Chrome trace-event JSON on virtual time.
+// --trace-dir writes the same traced run as rotated binary `.cbt` segments
+// (size bound --trace-segment-events) instead of / in addition to the JSON;
+// the engine is deterministic, so identical invocations produce
+// byte-identical segments, and `cedr_trace_report --from-segments DIR`
+// reconstructs exactly the JSON --trace-out would have written.
 //
 // --adapt enables online cost-model adaptation (docs/adaptive_costs.md):
 // the engine feeds each successful task's virtual service time into one
@@ -35,6 +41,7 @@
 
 #include "cedr/adapt/online_estimator.h"
 #include "cedr/obs/chrome_trace.h"
+#include "cedr/obs/segment.h"
 #include "cedr/obs/span.h"
 #include "cedr/sim/model.h"
 #include "cedr/sim/simulator.h"
@@ -54,6 +61,8 @@ int main(int argc, char** argv) {
   bool nonblocking = false;
   std::string fault_plan_path;
   std::string trace_out;
+  std::string trace_dir;
+  std::size_t trace_segment_events = 8192;
   bool adapt_enabled = false;
   double adapt_half_life = 0.0;
   std::size_t adapt_min_samples = 0;
@@ -79,6 +88,9 @@ int main(int argc, char** argv) {
     else if (arg == "--nonblocking") nonblocking = true;
     else if (arg == "--fault-plan") fault_plan_path = next();
     else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--trace-dir") trace_dir = next();
+    else if (arg == "--trace-segment-events")
+      trace_segment_events = std::strtoul(next(), nullptr, 10);
     else if (arg == "--adapt") adapt_enabled = true;
     else if (arg == "--adapt-half-life")
       adapt_half_life = std::strtod(next(), nullptr);
@@ -165,7 +177,7 @@ int main(int argc, char** argv) {
         estimator->mean_rel_error(), estimator->pair_stats().size());
   }
 
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() || !trace_dir.empty()) {
     // One extra traced emulation over the first trial's arrival sequence
     // (run_point uses seed_base + trial * golden-ratio + 1 with 20 % phase
     // jitter; trial 0 of seed 42 reproduces below).
@@ -196,17 +208,47 @@ int main(int argc, char** argv) {
       tracks.push_back(
           {1 + i, 0, true, arrivals[i].app->name + " #" + std::to_string(i)});
     }
-    if (const Status s =
-            obs::write_chrome_trace(trace_out, tracer.snapshot(), tracks);
-        !s.ok()) {
-      std::fprintf(stderr, "cannot write chrome trace: %s\n",
-                   s.to_string().c_str());
-      return 1;
+    if (!trace_out.empty()) {
+      if (const Status s =
+              obs::write_chrome_trace(trace_out, tracer.snapshot(), tracks);
+          !s.ok()) {
+        std::fprintf(stderr, "cannot write chrome trace: %s\n",
+                     s.to_string().c_str());
+        return 1;
+      }
+      std::printf("chrome trace written to %s (%llu spans, %llu dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(tracer.recorded()),
+                  static_cast<unsigned long long>(tracer.dropped()));
     }
-    std::printf("chrome trace written to %s (%llu spans, %llu dropped)\n",
-                trace_out.c_str(),
-                static_cast<unsigned long long>(tracer.recorded()),
-                static_cast<unsigned long long>(tracer.dropped()));
+    if (!trace_dir.empty()) {
+      // Bulk drain into `.cbt` segments on virtual time. Age rotation is
+      // off (<= 0) and retention unbounded: the run already happened, so
+      // the split is purely size-based and fully deterministic.
+      obs::SegmentWriter writer(obs::SegmentWriter::Config{
+          .dir = trace_dir,
+          .max_segment_events = trace_segment_events,
+          .max_segment_age_s = 0.0,
+          .max_segments = 0,
+      });
+      std::uint64_t cursor = 0;
+      Status wrote = writer.open();
+      if (wrote.ok()) {
+        const auto events = tracer.drain(cursor);
+        wrote = writer.append(events, tracer.consume_dropped(), tracks, 0.0);
+      }
+      if (wrote.ok()) wrote = writer.finalize(tracks);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "cannot write trace segments: %s\n",
+                     wrote.to_string().c_str());
+        return 1;
+      }
+      std::printf(
+          "trace segments written to %s (%llu segments, %llu events)\n",
+          trace_dir.c_str(),
+          static_cast<unsigned long long>(writer.segments_finalized()),
+          static_cast<unsigned long long>(writer.events_written()));
+    }
   }
   return 0;
 }

@@ -1,0 +1,357 @@
+// Live terminal dashboard for a running CEDR daemon (`top` for the
+// scheduler): polls the STATS and METRICS IPC verbs over one persistent
+// pipelined connection and renders per-PE utilization bars, ready-queue
+// shard depths, latency-histogram summaries, fault counters and submission
+// rates in place. Pure client of the documented IPC protocol (docs/ipc.md)
+// — needs nothing the daemon does not already serve.
+//
+// usage: cedr_top <socket-path> [--interval SECONDS] [--count N] [--once]
+//                 [--connect-timeout SECONDS]
+//
+// --once polls a single time and prints a flat machine-readable
+// `key=value` dump (no ANSI, stable key names) for scripts and smoke
+// tests; the default is a full-screen view refreshed every --interval
+// seconds (default 1) until interrupted or --count refreshes have run.
+//
+// Latency sections show both lifetime quantiles (daemon-side histograms)
+// and interval rates computed client-side by differencing count/sum
+// between polls — the dashboard equivalent of
+// QuantileHistogram::snapshot_delta(), done on this end of the socket so
+// any number of cedr_top instances can watch one daemon independently.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cedr/ipc/ipc.h"
+#include "cedr/json/json.h"
+
+using namespace cedr;
+
+namespace {
+
+struct Options {
+  std::string socket_path;
+  double interval_s = 1.0;
+  std::size_t count = 0;  ///< 0 = until interrupted
+  bool once = false;
+  double connect_timeout_s = 5.0;
+};
+
+/// Client-side delta cursor per histogram (count/sum at the previous poll).
+struct HistCursor {
+  double count = 0.0;
+  double sum = 0.0;
+};
+
+/// One parsed histogram row plus its interval delta.
+struct HistRow {
+  std::string name;
+  double count = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double rate_per_s = 0.0;       ///< samples/s since the previous poll
+  double interval_mean = 0.0;    ///< mean of samples since the previous poll
+};
+
+/// 0..1 fraction as a fixed-width unicode-free bar: `[#####.....]`.
+std::string bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+  std::string out = "[";
+  out.append(filled, '#');
+  out.append(width - filled, '.');
+  out += "]";
+  return out;
+}
+
+HistRow parse_hist(const std::string& name, const json::Value& hist,
+                   std::map<std::string, HistCursor>& cursors,
+                   double interval_s) {
+  HistRow row;
+  row.name = name;
+  row.count = hist.get_double("count", 0.0);
+  row.mean = hist.get_double("mean", 0.0);
+  row.p50 = hist.get_double("p50", 0.0);
+  row.p95 = hist.get_double("p95", 0.0);
+  row.p99 = hist.get_double("p99", 0.0);
+  row.max = hist.get_double("max", 0.0);
+  const double sum = hist.get_double("sum", 0.0);
+  HistCursor& cursor = cursors[name];
+  const double dcount = row.count - cursor.count;
+  const double dsum = sum - cursor.sum;
+  if (dcount > 0.0) {
+    row.rate_per_s = interval_s > 0.0 ? dcount / interval_s : 0.0;
+    row.interval_mean = dsum / dcount;
+  }
+  cursor.count = row.count;
+  cursor.sum = sum;
+  return row;
+}
+
+/// Flat `key=value` dump for --once: stable names, one fact per line.
+void print_once(const json::Value& doc) {
+  const json::Value* stats = doc.find("stats");
+  const json::Value* metrics = doc.find("metrics");
+  const json::Value* counters = doc.find("counters");
+  if (stats != nullptr) {
+    std::printf("uptime_s=%.3f\n", stats->get_double("uptime_s", 0.0));
+    std::printf("submitted=%lld\n", static_cast<long long>(
+                                        stats->get_int("submitted", 0)));
+    std::printf("completed=%lld\n", static_cast<long long>(
+                                        stats->get_int("completed", 0)));
+    std::printf("inflight=%lld\n",
+                static_cast<long long>(stats->get_int("inflight", 0)));
+    std::printf("ready_tasks=%lld\n",
+                static_cast<long long>(stats->get_int("ready_tasks", 0)));
+    std::printf("deferred_tasks=%lld\n",
+                static_cast<long long>(stats->get_int("deferred_tasks", 0)));
+    std::printf("tasks_executed=%lld\n",
+                static_cast<long long>(stats->get_int("tasks_executed", 0)));
+    if (const json::Value* pes = stats->find("pes");
+        pes != nullptr && pes->is_object()) {
+      for (const auto& [name, pe] : pes->as_object()) {
+        std::printf("pe.%s.busy=%.4f\n", name.c_str(),
+                    pe.get_double("busy", 0.0));
+        std::printf("pe.%s.tasks=%lld\n", name.c_str(),
+                    static_cast<long long>(pe.get_int("tasks", 0)));
+        std::printf("pe.%s.quarantined=%d\n", name.c_str(),
+                    pe.get_bool("quarantined", false) ? 1 : 0);
+      }
+    }
+  }
+  if (metrics != nullptr) {
+    if (const json::Value* gauges = metrics->find("gauges");
+        gauges != nullptr && gauges->is_object()) {
+      for (const auto& [name, value] : gauges->as_object()) {
+        if (value.is_number()) {
+          std::printf("gauge.%s=%.6g\n", name.c_str(), value.as_double());
+        }
+      }
+    }
+    if (const json::Value* hists = metrics->find("histograms");
+        hists != nullptr && hists->is_object()) {
+      for (const auto& [name, hist] : hists->as_object()) {
+        std::printf("hist.%s.count=%.0f\n", name.c_str(),
+                    hist.get_double("count", 0.0));
+        std::printf("hist.%s.mean=%.3f\n", name.c_str(),
+                    hist.get_double("mean", 0.0));
+        std::printf("hist.%s.p50=%.3f\n", name.c_str(),
+                    hist.get_double("p50", 0.0));
+        std::printf("hist.%s.p95=%.3f\n", name.c_str(),
+                    hist.get_double("p95", 0.0));
+        std::printf("hist.%s.p99=%.3f\n", name.c_str(),
+                    hist.get_double("p99", 0.0));
+      }
+    }
+  }
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->as_object()) {
+      std::printf("counter.%s=%lld\n", name.c_str(),
+                  static_cast<long long>(value.as_int()));
+    }
+  }
+}
+
+void render(const json::Value& doc, const std::string& stats_line,
+            std::map<std::string, HistCursor>& cursors, double interval_s,
+            double prev_submitted, double prev_completed) {
+  const json::Value* stats = doc.find("stats");
+  const json::Value* metrics = doc.find("metrics");
+  const json::Value* counters = doc.find("counters");
+  const json::Value* gauges =
+      metrics != nullptr ? metrics->find("gauges") : nullptr;
+
+  // Home + clear-to-end instead of a full clear: no flicker at 1 Hz.
+  std::printf("\x1b[H\x1b[J");
+  const double uptime =
+      stats != nullptr ? stats->get_double("uptime_s", 0.0) : 0.0;
+  const double submitted =
+      stats != nullptr ? static_cast<double>(stats->get_int("submitted", 0))
+                       : 0.0;
+  const double completed =
+      stats != nullptr ? static_cast<double>(stats->get_int("completed", 0))
+                       : 0.0;
+  const double submit_rate =
+      interval_s > 0.0 && prev_submitted >= 0.0
+          ? std::max(0.0, submitted - prev_submitted) / interval_s
+          : 0.0;
+  const double complete_rate =
+      interval_s > 0.0 && prev_completed >= 0.0
+          ? std::max(0.0, completed - prev_completed) / interval_s
+          : 0.0;
+  std::printf("cedr_top — uptime %8.1fs   apps: %5.0f submitted / %5.0f "
+              "completed / %4lld inflight\n",
+              uptime, submitted, completed,
+              stats != nullptr
+                  ? static_cast<long long>(stats->get_int("inflight", 0))
+                  : 0);
+  std::printf("rates: %.2f submit/s  %.2f complete/s   tasks executed: %lld\n",
+              submit_rate, complete_rate,
+              stats != nullptr
+                  ? static_cast<long long>(stats->get_int("tasks_executed", 0))
+                  : 0);
+  std::printf("\n");
+
+  // --- per-PE utilization ---------------------------------------------------
+  std::printf("%-14s %-26s %10s %6s\n", "PE", "busy", "tasks", "state");
+  if (stats != nullptr) {
+    if (const json::Value* pes = stats->find("pes");
+        pes != nullptr && pes->is_object()) {
+      for (const auto& [name, pe] : pes->as_object()) {
+        const double busy = pe.get_double("busy", 0.0);
+        std::printf("%-14s %s %5.1f%% %10lld %6s\n", name.c_str(),
+                    bar(busy, 18).c_str(), busy * 100.0,
+                    static_cast<long long>(pe.get_int("tasks", 0)),
+                    pe.get_bool("quarantined", false) ? "QUAR" : "ok");
+      }
+    }
+  }
+  std::printf("\n");
+
+  // --- ready queue ----------------------------------------------------------
+  if (gauges != nullptr && gauges->is_object()) {
+    std::printf("ready queue: %4.0f total  (deferred %3.0f, inflight apps "
+                "%3.0f)\n",
+                gauges->get_double("ready_queue_depth", 0.0),
+                gauges->get_double("deferred_tasks", 0.0),
+                gauges->get_double("inflight_apps", 0.0));
+    std::printf("  shards:");
+    for (const auto& [name, value] : gauges->as_object()) {
+      const std::string prefix = "ready_queue_depth.";
+      if (name.rfind(prefix, 0) == 0 && value.is_number()) {
+        std::printf("  %s=%.0f", name.substr(prefix.size()).c_str(),
+                    value.as_double());
+      }
+    }
+    std::printf("\n\n");
+  }
+
+  // --- latency histograms ---------------------------------------------------
+  std::printf("%-24s %10s %9s %9s %9s %9s %11s %11s\n", "latency (us)",
+              "count", "mean", "p50", "p95", "p99", "rate/s", "int.mean");
+  if (metrics != nullptr) {
+    if (const json::Value* hists = metrics->find("histograms");
+        hists != nullptr && hists->is_object()) {
+      // Core scheduler histograms first, then per-verb IPC latencies.
+      std::vector<HistRow> rows;
+      for (const char* key :
+           {"queue_delay_us", "service_time_us", "sched_decision_us",
+            "sched_lock_wait_us"}) {
+        if (const json::Value* hist = hists->find(key)) {
+          rows.push_back(parse_hist(key, *hist, cursors, interval_s));
+        }
+      }
+      for (const auto& [name, hist] : hists->as_object()) {
+        if (name.rfind("ipc_cmd_us.", 0) == 0) {
+          rows.push_back(parse_hist(name, hist, cursors, interval_s));
+        }
+      }
+      for (const HistRow& row : rows) {
+        std::printf("%-24s %10.0f %9.1f %9.1f %9.1f %9.1f %11.1f %11.1f\n",
+                    row.name.c_str(), row.count, row.mean, row.p50, row.p95,
+                    row.p99, row.rate_per_s, row.interval_mean);
+      }
+    }
+  }
+  std::printf("\n");
+
+  // --- faults / trace pipeline ---------------------------------------------
+  if (counters != nullptr && counters->is_object()) {
+    std::printf("faults: injected=%lld retried=%lld recovered=%lld "
+                "quarantined=%lld reinstated=%lld lost=%lld\n",
+                static_cast<long long>(counters->get_int("faults_injected", 0)),
+                static_cast<long long>(counters->get_int("tasks_retried", 0)),
+                static_cast<long long>(counters->get_int("tasks_recovered", 0)),
+                static_cast<long long>(counters->get_int("pes_quarantined", 0)),
+                static_cast<long long>(counters->get_int("pes_reinstated", 0)),
+                static_cast<long long>(counters->get_int("tasks_failed", 0)));
+  }
+  if (gauges != nullptr && gauges->find("obs.trace_segments") != nullptr) {
+    std::printf("trace pipeline: %0.f segments finalized, %0.f events "
+                "dropped\n",
+                gauges->get_double("obs.trace_segments", 0.0),
+                gauges->get_double("obs.trace_dropped_total", 0.0));
+  }
+  std::printf("\nSTATS: %s\n", stats_line.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <socket-path> [--interval SECONDS] [--count N] "
+                 "[--once] [--connect-timeout SECONDS]\n",
+                 argv[0]);
+    return 2;
+  }
+  Options opts;
+  opts.socket_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--interval") opts.interval_s = std::strtod(next(), nullptr);
+    else if (arg == "--count") opts.count = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--once") opts.once = true;
+    else if (arg == "--connect-timeout")
+      opts.connect_timeout_s = std::strtod(next(), nullptr);
+  }
+  if (opts.interval_s <= 0.0) opts.interval_s = 1.0;
+  if (opts.once) opts.count = 1;
+
+  ipc::IpcClient client(opts.socket_path,
+                        {.connect_timeout_s = opts.connect_timeout_s});
+  std::map<std::string, HistCursor> cursors;
+  double prev_submitted = -1.0, prev_completed = -1.0;
+  for (std::size_t tick = 0; opts.count == 0 || tick < opts.count; ++tick) {
+    // One pipelined round trip per refresh over the persistent connection:
+    // both verbs go out in a single write, both replies come back in order.
+    auto replies = client.pipeline({"STATS", "METRICS"});
+    if (!replies.ok()) {
+      std::fprintf(stderr, "cedr_top: %s\n",
+                   replies.status().to_string().c_str());
+      return 1;
+    }
+    if (replies->size() != 2 || replies->at(0).rfind("OK ", 0) != 0 ||
+        replies->at(1).rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "cedr_top: unexpected reply: %s / %s\n",
+                   replies->at(0).c_str(),
+                   replies->size() > 1 ? replies->at(1).c_str() : "<none>");
+      return 1;
+    }
+    const std::string stats_line = replies->at(0).substr(3);
+    auto doc = json::parse(replies->at(1).substr(3));
+    if (!doc.ok()) {
+      std::fprintf(stderr, "cedr_top: malformed METRICS reply: %s\n",
+                   doc.status().to_string().c_str());
+      return 1;
+    }
+    if (opts.once) {
+      print_once(*doc);
+      return 0;
+    }
+    render(*doc, stats_line, cursors, tick == 0 ? 0.0 : opts.interval_s,
+           prev_submitted, prev_completed);
+    if (const json::Value* stats = doc->find("stats")) {
+      prev_submitted = static_cast<double>(stats->get_int("submitted", 0));
+      prev_completed = static_cast<double>(stats->get_int("completed", 0));
+    }
+    if (opts.count == 0 || tick + 1 < opts.count) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opts.interval_s));
+    }
+  }
+  return 0;
+}

@@ -4,8 +4,9 @@
 #   1. start cedr_daemon with the metrics sampler and a Chrome trace sink,
 #   2. submit the example IPC application,
 #   3. poll STATS (and METRICS) while it runs,
-#   4. shut down over IPC,
-#   5. validate the exported Chrome trace: well-formed JSON, non-empty
+#   4. take one cedr_top --once sample (machine-readable dashboard output),
+#   5. shut down over IPC,
+#   6. validate the exported Chrome trace: well-formed JSON, non-empty
 #      traceEvents, timestamps monotonic per (pid, tid) track, and at least
 #      one complete enqueue->execute flow pair.
 #
@@ -15,9 +16,10 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 DAEMON="$BUILD_DIR/tools/cedr_daemon"
 SUBMIT="$BUILD_DIR/tools/cedr_submit"
+TOP="$BUILD_DIR/tools/cedr_top"
 APP_SO="$BUILD_DIR/examples/libipc_app.so"
 
-for f in "$DAEMON" "$SUBMIT" "$APP_SO"; do
+for f in "$DAEMON" "$SUBMIT" "$TOP" "$APP_SO"; do
   if [ ! -e "$f" ]; then
     echo "missing $f (build the tree first)" >&2
     exit 1
@@ -75,6 +77,21 @@ assert doc["stats"]["completed"] == 2, doc["stats"]
 print("METRICS ok: %d tasks, p95 service %.1f us" % (
     hists["service_time_us"]["count"], hists["service_time_us"]["p95"]))
 EOF
+
+# One machine-readable dashboard sample over the same socket: utilization,
+# queue depths and histogram quantiles must come back as flat key=value
+# lines built from real STATS/METRICS replies.
+"$TOP" "$SOCK" --once > "$WORK_DIR/top.txt"
+echo "cedr_top --once: $(wc -l < "$WORK_DIR/top.txt") keys"
+for key in "uptime_s=" "completed=2" "pe.cpu0.busy=" \
+           "hist.service_time_us.p95=" "gauge.ready_queue_depth=" \
+           "counter.tasks_executed="; do
+  grep -q "$key" "$WORK_DIR/top.txt" || {
+    echo "cedr_top --once output missing $key" >&2
+    cat "$WORK_DIR/top.txt" >&2
+    exit 1
+  }
+done
 
 "$SUBMIT" "$SOCK" shutdown
 wait "$DAEMON_PID"

@@ -19,12 +19,14 @@ BUILD_DIR="${ROOT}/build-${SANITIZER}"
 # retry/quarantine, the 500-instance soak, cross-module properties, IPC
 # (including the event-loop front-end hammered by pipelining clients),
 # the observability layer (lock-free span ring, sampler thread), the
+# continuous trace pipeline (flusher draining the ring while writers
+# record), the
 # online cost adaptation (concurrent observe + lock-free snapshot swap),
 # the scheduling layer (sharded ready queue with per-shard locks), and the
 # scenario harness (concurrent sweep execution over shared compiled state).
 TARGETS=(test_runtime test_faults test_stress test_properties test_api
-         test_ipc test_ipc_concurrency test_obs test_adapt test_sched
-         test_scenario)
+         test_ipc test_ipc_concurrency test_obs test_trace_segments
+         test_adapt test_sched test_scenario)
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCEDR_SANITIZE="${SANITIZER}" \
