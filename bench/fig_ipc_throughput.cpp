@@ -35,8 +35,21 @@
 // the same mixed workload as sequential round-trips); "current" tracks the
 // concurrent front-end.
 //
+// --lane adds the shared-memory submission lane (docs/ipc.md) next to the
+// socket phases: each shm client stages the same DAG document into its
+// arena once and then streams SUBMITDAG records through the SPSC ring,
+// counting a submission only when its completion record comes back — the
+// same admission-to-acknowledgement span the socket lane measures. A
+// single-client NOP phase records the raw ring round-trip rate with the
+// runtime out of the picture. Per shm point: full-ring producer waits,
+// doorbell wakes (counter delta — a low number is the syscall-amortization
+// working) and the drain-batch size distribution. The final "summary"
+// point carries the shm:socket throughput ratio at the widest client
+// count, both lanes measured in the same process on the same host.
+//
 // usage: fig_ipc_throughput [--clients N] [--seconds S] [--json PATH]
 //                           [--max-inflight N] [--batch B]
+//                           [--lane socket|shm|both]
 
 #include <atomic>
 #include <chrono>
@@ -54,6 +67,7 @@
 #include "cedr/ipc/ipc.h"
 #include "cedr/obs/metrics.h"
 #include "cedr/runtime/runtime.h"
+#include "cedr/shm/client.h"
 
 using namespace cedr;
 
@@ -141,6 +155,63 @@ void monitor_client(const std::string& socket, obs::QuantileHistogram* stats_us,
   }
 }
 
+/// One shm-lane NOP streamer: round-trip-only records, no runtime work
+/// behind them — measures the lane itself (ring + doorbell protocol).
+void shm_nop_client(const std::string& socket, double seconds,
+                    ClientTally* tally, std::uint64_t* full_ring_waits) {
+  shm::ShmClient client(socket);
+  if (!client.connect().ok()) {
+    ++tally->errors;
+    return;
+  }
+  std::vector<shm::Completion> completions;
+  Stopwatch clock;
+  while (clock.elapsed() < seconds) {
+    if (!client.nop().ok()) {
+      ++tally->errors;
+      return;
+    }
+    completions.clear();
+    client.poll_completions(completions);
+  }
+  if (!client.wait_all().ok()) ++tally->errors;
+  tally->submits_ok += client.completed();
+  *full_ring_waits += client.full_ring_waits();
+}
+
+/// One shm-lane submitter: the DAG document is staged into the arena once
+/// (submit_dag_json memoizes it), then SUBMITDAG records stream through the
+/// submission ring until the deadline; completions are drained opportunistically
+/// along the way and fully at the end, so the tally counts acknowledged
+/// submissions, not just published records.
+void shm_submitter(const std::string& socket, const std::string& dag_doc,
+                   double seconds, ClientTally* tally,
+                   std::uint64_t* full_ring_waits) {
+  shm::ShmClient client(socket);
+  if (!client.connect().ok()) {
+    ++tally->errors;
+    return;
+  }
+  std::vector<shm::Completion> completions;
+  Stopwatch clock;
+  while (clock.elapsed() < seconds) {
+    if (!client.submit_dag_json(dag_doc).ok()) {
+      ++tally->errors;
+      return;
+    }
+    completions.clear();
+    client.poll_completions(completions);
+    for (const shm::Completion& c : completions) {
+      if (c.status == shm::CplStatus::kError) ++tally->errors;
+    }
+  }
+  if (!client.wait_all().ok()) ++tally->errors;
+  tally->submits_ok +=
+      client.completed() - client.busy_completions() - tally->errors;
+  tally->busy += client.busy_completions();
+  *full_ring_waits += client.full_ring_waits();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,6 +225,7 @@ int main(int argc, char** argv) {
   std::size_t groups = 16;
   std::size_t workers = 0;  // 0 = server default
   std::size_t cpus = 2;
+  std::string lane = "both";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -165,13 +237,21 @@ int main(int argc, char** argv) {
     else if (arg == "--batch") groups = std::strtoul(next(), nullptr, 10);
     else if (arg == "--workers") workers = std::strtoul(next(), nullptr, 10);
     else if (arg == "--cpus") cpus = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--lane") lane = next();
     else if (arg == "--help" || arg == "-h") {
       std::printf("usage: %s [--clients N] [--seconds S] [--json PATH] "
-                  "[--max-inflight N] [--batch B]\n", argv[0]);
+                  "[--max-inflight N] [--batch B] [--lane socket|shm|both]\n",
+                  argv[0]);
       return 0;
     }
   }
   if (groups == 0) groups = 1;
+  if (lane != "socket" && lane != "shm" && lane != "both") {
+    std::fprintf(stderr, "--lane must be socket, shm or both\n");
+    return 2;
+  }
+  const bool run_socket = lane != "shm";
+  const bool run_shm = lane != "socket";
 
   const char* tmp = std::getenv("TMPDIR");
   const std::string dir = (tmp != nullptr && tmp[0] != '\0') ? tmp : "/tmp";
@@ -212,9 +292,12 @@ int main(int argc, char** argv) {
   obs::QuantileHistogram& srv_submitdag =
       runtime.metrics().histogram("ipc_cmd_us.SUBMITDAG");
 
+  double socket_submits_per_s = 0.0;  // at the widest client count
+  double shm_submits_per_s = 0.0;
+
   // Idle STATS latency: the same monitor loop as under load, with no
   // submission load — the histograms differ only in background traffic.
-  {
+  if (run_socket) {
     obs::QuantileHistogram idle_us;
     std::mutex hist_mutex;
     ClientTally tally;
@@ -238,7 +321,8 @@ int main(int argc, char** argv) {
     report.add_point(std::move(point));
   }
 
-  for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
+  for (std::size_t clients = 1; run_socket && clients <= max_clients;
+       clients *= 2) {
     obs::QuantileHistogram stats_us;
     obs::QuantileHistogram batch_us;
     std::mutex hist_mutex;
@@ -280,6 +364,7 @@ int main(int argc, char** argv) {
     }
     const double submits_per_s =
         static_cast<double>(total.submits_ok) / elapsed;
+    socket_submits_per_s = submits_per_s;
     table.add_row(static_cast<double>(clients),
                   {submits_per_s, srv_stats.quantile(0.95),
                    stats_us.quantile(0.95), batch_us.quantile(0.50),
@@ -307,6 +392,136 @@ int main(int argc, char** argv) {
   }
 
   table.print();
+
+  double shm_records_per_s = 0.0;  // NOP phase at the widest client count
+  if (run_shm) {
+    bench::Table shm_table(
+        "shared-memory lane throughput (SUBMITDAG records through the ring)",
+        "clients", {"submits/s", "ring_waits", "doorbells", "drain_p95"});
+    obs::QuantileHistogram& drain_batch =
+        runtime.metrics().histogram("shm_drain_batch");
+
+    // Raw lane record rate: clients streaming NOP records with no runtime
+    // work behind them — isolates the ring + doorbell protocol from the
+    // per-instance cost of the scheduling pipeline it feeds.
+    bench::Table nop_table("shared-memory lane record rate (NOP round trips)",
+                           "clients", {"records/s", "ring_waits"});
+    const double nop_seconds = std::min(seconds, 1.0);
+    for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
+      std::vector<ClientTally> tallies(clients);
+      std::vector<std::uint64_t> ring_waits(clients, 0);
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      Stopwatch clock;
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back(shm_nop_client, socket, nop_seconds, &tallies[c],
+                             &ring_waits[c]);
+      }
+      for (auto& t : threads) t.join();
+      const double elapsed = clock.elapsed();
+      std::uint64_t ok = 0;
+      std::uint64_t waits = 0;
+      for (std::size_t c = 0; c < clients; ++c) {
+        ok += tallies[c].submits_ok;
+        waits += ring_waits[c];
+      }
+      const double nops_per_s = static_cast<double>(ok) / elapsed;
+      shm_records_per_s = nops_per_s;
+      nop_table.add_row(static_cast<double>(clients),
+                        {nops_per_s, static_cast<double>(waits)});
+      json::Object point;
+      point.emplace("phase", "shm_nop");
+      point.emplace("lane", "shm");
+      point.emplace("clients", clients);
+      point.emplace("seconds", elapsed);
+      point.emplace("nops_ok", ok);
+      point.emplace("nops_per_sec", nops_per_s);
+      point.emplace("full_ring_waits", waits);
+      report.add_point(std::move(point));
+    }
+    nop_table.print();
+
+    for (std::size_t clients = 1; clients <= max_clients; clients *= 2) {
+      std::vector<ClientTally> tallies(clients);
+      std::vector<std::uint64_t> ring_waits(clients, 0);
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      drain_batch.reset();
+      const std::uint64_t wakes_before =
+          runtime.counters().get("shm.doorbell_wakes_total");
+      Stopwatch clock;
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back(shm_submitter, socket, std::string(kTinyDag),
+                             seconds, &tallies[c], &ring_waits[c]);
+      }
+      for (auto& t : threads) t.join();
+      // Every completion is in hand once the submitters join, so the span
+      // covers admission to acknowledgement, like the socket phases.
+      const double elapsed = clock.elapsed();
+      const std::uint64_t wakes =
+          runtime.counters().get("shm.doorbell_wakes_total") - wakes_before;
+
+      ClientTally total;
+      std::uint64_t waits = 0;
+      for (std::size_t c = 0; c < clients; ++c) {
+        total.submits_ok += tallies[c].submits_ok;
+        total.busy += tallies[c].busy;
+        total.errors += tallies[c].errors;
+        waits += ring_waits[c];
+      }
+      const std::uint64_t inflight_at_end = runtime.stats().inflight;
+      while (runtime.stats().inflight > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      const double submits_per_s =
+          static_cast<double>(total.submits_ok) / elapsed;
+      shm_submits_per_s = submits_per_s;
+      shm_table.add_row(static_cast<double>(clients),
+                        {submits_per_s, static_cast<double>(waits),
+                         static_cast<double>(wakes),
+                         drain_batch.quantile(0.95)});
+
+      json::Object point;
+      point.emplace("phase", "shm");
+      point.emplace("lane", "shm");
+      point.emplace("clients", clients);
+      point.emplace("seconds", elapsed);
+      point.emplace("submits_ok", total.submits_ok);
+      point.emplace("submits_per_sec", submits_per_s);
+      point.emplace("busy", total.busy);
+      point.emplace("errors", total.errors);
+      point.emplace("full_ring_waits", waits);
+      point.emplace("doorbell_wakes", wakes);
+      point.emplace("inflight_at_end", inflight_at_end);
+      point.emplace("drain_batch", bench::histogram_summary(drain_batch));
+      report.add_point(std::move(point));
+    }
+    shm_table.print();
+  }
+
+  if (run_socket && run_shm && socket_submits_per_s > 0.0) {
+    // Two ratios, both against the socket lane's submits/s at the widest
+    // client count: the lane itself (NOP records — transport overhead
+    // only) and end-to-end SUBMITDAG (which on a saturated host is bounded
+    // by the runtime's per-instance scheduling cost, not the transport).
+    const double submit_ratio = shm_submits_per_s / socket_submits_per_s;
+    const double record_ratio = shm_records_per_s / socket_submits_per_s;
+    std::printf("\nat %zu clients: socket %.0f submits/s | shm %.0f "
+                "submits/s (%.1fx, runtime-bound) | shm lane %.0f records/s "
+                "(%.1fx)\n",
+                max_clients, socket_submits_per_s, shm_submits_per_s,
+                submit_ratio, shm_records_per_s, record_ratio);
+    json::Object point;
+    point.emplace("phase", "summary");
+    point.emplace("clients", max_clients);
+    point.emplace("socket_submits_per_sec", socket_submits_per_s);
+    point.emplace("shm_submits_per_sec", shm_submits_per_s);
+    point.emplace("shm_submit_speedup", submit_ratio);
+    point.emplace("shm_lane_records_per_sec", shm_records_per_s);
+    point.emplace("shm_lane_record_speedup", record_ratio);
+    report.add_point(std::move(point));
+  }
+
   server.stop();
   (void)runtime.shutdown();
   std::remove(dag_path.c_str());

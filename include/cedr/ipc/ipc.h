@@ -8,6 +8,8 @@
 //
 //   SUBMIT <path-to-shared-object> [app-name]   -> OK <instance-id> | ERR msg
 //   SUBMITDAG <path-to-dag-json> [app-name]     -> OK <instance-id> | ERR msg
+//   SHMOPEN                                     -> OK sub_slots=... | ERR msg
+//                                                  (+3 SCM_RIGHTS fds)
 //   STATUS                                      -> OK submitted=N completed=M
 //   STATS                                       -> OK uptime_s=... ready=...
 //   METRICS                                     -> OK {json}   (one line)
@@ -29,6 +31,16 @@
 // SUBMITDAG's JSON load, WAIT, SHUTDOWN's trace serialization) run on a
 // small worker pool so one submitter stalled on disk I/O never delays
 // another client's STATS poll.
+//
+// SHMOPEN negotiates the shared-memory submission lane (cedr::shm, see
+// docs/ipc.md "Shared-memory lane"): the daemon creates a per-client
+// segment with SPSC submission/completion rings plus an argument arena and
+// replies with the segment fd and two doorbell eventfds attached as
+// SCM_RIGHTS ancillary data. It must be the first command on its
+// connection; the connection then stays open as the session's lifeline —
+// EOF (including a SIGKILLed client) reaps the segment. The socket lane
+// remains fully functional alongside and is the fallback when the daemon
+// runs with shm disabled.
 //
 // A submitted shared object must export  extern "C" void cedr_app_main(void);
 // The daemon dlopens it and launches cedr_app_main as an API-mode
@@ -52,6 +64,10 @@
 #include "cedr/obs/metrics.h"
 #include "cedr/runtime/runtime.h"
 
+namespace cedr::shm {
+class ShmServer;
+}  // namespace cedr::shm
+
 namespace cedr::ipc {
 
 /// Front-end knobs: concurrency, admission control, back-pressure.
@@ -72,6 +88,16 @@ struct IpcServerConfig {
   /// Simultaneous connections; beyond it the listener pauses accepting
   /// and excess connectors wait in the listen backlog.
   std::size_t max_connections = 256;
+  /// Shared-memory lane (SHMOPEN). Disabled -> SHMOPEN answers ERR and
+  /// clients fall back to the socket lane.
+  bool enable_shm = true;
+  /// Per-session ring/arena geometry (slot counts must be powers of two).
+  std::uint32_t shm_sub_slots = 1024;
+  std::uint32_t shm_cpl_slots = 1024;
+  std::uint32_t shm_arena_bytes = 1u << 20;
+  /// Simultaneous shm sessions; beyond it SHMOPEN is refused (the client
+  /// falls back to the socket lane).
+  std::size_t max_shm_sessions = 64;
 };
 
 /// Server half: accepts submissions for an existing runtime.
@@ -121,14 +147,20 @@ class IpcServer {
     };
     std::deque<Reply> replies;
     std::uint64_t next_seq = 0;
+    /// SHMOPEN descriptors to attach (SCM_RIGHTS) to the next write on
+    /// this connection; owned by the shm session, not the connection.
+    std::vector<int> pending_fds;
   };
 
-  /// One slow verb queued for the worker pool.
+  /// One slow verb queued for the worker pool. When `shm_session` is
+  /// non-zero the job is a ring drain for that session instead of a
+  /// protocol line.
   struct Job {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
     std::string line;
     double admit_time = 0.0;
+    std::uint64_t shm_session = 0;
   };
 
   void event_loop();
@@ -192,6 +224,11 @@ class IpcServer {
 
   std::vector<void*> loaded_objects_;  ///< dlopen handles, closed in dtor
   std::mutex objects_mutex_;
+
+  /// Shared-memory lane manager (nullptr when config_.enable_shm is
+  /// false). Sessions are keyed by control-connection id; the event loop
+  /// polls their doorbells and the worker pool runs their drains.
+  std::unique_ptr<shm::ShmServer> shm_;
 };
 
 /// Client connect behaviour (first connect and transparent reconnects).

@@ -1,0 +1,145 @@
+#pragma once
+// Client half of the shared-memory lane (docs/ipc.md, "Shared-memory
+// lane").
+//
+// ShmClient opens its own control-socket connection, performs the SHMOPEN
+// handshake (the daemon replies with the segment fd and the two doorbell
+// eventfds as SCM_RIGHTS ancillary data), maps and validates the segment,
+// and from then on submits through the SPSC submission ring without a
+// syscall per record — the doorbell write happens only when the daemon has
+// armed it before sleeping. Completions come back over the completion ring
+// the same way.
+//
+// The control connection stays open for the session's lifetime: the daemon
+// reaps the segment when it sees EOF on it, which is what keeps a
+// SIGKILLed client from leaking daemon-side state.
+//
+// Failure contract: connect() reports Unavailable when the daemon lacks or
+// refuses the lane (old daemon, --no-shm, segment exhaustion) so callers
+// like `cedr_submit --transport auto` can fall back to the socket lane.
+// A poisoned session (record CRC failure observed by the daemon) surfaces
+// as Aborted from every later submit.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/shm/layout.h"
+#include "cedr/shm/segment.h"
+
+namespace cedr::shm {
+
+/// Connect behaviour for the control-socket handshake (mirrors
+/// ipc::IpcClientConfig).
+struct ShmClientConfig {
+  double connect_timeout_s = 0.0;  ///< retry window for the initial connect
+  std::uint32_t backoff_initial_ms = 20;
+  std::uint32_t backoff_max_ms = 250;
+};
+
+/// One decoded completion-ring record.
+struct Completion {
+  std::uint64_t seq = 0;
+  CplStatus status = CplStatus::kError;
+  std::uint64_t value = 0;  ///< instance id (kOk) or retry hint ms (kBusy)
+  std::string msg;          ///< reason text (kError)
+};
+
+class ShmClient {
+ public:
+  explicit ShmClient(std::string socket_path, ShmClientConfig config = {})
+      : socket_path_(std::move(socket_path)), config_(config) {}
+  ShmClient(const ShmClient&) = delete;
+  ShmClient& operator=(const ShmClient&) = delete;
+  ~ShmClient();
+
+  /// Connects the control socket, performs SHMOPEN, attaches the segment.
+  /// Unavailable when the daemon does not offer the lane.
+  Status connect();
+  [[nodiscard]] bool connected() const noexcept { return segment_.valid(); }
+
+  /// Copies `payload` into the argument arena (bump allocation, never
+  /// freed) and returns its offset, for repeated submit_staged() calls that
+  /// share one payload. ResourceExhausted when the arena is out of space.
+  StatusOr<std::uint32_t> stage(std::string_view payload);
+
+  /// Submits a SUBMITDAG record referencing a stage()d payload. Returns
+  /// the record's sequence number. Blocks (doorbell wait) while the
+  /// submission ring is full; `timeout_ms` < 0 means wait forever.
+  StatusOr<std::uint64_t> submit_staged(std::uint32_t arg_off,
+                                        std::uint32_t arg_len,
+                                        int timeout_ms = -1);
+
+  /// Submits a DAG JSON document: inline in the record when it fits,
+  /// otherwise staged into the arena (memoized, so resubmitting the same
+  /// document does not grow the arena).
+  StatusOr<std::uint64_t> submit_dag_json(std::string_view json_doc,
+                                          int timeout_ms = -1);
+
+  /// Round-trip-only record; completes with the echoed sequence number.
+  StatusOr<std::uint64_t> nop(int timeout_ms = -1);
+
+  /// Drains currently-available completions without blocking. Returns the
+  /// number appended to `out`.
+  std::size_t poll_completions(std::vector<Completion>& out);
+
+  /// Blocks until the completion for `seq` arrives (earlier completions
+  /// are consumed and counted on the way). `timeout_ms` < 0 waits forever.
+  StatusOr<Completion> wait_completion(std::uint64_t seq, int timeout_ms = -1);
+
+  /// Blocks until every submitted record has completed.
+  Status wait_all(int timeout_ms = -1);
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t busy_completions() const noexcept {
+    return busy_;
+  }
+  [[nodiscard]] std::uint64_t full_ring_waits() const noexcept {
+    return full_ring_waits_;
+  }
+
+  /// Negotiated geometry (valid after connect()).
+  [[nodiscard]] const SegmentHeader* header() const noexcept {
+    return segment_.valid() ? segment_.header() : nullptr;
+  }
+
+ private:
+  Status connect_control_socket();
+  /// Blocks until the submission ring has a free slot (completion-doorbell
+  /// wait: the daemon frees submission slots as it posts completions).
+  Status wait_for_sub_slot(int timeout_ms);
+  /// Fills, CRC-stamps and publishes one record; rings the submission
+  /// doorbell if the daemon armed it.
+  StatusOr<std::uint64_t> push_record(Opcode opcode, std::uint16_t flags,
+                                      std::uint32_t arg_off,
+                                      std::uint32_t arg_len,
+                                      std::string_view inline_payload,
+                                      int timeout_ms);
+  /// Arms the completion doorbell and poll(2)s it. Ok = woken or data
+  /// already present; Unavailable on timeout.
+  Status wait_on_cpl_doorbell(int timeout_ms);
+  bool consume_one(Completion& out);
+
+  std::string socket_path_;
+  ShmClientConfig config_;
+  int control_fd_ = -1;
+  int sub_doorbell_fd_ = -1;
+  int cpl_doorbell_fd_ = -1;
+  Segment segment_;
+  SpscRing<SubRecord> sub_ring_;
+  SpscRing<CplRecord> cpl_ring_;
+  std::uint32_t arena_used_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t busy_ = 0;
+  std::uint64_t full_ring_waits_ = 0;
+  /// submit_dag_json() memo: last staged document and its arena offset.
+  std::string staged_doc_;
+  std::uint32_t staged_off_ = 0;
+};
+
+}  // namespace cedr::shm

@@ -1,0 +1,32 @@
+#pragma once
+// SCM_RIGHTS file-descriptor passing over the Unix-domain control socket.
+//
+// The SHMOPEN handshake (docs/ipc.md) delivers three descriptors to the
+// client — the segment fd and the two doorbell eventfds — as ancillary data
+// attached to the text reply. These helpers wrap the sendmsg/recvmsg
+// plumbing; the descriptors ride with whatever data bytes the call carries,
+// so the receiver must collect ancillary fds on every read until its reply
+// line is complete.
+
+#include <cstddef>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace cedr::shm {
+
+inline constexpr std::size_t kMaxPassedFds = 8;
+
+/// sendmsg(`data`, `len`) with `fds` attached as one SCM_RIGHTS control
+/// block. Returns bytes sent (>=1 implies the fds were delivered) or -1
+/// with errno set. The caller keeps ownership of its fd copies.
+ssize_t send_with_fds(int sock, const void* data, std::size_t len,
+                      const std::vector<int>& fds);
+
+/// recvmsg into `buf`; any SCM_RIGHTS descriptors that arrived with these
+/// bytes are appended to `fds_out` (received fds are owned by the caller).
+/// Returns bytes read, 0 on EOF, or -1 with errno set.
+ssize_t recv_with_fds(int sock, void* buf, std::size_t len,
+                      std::vector<int>& fds_out);
+
+}  // namespace cedr::shm

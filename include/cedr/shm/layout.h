@@ -1,0 +1,169 @@
+#pragma once
+// cedr::shm — the shared-memory binary submission data plane (docs/ipc.md,
+// "Shared-memory lane").
+//
+// This header is the layout contract between the daemon and its clients:
+// one mapped segment per client holding a fixed header, an SPSC submission
+// ring (client -> daemon), an SPSC completion ring (daemon -> client) and a
+// client-managed argument arena for SUBMITDAG payloads. Everything is
+// position-independent (offsets, not pointers), fixed-size and versioned,
+// so both sides can map the same bytes at different addresses and a
+// mismatched peer is rejected at attach instead of corrupting memory.
+//
+// Concurrency contract (the whole point of the lane):
+//   * each ring is strictly single-producer/single-consumer. Cursors are
+//     monotonically increasing uint64 slot counters on their own cache
+//     lines; the slot index is `cursor & (slots - 1)` (slot counts are
+//     powers of two). The producer writes the record, then release-stores
+//     the tail; the consumer acquire-loads the tail before reading the
+//     record — no locks, no syscalls on the hot path.
+//   * doorbells are eventfds passed over the control socket at SHMOPEN.
+//     They exist only to wake a sleeping peer: each side arms its
+//     `*_doorbell_armed` flag before sleeping and the other side issues the
+//     one write(2) only when it observes the flag set, so a busy ring runs
+//     doorbell-free.
+//   * every record carries a CRC-32 over its payload. The rings are torn-
+//     write-safe between live peers by the release/acquire ordering alone;
+//     the CRC is the reattach/corruption guard — a record that fails it
+//     poisons the session (the daemon stops consuming and the client falls
+//     back to the socket lane) rather than desyncing silently.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "cedr/obs/segment.h"  // obs::crc32
+
+namespace cedr::shm {
+
+/// "CEDRSHM1" little-endian.
+inline constexpr std::uint64_t kMagic = 0x314D485352444543ull;
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Submission opcodes.
+enum class Opcode : std::uint16_t {
+  kNop = 1,        ///< round-trip only; completion echoes the sequence
+  kSubmitDag = 2,  ///< payload is an executable-DAG JSON document
+};
+
+/// SubRecord::flags bits: where the payload lives.
+inline constexpr std::uint16_t kArgInArena = 1u << 0;
+inline constexpr std::uint16_t kArgInline = 1u << 1;
+
+/// Completion statuses.
+enum class CplStatus : std::uint16_t {
+  kOk = 0,
+  kBusy = 1,   ///< admission refused; value carries the retry hint (ms)
+  kError = 2,  ///< msg carries a truncated reason
+};
+
+/// One submission-ring slot (client -> daemon). 128 bytes: two cache
+/// lines, large enough to carry a short path or name inline without
+/// touching the arena.
+struct alignas(64) SubRecord {
+  std::uint32_t crc;       ///< crc32 over bytes [4, 32 + inline payload)
+  std::uint16_t opcode;    ///< Opcode
+  std::uint16_t flags;     ///< kArgInArena | kArgInline
+  std::uint64_t seq;       ///< client-assigned, echoed in the completion
+  std::uint32_t arg_off;   ///< arena offset (kArgInArena)
+  std::uint32_t arg_len;   ///< payload bytes (either location)
+  std::uint64_t reserved;  ///< zero; covered by the CRC
+  char inline_arg[96];     ///< payload when kArgInline (arg_len <= 96)
+};
+static_assert(sizeof(SubRecord) == 128);
+inline constexpr std::uint32_t kSubInlineBytes = sizeof(SubRecord::inline_arg);
+
+/// One completion-ring slot (daemon -> client). One cache line.
+struct alignas(64) CplRecord {
+  std::uint32_t crc;      ///< crc32 over bytes [4, 64)
+  std::uint16_t status;   ///< CplStatus
+  std::uint16_t msg_len;  ///< used bytes of `msg`
+  std::uint64_t seq;      ///< echoed SubRecord::seq
+  std::uint64_t value;    ///< instance id (kOk) or retry hint ms (kBusy)
+  char msg[40];           ///< truncated error text (kError)
+};
+static_assert(sizeof(CplRecord) == 64);
+inline constexpr std::uint32_t kCplMsgBytes = sizeof(CplRecord::msg);
+
+/// The layout-defining block of the header, covered by `header_crc` — the
+/// CRC-guarded half of the SHMOPEN handshake. A client whose record sizes
+/// or offsets disagree (version skew, torn/corrupt header on reattach)
+/// fails validation instead of indexing garbage.
+struct SegmentLayout {
+  std::uint32_t sub_slots;       ///< submission-ring capacity (power of two)
+  std::uint32_t cpl_slots;       ///< completion-ring capacity (power of two)
+  std::uint32_t sub_slot_bytes;  ///< sizeof(SubRecord) of the creator
+  std::uint32_t cpl_slot_bytes;  ///< sizeof(CplRecord) of the creator
+  std::uint32_t arena_bytes;
+  std::uint32_t reserved = 0;
+  std::uint64_t sub_ring_off;
+  std::uint64_t cpl_ring_off;
+  std::uint64_t arena_off;
+  std::uint64_t total_bytes;
+  std::uint64_t daemon_pid;
+};
+
+/// Segment header. The atomics are shared between two *processes*:
+/// std::atomic over the mapped bytes is valid because the platform lock-free
+/// (address-free) guarantee is asserted below.
+struct SegmentHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t header_crc;  ///< crc32 over `layout`
+  SegmentLayout layout;
+  std::atomic<std::uint64_t> client_pid;  ///< written by the client on attach
+
+  /// Ring cursors, one cache line each so producer and consumer never
+  /// false-share. `*_head` = consumer cursor, `*_tail` = producer cursor.
+  alignas(64) std::atomic<std::uint64_t> sub_head;
+  alignas(64) std::atomic<std::uint64_t> sub_tail;
+  alignas(64) std::atomic<std::uint64_t> cpl_head;
+  alignas(64) std::atomic<std::uint64_t> cpl_tail;
+
+  /// Doorbell arming flags plus the poison latch (set by the daemon when a
+  /// record fails its CRC; the session is dead from then on).
+  alignas(64) std::atomic<std::uint32_t> sub_doorbell_armed;
+  std::atomic<std::uint32_t> poisoned;
+  alignas(64) std::atomic<std::uint32_t> cpl_doorbell_armed;
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-memory cursors require address-free atomics");
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shared-memory flags require address-free atomics");
+
+/// Header region size; rings start at this offset.
+inline constexpr std::size_t kHeaderBytes =
+    (sizeof(SegmentHeader) + 511) & ~std::size_t{511};
+
+/// CRC over a submission record: the fixed fields after `crc` plus the used
+/// inline payload. Arena payloads are not covered here (the arena is client
+/// memory until the record is consumed); corruption there surfaces as a
+/// parse error completion, not a poisoned ring.
+inline std::uint32_t sub_record_crc(const SubRecord& rec) {
+  const std::size_t inline_used =
+      (rec.flags & kArgInline) != 0 && rec.arg_len <= kSubInlineBytes
+          ? rec.arg_len
+          : 0;
+  return obs::crc32(reinterpret_cast<const char*>(&rec) + sizeof(rec.crc),
+                    offsetof(SubRecord, inline_arg) - sizeof(rec.crc) +
+                        inline_used);
+}
+
+/// CRC over a completion record: everything after `crc` (records are
+/// zero-initialized by the producer, so the tail of `msg` is stable).
+inline std::uint32_t cpl_record_crc(const CplRecord& rec) {
+  return obs::crc32(reinterpret_cast<const char*>(&rec) + sizeof(rec.crc),
+                    sizeof(CplRecord) - sizeof(rec.crc));
+}
+
+inline std::uint32_t layout_crc(const SegmentLayout& layout) {
+  return obs::crc32(&layout, sizeof(layout));
+}
+
+[[nodiscard]] inline bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace cedr::shm

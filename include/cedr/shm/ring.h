@@ -1,0 +1,93 @@
+#pragma once
+// SPSC ring view over a mapped segment (layout.h).
+//
+// SpscRing does not own memory: it is a typed window onto one ring's
+// cursor pair and slot array inside a shm::Segment, constructed
+// independently by the producer process and the consumer process over the
+// same bytes. The protocol is the classic two-cursor SPSC queue:
+//
+//   producer:  slot = acquire();        // nullptr when full
+//              *slot = record;          // plain stores, slot is exclusive
+//              publish();               // release-store tail+1
+//   consumer:  rec = front();           // acquire-load tail; nullptr empty
+//              ... read *rec ...
+//              release();               // release-store head+1
+//
+// The release/acquire pair on `tail` makes the record contents visible
+// before the slot is observable; the release on `head` returns the slot to
+// the producer only after the consumer is done reading it. Cursors grow
+// monotonically (no wrap handling beyond the power-of-two mask), so
+// `tail - head` is always the exact occupancy.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cedr::shm {
+
+template <typename Record>
+class SpscRing {
+ public:
+  SpscRing() = default;
+  /// `slots` must be a power of two; `base` points at slot 0.
+  SpscRing(std::atomic<std::uint64_t>* head, std::atomic<std::uint64_t>* tail,
+           void* base, std::uint32_t slots)
+      : head_(head),
+        tail_(tail),
+        base_(static_cast<Record*>(base)),
+        mask_(slots - 1),
+        slots_(slots) {}
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return slots_; }
+
+  /// Occupied slots (approximate from the opposite side's point of view,
+  /// exact from the calling side's).
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return tail_->load(std::memory_order_acquire) -
+           head_->load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  // --- producer side -------------------------------------------------------
+
+  /// Next free slot for writing, or nullptr when the ring is full. The slot
+  /// stays exclusively the producer's until publish().
+  [[nodiscard]] Record* acquire() noexcept {
+    const std::uint64_t tail = tail_->load(std::memory_order_relaxed);
+    if (tail - head_->load(std::memory_order_acquire) >= slots_) {
+      return nullptr;  // full: consumer has not released the oldest slot
+    }
+    return &base_[tail & mask_];
+  }
+
+  /// Publishes the record written into acquire()'s slot.
+  void publish() noexcept {
+    tail_->store(tail_->load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+
+  // --- consumer side -------------------------------------------------------
+
+  /// Oldest unconsumed record, or nullptr when empty. Valid until
+  /// release().
+  [[nodiscard]] const Record* front() const noexcept {
+    const std::uint64_t head = head_->load(std::memory_order_relaxed);
+    if (head == tail_->load(std::memory_order_acquire)) return nullptr;
+    return &base_[head & mask_];
+  }
+
+  /// Returns front()'s slot to the producer.
+  void release() noexcept {
+    head_->store(head_->load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t>* head_ = nullptr;
+  std::atomic<std::uint64_t>* tail_ = nullptr;
+  Record* base_ = nullptr;
+  std::uint64_t mask_ = 0;
+  std::uint32_t slots_ = 0;
+};
+
+}  // namespace cedr::shm

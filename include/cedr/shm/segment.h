@@ -1,0 +1,76 @@
+#pragma once
+// Segment lifecycle for the shared-memory lane (layout.h).
+//
+// The daemon creates one anonymous memory-backed segment per client
+// (memfd_create, falling back to an unlinked shm_open file), initializes
+// the CRC-guarded header, and hands the file descriptor to the client over
+// the control socket (SCM_RIGHTS, see fdpass.h). The client attaches by
+// mapping the fd and validating magic, version, header CRC and offset
+// arithmetic — a torn or mismatched header is rejected at attach, never
+// indexed.
+
+#include <cstdint>
+#include <string>
+
+#include "cedr/common/status.h"
+#include "cedr/shm/layout.h"
+#include "cedr/shm/ring.h"
+
+namespace cedr::shm {
+
+/// Segment geometry knobs (daemon side; clamped server policy).
+struct SegmentOptions {
+  std::uint32_t sub_slots = 1024;        ///< power of two
+  std::uint32_t cpl_slots = 1024;        ///< power of two
+  std::uint32_t arena_bytes = 1u << 20;  ///< rounded up to 64
+};
+
+/// A mapped segment, owned end (unmaps and closes on destruction). Movable
+/// only.
+class Segment {
+ public:
+  Segment() = default;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+  Segment(Segment&& other) noexcept { *this = std::move(other); }
+  Segment& operator=(Segment&& other) noexcept;
+  ~Segment();
+
+  /// Daemon side: create, size and map a fresh anonymous segment and
+  /// initialize its header.
+  static StatusOr<Segment> create(const SegmentOptions& options);
+
+  /// Client side: map the received fd and validate the header. Takes
+  /// ownership of `fd` (closed on failure too).
+  static StatusOr<Segment> attach(int fd);
+
+  [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] SegmentHeader* header() const noexcept {
+    return reinterpret_cast<SegmentHeader*>(base_);
+  }
+  [[nodiscard]] char* arena() const noexcept {
+    return static_cast<char*>(base_) + header()->layout.arena_off;
+  }
+  [[nodiscard]] std::uint32_t arena_bytes() const noexcept {
+    return header()->layout.arena_bytes;
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept { return bytes_; }
+
+  /// Ring views over the mapped cursors and slot arrays. Each side uses
+  /// only its role's half of each ring (docs/ipc.md).
+  [[nodiscard]] SpscRing<SubRecord> sub_ring() const noexcept;
+  [[nodiscard]] SpscRing<CplRecord> cpl_ring() const noexcept;
+
+ private:
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  int fd_ = -1;
+};
+
+/// Validates a header against the compiled-in layout (magic, version,
+/// CRC, power-of-two slot counts, slot sizes, offset arithmetic within
+/// `file_bytes`). Shared by attach() and the reattach tests.
+Status validate_header(const SegmentHeader& header, std::size_t file_bytes);
+
+}  // namespace cedr::shm

@@ -1,0 +1,125 @@
+#pragma once
+// Daemon half of the shared-memory lane (docs/ipc.md, "Shared-memory
+// lane").
+//
+// ShmServer owns one session per client connection: the mapped segment,
+// the two doorbell eventfds and the per-session submission state. It plugs
+// into the existing IPC front-end rather than replacing it:
+//
+//   * the poll(2) event loop stays the control plane — it registers each
+//     session's submission doorbell in its poll set, and every round asks
+//     claim_drains() which sessions have ring work and hands those to the
+//     same worker pool that runs slow socket verbs;
+//   * drain() (worker side) consumes submission records in bounded batches,
+//     bounded additionally by completion-ring credit: a record is only
+//     consumed when its completion slot is free, so a client that stops
+//     reading completions back-pressures into its own submission ring, not
+//     into daemon memory;
+//   * admission is the same `admit` predicate the socket lane uses, so
+//     `BUSY` semantics and `max_inflight_apps` apply identically to both
+//     lanes;
+//   * a record failing its CRC poisons the session (latch in the shared
+//     header + `shm.crc_rejected_total`): the daemon stops consuming from
+//     a desynced ring instead of guessing at record boundaries;
+//   * close_session() reaps the segment when the control connection dies —
+//     a SIGKILLed client's session is unmapped as soon as the event loop
+//     sees EOF, even mid-drain (the draining worker holds the session
+//     alive via shared_ptr and observes the `closed` flag).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cedr/common/status.h"
+#include "cedr/json/json.h"
+#include "cedr/runtime/runtime.h"
+#include "cedr/shm/segment.h"
+
+namespace cedr::shm {
+
+struct ShmServerOptions {
+  SegmentOptions segment;            ///< geometry for every new session
+  std::size_t max_sessions = 64;     ///< beyond it SHMOPEN is refused
+  std::uint32_t busy_retry_ms = 50;  ///< retry hint in kBusy completions
+  std::size_t drain_batch = 256;     ///< records consumed per drain job
+};
+
+class ShmServer {
+ public:
+  /// `admit` is the shared admission predicate (the socket lane's
+  /// max_inflight_apps check); a false return turns a submission record
+  /// into a kBusy completion.
+  ShmServer(rt::Runtime& runtime, ShmServerOptions options,
+            std::function<bool()> admit);
+  ShmServer(const ShmServer&) = delete;
+  ShmServer& operator=(const ShmServer&) = delete;
+  ~ShmServer();
+
+  /// What SHMOPEN hands back: the reply line plus the three descriptors to
+  /// attach to it (segment, submission doorbell, completion doorbell).
+  /// The fds stay owned by the session; they are valid until
+  /// close_session(id).
+  struct OpenInfo {
+    std::vector<int> fds;
+    std::string reply;  ///< "OK sub_slots=... cpl_slots=... arena=...\n"
+  };
+
+  /// Creates a session keyed by the control-connection id.
+  StatusOr<OpenInfo> open_session(std::uint64_t id);
+  /// Reaps a session: unmaps the segment, closes the doorbells. Safe while
+  /// a drain job is running (it holds a shared_ptr and checks `closed`).
+  void close_session(std::uint64_t id);
+  void close_all();
+  [[nodiscard]] std::size_t session_count();
+
+  /// (session id, submission doorbell fd) pairs for the event loop's poll
+  /// set.
+  void poll_fds(std::vector<std::pair<std::uint64_t, int>>& out);
+  /// Event loop saw POLLIN on a session's submission doorbell: clear the
+  /// eventfd and count the wake. Draining is dispatched via claim_drains().
+  void doorbell_rang(std::uint64_t id);
+  /// Appends the ids of sessions with pending ring work whose drain flag
+  /// was claimed by this call; the caller dispatches each to the worker
+  /// pool (exactly one drain job per session is in flight at a time).
+  /// Also refreshes the shm.sub_ring_depth gauge.
+  void claim_drains(std::vector<std::uint64_t>& out);
+  /// Worker entry: drains up to drain_batch records, posts completions,
+  /// clears the session's drain flag. Returns true when ring work remains
+  /// (caller should wake the event loop so claim_drains() runs again).
+  bool drain(std::uint64_t id);
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    Segment segment;
+    int sub_doorbell_fd = -1;
+    int cpl_doorbell_fd = -1;
+    std::atomic<bool> drain_inflight{false};
+    std::atomic<bool> closed{false};
+    /// SUBMITDAG document memo: the same payload bytes parse once per
+    /// session; each record still instantiates fresh buffers.
+    std::string doc_cache;
+    json::Value doc_value;
+    bool doc_valid = false;
+    ~Session();
+  };
+
+  std::shared_ptr<Session> find(std::uint64_t id);
+  /// Executes one submission record into its (zeroed) completion slot.
+  void process_record(Session& session, const SubRecord& rec, CplRecord& cpl);
+  void ring_cpl_doorbell(Session& session);
+
+  rt::Runtime& runtime_;
+  ShmServerOptions options_;
+  std::function<bool()> admit_;
+  std::mutex mutex_;  ///< guards sessions_
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace cedr::shm

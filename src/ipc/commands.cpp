@@ -193,8 +193,9 @@ std::string IpcServer::handle_command(const std::string& line,
                                  << status.to_string();
       }
     }
-    shutdown_requested_.store(true, std::memory_order_release);
-    shutdown_cv_.notify_all();
+    // The worker notifies wait_for_shutdown() only after this reply is
+    // deposited (worker_loop), and the loop's teardown pass flushes it, so
+    // the client reads OK before the daemon closes the connection.
     return "OK\n";
   }
 

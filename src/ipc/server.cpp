@@ -38,6 +38,8 @@
 #include "cedr/common/log.h"
 #include "cedr/ipc/ipc.h"
 #include "cedr/obs/chrome_trace.h"
+#include "cedr/shm/fdpass.h"
+#include "cedr/shm/server.h"
 #include "ipc_internal.h"
 
 namespace cedr::ipc {
@@ -128,6 +130,17 @@ Status IpcServer::start() {
   (void)set_nonblocking(wake_pipe_[0]);
   (void)set_nonblocking(wake_pipe_[1]);
 
+  if (config_.enable_shm && shm_ == nullptr) {
+    shm::ShmServerOptions shm_options;
+    shm_options.segment.sub_slots = config_.shm_sub_slots;
+    shm_options.segment.cpl_slots = config_.shm_cpl_slots;
+    shm_options.segment.arena_bytes = config_.shm_arena_bytes;
+    shm_options.max_sessions = config_.max_shm_sessions;
+    shm_options.busy_retry_ms = config_.busy_retry_ms;
+    shm_ = std::make_unique<shm::ShmServer>(runtime_, shm_options,
+                                            [this] { return admit_submit(); });
+  }
+
   running_.store(true, std::memory_order_release);
   workers_.reserve(config_.worker_threads);
   for (std::size_t i = 0; i < config_.worker_threads; ++i) {
@@ -151,6 +164,8 @@ void IpcServer::stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // After the workers: a queued drain job must find its session alive.
+  if (shm_ != nullptr) shm_->close_all();
   for (int& fd : wake_pipe_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
@@ -182,9 +197,12 @@ void IpcServer::wake() {
 void IpcServer::event_loop() {
   std::vector<pollfd> pfds;
   std::vector<Connection*> polled;
+  std::vector<std::pair<std::uint64_t, int>> shm_polled;
+  std::vector<std::uint64_t> shm_drains;
   while (running_.load(std::memory_order_acquire)) {
     pfds.clear();
     polled.clear();
+    shm_polled.clear();
     {
       std::lock_guard lock(state_mutex_);
       const bool accept_paused = conns_.size() >= config_.max_connections;
@@ -199,6 +217,14 @@ void IpcServer::event_loop() {
         if (conn->out_pos < conn->out.size()) events |= POLLOUT;
         pfds.push_back({conn->fd, events, 0});
         polled.push_back(conn.get());
+      }
+    }
+    // Shm submission doorbells join the poll set after the connections.
+    const std::size_t shm_base = pfds.size();
+    if (shm_ != nullptr) {
+      shm_->poll_fds(shm_polled);
+      for (const auto& [session_id, doorbell_fd] : shm_polled) {
+        pfds.push_back({doorbell_fd, POLLIN, 0});
       }
     }
     // Finite timeout: running_ flips without a wake() only in rare teardown
@@ -217,6 +243,24 @@ void IpcServer::event_loop() {
       wake_pending_.store(false, std::memory_order_release);
     }
     if ((pfds[0].revents & POLLIN) != 0) accept_ready();
+    // Clear rung doorbells, then dispatch one drain job per session with
+    // ring work. The rescan-every-round (not just on doorbell) is what
+    // makes the protocol race-free: a drain that stopped on a full
+    // completion ring or batch bound is re-dispatched here.
+    if (shm_ != nullptr) {
+      for (std::size_t i = 0; i < shm_polled.size(); ++i) {
+        if ((pfds[shm_base + i].revents & POLLIN) != 0) {
+          shm_->doorbell_rang(shm_polled[i].first);
+        }
+      }
+      shm_drains.clear();
+      shm_->claim_drains(shm_drains);
+      for (const std::uint64_t session_id : shm_drains) {
+        Job job;
+        job.shm_session = session_id;
+        (void)jobs_.push(std::move(job));  // pool closed only at teardown
+      }
+    }
     for (std::size_t i = 0; i < polled.size(); ++i) {
       Connection& conn = *polled[i];
       const short revents = pfds[i + 2].revents;
@@ -255,7 +299,16 @@ void IpcServer::event_loop() {
     }
     for (const std::uint64_t id : dead) close_connection(id);
   }
-  // Teardown: close everything; worker deposits after this are dropped.
+  // Teardown: best-effort flush of replies already deposited — a SHUTDOWN
+  // OK races the very stop() it triggers — then close everything; worker
+  // deposits after this are dropped. Only this thread erases connections,
+  // so the pointers stay valid across the unlocked flush.
+  std::vector<Connection*> remaining;
+  {
+    std::lock_guard lock(state_mutex_);
+    for (auto& [id, conn] : conns_) remaining.push_back(conn.get());
+  }
+  for (Connection* conn : remaining) flush_replies(*conn);
   std::lock_guard lock(state_mutex_);
   for (auto& [id, conn] : conns_) ::close(conn->fd);
   conns_.clear();
@@ -348,6 +401,32 @@ void IpcServer::dispatch_line(Connection& conn, const std::string& line) {
     conn.read_eof = true;
     return;
   }
+  if (verb == "SHMOPEN") {
+    // Handled inline on the loop (segment creation is a couple of fast
+    // syscalls) because the reply needs Connection access: the three
+    // descriptors attach to this connection's next write as SCM_RIGHTS
+    // ancillary data.
+    std::string reply;
+    if (shm_ == nullptr) {
+      reply = "ERR shm disabled\n";
+    } else if (auto info = shm_->open_session(conn.id); info.ok()) {
+      reply = info->reply;
+      conn.pending_fds = info->fds;
+    } else {
+      reply = "ERR " + info.status().to_string() + "\n";
+    }
+    std::lock_guard lock(state_mutex_);
+    if (conn.replies.empty()) {
+      conn.out += reply;
+      return;
+    }
+    Connection::Reply slot;
+    slot.seq = conn.next_seq++;
+    slot.ready = true;
+    slot.text = std::move(reply);
+    conn.replies.push_back(std::move(slot));
+    return;
+  }
   if (is_submit_verb(verb) && !admit_submit()) {
     runtime_.counters().add("ipc.rejected_total");
     runtime_.metrics().set_gauge(
@@ -396,11 +475,28 @@ void IpcServer::worker_loop() {
   while (true) {
     std::optional<Job> job = jobs_.pop();
     if (!job.has_value()) return;  // closed and drained
+    if (job->shm_session != 0) {
+      // Ring drain: wake the loop when work remains so claim_drains()
+      // re-dispatches (the batch bound is how sessions round-robin).
+      if (shm_ != nullptr && shm_->drain(job->shm_session)) wake();
+      continue;
+    }
     std::string reply = handle_command(job->line, job->admit_time);
-    if (is_submit_verb(first_token(job->line))) {
+    const std::string_view verb = first_token(job->line);
+    if (is_submit_verb(verb)) {
       pending_submits_.fetch_sub(1, std::memory_order_relaxed);
     }
     deposit_reply(job->conn_id, job->seq, std::move(reply));
+    if (verb == "SHUTDOWN") {
+      // Notify only after the deposit: wait_for_shutdown() returning is the
+      // daemon's cue to stop() the server, and the deposited OK must be in
+      // its slot before the loop's teardown flush can send it.
+      {
+        std::lock_guard lock(shutdown_mutex_);
+        shutdown_requested_.store(true, std::memory_order_release);
+      }
+      shutdown_cv_.notify_all();
+    }
   }
 }
 
@@ -442,8 +538,18 @@ void IpcServer::flush_replies(Connection& conn) {
 
 void IpcServer::write_ready(Connection& conn) {
   while (conn.out_pos < conn.out.size()) {
-    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
-                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    ssize_t n;
+    if (!conn.pending_fds.empty()) {
+      // SHMOPEN descriptors ride with the first reply bytes; the client
+      // collects ancillary fds on every read until its reply line is in.
+      n = shm::send_with_fds(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos,
+                             conn.pending_fds);
+      if (n > 0) conn.pending_fds.clear();
+    } else {
+      n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                 conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    }
     if (n > 0) {
       conn.out_pos += static_cast<std::size_t>(n);
       continue;
@@ -468,6 +574,9 @@ void IpcServer::close_connection(std::uint64_t id) {
     conns_.erase(it);
     active = conns_.size();
   }
+  // The control connection is the shm session's lifeline: EOF (including
+  // a SIGKILLed client) reaps the segment here.
+  if (shm_ != nullptr) shm_->close_session(id);
   runtime_.metrics().set_gauge("ipc.active_connections",
                                static_cast<double>(active));
 }

@@ -1,0 +1,342 @@
+// ShmClient: SHMOPEN handshake, ring-based submission, doorbell waits.
+
+#include "cedr/shm/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "cedr/common/stopwatch.h"
+#include "cedr/shm/fdpass.h"
+
+namespace cedr::shm {
+namespace {
+
+/// Reads and discards the eventfd counter so the next poll() blocks.
+void drain_eventfd(int fd) {
+  std::uint64_t count = 0;
+  while (::read(fd, &count, sizeof count) == sizeof count) {
+  }
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+ShmClient::~ShmClient() {
+  if (control_fd_ >= 0) {
+    // Best effort: the daemon also reaps the session on EOF.
+    (void)::send(control_fd_, "BYE\n", 4, MSG_NOSIGNAL);
+  }
+  close_if_open(control_fd_);
+  close_if_open(sub_doorbell_fd_);
+  close_if_open(cpl_doorbell_fd_);
+}
+
+Status ShmClient::connect_control_socket() {
+  sockaddr_un addr{};
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("socket path too long: " + socket_path_);
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  Stopwatch window;
+  std::uint32_t backoff_ms = config_.backoff_initial_ms;
+  std::string last_error;
+  while (true) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Unavailable(std::string("socket(): ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      control_fd_ = fd;
+      return Status::Ok();
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+    if (window.elapsed() + static_cast<double>(backoff_ms) * 1e-3 >
+        config_.connect_timeout_s) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+    if (backoff_ms == 0) backoff_ms = 1;
+  }
+  return Unavailable("cannot connect to daemon at " + socket_path_ + ": " +
+                     last_error);
+}
+
+Status ShmClient::connect() {
+  if (connected()) return Status::Ok();
+  CEDR_RETURN_IF_ERROR(connect_control_socket());
+
+  if (::send(control_fd_, "SHMOPEN\n", 8, MSG_NOSIGNAL) != 8) {
+    const Status s =
+        Unavailable(std::string("SHMOPEN send: ") + std::strerror(errno));
+    close_if_open(control_fd_);
+    return s;
+  }
+
+  // Read the reply line, collecting the SCM_RIGHTS descriptors that ride
+  // with it. SHMOPEN is the first command on this fresh connection, so the
+  // reply is the first line and the fds belong to it.
+  std::string reply;
+  std::vector<int> fds;
+  while (reply.find('\n') == std::string::npos) {
+    char buf[512];
+    const ssize_t n = recv_with_fds(control_fd_, buf, sizeof buf, fds);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      for (int fd : fds) ::close(fd);
+      close_if_open(control_fd_);
+      return Unavailable("daemon closed connection during SHMOPEN");
+    }
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  reply.resize(reply.find('\n'));
+
+  if (reply.rfind("OK", 0) != 0 || fds.size() < 3) {
+    for (int fd : fds) ::close(fd);
+    close_if_open(control_fd_);
+    return Unavailable("daemon did not offer the shm lane: " +
+                       (reply.empty() ? std::string("(no reply)") : reply));
+  }
+  const int segment_fd = fds[0];
+  sub_doorbell_fd_ = fds[1];
+  cpl_doorbell_fd_ = fds[2];
+  for (std::size_t i = 3; i < fds.size(); ++i) ::close(fds[i]);
+
+  auto segment = Segment::attach(segment_fd);  // owns segment_fd either way
+  if (!segment.ok()) {
+    close_if_open(sub_doorbell_fd_);
+    close_if_open(cpl_doorbell_fd_);
+    close_if_open(control_fd_);
+    return segment.status();
+  }
+  segment_ = std::move(segment).value();
+  segment_.header()->client_pid.store(static_cast<std::uint64_t>(::getpid()),
+                                      std::memory_order_release);
+  sub_ring_ = segment_.sub_ring();
+  cpl_ring_ = segment_.cpl_ring();
+  arena_used_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<std::uint32_t> ShmClient::stage(std::string_view payload) {
+  if (!connected()) return FailedPrecondition("shm client not connected");
+  // 8-byte aligned bump allocation keeps records' arena reads aligned.
+  const std::uint32_t off = (arena_used_ + 7u) & ~7u;
+  if (payload.size() > segment_.arena_bytes() ||
+      off > segment_.arena_bytes() - payload.size()) {
+    return ResourceExhausted("shm arena exhausted (" +
+                             std::to_string(segment_.arena_bytes()) +
+                             " bytes)");
+  }
+  std::memcpy(segment_.arena() + off, payload.data(), payload.size());
+  arena_used_ = off + static_cast<std::uint32_t>(payload.size());
+  return off;
+}
+
+Status ShmClient::wait_on_cpl_doorbell(int timeout_ms) {
+  SegmentHeader* h = segment_.header();
+  // Arm, then re-check: a completion published between the check and the
+  // poll() would otherwise be a lost wakeup.
+  h->cpl_doorbell_armed.store(1, std::memory_order_release);
+  if (cpl_ring_.front() != nullptr ||
+      h->poisoned.load(std::memory_order_acquire) != 0) {
+    h->cpl_doorbell_armed.store(0, std::memory_order_release);
+    return Status::Ok();
+  }
+  pollfd pfd{cpl_doorbell_fd_, POLLIN, 0};
+  // Bounded slices so `timeout_ms < 0` still notices a vanished daemon.
+  const int slice = timeout_ms < 0 ? 200 : std::min(timeout_ms, 200);
+  const int rc = ::poll(&pfd, 1, slice);
+  h->cpl_doorbell_armed.store(0, std::memory_order_release);
+  if (rc > 0) drain_eventfd(cpl_doorbell_fd_);
+  if (rc < 0 && errno != EINTR) {
+    return Unavailable(std::string("poll(doorbell): ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status ShmClient::wait_for_sub_slot(int timeout_ms) {
+  Stopwatch waited;
+  bool counted = false;
+  while (true) {
+    if (segment_.header()->poisoned.load(std::memory_order_acquire) != 0) {
+      return Aborted("shm session poisoned by the daemon");
+    }
+    if (sub_ring_.acquire() != nullptr) return Status::Ok();
+    if (!counted) {
+      ++full_ring_waits_;
+      counted = true;
+    }
+    if (timeout_ms >= 0 && waited.elapsed() * 1e3 > timeout_ms) {
+      return Unavailable("shm submission ring full (timeout)");
+    }
+    // The daemon frees submission slots as it posts completions, so the
+    // completion doorbell is the right thing to sleep on.
+    CEDR_RETURN_IF_ERROR(wait_on_cpl_doorbell(
+        timeout_ms < 0
+            ? -1
+            : timeout_ms - static_cast<int>(waited.elapsed() * 1e3)));
+  }
+}
+
+StatusOr<std::uint64_t> ShmClient::push_record(Opcode opcode,
+                                               std::uint16_t flags,
+                                               std::uint32_t arg_off,
+                                               std::uint32_t arg_len,
+                                               std::string_view inline_payload,
+                                               int timeout_ms) {
+  if (!connected()) return FailedPrecondition("shm client not connected");
+  CEDR_RETURN_IF_ERROR(wait_for_sub_slot(timeout_ms));
+  SubRecord* rec = sub_ring_.acquire();
+  std::memset(rec, 0, sizeof *rec);
+  rec->opcode = static_cast<std::uint16_t>(opcode);
+  rec->flags = flags;
+  rec->seq = next_seq_++;
+  rec->arg_off = arg_off;
+  rec->arg_len = arg_len;
+  if (!inline_payload.empty()) {
+    std::memcpy(rec->inline_arg, inline_payload.data(), inline_payload.size());
+  }
+  rec->crc = sub_record_crc(*rec);
+  const std::uint64_t seq = rec->seq;
+  sub_ring_.publish();
+  ++submitted_;
+
+  SegmentHeader* h = segment_.header();
+  if (h->sub_doorbell_armed.exchange(0, std::memory_order_acq_rel) != 0) {
+    const std::uint64_t one = 1;
+    (void)::write(sub_doorbell_fd_, &one, sizeof one);
+  }
+  return seq;
+}
+
+StatusOr<std::uint64_t> ShmClient::submit_staged(std::uint32_t arg_off,
+                                                 std::uint32_t arg_len,
+                                                 int timeout_ms) {
+  return push_record(Opcode::kSubmitDag, kArgInArena, arg_off, arg_len, {},
+                     timeout_ms);
+}
+
+StatusOr<std::uint64_t> ShmClient::submit_dag_json(std::string_view json_doc,
+                                                   int timeout_ms) {
+  if (json_doc.size() <= kSubInlineBytes) {
+    return push_record(Opcode::kSubmitDag, kArgInline, 0,
+                       static_cast<std::uint32_t>(json_doc.size()), json_doc,
+                       timeout_ms);
+  }
+  if (json_doc != staged_doc_) {
+    auto off = stage(json_doc);
+    if (!off.ok()) return off.status();
+    staged_doc_.assign(json_doc);
+    staged_off_ = *off;
+  }
+  return submit_staged(staged_off_,
+                       static_cast<std::uint32_t>(json_doc.size()),
+                       timeout_ms);
+}
+
+StatusOr<std::uint64_t> ShmClient::nop(int timeout_ms) {
+  return push_record(Opcode::kNop, 0, 0, 0, {}, timeout_ms);
+}
+
+bool ShmClient::consume_one(Completion& out) {
+  const CplRecord* rec = cpl_ring_.front();
+  if (rec == nullptr) return false;
+  out.seq = rec->seq;
+  out.status = static_cast<CplStatus>(rec->status);
+  out.value = rec->value;
+  out.msg.assign(rec->msg,
+                 std::min<std::size_t>(rec->msg_len, kCplMsgBytes));
+  cpl_ring_.release();
+  ++completed_;
+  if (out.status == CplStatus::kBusy) ++busy_;
+  // Stall recovery: the daemon backs off a full completion ring after
+  // arming the submission doorbell. Freeing a slot here is what unblocks
+  // it, so kick the doorbell when unconsumed submissions remain.
+  SegmentHeader* h = segment_.header();
+  if (sub_ring_.size() != 0 &&
+      h->sub_doorbell_armed.load(std::memory_order_acquire) != 0 &&
+      h->sub_doorbell_armed.exchange(0, std::memory_order_acq_rel) != 0) {
+    const std::uint64_t one = 1;
+    (void)::write(sub_doorbell_fd_, &one, sizeof one);
+  }
+  return true;
+}
+
+std::size_t ShmClient::poll_completions(std::vector<Completion>& out) {
+  std::size_t drained = 0;
+  Completion c;
+  while (consume_one(c)) {
+    out.push_back(std::move(c));
+    ++drained;
+  }
+  return drained;
+}
+
+StatusOr<Completion> ShmClient::wait_completion(std::uint64_t seq,
+                                                int timeout_ms) {
+  if (!connected()) return FailedPrecondition("shm client not connected");
+  Stopwatch waited;
+  Completion c;
+  while (true) {
+    // Completions arrive in submission order, so anything before `seq` is
+    // simply consumed on the way.
+    while (consume_one(c)) {
+      if (c.seq == seq) return c;
+      if (c.seq > seq) {
+        return NotFound("completion " + std::to_string(seq) +
+                        " already consumed");
+      }
+    }
+    if (segment_.header()->poisoned.load(std::memory_order_acquire) != 0 &&
+        cpl_ring_.front() == nullptr) {
+      return Aborted("shm session poisoned by the daemon");
+    }
+    if (timeout_ms >= 0 && waited.elapsed() * 1e3 > timeout_ms) {
+      return Unavailable("timed out waiting for shm completion " +
+                         std::to_string(seq));
+    }
+    CEDR_RETURN_IF_ERROR(wait_on_cpl_doorbell(
+        timeout_ms < 0
+            ? -1
+            : timeout_ms - static_cast<int>(waited.elapsed() * 1e3)));
+  }
+}
+
+Status ShmClient::wait_all(int timeout_ms) {
+  if (!connected()) return FailedPrecondition("shm client not connected");
+  Stopwatch waited;
+  Completion c;
+  while (completed_ < submitted_) {
+    if (consume_one(c)) continue;
+    if (segment_.header()->poisoned.load(std::memory_order_acquire) != 0) {
+      return Aborted("shm session poisoned by the daemon");
+    }
+    if (timeout_ms >= 0 && waited.elapsed() * 1e3 > timeout_ms) {
+      return Unavailable("timed out draining shm completions (" +
+                         std::to_string(completed_) + "/" +
+                         std::to_string(submitted_) + ")");
+    }
+    CEDR_RETURN_IF_ERROR(wait_on_cpl_doorbell(
+        timeout_ms < 0
+            ? -1
+            : timeout_ms - static_cast<int>(waited.elapsed() * 1e3)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cedr::shm

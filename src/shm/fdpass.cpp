@@ -1,0 +1,68 @@
+// SCM_RIGHTS helpers (fdpass.h).
+
+#include "cedr/shm/fdpass.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cedr::shm {
+
+ssize_t send_with_fds(int sock, const void* data, std::size_t len,
+                      const std::vector<int>& fds) {
+  msghdr msg{};
+  iovec iov{};
+  iov.iov_base = const_cast<void*>(data);
+  iov.iov_len = len;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+
+  // Control buffer sized for the fixed maximum; cmsg macros demand aligned
+  // storage that outlives the call.
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int) * kMaxPassedFds)];
+  if (!fds.empty() && fds.size() <= kMaxPassedFds) {
+    std::memset(control, 0, sizeof control);
+    msg.msg_control = control;
+    msg.msg_controllen = CMSG_SPACE(sizeof(int) * fds.size());
+    cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int) * fds.size());
+    std::memcpy(CMSG_DATA(cmsg), fds.data(), sizeof(int) * fds.size());
+  }
+  return ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+}
+
+ssize_t recv_with_fds(int sock, void* buf, std::size_t len,
+                      std::vector<int>& fds_out) {
+  msghdr msg{};
+  iovec iov{};
+  iov.iov_base = buf;
+  iov.iov_len = len;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int) * kMaxPassedFds)];
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof control;
+
+  const ssize_t n = ::recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+  if (n <= 0) return n;
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level != SOL_SOCKET || cmsg->cmsg_type != SCM_RIGHTS) {
+      continue;
+    }
+    const std::size_t count =
+        (cmsg->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+    int received[kMaxPassedFds];
+    std::memcpy(received, CMSG_DATA(cmsg),
+                sizeof(int) * (count < kMaxPassedFds ? count : kMaxPassedFds));
+    for (std::size_t i = 0; i < count && i < kMaxPassedFds; ++i) {
+      fds_out.push_back(received[i]);
+    }
+  }
+  return n;
+}
+
+}  // namespace cedr::shm

@@ -1,0 +1,193 @@
+// Segment creation, attach-time validation, mapping lifecycle.
+
+#include "cedr/shm/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace cedr::shm {
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+std::size_t align_up(std::size_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+/// Anonymous memory-backed fd: memfd_create where available, else an
+/// immediately-unlinked shm_open file (same backing, a name briefly
+/// exists).
+int anonymous_fd() {
+#ifdef MFD_CLOEXEC
+  const int fd = ::memfd_create("cedr-shm", MFD_CLOEXEC);
+  if (fd >= 0 || errno != ENOSYS) return fd;
+#endif
+  char name[64];
+  std::snprintf(name, sizeof name, "/cedr-shm-%d-%p", ::getpid(),
+                static_cast<void*>(name));
+  const int shm_fd = ::shm_open(name, O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (shm_fd >= 0) ::shm_unlink(name);
+  return shm_fd;
+}
+
+}  // namespace
+
+Segment& Segment::operator=(Segment&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+    if (fd_ >= 0) ::close(fd_);
+    base_ = std::exchange(other.base_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Segment::~Segment() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<Segment> Segment::create(const SegmentOptions& options) {
+  if (!is_power_of_two(options.sub_slots) ||
+      !is_power_of_two(options.cpl_slots)) {
+    return InvalidArgument("shm ring slot counts must be powers of two");
+  }
+  SegmentLayout layout{};
+  layout.sub_slots = options.sub_slots;
+  layout.cpl_slots = options.cpl_slots;
+  layout.sub_slot_bytes = sizeof(SubRecord);
+  layout.cpl_slot_bytes = sizeof(CplRecord);
+  layout.arena_bytes =
+      static_cast<std::uint32_t>(align_up(options.arena_bytes));
+  layout.sub_ring_off = kHeaderBytes;
+  layout.cpl_ring_off =
+      layout.sub_ring_off +
+      static_cast<std::uint64_t>(layout.sub_slots) * sizeof(SubRecord);
+  layout.arena_off =
+      layout.cpl_ring_off +
+      static_cast<std::uint64_t>(layout.cpl_slots) * sizeof(CplRecord);
+  layout.total_bytes = layout.arena_off + layout.arena_bytes;
+  layout.daemon_pid = static_cast<std::uint64_t>(::getpid());
+
+  const int fd = anonymous_fd();
+  if (fd < 0) {
+    return Unavailable(std::string("shm segment fd: ") + std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(layout.total_bytes)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Unavailable(std::string("ftruncate(shm): ") + std::strerror(err));
+  }
+  void* base = ::mmap(nullptr, layout.total_bytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    return Unavailable(std::string("mmap(shm): ") + std::strerror(err));
+  }
+
+  // The mapping is zero-filled; construct the header in place. The atomics
+  // are trivially zero-initialized by placement-new of the whole header.
+  auto* header = new (base) SegmentHeader{};
+  header->layout = layout;
+  header->header_crc = layout_crc(layout);
+  header->version = kVersion;
+  // Magic last: an attacher that races creation sees no magic, not a
+  // half-written header.
+  header->magic = kMagic;
+
+  Segment segment;
+  segment.base_ = base;
+  segment.bytes_ = layout.total_bytes;
+  segment.fd_ = fd;
+  return segment;
+}
+
+Status validate_header(const SegmentHeader& header, std::size_t file_bytes) {
+  if (header.magic != kMagic) return InvalidArgument("shm segment: bad magic");
+  if (header.version != kVersion) {
+    return InvalidArgument("shm segment: version " +
+                           std::to_string(header.version) + " != " +
+                           std::to_string(kVersion));
+  }
+  if (header.header_crc != layout_crc(header.layout)) {
+    return Aborted("shm segment: header CRC mismatch (torn or corrupt)");
+  }
+  const SegmentLayout& l = header.layout;
+  if (!is_power_of_two(l.sub_slots) || !is_power_of_two(l.cpl_slots)) {
+    return InvalidArgument("shm segment: ring sizes not powers of two");
+  }
+  if (l.sub_slot_bytes != sizeof(SubRecord) ||
+      l.cpl_slot_bytes != sizeof(CplRecord)) {
+    return InvalidArgument("shm segment: record size mismatch");
+  }
+  if (l.sub_ring_off < kHeaderBytes ||
+      l.cpl_ring_off !=
+          l.sub_ring_off + std::uint64_t{l.sub_slots} * sizeof(SubRecord) ||
+      l.arena_off !=
+          l.cpl_ring_off + std::uint64_t{l.cpl_slots} * sizeof(CplRecord) ||
+      l.total_bytes != l.arena_off + l.arena_bytes) {
+    return InvalidArgument("shm segment: inconsistent offsets");
+  }
+  if (l.total_bytes > file_bytes) {
+    return Aborted("shm segment: file truncated (" +
+                    std::to_string(file_bytes) + " < " +
+                    std::to_string(l.total_bytes) + " bytes)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Segment> Segment::attach(int fd) {
+  struct stat st {};
+  if (::fstat(fd, &st) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Unavailable(std::string("fstat(shm): ") + std::strerror(err));
+  }
+  const auto file_bytes = static_cast<std::size_t>(st.st_size);
+  if (file_bytes < sizeof(SegmentHeader)) {
+    ::close(fd);
+    return Aborted("shm segment: smaller than its header");
+  }
+  void* base =
+      ::mmap(nullptr, file_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    return Unavailable(std::string("mmap(shm): ") + std::strerror(err));
+  }
+  const auto* header = static_cast<const SegmentHeader*>(base);
+  if (const Status s = validate_header(*header, file_bytes); !s.ok()) {
+    ::munmap(base, file_bytes);
+    ::close(fd);
+    return s;
+  }
+  Segment segment;
+  segment.base_ = base;
+  segment.bytes_ = file_bytes;
+  segment.fd_ = fd;
+  return segment;
+}
+
+SpscRing<SubRecord> Segment::sub_ring() const noexcept {
+  SegmentHeader* h = header();
+  return SpscRing<SubRecord>(
+      &h->sub_head, &h->sub_tail,
+      static_cast<char*>(base_) + h->layout.sub_ring_off, h->layout.sub_slots);
+}
+
+SpscRing<CplRecord> Segment::cpl_ring() const noexcept {
+  SegmentHeader* h = header();
+  return SpscRing<CplRecord>(
+      &h->cpl_head, &h->cpl_tail,
+      static_cast<char*>(base_) + h->layout.cpl_ring_off, h->layout.cpl_slots);
+}
+
+}  // namespace cedr::shm

@@ -1,0 +1,333 @@
+// ShmServer: session lifecycle, batched ring drain, completion posting.
+
+#include "cedr/shm/server.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "cedr/apps/executable_dag.h"
+#include "cedr/common/log.h"
+#include "cedr/obs/chrome_trace.h"
+
+namespace cedr::shm {
+namespace {
+
+constexpr std::string_view kLogTag = "shm";
+
+/// Fills a zeroed completion slot and stamps its CRC.
+void fill_completion(CplRecord& cpl, std::uint64_t seq, CplStatus status,
+                     std::uint64_t value, std::string_view msg) {
+  cpl.status = static_cast<std::uint16_t>(status);
+  cpl.seq = seq;
+  cpl.value = value;
+  const std::size_t n = std::min<std::size_t>(msg.size(), kCplMsgBytes);
+  cpl.msg_len = static_cast<std::uint16_t>(n);
+  if (n > 0) std::memcpy(cpl.msg, msg.data(), n);
+  cpl.crc = cpl_record_crc(cpl);
+}
+
+}  // namespace
+
+ShmServer::Session::~Session() {
+  if (sub_doorbell_fd >= 0) ::close(sub_doorbell_fd);
+  if (cpl_doorbell_fd >= 0) ::close(cpl_doorbell_fd);
+}
+
+ShmServer::ShmServer(rt::Runtime& runtime, ShmServerOptions options,
+                     std::function<bool()> admit)
+    : runtime_(runtime), options_(options), admit_(std::move(admit)) {
+  if (options_.drain_batch == 0) options_.drain_batch = 1;
+  if (options_.max_sessions == 0) options_.max_sessions = 1;
+  runtime_.metrics().set_gauge("shm.sessions", 0.0);
+  runtime_.metrics().set_gauge("shm.sub_ring_depth", 0.0);
+}
+
+ShmServer::~ShmServer() { close_all(); }
+
+StatusOr<ShmServer::OpenInfo> ShmServer::open_session(std::uint64_t id) {
+  {
+    std::lock_guard lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return ResourceExhausted("shm session limit reached (" +
+                               std::to_string(options_.max_sessions) + ")");
+    }
+    if (sessions_.count(id) != 0) {
+      return AlreadyExists("connection already has a shm session");
+    }
+  }
+  auto segment = Segment::create(options_.segment);
+  if (!segment.ok()) return segment.status();
+
+  auto session = std::make_shared<Session>();
+  session->id = id;
+  session->segment = std::move(segment).value();
+  session->sub_doorbell_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  session->cpl_doorbell_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (session->sub_doorbell_fd < 0 || session->cpl_doorbell_fd < 0) {
+    return Unavailable(std::string("eventfd(): ") + std::strerror(errno));
+  }
+
+  OpenInfo info;
+  info.fds = {session->segment.fd(), session->sub_doorbell_fd,
+              session->cpl_doorbell_fd};
+  const SegmentLayout& layout = session->segment.header()->layout;
+  info.reply = "OK sub_slots=" + std::to_string(layout.sub_slots) +
+               " cpl_slots=" + std::to_string(layout.cpl_slots) +
+               " arena=" + std::to_string(layout.arena_bytes) + "\n";
+
+  std::size_t active;
+  {
+    std::lock_guard lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return ResourceExhausted("shm session limit reached (" +
+                               std::to_string(options_.max_sessions) + ")");
+    }
+    sessions_.emplace(id, session);
+    active = sessions_.size();
+  }
+  runtime_.counters().add("shm.sessions_opened_total");
+  runtime_.metrics().set_gauge("shm.sessions", static_cast<double>(active));
+  CEDR_LOG(kInfo, kLogTag) << "session " << id << " opened ("
+                           << layout.sub_slots << "+" << layout.cpl_slots
+                           << " slots, " << layout.arena_bytes
+                           << " B arena)";
+  return info;
+}
+
+void ShmServer::close_session(std::uint64_t id) {
+  std::shared_ptr<Session> session;
+  std::size_t active;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    session = std::move(it->second);
+    sessions_.erase(it);
+    active = sessions_.size();
+  }
+  // A drain job may still hold the session; the flag makes it stop at the
+  // next record and the shared_ptr keeps the mapping valid until then.
+  session->closed.store(true, std::memory_order_release);
+  runtime_.metrics().set_gauge("shm.sessions", static_cast<double>(active));
+  CEDR_LOG(kInfo, kLogTag) << "session " << id << " reaped";
+}
+
+void ShmServer::close_all() {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard lock(mutex_);
+    ids.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) close_session(id);
+}
+
+std::size_t ShmServer::session_count() {
+  std::lock_guard lock(mutex_);
+  return sessions_.size();
+}
+
+std::shared_ptr<ShmServer::Session> ShmServer::find(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void ShmServer::poll_fds(std::vector<std::pair<std::uint64_t, int>>& out) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [id, session] : sessions_) {
+    out.emplace_back(id, session->sub_doorbell_fd);
+  }
+}
+
+void ShmServer::doorbell_rang(std::uint64_t id) {
+  auto session = find(id);
+  if (session == nullptr) return;
+  std::uint64_t count = 0;
+  while (::read(session->sub_doorbell_fd, &count, sizeof count) ==
+         sizeof count) {
+  }
+  runtime_.counters().add("shm.doorbell_wakes_total");
+}
+
+void ShmServer::claim_drains(std::vector<std::uint64_t>& out) {
+  double depth = 0.0;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [id, session] : sessions_) {
+      SegmentHeader* h = session->segment.header();
+      if (h->poisoned.load(std::memory_order_acquire) != 0) continue;
+      const std::uint64_t pending = session->segment.sub_ring().size();
+      depth += static_cast<double>(pending);
+      if (pending == 0) continue;
+      if (!session->drain_inflight.exchange(true,
+                                            std::memory_order_acq_rel)) {
+        out.push_back(id);
+      }
+    }
+  }
+  runtime_.metrics().set_gauge("shm.sub_ring_depth", depth);
+}
+
+void ShmServer::ring_cpl_doorbell(Session& session) {
+  SegmentHeader* h = session.segment.header();
+  if (h->cpl_doorbell_armed.exchange(0, std::memory_order_acq_rel) != 0) {
+    const std::uint64_t one = 1;
+    (void)!::write(session.cpl_doorbell_fd, &one, sizeof one);
+  }
+}
+
+void ShmServer::process_record(Session& session, const SubRecord& rec,
+                               CplRecord& cpl) {
+  runtime_.counters().add("shm.records_total");
+  switch (static_cast<Opcode>(rec.opcode)) {
+    case Opcode::kNop:
+      runtime_.counters().add("shm.nops_total");
+      fill_completion(cpl, rec.seq, CplStatus::kOk, rec.seq, {});
+      return;
+    case Opcode::kSubmitDag:
+      break;
+    default:
+      fill_completion(cpl, rec.seq, CplStatus::kError, 0, "unknown opcode");
+      return;
+  }
+
+  // Locate the payload (inline or arena), bounds-checked against the
+  // layout the daemon itself wrote — a malicious or buggy offset cannot
+  // read outside the segment.
+  const char* payload = nullptr;
+  if ((rec.flags & kArgInline) != 0) {
+    if (rec.arg_len > kSubInlineBytes) {
+      fill_completion(cpl, rec.seq, CplStatus::kError, 0,
+                      "inline length too large");
+      return;
+    }
+    payload = rec.inline_arg;
+  } else if ((rec.flags & kArgInArena) != 0) {
+    const std::uint32_t arena_bytes = session.segment.arena_bytes();
+    if (rec.arg_len > arena_bytes || rec.arg_off > arena_bytes - rec.arg_len) {
+      fill_completion(cpl, rec.seq, CplStatus::kError, 0,
+                      "arena range out of bounds");
+      return;
+    }
+    payload = session.segment.arena() + rec.arg_off;
+  } else {
+    fill_completion(cpl, rec.seq, CplStatus::kError, 0,
+                    "record carries no payload");
+    return;
+  }
+
+  if (admit_ && !admit_()) {
+    runtime_.counters().add("shm.busy_total");
+    fill_completion(cpl, rec.seq, CplStatus::kBusy, options_.busy_retry_ms,
+                    {});
+    return;
+  }
+
+  // Parse once per distinct document (the memo), instantiate per record:
+  // every submission still builds fresh buffers and a fresh descriptor,
+  // only the text -> JSON step is shared.
+  const std::string_view doc(payload, rec.arg_len);
+  if (!session.doc_valid || doc != session.doc_cache) {
+    auto parsed = json::parse(doc);
+    if (!parsed.ok()) {
+      fill_completion(cpl, rec.seq, CplStatus::kError, 0,
+                      parsed.status().to_string());
+      return;
+    }
+    session.doc_cache.assign(doc);
+    session.doc_value = std::move(parsed).value();
+    session.doc_valid = true;
+  }
+  auto dag = apps::instantiate_dag(session.doc_value);
+  if (!dag.ok()) {
+    fill_completion(cpl, rec.seq, CplStatus::kError, 0,
+                    dag.status().to_string());
+    return;
+  }
+  auto instance = runtime_.submit_dag(dag->descriptor);
+  if (!instance.ok()) {
+    fill_completion(cpl, rec.seq, CplStatus::kError, 0,
+                    instance.status().to_string());
+    return;
+  }
+  runtime_.counters().add("shm.submits_total");
+  fill_completion(cpl, rec.seq, CplStatus::kOk, *instance, {});
+}
+
+bool ShmServer::drain(std::uint64_t id) {
+  auto session = find(id);
+  if (session == nullptr) return false;
+  const double start = runtime_.now();
+
+  SpscRing<SubRecord> sub = session->segment.sub_ring();
+  SpscRing<CplRecord> cpl = session->segment.cpl_ring();
+  SegmentHeader* header = session->segment.header();
+  std::size_t processed = 0;
+  bool more = false;
+  bool poisoned = false;
+
+  while (processed < options_.drain_batch) {
+    if (session->closed.load(std::memory_order_acquire)) break;
+    const SubRecord* rec = sub.front();
+    if (rec == nullptr) break;
+    // Completion-ring credit: without a free completion slot the record
+    // stays in the submission ring, pushing back-pressure to the client.
+    CplRecord* slot = cpl.acquire();
+    if (slot == nullptr) {
+      runtime_.counters().add("shm.cpl_full_stalls_total");
+      break;
+    }
+    if (rec->crc != sub_record_crc(*rec)) {
+      // A bad CRC means the ring can no longer be trusted record by
+      // record; latch the poison flag instead of resyncing by guesswork.
+      runtime_.counters().add("shm.crc_rejected_total");
+      header->poisoned.store(1, std::memory_order_release);
+      poisoned = true;
+      CEDR_LOG(kWarn, kLogTag)
+          << "session " << id << " poisoned: record CRC mismatch at seq "
+          << rec->seq;
+      break;
+    }
+    std::memset(slot, 0, sizeof *slot);
+    process_record(*session, *rec, *slot);
+    cpl.publish();
+    sub.release();
+    ++processed;
+  }
+
+  if (processed > 0 || poisoned) ring_cpl_doorbell(*session);
+  if (processed > 0) {
+    runtime_.metrics().histogram("shm_drain_batch").record(
+        static_cast<double>(processed));
+    runtime_.tracer().complete_span(obs::Category::kIpc, "shm.drain", 0,
+                                    obs::kIpcTid, start,
+                                    runtime_.now() - start, "records",
+                                    static_cast<double>(processed));
+  }
+
+  if (!poisoned && !session->closed.load(std::memory_order_acquire)) {
+    if (processed >= options_.drain_batch && sub.front() != nullptr) {
+      // Batch bound hit with work left: yield the worker, ask for a
+      // redispatch so sessions round-robin across the pool.
+      more = true;
+    } else {
+      // Going idle (or completion-ring full): arm the doorbell, then
+      // re-check — a record published between the empty check and the arm
+      // would otherwise sleep until the next client submission.
+      header->sub_doorbell_armed.store(1, std::memory_order_release);
+      if (sub.front() != nullptr && cpl.acquire() != nullptr) {
+        header->sub_doorbell_armed.store(0, std::memory_order_release);
+        more = true;
+      }
+    }
+  }
+  session->drain_inflight.store(false, std::memory_order_release);
+  return more;
+}
+
+}  // namespace cedr::shm

@@ -12,6 +12,7 @@
 //                    [--adapt-half-life SAMPLES] [--adapt-min-samples N]
 //                    [--wait-timeout SECONDS] [--ipc-workers N]
 //                    [--max-inflight N] [--busy-retry-ms MS]
+//                    [--no-shm] [--shm-slots N] [--shm-arena BYTES]
 //                    [--trace-dir DIR] [--trace-flush-interval SECONDS]
 //                    [--trace-segment-events N] [--trace-segment-age SECONDS]
 //                    [--trace-retention N]
@@ -33,6 +34,11 @@
 // in-flight application instances: SUBMIT/SUBMITDAG beyond the bound get
 // `BUSY <retry-after-ms>` (the hint set by --busy-retry-ms) instead of
 // queueing without bound; 0 = unbounded. See docs/ipc.md.
+//
+// The shared-memory submission lane (SHMOPEN, docs/ipc.md "Shared-memory
+// lane") is on by default; --no-shm disables it (clients fall back to the
+// socket), --shm-slots sizes both per-session rings (power of two) and
+// --shm-arena sizes the per-session argument arena in bytes.
 //
 // --metrics-interval starts the background sampler (queue depth and per-PE
 // utilization time series, served live via the METRICS IPC command);
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
                  "[--adapt-half-life SAMPLES] [--adapt-min-samples N] "
                  "[--wait-timeout SECONDS] [--ipc-workers N] "
                  "[--max-inflight N] [--busy-retry-ms MS] "
+                 "[--no-shm] [--shm-slots N] [--shm-arena BYTES] "
                  "[--trace-dir DIR] [--trace-flush-interval SECONDS] "
                  "[--trace-segment-events N] [--trace-segment-age SECONDS] "
                  "[--trace-retention N] [--verbose]\n",
@@ -125,6 +132,16 @@ int main(int argc, char** argv) {
       ipc_config.max_inflight_apps = std::strtoul(next(), nullptr, 10);
     else if (arg == "--busy-retry-ms")
       ipc_config.busy_retry_ms =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    else if (arg == "--no-shm") ipc_config.enable_shm = false;
+    else if (arg == "--shm-slots") {
+      const auto slots =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      ipc_config.shm_sub_slots = slots;
+      ipc_config.shm_cpl_slots = slots;
+    }
+    else if (arg == "--shm-arena")
+      ipc_config.shm_arena_bytes =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     else if (arg == "--trace-dir") trace_dir = next();
     else if (arg == "--trace-flush-interval")

@@ -1,28 +1,41 @@
 // IPC client for the CEDR daemon.
 //
 // usage:
-//   cedr_submit [--timeout SECONDS] <socket> submit <shared-object> [app-name]
-//   cedr_submit [--timeout SECONDS] <socket> submitdag <dag-json>
-//   cedr_submit [--timeout SECONDS] <socket> status
-//   cedr_submit [--timeout SECONDS] <socket> stats    (one-line live snapshot)
-//   cedr_submit [--timeout SECONDS] <socket> metrics  (JSON metrics snapshot)
-//   cedr_submit [--timeout SECONDS] <socket> costs    (cost tables, JSON)
-//   cedr_submit [--timeout SECONDS] <socket> wait
-//   cedr_submit [--timeout SECONDS] <socket> shutdown
+//   cedr_submit [--timeout SECONDS] [--transport shm|socket|auto]
+//               [--repeat N] <socket> submit <shared-object> [app-name]
+//   cedr_submit ... <socket> submitdag <dag-json>
+//   cedr_submit ... <socket> status
+//   cedr_submit ... <socket> stats    (one-line live snapshot)
+//   cedr_submit ... <socket> metrics  (JSON metrics snapshot)
+//   cedr_submit ... <socket> costs    (cost tables, JSON)
+//   cedr_submit ... <socket> wait
+//   cedr_submit ... <socket> shutdown
 //
 // --timeout keeps retrying the initial connect with exponential backoff for
 // up to SECONDS, so scripts can start the daemon and submit concurrently
 // without an external sleep loop. Default: one attempt.
+//
+// --transport selects the submission lane for `submitdag` (docs/ipc.md):
+//   socket  line protocol over the Unix socket (default, works everywhere)
+//   shm     shared-memory rings (SHMOPEN); fails if the daemon lacks them
+//   auto    try shm, fall back to the socket with a notice on stderr
+// Other verbs always use the socket lane.
+//
+// --repeat submits the same application N times (both lanes); the exit
+// code reflects the first failure.
 //
 // exit codes: 0 success, 1 daemon/transport error, 2 usage,
 // 3 daemon saturated (BUSY back-pressure — retry after the hinted delay).
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cedr/ipc/ipc.h"
+#include "cedr/shm/client.h"
 
 using namespace cedr;
 
@@ -36,22 +49,99 @@ int failure_exit(const Status& s) {
   return s.code() == StatusCode::kResourceExhausted ? kExitBusy : 1;
 }
 
+/// submitdag over the shared-memory lane: handshake, submit N records,
+/// wait for their completions. Returns an exit code; -1 means the lane is
+/// unavailable (caller may fall back to the socket).
+int submitdag_shm(const char* socket_path, const char* json_path,
+                  std::size_t repeat, double connect_timeout_s,
+                  bool allow_fallback) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", json_path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string doc = buffer.str();
+
+  shm::ShmClientConfig config;
+  config.connect_timeout_s = connect_timeout_s;
+  shm::ShmClient client(socket_path, config);
+  if (const Status s = client.connect(); !s.ok()) {
+    if (allow_fallback) {
+      std::fprintf(stderr,
+                   "cedr_submit: shm lane unavailable (%s); "
+                   "falling back to socket transport\n",
+                   s.to_string().c_str());
+      return -1;
+    }
+    std::fprintf(stderr, "shm transport failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  int exit_code = 0;
+  for (std::size_t i = 0; i < repeat; ++i) {
+    auto seq = client.submit_dag_json(doc);
+    if (!seq.ok()) {
+      std::fprintf(stderr, "submitdag failed: %s\n",
+                   seq.status().to_string().c_str());
+      return failure_exit(seq.status());
+    }
+    auto completion = client.wait_completion(*seq);
+    if (!completion.ok()) {
+      std::fprintf(stderr, "submitdag failed: %s\n",
+                   completion.status().to_string().c_str());
+      return 1;
+    }
+    switch (completion->status) {
+      case shm::CplStatus::kOk:
+        std::printf("submitted DAG as instance %llu (shm)\n",
+                    static_cast<unsigned long long>(completion->value));
+        break;
+      case shm::CplStatus::kBusy:
+        std::fprintf(stderr,
+                     "submitdag rejected: daemon saturated; retry after "
+                     "%llu ms\n",
+                     static_cast<unsigned long long>(completion->value));
+        if (exit_code == 0) exit_code = kExitBusy;
+        break;
+      case shm::CplStatus::kError:
+        std::fprintf(stderr, "submitdag failed: %s\n",
+                     completion->msg.c_str());
+        if (exit_code == 0) exit_code = 1;
+        break;
+    }
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ipc::IpcClientConfig client_config;
+  std::string transport = "socket";
+  std::size_t repeat = 1;
   std::vector<const char*> args;  // positional: socket, verb, operands
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--timeout" && i + 1 < argc) {
       client_config.connect_timeout_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--transport" && i + 1 < argc) {
+      transport = argv[++i];
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::strtoul(argv[++i], nullptr, 10);
+      if (repeat == 0) repeat = 1;
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (transport != "socket" && transport != "shm" && transport != "auto") {
+    std::fprintf(stderr, "--transport must be shm, socket or auto\n");
+    return 2;
+  }
   if (args.size() < 2) {
     std::fprintf(stderr,
-                 "usage: %s [--timeout SECONDS] <socket> "
+                 "usage: %s [--timeout SECONDS] [--transport shm|socket|auto] "
+                 "[--repeat N] <socket> "
                  "submit <so-path> [name] | submitdag <json> "
                  "| status | stats | metrics | costs | wait | shutdown\n",
                  argv[0]);
@@ -65,14 +155,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "submit requires a shared-object path\n");
       return 2;
     }
-    auto id = client.submit(args[2], args.size() > 3 ? args[3] : "");
-    if (!id.ok()) {
-      std::fprintf(stderr, "submit failed: %s\n",
-                   id.status().to_string().c_str());
-      return failure_exit(id.status());
+    for (std::size_t i = 0; i < repeat; ++i) {
+      auto id = client.submit(args[2], args.size() > 3 ? args[3] : "");
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     id.status().to_string().c_str());
+        return failure_exit(id.status());
+      }
+      std::printf("submitted as instance %llu\n",
+                  static_cast<unsigned long long>(*id));
     }
-    std::printf("submitted as instance %llu\n",
-                static_cast<unsigned long long>(*id));
     return 0;
   }
   if (verb == "submitdag") {
@@ -80,14 +172,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "submitdag requires a DAG JSON path\n");
       return 2;
     }
-    auto id = client.submit_dag(args[2]);
-    if (!id.ok()) {
-      std::fprintf(stderr, "submitdag failed: %s\n",
-                   id.status().to_string().c_str());
-      return failure_exit(id.status());
+    if (transport != "socket") {
+      const int code =
+          submitdag_shm(args[0], args[2], repeat,
+                        client_config.connect_timeout_s, transport == "auto");
+      if (code >= 0) return code;
+      // -1: auto fallback to the socket lane below.
     }
-    std::printf("submitted DAG as instance %llu\n",
-                static_cast<unsigned long long>(*id));
+    for (std::size_t i = 0; i < repeat; ++i) {
+      auto id = client.submit_dag(args[2]);
+      if (!id.ok()) {
+        std::fprintf(stderr, "submitdag failed: %s\n",
+                     id.status().to_string().c_str());
+        return failure_exit(id.status());
+      }
+      std::printf("submitted DAG as instance %llu\n",
+                  static_cast<unsigned long long>(*id));
+    }
     return 0;
   }
   if (verb == "status") {

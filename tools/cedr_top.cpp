@@ -1,9 +1,11 @@
 // Live terminal dashboard for a running CEDR daemon (`top` for the
 // scheduler): polls the STATS and METRICS IPC verbs over one persistent
 // pipelined connection and renders per-PE utilization bars, ready-queue
-// shard depths, latency-histogram summaries, fault counters and submission
-// rates in place. Pure client of the documented IPC protocol (docs/ipc.md)
-// — needs nothing the daemon does not already serve.
+// shard depths, shared-memory-lane activity (sessions, ring depth,
+// record/doorbell/stall rates), latency-histogram summaries, fault
+// counters and submission rates in place. Pure client of the documented
+// IPC protocol (docs/ipc.md) — needs nothing the daemon does not already
+// serve.
 //
 // usage: cedr_top <socket-path> [--interval SECONDS] [--count N] [--once]
 //                 [--connect-timeout SECONDS]
@@ -164,7 +166,8 @@ void print_once(const json::Value& doc) {
 }
 
 void render(const json::Value& doc, const std::string& stats_line,
-            std::map<std::string, HistCursor>& cursors, double interval_s,
+            std::map<std::string, HistCursor>& cursors,
+            std::map<std::string, double>& counter_cursors, double interval_s,
             double prev_submitted, double prev_completed) {
   const json::Value* stats = doc.find("stats");
   const json::Value* metrics = doc.find("metrics");
@@ -235,6 +238,42 @@ void render(const json::Value& doc, const std::string& stats_line,
       }
     }
     std::printf("\n\n");
+  }
+
+  // --- shared-memory lane ---------------------------------------------------
+  // Counter-delta rates computed client-side, like the histogram interval
+  // columns: any number of dashboards can watch one daemon independently.
+  auto counter_rate = [&](const char* name) -> double {
+    const double now =
+        counters != nullptr
+            ? static_cast<double>(counters->get_int(name, 0))
+            : 0.0;
+    double& prev = counter_cursors[name];
+    const double rate =
+        interval_s > 0.0 ? std::max(0.0, now - prev) / interval_s : 0.0;
+    prev = now;
+    return rate;
+  };
+  if (gauges != nullptr && gauges->find("shm.sessions") != nullptr) {
+    const double records_rate = counter_rate("shm.records_total");
+    const double doorbell_rate = counter_rate("shm.doorbell_wakes_total");
+    const double stall_rate = counter_rate("shm.cpl_full_stalls_total");
+    std::printf("shm lane: %2.0f sessions  sub-ring depth %5.0f   "
+                "records %8.1f/s  doorbells %7.1f/s\n",
+                gauges->get_double("shm.sessions", 0.0),
+                gauges->get_double("shm.sub_ring_depth", 0.0), records_rate,
+                doorbell_rate);
+    std::printf("          full-ring stalls %6.1f/s  busy=%lld  "
+                "crc-rejected=%lld\n\n",
+                stall_rate,
+                counters != nullptr
+                    ? static_cast<long long>(
+                          counters->get_int("shm.busy_total", 0))
+                    : 0,
+                counters != nullptr
+                    ? static_cast<long long>(
+                          counters->get_int("shm.crc_rejected_total", 0))
+                    : 0);
   }
 
   // --- latency histograms ---------------------------------------------------
@@ -314,6 +353,7 @@ int main(int argc, char** argv) {
   ipc::IpcClient client(opts.socket_path,
                         {.connect_timeout_s = opts.connect_timeout_s});
   std::map<std::string, HistCursor> cursors;
+  std::map<std::string, double> counter_cursors;
   double prev_submitted = -1.0, prev_completed = -1.0;
   for (std::size_t tick = 0; opts.count == 0 || tick < opts.count; ++tick) {
     // One pipelined round trip per refresh over the persistent connection:
@@ -342,8 +382,8 @@ int main(int argc, char** argv) {
       print_once(*doc);
       return 0;
     }
-    render(*doc, stats_line, cursors, tick == 0 ? 0.0 : opts.interval_s,
-           prev_submitted, prev_completed);
+    render(*doc, stats_line, cursors, counter_cursors,
+           tick == 0 ? 0.0 : opts.interval_s, prev_submitted, prev_completed);
     if (const json::Value* stats = doc->find("stats")) {
       prev_submitted = static_cast<double>(stats->get_int("submitted", 0));
       prev_completed = static_cast<double>(stats->get_int("completed", 0));

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the shared-memory submission lane against a live
+# daemon (docs/ipc.md, "Shared-memory lane"):
+#
+#   1. start cedr_daemon (shm lane on by default),
+#   2. submit DAGs over `cedr_submit --transport shm` and check they execute,
+#   3. check the dashboard exposes the shm.* metrics,
+#   4. SIGKILL a shm client mid-submission burst: the daemon must reap the
+#      session (shm.sessions back to 0) and keep serving both lanes,
+#   5. `--transport auto` against a --no-shm daemon must fall back to the
+#      socket with a notice and still succeed,
+#   6. clean shutdown over IPC.
+#
+# usage: run_shm_smoke.sh [BUILD_DIR]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+DAEMON="$BUILD_DIR/tools/cedr_daemon"
+SUBMIT="$BUILD_DIR/tools/cedr_submit"
+TOP="$BUILD_DIR/tools/cedr_top"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DAG="$ROOT/examples/fd_filter_dag.json"
+
+for f in "$DAEMON" "$SUBMIT" "$TOP" "$DAG"; do
+  if [ ! -e "$f" ]; then
+    echo "missing $f (build the tree first)" >&2
+    exit 1
+  fi
+done
+
+WORK_DIR="$(mktemp -d)"
+SOCK="$WORK_DIR/cedr.sock"
+DAEMON_LOG="$WORK_DIR/daemon.log"
+DAEMON_PID=""
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.05
+  done
+  echo "daemon never opened $1" >&2
+  cat "$DAEMON_LOG" >&2
+  return 1
+}
+
+"$DAEMON" "$SOCK" --metrics-interval 0.01 >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+wait_for_socket "$SOCK"
+
+# --- 1. shm lane round trip --------------------------------------------------
+OUT="$("$SUBMIT" --transport shm --repeat 5 "$SOCK" submitdag "$DAG")"
+echo "$OUT"
+SHM_LINES="$(printf '%s\n' "$OUT" | grep -c "(shm)$")"
+if [ "$SHM_LINES" -ne 5 ]; then
+  echo "expected 5 shm-lane submissions, saw $SHM_LINES" >&2
+  exit 1
+fi
+"$SUBMIT" "$SOCK" wait
+
+# --- 2. shm metrics on the dashboard ----------------------------------------
+"$TOP" "$SOCK" --once > "$WORK_DIR/top.txt"
+for key in "gauge.shm.sessions=" "counter.shm.records_total=" \
+           "counter.shm.submits_total=" "counter.shm.sessions_opened_total=" \
+           "hist.shm_drain_batch."; do
+  grep -q "$key" "$WORK_DIR/top.txt" || {
+    echo "cedr_top --once output missing $key" >&2
+    cat "$WORK_DIR/top.txt" >&2
+    exit 1
+  }
+done
+echo "shm metrics present on the dashboard"
+
+# --- 3. SIGKILL a client mid-submission burst --------------------------------
+# A long burst over the shm lane, killed hard partway through: the crashed
+# client's control connection EOF must reap its session without wedging the
+# daemon or corrupting later submissions.
+"$SUBMIT" --transport shm --repeat 2000 "$SOCK" submitdag "$DAG" \
+    >/dev/null 2>&1 &
+VICTIM=$!
+sleep 0.2
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+
+# The daemon reaps the session once it sees EOF on the control socket.
+REAPED=0
+for _ in $(seq 1 100); do
+  SESSIONS="$("$TOP" "$SOCK" --once | grep '^gauge\.shm\.sessions=' \
+      | cut -d= -f2)"
+  if [ "${SESSIONS%%.*}" = "0" ]; then
+    REAPED=1
+    break
+  fi
+  sleep 0.05
+done
+if [ "$REAPED" -ne 1 ]; then
+  echo "shm session not reaped after client SIGKILL" >&2
+  "$TOP" "$SOCK" --once >&2
+  exit 1
+fi
+echo "SIGKILLed client's session reaped"
+
+# Daemon still consistent: drain in-flight work, then both lanes round-trip.
+"$SUBMIT" "$SOCK" wait
+"$SUBMIT" --transport shm "$SOCK" submitdag "$DAG" | grep -q "(shm)$"
+"$SUBMIT" --transport socket "$SOCK" submitdag "$DAG" >/dev/null
+"$SUBMIT" "$SOCK" wait
+"$SUBMIT" "$SOCK" shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "daemon survived the SIGKILLed shm client"
+
+# --- 4. auto fallback against a --no-shm daemon ------------------------------
+SOCK2="$WORK_DIR/cedr_noshm.sock"
+"$DAEMON" "$SOCK2" --no-shm >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+wait_for_socket "$SOCK2"
+
+FALLBACK_ERR="$WORK_DIR/fallback.err"
+"$SUBMIT" --transport auto "$SOCK2" submitdag "$DAG" 2>"$FALLBACK_ERR" \
+    | grep -q "^submitted DAG as instance"
+grep -q "falling back to socket transport" "$FALLBACK_ERR" || {
+  echo "expected a fallback notice on stderr" >&2
+  cat "$FALLBACK_ERR" >&2
+  exit 1
+}
+# Forced shm against the same daemon must fail outright.
+if "$SUBMIT" --transport shm "$SOCK2" submitdag "$DAG" 2>/dev/null; then
+  echo "--transport shm unexpectedly succeeded against --no-shm" >&2
+  exit 1
+fi
+"$SUBMIT" "$SOCK2" wait
+"$SUBMIT" "$SOCK2" shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "auto fallback works against a --no-shm daemon"
+
+echo "shm smoke passed"

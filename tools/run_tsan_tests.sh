@@ -22,11 +22,13 @@ BUILD_DIR="${ROOT}/build-${SANITIZER}"
 # continuous trace pipeline (flusher draining the ring while writers
 # record), the
 # online cost adaptation (concurrent observe + lock-free snapshot swap),
-# the scheduling layer (sharded ready queue with per-shard locks), and the
-# scenario harness (concurrent sweep execution over shared compiled state).
+# the scheduling layer (sharded ready queue with per-shard locks), the
+# scenario harness (concurrent sweep execution over shared compiled state),
+# and the shared-memory submission lane (SPSC rings with release/acquire
+# cursors shared across threads, doorbell arming, drain workers).
 TARGETS=(test_runtime test_faults test_stress test_properties test_api
          test_ipc test_ipc_concurrency test_obs test_trace_segments
-         test_adapt test_sched test_scenario)
+         test_adapt test_sched test_scenario test_shm_ring)
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCEDR_SANITIZE="${SANITIZER}" \
