@@ -77,6 +77,8 @@ struct ExecutableDag {
 
 /// Builds an executable instance from an extended-schema document.
 /// Each call creates fresh buffers: one instantiation per submission.
+/// Implemented as DagTemplate::compile + instantiate (dag_template.h);
+/// repeat submitters should cache the template and skip the compile.
 StatusOr<ExecutableDag> instantiate_dag(const json::Value& doc);
 
 /// json::parse_file + instantiate_dag.

@@ -142,6 +142,20 @@ struct PeHealth {
   std::uint64_t quarantines = 0;         ///< times this PE was quarantined
 };
 
+/// A DAG-application submission in fast-path form (docs/runtime_lifecycle.md):
+/// a shareable descriptor plus per-instance implementation arrays indexed by
+/// the graph's storage order (TaskGraph::index_of). When `impls` is empty the
+/// runtime falls back to the implementations bound inside the descriptor's
+/// tasks — the legacy submit_dag shape. A non-empty `impls` lets many
+/// instances share one immutable skeleton descriptor (DagTemplate), so
+/// per-descriptor precomputation (HEFT ranks, predecessor counts, successor
+/// index lists) is cached across submissions.
+struct DagSubmission {
+  std::shared_ptr<const task::AppDescriptor> descriptor;
+  /// Per-task implementations by storage index; empty = use descriptor's.
+  std::vector<std::array<task::TaskFn, platform::kNumPeClasses>> impls;
+};
+
 /// One API-mode kernel invocation to be scheduled.
 struct KernelRequest {
   std::string name;
@@ -171,6 +185,16 @@ class Runtime {
   /// bound in the descriptor (Task::impls). Returns the instance id.
   StatusOr<std::uint64_t> submit_dag(
       std::shared_ptr<const task::AppDescriptor> app);
+
+  /// Fast-path DAG submission (see DagSubmission). Returns the instance id.
+  StatusOr<std::uint64_t> submit_dag(DagSubmission submission);
+
+  /// Submits many DAG instances with one lifecycle-lock acquisition and one
+  /// ready-queue batch push. Element i of the result corresponds to
+  /// submission i; failures are per-element (a bad descriptor does not
+  /// reject its batchmates).
+  std::vector<StatusOr<std::uint64_t>> submit_dag_batch(
+      std::vector<DagSubmission> submissions);
 
   /// Submits an API-based application: `main_fn` runs on a fresh thread
   /// with this runtime attached, so libCEDR calls inside it are scheduled
@@ -285,6 +309,11 @@ class Runtime {
   obs::QuantileHistogram* queue_delay_us_ = nullptr;
   obs::QuantileHistogram* service_time_us_ = nullptr;
   obs::QuantileHistogram* sched_decision_us_ = nullptr;
+  /// Instance-lifecycle histograms (docs/runtime_lifecycle.md): wall time of
+  /// one DAG-submission prepare+publish, and of one worker completion-batch
+  /// flush.
+  obs::QuantileHistogram* instantiate_us_ = nullptr;
+  obs::QuantileHistogram* complete_publish_us_ = nullptr;
   /// Scheduler-round span label ("sched <heuristic>"), built once.
   std::string sched_span_name_;
   /// Non-null when the fault plan injects anything. Per-PE streams are only

@@ -81,6 +81,19 @@ class ReadyQueueShards {
   /// it as-is.
   void push(const ReadyTask& view, std::shared_ptr<void> payload);
 
+  /// One enqueued-task request for push_batch.
+  struct PushItem {
+    ReadyTask view;
+    std::shared_ptr<void> payload;
+  };
+
+  /// Enqueues many tasks with one sequence-range reservation and at most one
+  /// lock acquisition per touched shard. Items land in global FIFO order
+  /// exactly as if push() had been called element by element, so a batch
+  /// submit of N head tasks is indistinguishable to the scheduler from N
+  /// singleton submits.
+  void push_batch(std::span<PushItem> items);
+
   /// Copies the whole queue in global FIFO order.
   [[nodiscard]] Snapshot snapshot() const;
 

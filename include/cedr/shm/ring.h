@@ -61,8 +61,30 @@ class SpscRing {
   }
 
   /// Publishes the record written into acquire()'s slot.
-  void publish() noexcept {
-    tail_->store(tail_->load(std::memory_order_relaxed) + 1,
+  void publish() noexcept { publish(1); }
+
+  // Multi-slot producer API: claim several slots, fill them in any order,
+  // then make them all visible with one release-store. Lets the shm server
+  // stage a whole drain batch of completions and publish once.
+
+  /// How many slots the producer could fill right now without the consumer
+  /// releasing anything.
+  [[nodiscard]] std::uint64_t free_slots() const noexcept {
+    return slots_ - (tail_->load(std::memory_order_relaxed) -
+                     head_->load(std::memory_order_acquire));
+  }
+
+  /// Slot `offset` past the current tail (offset 0 == acquire()'s slot).
+  /// Valid only while offset < free_slots(); exclusive until publish(n)
+  /// with n > offset.
+  [[nodiscard]] Record* producer_slot(std::uint64_t offset) noexcept {
+    const std::uint64_t tail = tail_->load(std::memory_order_relaxed);
+    return &base_[(tail + offset) & mask_];
+  }
+
+  /// Publishes the first `n` staged slots in one release-store.
+  void publish(std::uint64_t n) noexcept {
+    tail_->store(tail_->load(std::memory_order_relaxed) + n,
                  std::memory_order_release);
   }
 
@@ -77,8 +99,28 @@ class SpscRing {
   }
 
   /// Returns front()'s slot to the producer.
-  void release() noexcept {
-    head_->store(head_->load(std::memory_order_relaxed) + 1,
+  void release() noexcept { release(1); }
+
+  // Multi-slot consumer API, mirroring the producer side: read a window of
+  // records, then return them all with one release-store.
+
+  /// Unconsumed records visible right now.
+  [[nodiscard]] std::uint64_t readable() const noexcept {
+    return tail_->load(std::memory_order_acquire) -
+           head_->load(std::memory_order_relaxed);
+  }
+
+  /// Record `offset` past the current head (offset 0 == front()'s slot).
+  /// Valid only while offset < readable() and until release(n) with
+  /// n > offset.
+  [[nodiscard]] const Record* peek(std::uint64_t offset) const noexcept {
+    const std::uint64_t head = head_->load(std::memory_order_relaxed);
+    return &base_[(head + offset) & mask_];
+  }
+
+  /// Returns the first `n` read slots to the producer in one release-store.
+  void release(std::uint64_t n) noexcept {
+    head_->store(head_->load(std::memory_order_relaxed) + n,
                  std::memory_order_release);
   }
 

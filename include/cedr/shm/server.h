@@ -14,7 +14,12 @@
 //     bounded additionally by completion-ring credit: a record is only
 //     consumed when its completion slot is free, so a client that stops
 //     reading completions back-pressures into its own submission ring, not
-//     into daemon memory;
+//     into daemon memory. A batch is processed in three phases
+//     (docs/runtime_lifecycle.md): classify every record (documents compile
+//     through the process-wide apps::TemplateCache), submit all valid DAGs
+//     to the runtime as ONE batch (one lifecycle-lock hold, one ready-queue
+//     push), then publish all completions with one ring cursor store and
+//     one doorbell;
 //   * admission is the same `admit` predicate the socket lane uses, so
 //     `BUSY` semantics and `max_inflight_apps` apply identically to both
 //     lanes;
@@ -102,17 +107,18 @@ class ShmServer {
     int cpl_doorbell_fd = -1;
     std::atomic<bool> drain_inflight{false};
     std::atomic<bool> closed{false};
-    /// SUBMITDAG document memo: the same payload bytes parse once per
-    /// session; each record still instantiates fresh buffers.
-    std::string doc_cache;
-    json::Value doc_value;
-    bool doc_valid = false;
     ~Session();
   };
 
   std::shared_ptr<Session> find(std::uint64_t id);
-  /// Executes one submission record into its (zeroed) completion slot.
-  void process_record(Session& session, const SubRecord& rec, CplRecord& cpl);
+  /// Classifies one submission record. Errors, NOPs and busy rejections
+  /// fill the (zeroed) completion slot immediately and return true; a valid
+  /// SUBMITDAG appends a compiled instance to `submissions` and returns
+  /// false — its slot is filled after the whole batch is submitted.
+  /// Document compilation goes through the process-wide
+  /// apps::TemplateCache, shared with the socket lane.
+  bool process_record(Session& session, const SubRecord& rec, CplRecord& cpl,
+                      std::vector<rt::DagSubmission>& submissions);
   void ring_cpl_doorbell(Session& session);
 
   rt::Runtime& runtime_;

@@ -95,9 +95,12 @@ class TaskGraph {
   /// Checks acyclicity and edge validity; returns a topological order.
   [[nodiscard]] StatusOr<std::vector<TaskId>> topological_order() const;
 
- private:
+  /// Storage index of a task id (the position in tasks()). Lets callers
+  /// precompute index-based per-instance state (predecessor counts, ranks)
+  /// once per descriptor instead of re-hashing TaskIds per instance.
   [[nodiscard]] std::size_t index_of(TaskId id) const;
 
+ private:
   std::vector<Task> tasks_;
   std::vector<std::vector<TaskId>> successors_;
   std::vector<std::vector<TaskId>> predecessors_;

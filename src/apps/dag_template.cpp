@@ -1,0 +1,313 @@
+#include "cedr/apps/dag_template.h"
+
+#include <utility>
+
+#include "cedr/apps/executable_dag.h"
+#include "cedr/common/math_util.h"
+#include "cedr/task/dag_loader.h"
+
+namespace cedr::apps {
+
+namespace {
+
+/// Resolves args[key] to a buffer-spec index, enforcing presence and kind.
+StatusOr<std::size_t> spec_arg(
+    const std::unordered_map<std::string, std::size_t>& by_name,
+    const std::vector<BufferSpec>& specs, const json::Value& args,
+    const std::string& key, bool want_float, const std::string& task_name) {
+  const std::string name = args.get_string(key, "");
+  if (name.empty()) {
+    return InvalidArgument("task " + task_name + " missing arg '" + key + "'");
+  }
+  const auto it = by_name.find(name);
+  if (it == by_name.end() || specs[it->second].is_float != want_float) {
+    return NotFound("task " + task_name + ": no " +
+                    (want_float ? "float" : "cfloat") + " buffer '" + name +
+                    "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const DagTemplate>> DagTemplate::compile(
+    const json::Value& doc) {
+  // Structure first (reuses the loader's validation, including acyclicity),
+  // so a cached template never needs a topological check again.
+  auto parsed = task::app_from_json(doc);
+  if (!parsed.ok()) return parsed.status();
+
+  auto tmpl = std::shared_ptr<DagTemplate>(new DagTemplate());
+  std::unordered_map<std::string, std::size_t> by_name;
+  if (const json::Value* buffers = doc.find("buffers")) {
+    if (!buffers->is_object()) {
+      return InvalidArgument("'buffers' must be an object");
+    }
+    for (const auto& [name, spec] : buffers->as_object()) {
+      const auto elems = static_cast<std::size_t>(spec.get_int("elems", 0));
+      const std::string kind = spec.get_string("kind", "cfloat");
+      if (kind != "cfloat" && kind != "float") {
+        return InvalidArgument("buffer '" + name + "': unknown kind " + kind);
+      }
+      if (name.empty() || elems == 0) {
+        return InvalidArgument("buffer needs a name and a nonzero size");
+      }
+      if (by_name.count(name) != 0) {
+        return AlreadyExists("duplicate buffer name: " + name);
+      }
+      by_name.emplace(name, tmpl->specs_.size());
+      tmpl->specs_.push_back(BufferSpec{
+          .name = name, .is_float = kind == "float", .elems = elems});
+    }
+  }
+
+  // Bind each task row into a resolved plan; cost metadata (problem_size,
+  // data_bytes defaults) lands in the skeleton so it is computed once.
+  auto app = std::make_shared<task::AppDescriptor>(std::move(*parsed));
+  tmpl->bindings_.resize(app->graph.size());
+  for (const json::Value& row : doc.find("tasks")->as_array()) {
+    const auto id = static_cast<task::TaskId>(row.find("id")->as_int());
+    task::Task& t = app->graph.get(id);
+    Binding& plan = tmpl->bindings_[app->graph.index_of(id)];
+    plan.kernel = t.kernel;
+
+    const json::Value* args = row.find("args");
+    const json::Value empty_args = json::Object{};
+    if (args == nullptr) args = &empty_args;
+    if (!args->is_object()) {
+      return InvalidArgument("task " + t.name + " 'args' must be an object");
+    }
+    const std::vector<BufferSpec>& specs = tmpl->specs_;
+    switch (t.kernel) {
+      case platform::KernelId::kFft:
+      case platform::KernelId::kIfft: {
+        auto in = spec_arg(by_name, specs, *args, "in", false, t.name);
+        if (!in.ok()) return in.status();
+        auto out = spec_arg(by_name, specs, *args, "out", false, t.name);
+        if (!out.ok()) return out.status();
+        if (specs[*in].elems != specs[*out].elems) {
+          return InvalidArgument("task " + t.name + ": in/out size mismatch");
+        }
+        const std::size_t n = specs[*out].elems;
+        if (!is_power_of_two(n)) {
+          return InvalidArgument("task " + t.name +
+                                 ": FFT buffers must be power-of-two sized");
+        }
+        plan.a = *in;
+        plan.b = *out;
+        plan.n = n;
+        plan.inverse = t.kernel == platform::KernelId::kIfft;
+        if (t.problem_size == 0) t.problem_size = n;
+        if (t.data_bytes == 0) t.data_bytes = 2 * n * sizeof(cfloat);
+        break;
+      }
+      case platform::KernelId::kZip: {
+        auto a = spec_arg(by_name, specs, *args, "a", false, t.name);
+        if (!a.ok()) return a.status();
+        auto b = spec_arg(by_name, specs, *args, "b", false, t.name);
+        if (!b.ok()) return b.status();
+        auto out = spec_arg(by_name, specs, *args, "out", false, t.name);
+        if (!out.ok()) return out.status();
+        if (specs[*a].elems != specs[*b].elems ||
+            specs[*a].elems != specs[*out].elems) {
+          return InvalidArgument("task " + t.name + ": zip size mismatch");
+        }
+        const auto op = args->get_int("op", 0);
+        if (op < 0 || op > 3) {
+          return InvalidArgument("task " + t.name + ": zip op out of range");
+        }
+        plan.a = *a;
+        plan.b = *b;
+        plan.c = *out;
+        plan.n = specs[*out].elems;
+        plan.op = static_cast<kernels::ZipOp>(op);
+        if (t.problem_size == 0) t.problem_size = plan.n;
+        if (t.data_bytes == 0) t.data_bytes = 3 * plan.n * sizeof(cfloat);
+        break;
+      }
+      case platform::KernelId::kMmult: {
+        auto a = spec_arg(by_name, specs, *args, "a", true, t.name);
+        if (!a.ok()) return a.status();
+        auto b = spec_arg(by_name, specs, *args, "b", true, t.name);
+        if (!b.ok()) return b.status();
+        auto c = spec_arg(by_name, specs, *args, "c", true, t.name);
+        if (!c.ok()) return c.status();
+        const auto m = static_cast<std::size_t>(args->get_int("m", 0));
+        const auto k = static_cast<std::size_t>(args->get_int("k", 0));
+        const auto n = static_cast<std::size_t>(args->get_int("n", 0));
+        if (m == 0 || k == 0 || n == 0) {
+          return InvalidArgument("task " + t.name + ": MMULT needs m/k/n");
+        }
+        if (specs[*a].elems != m * k || specs[*b].elems != k * n ||
+            specs[*c].elems != m * n) {
+          return InvalidArgument("task " + t.name +
+                                 ": MMULT buffer sizes inconsistent");
+        }
+        plan.a = *a;
+        plan.b = *b;
+        plan.c = *c;
+        plan.m = m;
+        plan.k = k;
+        plan.n = n;
+        if (t.problem_size == 0) t.problem_size = m * k * n;
+        if (t.data_bytes == 0) {
+          t.data_bytes = (m * k + k * n + m * n) * sizeof(float);
+        }
+        break;
+      }
+      case platform::KernelId::kGeneric: {
+        plan.work_ns = static_cast<std::size_t>(args->get_int(
+            "work_ns", static_cast<std::int64_t>(t.problem_size)));
+        if (t.problem_size == 0) t.problem_size = plan.work_ns;
+        break;
+      }
+      default:
+        return Unimplemented("no standard binding for kernel " +
+                             std::string(platform::kernel_name(t.kernel)));
+    }
+  }
+  tmpl->skeleton_ = std::move(app);
+  return std::shared_ptr<const DagTemplate>(std::move(tmpl));
+}
+
+DagTemplate::Instance DagTemplate::instantiate() const {
+  Instance out;
+  out.descriptor = skeleton_;
+  out.buffers = std::make_shared<BufferPool>();
+
+  // Allocate the declared buffers and pin their storage addresses once;
+  // bindings index this table instead of re-hashing names per argument.
+  std::vector<cfloat*> cbufs(specs_.size(), nullptr);
+  std::vector<float*> fbufs(specs_.size(), nullptr);
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const BufferSpec& spec = specs_[i];
+    if (spec.is_float) {
+      (void)out.buffers->add_float(spec.name, spec.elems);
+      fbufs[i] = out.buffers->float_buffer(spec.name)->data();
+    } else {
+      (void)out.buffers->add_cfloat(spec.name, spec.elems);
+      cbufs[i] = out.buffers->cfloat_buffer(spec.name)->data();
+    }
+  }
+
+  out.impls.resize(bindings_.size());
+  const auto pool = out.buffers;
+  for (std::size_t i = 0; i < bindings_.size(); ++i) {
+    const Binding& plan = bindings_[i];
+    api::ImplArray& impls = out.impls[i];
+    switch (plan.kernel) {
+      case platform::KernelId::kFft:
+      case platform::KernelId::kIfft:
+        impls = api::make_fft_impls(cbufs[plan.a], cbufs[plan.b], plan.n,
+                                    plan.inverse);
+        break;
+      case platform::KernelId::kZip:
+        impls = api::make_zip_impls(cbufs[plan.a], cbufs[plan.b],
+                                    cbufs[plan.c], plan.n, plan.op);
+        break;
+      case platform::KernelId::kMmult:
+        impls = api::make_mmult_impls(fbufs[plan.a], fbufs[plan.b],
+                                      fbufs[plan.c], plan.m, plan.k, plan.n);
+        break;
+      case platform::KernelId::kGeneric:
+        impls = api::make_generic_impls({}, plan.work_ns);
+        continue;  // no buffers to keep alive
+      default:
+        continue;
+    }
+    // The CPU slot owns the pool: buffers live as long as any of this
+    // task's implementations can still run (the raw pointers the
+    // accelerator slots captured stay valid through the same array).
+    impls[static_cast<std::size_t>(platform::PeClass::kCpu)] =
+        [fn = impls[static_cast<std::size_t>(platform::PeClass::kCpu)],
+         keep_alive = pool](task::ExecContext& ctx) { return fn(ctx); };
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TemplateCache
+// ---------------------------------------------------------------------------
+
+std::uint64_t TemplateCache::fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char ch : text) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+TemplateCache::TemplateCache(std::size_t capacity, HashFn hash)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      hash_(hash != nullptr ? hash : &fnv1a64) {}
+
+TemplateCache& TemplateCache::global() {
+  static TemplateCache cache;
+  return cache;
+}
+
+StatusOr<std::shared_ptr<const DagTemplate>> TemplateCache::get_or_compile(
+    std::string_view text) {
+  const std::uint64_t hash = hash_(text);
+  {
+    std::lock_guard lock(mutex_);
+    const auto chain = index_.find(hash);
+    if (chain != index_.end()) {
+      for (const EntryList::iterator it : chain->second) {
+        // Same hash is not same document: a collision (or an injected
+        // degenerate hash in tests) must never serve the wrong template.
+        if (it->text != text) continue;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        entries_.splice(entries_.begin(), entries_, it);  // move to MRU
+        return it->tmpl;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Compile outside the lock: a slow parse never blocks concurrent hits.
+  auto doc = json::parse(text);
+  if (!doc.ok()) return doc.status();
+  auto compiled = DagTemplate::compile(*doc);
+  if (!compiled.ok()) return compiled.status();
+
+  std::lock_guard lock(mutex_);
+  // Double-check: another thread may have compiled the same text while we
+  // did; keep the first insert so both callers share one template.
+  if (const auto chain = index_.find(hash); chain != index_.end()) {
+    for (const EntryList::iterator it : chain->second) {
+      if (it->text == text) {
+        entries_.splice(entries_.begin(), entries_, it);
+        return it->tmpl;
+      }
+    }
+  }
+  entries_.push_front(Entry{
+      .hash = hash, .text = std::string(text), .tmpl = *compiled});
+  index_[hash].push_back(entries_.begin());
+  while (entries_.size() > capacity_) {
+    const EntryList::iterator victim = std::prev(entries_.end());
+    auto& chain = index_[victim->hash];
+    std::erase(chain, victim);
+    if (chain.empty()) index_.erase(victim->hash);
+    entries_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *compiled;
+}
+
+TemplateCache::Stats TemplateCache::stats() const noexcept {
+  return Stats{
+      .hits = hits_.load(std::memory_order_relaxed),
+      .misses = misses_.load(std::memory_order_relaxed),
+      .evictions = evictions_.load(std::memory_order_relaxed),
+  };
+}
+
+std::size_t TemplateCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace cedr::apps

@@ -1,7 +1,6 @@
 #include "cedr/apps/executable_dag.h"
 
-#include "cedr/api/impls.h"
-#include "cedr/task/dag_loader.h"
+#include "cedr/apps/dag_template.h"
 
 namespace cedr::apps {
 
@@ -37,179 +36,23 @@ std::vector<float>* BufferPool::float_buffer(const std::string& name) {
   return it == floats_.end() ? nullptr : &it->second;
 }
 
-namespace {
-
-/// Looks up the named cfloat buffer referenced by args[key].
-StatusOr<std::vector<cfloat>*> cfloat_arg(BufferPool& pool,
-                                          const json::Value& args,
-                                          const std::string& key,
-                                          const std::string& task_name) {
-  const std::string name = args.get_string(key, "");
-  if (name.empty()) {
-    return InvalidArgument("task " + task_name + " missing arg '" + key + "'");
-  }
-  std::vector<cfloat>* buffer = pool.cfloat_buffer(name);
-  if (buffer == nullptr) {
-    return NotFound("task " + task_name + ": no cfloat buffer '" + name + "'");
-  }
-  return buffer;
-}
-
-StatusOr<std::vector<float>*> float_arg(BufferPool& pool,
-                                        const json::Value& args,
-                                        const std::string& key,
-                                        const std::string& task_name) {
-  const std::string name = args.get_string(key, "");
-  if (name.empty()) {
-    return InvalidArgument("task " + task_name + " missing arg '" + key + "'");
-  }
-  std::vector<float>* buffer = pool.float_buffer(name);
-  if (buffer == nullptr) {
-    return NotFound("task " + task_name + ": no float buffer '" + name + "'");
-  }
-  return buffer;
-}
-
-/// Binds implementations and cost metadata for one parsed task.
-Status bind_task(task::Task& t, const json::Value& row,
-                 const std::shared_ptr<BufferPool>& pool) {
-  const json::Value* args = row.find("args");
-  const json::Value empty_args = json::Object{};
-  if (args == nullptr) args = &empty_args;
-  if (!args->is_object()) {
-    return InvalidArgument("task " + t.name + " 'args' must be an object");
-  }
-
-  switch (t.kernel) {
-    case platform::KernelId::kFft:
-    case platform::KernelId::kIfft: {
-      auto in = cfloat_arg(*pool, *args, "in", t.name);
-      if (!in.ok()) return in.status();
-      auto out = cfloat_arg(*pool, *args, "out", t.name);
-      if (!out.ok()) return out.status();
-      if ((*in)->size() != (*out)->size()) {
-        return InvalidArgument("task " + t.name + ": in/out size mismatch");
-      }
-      const std::size_t n = (*out)->size();
-      if (!is_power_of_two(n)) {
-        return InvalidArgument("task " + t.name +
-                               ": FFT buffers must be power-of-two sized");
-      }
-      if (t.problem_size == 0) t.problem_size = n;
-      if (t.data_bytes == 0) t.data_bytes = 2 * n * sizeof(cfloat);
-      // The lambdas capture the pool shared_ptr: buffers live as long as
-      // any task implementation does.
-      t.impls = api::make_fft_impls((*in)->data(), (*out)->data(), n,
-                                    t.kernel == platform::KernelId::kIfft);
-      auto keep_alive = pool;
-      t.impls[static_cast<std::size_t>(platform::PeClass::kCpu)] =
-          [fn = t.impls[static_cast<std::size_t>(platform::PeClass::kCpu)],
-           keep_alive](task::ExecContext& ctx) { return fn(ctx); };
-      return Status::Ok();
-    }
-    case platform::KernelId::kZip: {
-      auto a = cfloat_arg(*pool, *args, "a", t.name);
-      if (!a.ok()) return a.status();
-      auto b = cfloat_arg(*pool, *args, "b", t.name);
-      if (!b.ok()) return b.status();
-      auto out = cfloat_arg(*pool, *args, "out", t.name);
-      if (!out.ok()) return out.status();
-      if ((*a)->size() != (*b)->size() || (*a)->size() != (*out)->size()) {
-        return InvalidArgument("task " + t.name + ": zip size mismatch");
-      }
-      const auto op = args->get_int("op", 0);
-      if (op < 0 || op > 3) {
-        return InvalidArgument("task " + t.name + ": zip op out of range");
-      }
-      const std::size_t n = (*out)->size();
-      if (t.problem_size == 0) t.problem_size = n;
-      if (t.data_bytes == 0) t.data_bytes = 3 * n * sizeof(cfloat);
-      t.impls = api::make_zip_impls((*a)->data(), (*b)->data(), (*out)->data(),
-                                    n, static_cast<kernels::ZipOp>(op));
-      auto keep_alive = pool;
-      t.impls[static_cast<std::size_t>(platform::PeClass::kCpu)] =
-          [fn = t.impls[static_cast<std::size_t>(platform::PeClass::kCpu)],
-           keep_alive](task::ExecContext& ctx) { return fn(ctx); };
-      return Status::Ok();
-    }
-    case platform::KernelId::kMmult: {
-      auto a = float_arg(*pool, *args, "a", t.name);
-      if (!a.ok()) return a.status();
-      auto b = float_arg(*pool, *args, "b", t.name);
-      if (!b.ok()) return b.status();
-      auto c = float_arg(*pool, *args, "c", t.name);
-      if (!c.ok()) return c.status();
-      const auto m = static_cast<std::size_t>(args->get_int("m", 0));
-      const auto k = static_cast<std::size_t>(args->get_int("k", 0));
-      const auto n = static_cast<std::size_t>(args->get_int("n", 0));
-      if (m == 0 || k == 0 || n == 0) {
-        return InvalidArgument("task " + t.name + ": MMULT needs m/k/n");
-      }
-      if ((*a)->size() != m * k || (*b)->size() != k * n ||
-          (*c)->size() != m * n) {
-        return InvalidArgument("task " + t.name +
-                               ": MMULT buffer sizes inconsistent");
-      }
-      if (t.problem_size == 0) t.problem_size = m * k * n;
-      if (t.data_bytes == 0) {
-        t.data_bytes = (m * k + k * n + m * n) * sizeof(float);
-      }
-      t.impls =
-          api::make_mmult_impls((*a)->data(), (*b)->data(), (*c)->data(), m,
-                                k, n);
-      auto keep_alive = pool;
-      t.impls[static_cast<std::size_t>(platform::PeClass::kCpu)] =
-          [fn = t.impls[static_cast<std::size_t>(platform::PeClass::kCpu)],
-           keep_alive](task::ExecContext& ctx) { return fn(ctx); };
-      return Status::Ok();
-    }
-    case platform::KernelId::kGeneric: {
-      const auto work_ns = static_cast<std::size_t>(
-          args->get_int("work_ns",
-                        static_cast<std::int64_t>(t.problem_size)));
-      if (t.problem_size == 0) t.problem_size = work_ns;
-      t.impls = api::make_generic_impls({}, work_ns);
-      return Status::Ok();
-    }
-    default:
-      return Unimplemented("no standard binding for kernel " +
-                           std::string(platform::kernel_name(t.kernel)));
-  }
-}
-
-}  // namespace
-
 StatusOr<ExecutableDag> instantiate_dag(const json::Value& doc) {
-  // Structure first (reuses the loader's validation).
-  auto parsed = task::app_from_json(doc);
-  if (!parsed.ok()) return parsed.status();
+  // One-off compile + instantiate (callers that resubmit the same document
+  // should hold a DagTemplate — or go through TemplateCache — instead).
+  auto tmpl = DagTemplate::compile(doc);
+  if (!tmpl.ok()) return tmpl.status();
+  DagTemplate::Instance inst = (*tmpl)->instantiate();
 
-  auto pool = std::make_shared<BufferPool>();
-  if (const json::Value* buffers = doc.find("buffers")) {
-    if (!buffers->is_object()) {
-      return InvalidArgument("'buffers' must be an object");
-    }
-    for (const auto& [name, spec] : buffers->as_object()) {
-      const auto elems = static_cast<std::size_t>(spec.get_int("elems", 0));
-      const std::string kind = spec.get_string("kind", "cfloat");
-      if (kind == "cfloat") {
-        CEDR_RETURN_IF_ERROR(pool->add_cfloat(name, elems));
-      } else if (kind == "float") {
-        CEDR_RETURN_IF_ERROR(pool->add_float(name, elems));
-      } else {
-        return InvalidArgument("buffer '" + name + "': unknown kind " + kind);
-      }
-    }
+  // Legacy contract: the returned descriptor is private to this instance
+  // and carries the bound implementations inside its tasks, so holding the
+  // descriptor alone (as submit_dag does) keeps the buffers alive.
+  auto app = std::make_shared<task::AppDescriptor>(*inst.descriptor);
+  const auto& tasks = app->graph.tasks();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    app->graph.get(tasks[i].id).impls = std::move(inst.impls[i]);
   }
-
-  // Re-walk the task rows to bind implementations (rows and parsed tasks
-  // share ids; app_from_json validated the correspondence).
-  auto app = std::make_shared<task::AppDescriptor>(std::move(*parsed));
-  for (const json::Value& row : doc.find("tasks")->as_array()) {
-    const auto id = static_cast<task::TaskId>(row.find("id")->as_int());
-    CEDR_RETURN_IF_ERROR(bind_task(app->graph.get(id), row, pool));
-  }
-  return ExecutableDag{.descriptor = std::move(app), .buffers = pool};
+  return ExecutableDag{.descriptor = std::move(app),
+                       .buffers = std::move(inst.buffers)};
 }
 
 StatusOr<ExecutableDag> load_executable_dag(const std::string& path) {

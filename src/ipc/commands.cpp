@@ -10,9 +10,10 @@
 
 #include <dlfcn.h>
 
+#include <fstream>
 #include <sstream>
 
-#include "cedr/apps/executable_dag.h"
+#include "cedr/apps/dag_template.h"
 #include "cedr/common/log.h"
 #include "cedr/ipc/ipc.h"
 #include "cedr/obs/chrome_trace.h"
@@ -22,6 +23,14 @@ namespace cedr::ipc {
 namespace {
 
 constexpr std::string_view kLogTag = "ipc";
+
+StatusOr<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open JSON file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 }  // namespace
 
@@ -85,16 +94,24 @@ std::string IpcServer::handle_command(const std::string& line,
   }
 
   if (verb == "SUBMITDAG") {
-    // DAG-based submission: the JSON document is parsed into an application
-    // DAG with standard-module implementations bound over its declared
-    // buffers, then scheduled node by node (the pre-CEDR-API flow).
+    // DAG-based submission: the JSON document compiles into a DagTemplate
+    // (standard-module implementations resolved over its declared buffers)
+    // through the process-wide template cache shared with the shm lane, so
+    // resubmitting the same document skips parse + validate entirely; only
+    // the per-instance buffers and impl arrays are built per command.
     std::string json_path;
     std::string app_name;
     in >> json_path >> app_name;
     if (json_path.empty()) return "ERR SUBMITDAG requires a JSON path\n";
-    auto dag = apps::load_executable_dag(json_path);
-    if (!dag.ok()) return "ERR " + dag.status().to_string() + "\n";
-    auto instance = runtime_.submit_dag(dag->descriptor);
+    auto text = read_text_file(json_path);
+    if (!text.ok()) return "ERR " + text.status().to_string() + "\n";
+    auto tmpl = apps::TemplateCache::global().get_or_compile(*text);
+    if (!tmpl.ok()) return "ERR " + tmpl.status().to_string() + "\n";
+    apps::DagTemplate::Instance inst = (*tmpl)->instantiate();
+    auto instance = runtime_.submit_dag(rt::DagSubmission{
+        .descriptor = std::move(inst.descriptor),
+        .impls = std::move(inst.impls),
+    });
     if (!instance.ok()) {
       return "ERR " + instance.status().to_string() + "\n";
     }
@@ -147,6 +164,16 @@ std::string IpcServer::handle_command(const std::string& line,
                                });
     }
     stats_obj.emplace("pes", json::Value(std::move(pe_busy)));
+    // Refresh the template-cache gauges on demand so the snapshot below
+    // (and cedr_top's lifecycle row) always reflects the current cache.
+    const apps::TemplateCache::Stats cache_stats =
+        apps::TemplateCache::global().stats();
+    runtime_.metrics().set_gauge("runtime.template_cache_hits",
+                                 static_cast<double>(cache_stats.hits));
+    runtime_.metrics().set_gauge("runtime.template_cache_misses",
+                                 static_cast<double>(cache_stats.misses));
+    runtime_.metrics().set_gauge("runtime.template_cache_evictions",
+                                 static_cast<double>(cache_stats.evictions));
     const json::Value doc = json::Object{
         {"metrics", runtime_.metrics().to_json()},
         {"counters", runtime_.counters().to_json()},

@@ -15,84 +15,217 @@
 
 namespace cedr::rt {
 
-StatusOr<std::uint64_t> Runtime::submit_dag(
-    std::shared_ptr<const task::AppDescriptor> app) {
-  if (!app) return InvalidArgument("null application descriptor");
-  const auto topo = app->graph.topological_order();
-  if (!topo.ok()) return topo.status();
-  if (app->graph.size() == 0) {
-    return InvalidArgument("application graph is empty");
+StatusOr<std::shared_ptr<const DagPlan>> Runtime::Impl::plan_for(
+    const std::shared_ptr<const task::AppDescriptor>& app,
+    const platform::PlatformConfig& platform) {
+  const task::AppDescriptor* key = app.get();
+  {
+    std::lock_guard lock(plan_mutex);
+    auto it = plan_index.find(key);
+    if (it != plan_index.end()) {
+      plan_lru.splice(plan_lru.begin(), plan_lru, it->second);
+      return *it->second;
+    }
   }
 
-  Stopwatch overhead;
-  // "Parsing application DAG files" happens here in DAG-based CEDR: the
-  // in-degree table and HEFT ranks are built per instance — outside the
-  // lifecycle lock, since they depend only on the immutable descriptor.
-  auto instance = std::make_unique<AppInstance>();
-  instance->name = app->name;
-  instance->is_dag = true;
-  instance->dag = app;
-  instance->tasks_remaining = app->graph.size();
-  for (const task::Task& t : app->graph.tasks()) {
-    instance->remaining_preds[t.id] = app->graph.predecessors(t.id).size();
+  // Miss: validate and precompute outside the lock. This is the work the
+  // legacy path repeated per instance — topological validation, HEFT
+  // upward ranks, in-degree counts — now done once per descriptor.
+  const auto topo = app->graph.topological_order();
+  if (!topo.ok()) return topo.status();
+  auto plan = std::make_shared<DagPlan>();
+  plan->descriptor = app;
+  const task::TaskGraph& graph = app->graph;
+  const std::size_t n = graph.size();
+  plan->pred_counts.resize(n);
+  plan->ranks.resize(n);
+  plan->successors.resize(n);
+  const auto rank_map = sched::upward_ranks(graph, platform);
+  for (std::size_t i = 0; i < n; ++i) {
+    const task::Task& t = graph.tasks()[i];
+    const std::size_t preds = graph.predecessors(t.id).size();
+    plan->pred_counts[i] = static_cast<std::uint32_t>(preds);
+    if (preds == 0) plan->heads.push_back(static_cast<std::uint32_t>(i));
+    plan->ranks[i] = rank_map.at(t.id);
+    for (const task::TaskId succ : graph.successors(t.id)) {
+      plan->successors[i].push_back(
+          static_cast<std::uint32_t>(graph.index_of(succ)));
+    }
   }
-  instance->ranks = sched::upward_ranks(app->graph, config_.platform);
-  const std::size_t total_tasks = instance->tasks_remaining;
+
+  std::lock_guard lock(plan_mutex);
+  auto it = plan_index.find(key);
+  if (it != plan_index.end()) {
+    // A concurrent submitter built the same plan first; keep theirs.
+    plan_lru.splice(plan_lru.begin(), plan_lru, it->second);
+    return *it->second;
+  }
+  plan_lru.push_front(std::shared_ptr<const DagPlan>(std::move(plan)));
+  plan_index.emplace(key, plan_lru.begin());
+  while (plan_lru.size() > kPlanCacheCapacity) {
+    plan_index.erase(plan_lru.back()->descriptor.get());
+    plan_lru.pop_back();
+  }
+  return plan_lru.front();
+}
+
+StatusOr<Runtime::Impl::PreparedDag> Runtime::Impl::prepare_dag(
+    Runtime& rt, DagSubmission submission) {
+  std::shared_ptr<const task::AppDescriptor> app =
+      std::move(submission.descriptor);
+  if (!app) return InvalidArgument("null application descriptor");
+  const std::size_t n = app->graph.size();
+  if (n == 0) return InvalidArgument("application graph is empty");
+  if (!submission.impls.empty() && submission.impls.size() != n) {
+    return InvalidArgument("impls count does not match the task graph");
+  }
+  auto plan_or = plan_for(app, rt.config_.platform);
+  if (!plan_or.ok()) return plan_or.status();
+  std::shared_ptr<const DagPlan> plan = std::move(*plan_or);
+
+  PreparedDag out;
+  out.instance = acquire_instance();
+  AppInstance& instance = *out.instance;
+  instance.name = app->name;
+  instance.is_dag = true;
+  instance.dag = std::move(app);
+  instance.tasks_remaining = n;
+  instance.remaining_preds.assign(plan->pred_counts.begin(),
+                                  plan->pred_counts.end());
+  if (!submission.impls.empty()) {
+    instance.impls = std::move(submission.impls);
+  } else {
+    // Legacy descriptor-bound submission: snapshot the implementations so
+    // the release path can move them out uniformly.
+    instance.impls.reserve(n);
+    for (const task::Task& t : instance.dag->graph.tasks()) {
+      instance.impls.push_back(t.impls);
+    }
+  }
 
   // Head nodes enter the ready queue immediately (paper §II-A). Build them
   // while the instance is still locally owned — after it is published to
   // the apps map, only app_mutex holders may touch it.
-  std::vector<std::shared_ptr<InFlightTask>> heads;
-  for (const task::TaskId head : app->graph.head_nodes()) {
-    const task::Task& t = app->graph.get(head);
-    auto inflight = std::make_shared<InFlightTask>();
+  out.heads.reserve(plan->heads.size());
+  for (const std::uint32_t head : plan->heads) {
+    const task::Task& t = instance.dag->graph.tasks()[head];
+    auto inflight = make_task();
     inflight->name = t.name;
     inflight->kernel = t.kernel;
     inflight->problem_size = t.problem_size;
     inflight->data_bytes = t.data_bytes;
-    inflight->impls = t.impls;
+    inflight->impls = std::move(instance.impls[head]);
     inflight->is_dag = true;
-    inflight->dag_task_id = t.id;
-    inflight->rank = instance->ranks[t.id];
-    heads.push_back(std::move(inflight));
+    inflight->dag_task_index = head;
+    inflight->rank = plan->ranks[head];
+    out.heads.push_back(std::move(inflight));
+  }
+  instance.plan = std::move(plan);
+  return out;
+}
+
+StatusOr<std::uint64_t> Runtime::submit_dag(
+    std::shared_ptr<const task::AppDescriptor> app) {
+  return submit_dag(DagSubmission{.descriptor = std::move(app), .impls = {}});
+}
+
+StatusOr<std::uint64_t> Runtime::submit_dag(DagSubmission submission) {
+  std::vector<DagSubmission> one;
+  one.push_back(std::move(submission));
+  auto results = submit_dag_batch(std::move(one));
+  return std::move(results.front());
+}
+
+std::vector<StatusOr<std::uint64_t>> Runtime::submit_dag_batch(
+    std::vector<DagSubmission> submissions) {
+  std::vector<StatusOr<std::uint64_t>> results;
+  if (submissions.empty()) return results;
+
+  Stopwatch overhead;
+  // Phase 1 — prepare every submission lock-free (plan-cache lookup,
+  // instance + head-task construction).
+  std::vector<StatusOr<Impl::PreparedDag>> prepared;
+  prepared.reserve(submissions.size());
+  std::size_t ok_count = 0;
+  for (DagSubmission& submission : submissions) {
+    prepared.push_back(impl_->prepare_dag(*this, std::move(submission)));
+    if (prepared.back().ok()) ++ok_count;
   }
 
-  std::uint64_t id = 0;
+  // Phase 2 — publish all accepted instances under one lifecycle-lock hold:
+  // the per-submission critical section of the legacy path, paid once per
+  // batch.
+  std::vector<std::uint64_t> ids(prepared.size(), 0);
+  std::vector<std::size_t> task_counts(prepared.size(), 0);
   double arrival = 0.0;
-  {
+  bool accepting = false;
+  if (ok_count != 0) {
     std::lock_guard lock(impl_->app_mutex);
-    if (!impl_->started || !impl_->accepting) {
-      return FailedPrecondition("runtime is not accepting submissions");
+    accepting = impl_->started && impl_->accepting;
+    if (accepting) {
+      arrival = now();
+      for (std::size_t i = 0; i < prepared.size(); ++i) {
+        if (!prepared[i].ok()) continue;
+        Impl::PreparedDag& prep = *prepared[i];
+        const std::uint64_t id = impl_->next_instance_id++;
+        prep.instance->id = id;
+        prep.instance->arrival_time = arrival;
+        prep.instance->launch_time = arrival;
+        ids[i] = id;
+        task_counts[i] = prep.instance->tasks_remaining;
+        impl_->apps.emplace(id, std::move(prep.instance));
+      }
+      impl_->submitted.fetch_add(ok_count, std::memory_order_relaxed);
+      impl_->runtime_overhead += overhead.elapsed();
     }
-    id = impl_->next_instance_id++;
-    instance->id = id;
-    arrival = now();
-    instance->arrival_time = arrival;
-    instance->launch_time = arrival;
-    impl_->apps.emplace(id, std::move(instance));
-    impl_->submitted.fetch_add(1, std::memory_order_relaxed);
-    impl_->runtime_overhead += overhead.elapsed();
   }
-  tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0, arrival,
-                  "tasks", static_cast<double>(total_tasks));
-  count("apps_submitted_dag");
 
-  // Pushing outside the lifecycle lock keeps DAG fan-out off the submission
-  // critical section; each push takes only its shard's leaf lock.
-  for (auto& inflight : heads) {
-    inflight->key =
-        impl_->next_task_key.fetch_add(1, std::memory_order_relaxed);
-    inflight->app_instance_id = id;
-    inflight->enqueue_time = now();
-    inflight->first_enqueue_time = inflight->enqueue_time;
-    tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
-                 inflight->name.c_str(), 1 + id, 0, inflight->enqueue_time,
-                 inflight->key);
-    impl_->push_ready(std::move(inflight));
+  // Phase 3 — trace arrivals and batch-push every head task: one sequence
+  // reservation and one lock per touched shard for the whole batch.
+  std::vector<sched::ReadyQueueShards::PushItem> items;
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    if (!prepared[i].ok() || !accepting) continue;
+    const std::uint64_t id = ids[i];
+    tracer_.instant(obs::Category::kApp, "app_arrival", 1 + id, 0, arrival,
+                    "tasks", static_cast<double>(task_counts[i]));
+    count("apps_submitted_dag");
+    for (auto& inflight : prepared[i]->heads) {
+      inflight->key =
+          impl_->next_task_key.fetch_add(1, std::memory_order_relaxed);
+      inflight->app_instance_id = id;
+      inflight->enqueue_time = now();
+      inflight->first_enqueue_time = inflight->enqueue_time;
+      tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
+                   inflight->name.c_str(), 1 + id, 0, inflight->enqueue_time,
+                   inflight->key);
+      items.push_back(impl_->ready_item(std::move(inflight)));
+    }
   }
-  impl_->sched_epoch.fetch_add(1, std::memory_order_relaxed);
-  impl_->wake_main();
-  return id;
+  if (!items.empty()) {
+    impl_->ready.push_batch(items);
+    impl_->sched_epoch.fetch_add(1, std::memory_order_relaxed);
+    impl_->wake_main();
+  }
+  if (accepting && instantiate_us_ != nullptr && ok_count != 0) {
+    const double per_instance_us =
+        overhead.elapsed() * 1e6 / static_cast<double>(submissions.size());
+    for (std::size_t i = 0; i < ok_count; ++i) {
+      instantiate_us_->record(per_instance_us);
+    }
+  }
+
+  results.reserve(prepared.size());
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    if (!prepared[i].ok()) {
+      results.emplace_back(prepared[i].status());
+    } else if (!accepting) {
+      results.emplace_back(
+          FailedPrecondition("runtime is not accepting submissions"));
+    } else {
+      results.emplace_back(ids[i]);
+    }
+  }
+  return results;
 }
 
 StatusOr<std::uint64_t> Runtime::submit_api(std::string app_name,
@@ -100,7 +233,7 @@ StatusOr<std::uint64_t> Runtime::submit_api(std::string app_name,
   if (!main_fn) return InvalidArgument("null application main function");
 
   Stopwatch overhead;
-  auto instance = std::make_unique<AppInstance>();
+  auto instance = impl_->acquire_instance();
   instance->name = std::move(app_name);
   instance->is_dag = false;
   AppInstance* raw = instance.get();
@@ -154,7 +287,7 @@ Status Runtime::enqueue_kernel(KernelRequest request, CompletionPtr completion) 
   }
   if (!completion) return InvalidArgument("null completion");
 
-  auto inflight = std::make_shared<InFlightTask>();
+  auto inflight = impl_->make_task();
   inflight->app_instance_id = binding.instance_id;
   inflight->name = std::move(request.name);
   inflight->kernel = request.kernel;

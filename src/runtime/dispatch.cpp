@@ -225,8 +225,47 @@ Status Runtime::execute_on_pe(InFlightTask& task, Worker& worker) {
   return status;
 }
 
+namespace {
+/// Batched completion publication (docs/runtime_lifecycle.md): a worker
+/// flushes its pending completions once it has this many, rather than
+/// taking event_mutex per task.
+constexpr std::size_t kCompletionFlushBatch = 32;
+/// A task that ran at least this long flushes immediately: its successors
+/// have already waited milliseconds, batching would only add latency.
+constexpr double kLongTaskFlushS = 1e-3;
+}  // namespace
+
 void Runtime::worker_loop(Worker& worker) {
-  while (auto item = worker.mailbox.pop()) {
+  // Finished tasks are deposited here and published in batches: one
+  // event_mutex acquisition and one wakeup per flush instead of per task.
+  // Flush rules — batch full, a long task, or (the latency bound) the
+  // mailbox going idle: a worker never sleeps on undelivered completions.
+  std::vector<Impl::CompletionRecord> pending;
+  pending.reserve(kCompletionFlushBatch);
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    Stopwatch publish;
+    {
+      std::lock_guard lock(impl_->event_mutex);
+      for (Impl::CompletionRecord& rec : pending) {
+        impl_->completions.push_back(std::move(rec));
+      }
+    }
+    impl_->event_cv.notify_all();
+    if (complete_publish_us_ != nullptr) {
+      complete_publish_us_->record(publish.elapsed_us());
+    }
+    pending.clear();
+  };
+
+  for (;;) {
+    std::optional<std::shared_ptr<InFlightTask>> item =
+        worker.mailbox.try_pop();
+    if (!item) {
+      flush();  // flush-on-idle: deliver before blocking
+      item = worker.mailbox.pop();
+      if (!item) break;  // mailbox closed and drained
+    }
     std::shared_ptr<InFlightTask> task = std::move(*item);
     const double start = now();
     worker.busy_since.store(start, std::memory_order_relaxed);
@@ -281,16 +320,15 @@ void Runtime::worker_loop(Worker& worker) {
     // but only on success. Failures first go through the main loop's retry
     // machinery; only a terminal failure is signalled (from there).
     if (status.ok() && task->completion) task->completion->signal(status);
-    {
-      std::lock_guard lock(impl_->event_mutex);
-      impl_->completions.push_back(Impl::CompletionRecord{
-          .task = std::move(task),
-          .status = std::move(status),
-          .pe_index = worker.pe_index,
-      });
-    }
-    impl_->event_cv.notify_all();
+    const bool long_task = end - start > kLongTaskFlushS;
+    pending.push_back(Impl::CompletionRecord{
+        .task = std::move(task),
+        .status = std::move(status),
+        .pe_index = worker.pe_index,
+    });
+    if (pending.size() >= kCompletionFlushBatch || long_task) flush();
   }
+  flush();
 }
 
 }  // namespace cedr::rt

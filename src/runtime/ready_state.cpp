@@ -176,11 +176,15 @@ void Runtime::process_completions() {
       if (it == impl_->apps.end()) continue;
       AppInstance& app = *it->second;
       if (inflight->is_dag) {
-        for (const task::TaskId succ :
-             app.dag->graph.successors(inflight->dag_task_id)) {
+        // Successor release is flat index arithmetic over the shared
+        // DagPlan — no TaskId hashing, and the implementation arrays move
+        // out of the instance instead of being copied from the descriptor.
+        const DagPlan& plan = *app.plan;
+        for (const std::uint32_t succ :
+             plan.successors[inflight->dag_task_index]) {
           if (--app.remaining_preds[succ] != 0) continue;
-          const task::Task& t = app.dag->graph.get(succ);
-          auto next = std::make_shared<InFlightTask>();
+          const task::Task& t = app.dag->graph.tasks()[succ];
+          auto next = impl_->make_task();
           next->key =
               impl_->next_task_key.fetch_add(1, std::memory_order_relaxed);
           next->app_instance_id = app.id;
@@ -188,10 +192,10 @@ void Runtime::process_completions() {
           next->kernel = t.kernel;
           next->problem_size = t.problem_size;
           next->data_bytes = t.data_bytes;
-          next->impls = t.impls;
+          next->impls = std::move(app.impls[succ]);
           next->is_dag = true;
-          next->dag_task_id = t.id;
-          next->rank = app.ranks[t.id];
+          next->dag_task_index = succ;
+          next->rank = plan.ranks[succ];
           released.push_back(std::move(next));
         }
         if (--app.tasks_remaining == 0) {
@@ -232,6 +236,7 @@ bool Runtime::finish_idle_api_apps() {
   // turns this function into the scheduler's bottleneck within seconds.
   bool any_finished = false;
   std::vector<std::thread> exited;
+  std::vector<std::unique_ptr<AppInstance>> recycled;
   {
     std::lock_guard lock(impl_->app_mutex);
     for (auto it = impl_->apps.begin(); it != impl_->apps.end();) {
@@ -256,6 +261,9 @@ bool Runtime::finish_idle_api_apps() {
         if (config_.obs.tracing) {
           impl_->reaped_app_names.emplace_back(it->first, app.name);
         }
+        // Collect under the lock, recycle outside it: pool_mutex is a leaf
+        // and must not nest inside app_mutex.
+        recycled.push_back(std::move(it->second));
         it = impl_->apps.erase(it);
       } else {
         ++it;
@@ -263,6 +271,7 @@ bool Runtime::finish_idle_api_apps() {
     }
   }
   for (std::thread& t : exited) t.join();
+  if (!recycled.empty()) impl_->recycle_instances(recycled);
   if (any_finished) impl_->app_done_cv.notify_all();
   return any_finished;
 }

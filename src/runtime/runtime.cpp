@@ -150,6 +150,8 @@ Runtime::Runtime(RuntimeConfig config)
   queue_delay_us_ = &metrics_.histogram("queue_delay_us");
   service_time_us_ = &metrics_.histogram("service_time_us");
   sched_decision_us_ = &metrics_.histogram("sched_decision_us");
+  instantiate_us_ = &metrics_.histogram("instantiate_us");
+  complete_publish_us_ = &metrics_.histogram("complete_publish_us");
   sched_span_name_ = "sched " + config_.scheduler;
   // The sharded ready queue times contended shard-lock acquisitions into
   // this histogram (docs/observability.md); metrics_ outlives impl_.

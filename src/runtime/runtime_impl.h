@@ -12,6 +12,14 @@
 //                          probe windows, consecutive faults)
 //   Leaves   event_mutex   completion records + main-loop wakeups
 //            shard locks   inside ReadyQueueShards (one per PE class)
+//            plan_mutex    per-descriptor scheduling-plan cache (DagPlan)
+//            pool_mutex    recycled AppInstance freelist
+//            arena mutex   inside SlabArena (control-block freelists)
+//
+// The three new leaves are never held while taking any other lock: plan
+// lookups and misses run before the lifecycle lock is taken, instance
+// recycling runs after it is released, and the arena lock lives entirely
+// inside allocate/deallocate.
 //
 // Main-loop-private state (deferred retries, scheduler-blocked bookkeeping,
 // PE availability estimates) is touched only by the main event-loop thread
@@ -22,6 +30,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,6 +46,101 @@ namespace cedr::rt {
 
 inline constexpr std::string_view kLogTag = "runtime";
 
+/// Size-classed recycling allocator for runtime control blocks
+/// (docs/runtime_lifecycle.md). Freed blocks go onto a per-size freelist
+/// instead of back to the global heap, so steady-state submission traffic
+/// (one InFlightTask shared-state block per task) does no heap work after
+/// warm-up. Blocks are only returned to the OS when the arena is destroyed,
+/// which also keeps every handed-out address stable for the arena's
+/// lifetime. Thread-safe; the internal mutex is a leaf lock.
+class SlabArena {
+ public:
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+  ~SlabArena() {
+    for (auto& [bytes, blocks] : free_) {
+      for (void* block : blocks) ::operator delete(block);
+    }
+  }
+
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    {
+      std::lock_guard lock(mutex_);
+      auto it = free_.find(bytes);
+      if (it != free_.end() && !it->second.empty()) {
+        void* block = it->second.back();
+        it->second.pop_back();
+        recycled_.fetch_add(1, std::memory_order_relaxed);
+        return block;
+      }
+    }
+    fresh_.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(bytes);
+  }
+
+  void deallocate(void* block, std::size_t bytes) {
+    std::lock_guard lock(mutex_);
+    free_[bytes].push_back(block);
+  }
+
+  /// Blocks served from a freelist / from the heap (test visibility).
+  [[nodiscard]] std::uint64_t recycled() const noexcept {
+    return recycled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fresh() const noexcept {
+    return fresh_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::size_t, std::vector<void*>> free_;
+  std::atomic<std::uint64_t> recycled_{0};
+  std::atomic<std::uint64_t> fresh_{0};
+};
+
+/// Minimal std allocator over a SlabArena, for allocate_shared: the
+/// combined control-block + object node of every InFlightTask comes from —
+/// and returns to — the arena's freelists.
+template <typename T>
+struct SlabAllocator {
+  using value_type = T;
+
+  SlabArena* arena = nullptr;
+
+  SlabAllocator() = default;
+  explicit SlabAllocator(SlabArena* a) noexcept : arena(a) {}
+  template <typename U>
+  SlabAllocator(const SlabAllocator<U>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : arena(other.arena) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena->deallocate(p, n * sizeof(T));
+  }
+  template <typename U>
+  bool operator==(const SlabAllocator<U>& o) const noexcept {
+    return arena == o.arena;
+  }
+};
+
+/// Immutable per-descriptor scheduling precomputation, shared by every
+/// instance submitted against the same AppDescriptor and cached by
+/// Impl::plan_for. Everything is keyed by graph *storage index*
+/// (TaskGraph::index_of), so per-instance state is flat vectors instead of
+/// per-submission hash maps. Holding `descriptor` anchors the key pointer:
+/// a cached plan's descriptor address can never be recycled into a
+/// different graph while the entry lives.
+struct DagPlan {
+  std::shared_ptr<const task::AppDescriptor> descriptor;
+  std::vector<std::uint32_t> heads;        ///< indices with no predecessors
+  std::vector<std::uint32_t> pred_counts;  ///< in-degree by index
+  std::vector<double> ranks;               ///< HEFT upward ranks by index
+  std::vector<std::vector<std::uint32_t>> successors;  ///< index lists
+};
+
 /// A task in flight through the runtime (one DAG node or one API call).
 /// Retry state (attempt, failed_class_mask, retry_at) is only touched by
 /// the main event loop while the task is out of the ready queue, so it
@@ -49,8 +153,10 @@ struct Runtime::InFlightTask {
   std::size_t problem_size = 0;
   std::size_t data_bytes = 0;
   std::array<task::TaskFn, platform::kNumPeClasses> impls{};
-  CompletionPtr completion;      ///< API-mode latch; null for DAG tasks
-  task::TaskId dag_task_id = 0;  ///< valid when is_dag
+  CompletionPtr completion;  ///< API-mode latch; null for DAG tasks
+  /// Graph storage index of this node (valid when is_dag): successor
+  /// release indexes the instance's flat DagPlan state directly.
+  std::uint32_t dag_task_index = 0;
   bool is_dag = false;
   double rank = 0.0;
   double enqueue_time = 0.0;  ///< most recent (re-)enqueue
@@ -71,10 +177,15 @@ struct Runtime::AppInstance {
   double launch_time = 0.0;
   bool finished = false;
 
-  // DAG mode.
+  // DAG mode (docs/runtime_lifecycle.md): the shared per-descriptor plan
+  // plus flat per-instance state, all indexed by graph storage index.
   std::shared_ptr<const task::AppDescriptor> dag;
-  std::unordered_map<task::TaskId, std::size_t> remaining_preds;
-  std::unordered_map<task::TaskId, double> ranks;
+  std::shared_ptr<const DagPlan> plan;
+  std::vector<std::uint32_t> remaining_preds;
+  /// Per-task implementation arrays, moved one by one into InFlightTasks as
+  /// nodes become ready; for legacy descriptor-bound submissions these are
+  /// copies of Task::impls made at prepare time.
+  std::vector<std::array<task::TaskFn, platform::kNumPeClasses>> impls;
   std::size_t tasks_remaining = 0;
 
   // API mode.
@@ -86,6 +197,27 @@ struct Runtime::AppInstance {
   /// submit_api, so "not joinable" alone does not mean "safe to destroy".
   bool thread_reaped = false;
   std::int64_t outstanding_kernels = 0;  ///< guarded by app_mutex
+
+  /// Clears every field for freelist reuse, keeping vector/string
+  /// capacities. The caller guarantees app_thread is not joinable (the
+  /// reaper joined it before the instance was erased).
+  void reset_for_reuse() {
+    id = 0;
+    name.clear();
+    is_dag = false;
+    arrival_time = 0.0;
+    launch_time = 0.0;
+    finished = false;
+    dag.reset();
+    plan.reset();
+    remaining_preds.clear();
+    impls.clear();
+    tasks_remaining = 0;
+    main_done.store(false, std::memory_order_relaxed);
+    thread_exited.store(false, std::memory_order_relaxed);
+    thread_reaped = false;
+    outstanding_kernels = 0;
+  }
 };
 
 /// Emulated accelerator devices owned by one worker.
@@ -147,6 +279,17 @@ struct Runtime::Impl {
   explicit Impl(obs::QuantileHistogram* lock_wait_us)
       : ready(lock_wait_us) {}
 
+  // --- Slab arena: declared FIRST so it is destroyed LAST — every
+  // InFlightTask control block below (ready shards, deferred, completions,
+  // worker mailboxes, apps) returns to it on destruction. -------------------
+  SlabArena arena;
+
+  /// Allocates an InFlightTask whose shared control block lives in (and
+  /// recycles through) the arena.
+  [[nodiscard]] std::shared_ptr<InFlightTask> make_task() {
+    return std::allocate_shared<InFlightTask>(SlabAllocator<InFlightTask>(&arena));
+  }
+
   // --- Level 0: application lifecycle. -------------------------------------
   mutable std::mutex app_mutex;
   std::condition_variable app_done_cv;  ///< wakes wait_all / wait_app
@@ -182,6 +325,66 @@ struct Runtime::Impl {
 
   // --- Leaf: the sharded ready queue (its own per-class locks). ------------
   sched::ReadyQueueShards ready;
+
+  // --- Leaf: per-descriptor scheduling-plan cache. -------------------------
+  // Keyed by descriptor address; each cached plan anchors its descriptor so
+  // the key can never alias a recycled allocation. Bounded LRU: front = MRU.
+  static constexpr std::size_t kPlanCacheCapacity = 128;
+  mutable std::mutex plan_mutex;
+  std::list<std::shared_ptr<const DagPlan>> plan_lru;
+  std::unordered_map<const task::AppDescriptor*,
+                     std::list<std::shared_ptr<const DagPlan>>::iterator>
+      plan_index;
+
+  /// Cached plan for `app`, building one (topological validation + HEFT
+  /// ranks + index tables) on a miss. Misses compute outside the lock.
+  StatusOr<std::shared_ptr<const DagPlan>> plan_for(
+      const std::shared_ptr<const task::AppDescriptor>& app,
+      const platform::PlatformConfig& platform);
+
+  // --- Leaf: recycled AppInstance freelist. --------------------------------
+  // Finished instances are reset and parked here instead of freed, so a
+  // steady-state daemon reuses the same handful of blocks (and their vector
+  // capacities) for every submission.
+  static constexpr std::size_t kInstancePoolCapacity = 1024;
+  std::mutex pool_mutex;
+  std::vector<std::unique_ptr<AppInstance>> instance_pool;
+
+  /// A pooled (already reset) instance, or a fresh one when the pool is dry.
+  [[nodiscard]] std::unique_ptr<AppInstance> acquire_instance() {
+    {
+      std::lock_guard lock(pool_mutex);
+      if (!instance_pool.empty()) {
+        auto instance = std::move(instance_pool.back());
+        instance_pool.pop_back();
+        return instance;
+      }
+    }
+    return std::make_unique<AppInstance>();
+  }
+
+  /// Resets and parks finished instances up to the pool bound; overflow is
+  /// destroyed when `done` goes out of scope at the caller. Call with no
+  /// other lock held (pool_mutex is a leaf).
+  void recycle_instances(std::vector<std::unique_ptr<AppInstance>>& done) {
+    std::lock_guard lock(pool_mutex);
+    for (auto& instance : done) {
+      if (instance_pool.size() >= kInstancePoolCapacity) break;
+      instance->reset_for_reuse();
+      instance_pool.push_back(std::move(instance));
+    }
+  }
+
+  /// One DAG submission after the lock-free prepare step: the instance plus
+  /// its head tasks, ready to be published under one app_mutex hold.
+  struct PreparedDag {
+    std::unique_ptr<AppInstance> instance;
+    std::vector<std::shared_ptr<InFlightTask>> heads;
+  };
+
+  /// Validates a submission and builds its instance + head tasks. Takes no
+  /// locks besides the plan-cache and arena leaves.
+  StatusOr<PreparedDag> prepare_dag(Runtime& rt, DagSubmission submission);
 
   // --- Main-loop private (no lock). ----------------------------------------
   /// Tasks backing off before a retry; released into the ready queue by the
@@ -245,9 +448,10 @@ struct Runtime::Impl {
     return mask;
   }
 
-  /// Builds the scheduler-facing view and pushes a task into its shard.
-  /// The caller must have set enqueue_time (and key) already.
-  void push_ready(std::shared_ptr<InFlightTask> task) {
+  /// Builds the scheduler-facing view of a task whose enqueue_time (and
+  /// key) are already set, paired with the task as the queue payload.
+  [[nodiscard]] sched::ReadyQueueShards::PushItem ready_item(
+      std::shared_ptr<InFlightTask> task) const {
     const sched::ReadyTask view{
         .task_key = task->key,
         .app_instance_id = task->app_instance_id,
@@ -258,7 +462,14 @@ struct Runtime::Impl {
         .rank = task->rank,
         .class_mask = effective_class_mask(*task),
     };
-    ready.push(view, std::move(task));
+    return {.view = view, .payload = std::move(task)};
+  }
+
+  /// Builds the scheduler-facing view and pushes a task into its shard.
+  /// The caller must have set enqueue_time (and key) already.
+  void push_ready(std::shared_ptr<InFlightTask> task) {
+    auto item = ready_item(std::move(task));
+    ready.push(item.view, std::move(item.payload));
   }
 };
 

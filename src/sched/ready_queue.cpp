@@ -226,6 +226,36 @@ void ReadyQueueShards::push(const ReadyTask& view,
   }
 }
 
+void ReadyQueueShards::push_batch(std::span<PushItem> items) {
+  if (items.empty()) return;
+  // One fetch_add reserves the whole seq range; assigning seq0+i in input
+  // order makes the batch merge into snapshots exactly as element-wise
+  // pushes would.
+  const std::uint64_t seq0 =
+      next_seq_.fetch_add(items.size(), std::memory_order_relaxed);
+  for (std::size_t shard = 0; shard < kShardCount; ++shard) {
+    bool locked = false;
+    std::unique_lock<std::mutex> lock;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      PushItem& item = items[i];
+      if (shard_for(item.view.class_mask) != shard) continue;
+      if (!locked) {
+        lock = acquire(shards_[shard]);
+        locked = true;
+      }
+      shards_[shard].entries.push_back(Entry{
+          .view = item.view,
+          .payload = std::move(item.payload),
+          .seq = seq0 + i,
+          .shard = static_cast<std::uint8_t>(shard),
+      });
+      // Same invariant as push(): count while still holding the lock.
+      depths_[shard].fetch_add(1, std::memory_order_relaxed);
+      total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 ReadyQueueShards::Snapshot ReadyQueueShards::snapshot() const {
   Snapshot snap;
   snap.entries.reserve(size());

@@ -9,7 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
-#include "cedr/apps/executable_dag.h"
+#include "cedr/apps/dag_template.h"
 #include "cedr/common/log.h"
 #include "cedr/obs/chrome_trace.h"
 
@@ -181,19 +181,20 @@ void ShmServer::ring_cpl_doorbell(Session& session) {
   }
 }
 
-void ShmServer::process_record(Session& session, const SubRecord& rec,
-                               CplRecord& cpl) {
+bool ShmServer::process_record(Session& session, const SubRecord& rec,
+                               CplRecord& cpl,
+                               std::vector<rt::DagSubmission>& submissions) {
   runtime_.counters().add("shm.records_total");
   switch (static_cast<Opcode>(rec.opcode)) {
     case Opcode::kNop:
       runtime_.counters().add("shm.nops_total");
       fill_completion(cpl, rec.seq, CplStatus::kOk, rec.seq, {});
-      return;
+      return true;
     case Opcode::kSubmitDag:
       break;
     default:
       fill_completion(cpl, rec.seq, CplStatus::kError, 0, "unknown opcode");
-      return;
+      return true;
   }
 
   // Locate the payload (inline or arena), bounds-checked against the
@@ -204,7 +205,7 @@ void ShmServer::process_record(Session& session, const SubRecord& rec,
     if (rec.arg_len > kSubInlineBytes) {
       fill_completion(cpl, rec.seq, CplStatus::kError, 0,
                       "inline length too large");
-      return;
+      return true;
     }
     payload = rec.inline_arg;
   } else if ((rec.flags & kArgInArena) != 0) {
@@ -212,51 +213,40 @@ void ShmServer::process_record(Session& session, const SubRecord& rec,
     if (rec.arg_len > arena_bytes || rec.arg_off > arena_bytes - rec.arg_len) {
       fill_completion(cpl, rec.seq, CplStatus::kError, 0,
                       "arena range out of bounds");
-      return;
+      return true;
     }
     payload = session.segment.arena() + rec.arg_off;
   } else {
     fill_completion(cpl, rec.seq, CplStatus::kError, 0,
                     "record carries no payload");
-    return;
+    return true;
   }
 
   if (admit_ && !admit_()) {
     runtime_.counters().add("shm.busy_total");
     fill_completion(cpl, rec.seq, CplStatus::kBusy, options_.busy_retry_ms,
                     {});
-    return;
+    return true;
   }
 
-  // Parse once per distinct document (the memo), instantiate per record:
-  // every submission still builds fresh buffers and a fresh descriptor,
-  // only the text -> JSON step is shared.
+  // Compile once per distinct document — across sessions and lanes, via the
+  // process-wide template cache — and materialize only the per-instance
+  // state here: fresh buffers plus implementation arrays. The buffer pool
+  // stays alive through the impl arrays' CPU-slot closures, so dropping the
+  // Instance struct after the move is safe.
   const std::string_view doc(payload, rec.arg_len);
-  if (!session.doc_valid || doc != session.doc_cache) {
-    auto parsed = json::parse(doc);
-    if (!parsed.ok()) {
-      fill_completion(cpl, rec.seq, CplStatus::kError, 0,
-                      parsed.status().to_string());
-      return;
-    }
-    session.doc_cache.assign(doc);
-    session.doc_value = std::move(parsed).value();
-    session.doc_valid = true;
-  }
-  auto dag = apps::instantiate_dag(session.doc_value);
-  if (!dag.ok()) {
+  auto tmpl = apps::TemplateCache::global().get_or_compile(doc);
+  if (!tmpl.ok()) {
     fill_completion(cpl, rec.seq, CplStatus::kError, 0,
-                    dag.status().to_string());
-    return;
+                    tmpl.status().to_string());
+    return true;
   }
-  auto instance = runtime_.submit_dag(dag->descriptor);
-  if (!instance.ok()) {
-    fill_completion(cpl, rec.seq, CplStatus::kError, 0,
-                    instance.status().to_string());
-    return;
-  }
-  runtime_.counters().add("shm.submits_total");
-  fill_completion(cpl, rec.seq, CplStatus::kOk, *instance, {});
+  apps::DagTemplate::Instance instance = (*tmpl)->instantiate();
+  submissions.push_back(rt::DagSubmission{
+      .descriptor = std::move(instance.descriptor),
+      .impls = std::move(instance.impls),
+  });
+  return false;
 }
 
 bool ShmServer::drain(std::uint64_t id) {
@@ -267,24 +257,35 @@ bool ShmServer::drain(std::uint64_t id) {
   SpscRing<SubRecord> sub = session->segment.sub_ring();
   SpscRing<CplRecord> cpl = session->segment.cpl_ring();
   SegmentHeader* header = session->segment.header();
-  std::size_t processed = 0;
   bool more = false;
   bool poisoned = false;
 
-  while (processed < options_.drain_batch) {
+  // Phase 1 — classify a window of records. The window is bounded by the
+  // drain batch and by completion-ring credit: a record is only consumed
+  // when its completion slot is free, so a client that stops reading
+  // completions back-pressures into its own submission ring. Completion
+  // slots are staged via the multi-slot producer API and made visible all
+  // at once in phase 3.
+  const std::uint64_t readable = sub.readable();
+  std::uint64_t window =
+      std::min<std::uint64_t>(options_.drain_batch, readable);
+  if (const std::uint64_t credit = cpl.free_slots(); window > credit) {
+    runtime_.counters().add("shm.cpl_full_stalls_total");
+    window = credit;
+  }
+
+  std::uint64_t processed = 0;
+  std::vector<rt::DagSubmission> submissions;
+  /// (completion-slot offset, record seq) of each deferred SUBMITDAG, in
+  /// submission order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> submit_slots;
+  for (std::uint64_t i = 0; i < window; ++i) {
     if (session->closed.load(std::memory_order_acquire)) break;
-    const SubRecord* rec = sub.front();
-    if (rec == nullptr) break;
-    // Completion-ring credit: without a free completion slot the record
-    // stays in the submission ring, pushing back-pressure to the client.
-    CplRecord* slot = cpl.acquire();
-    if (slot == nullptr) {
-      runtime_.counters().add("shm.cpl_full_stalls_total");
-      break;
-    }
+    const SubRecord* rec = sub.peek(i);
     if (rec->crc != sub_record_crc(*rec)) {
       // A bad CRC means the ring can no longer be trusted record by
       // record; latch the poison flag instead of resyncing by guesswork.
+      // Records classified before this one are still submitted/published.
       runtime_.counters().add("shm.crc_rejected_total");
       header->poisoned.store(1, std::memory_order_release);
       poisoned = true;
@@ -293,13 +294,39 @@ bool ShmServer::drain(std::uint64_t id) {
           << rec->seq;
       break;
     }
+    CplRecord* slot = cpl.producer_slot(i);
     std::memset(slot, 0, sizeof *slot);
-    process_record(*session, *rec, *slot);
-    cpl.publish();
-    sub.release();
+    if (!process_record(*session, *rec, *slot, submissions)) {
+      submit_slots.emplace_back(i, rec->seq);
+    }
     ++processed;
   }
 
+  // Phase 2 — one runtime batch submission for every valid SUBMITDAG in the
+  // window: one lifecycle-lock hold and one ready-queue push for the whole
+  // drain instead of one of each per record.
+  if (!submissions.empty()) {
+    auto results = runtime_.submit_dag_batch(std::move(submissions));
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      CplRecord& slot = *cpl.producer_slot(submit_slots[k].first);
+      const std::uint64_t seq = submit_slots[k].second;
+      if (results[k].ok()) {
+        runtime_.counters().add("shm.submits_total");
+        fill_completion(slot, seq, CplStatus::kOk, *results[k], {});
+      } else {
+        fill_completion(slot, seq, CplStatus::kError, 0,
+                        results[k].status().to_string());
+      }
+    }
+  }
+
+  // Phase 3 — publish every staged completion and return every consumed
+  // submission slot with one cursor store each, then ring the doorbell at
+  // most once.
+  if (processed > 0) {
+    cpl.publish(processed);
+    sub.release(processed);
+  }
   if (processed > 0 || poisoned) ring_cpl_doorbell(*session);
   if (processed > 0) {
     runtime_.metrics().histogram("shm_drain_batch").record(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <limits>
 
@@ -51,7 +52,11 @@ struct Instance {
   std::size_t segment = 0;
   std::size_t outstanding = 0;
   std::size_t serial_issued = 0;
-  std::vector<double> ranks;
+  /// HEFT upward ranks, shared across every instance of the same SimApp
+  /// (the emulator's analogue of the runtime's per-descriptor DagPlan
+  /// cache, docs/runtime_lifecycle.md): ranks depend only on the model and
+  /// platform, so they are computed once per model, not once per arrival.
+  std::shared_ptr<const std::vector<double>> ranks;
   bool terminated = false;
 
   // API-mode application thread.
@@ -321,6 +326,15 @@ class Engine {
     now_ = t;
   }
 
+  std::shared_ptr<const std::vector<double>> ranks_for(const SimApp* app) {
+    auto it = rank_cache_.find(app);
+    if (it != rank_cache_.end()) return it->second;
+    auto ranks = std::make_shared<const std::vector<double>>(
+        app->segment_ranks(config_.platform));
+    rank_cache_.emplace(app, ranks);
+    return ranks;
+  }
+
   void fire_events() {
     // Arrivals whose time has come.
     while (arrival_idx_ < arrivals_.size() &&
@@ -329,7 +343,7 @@ class Engine {
       Instance inst;
       inst.model = a.app;
       inst.arrival = now_;
-      inst.ranks = a.app->segment_ranks(config_.platform);
+      inst.ranks = ranks_for(a.app);
       instances_.push_back(std::move(inst));
       mgmt_.push_back(MgmtEvent{MgmtEvent::Kind::kArrival,
                                 instances_.size() - 1});
@@ -441,7 +455,7 @@ class Engine {
   void push_segment_tasks(std::size_t instance_idx, std::size_t segment) {
     Instance& inst = instances_[instance_idx];
     const SimSegment& seg = inst.model->segments[segment];
-    const double rank = inst.ranks[segment];
+    const double rank = (*inst.ranks)[segment];
     auto push_one = [&](platform::KernelId kernel, std::size_t size,
                         std::size_t bytes) {
       const std::uint64_t key = next_key_++;
@@ -712,7 +726,7 @@ class Engine {
           .kernel = seg.kernel,
           .size = seg.problem_size,
           .bytes = seg.data_bytes,
-          .rank = inst.ranks[inst.segment],
+          .rank = (*inst.ranks)[inst.segment],
           .ready_time = now_,
           .class_mask = class_mask_for(seg.kernel, seg.problem_size),
       });
@@ -1038,6 +1052,14 @@ class Engine {
 
   std::vector<Arrival> arrivals_;
   std::size_t arrival_idx_ = 0;
+
+  /// Per-model rank cache: segment_ranks() is pure in (model, platform)
+  /// and the platform is fixed for the engine's lifetime, so every arrival
+  /// of the same SimApp shares one immutable rank vector. Keys stay valid
+  /// because arrival models outlive the engine (Arrival holds `const
+  /// SimApp*` into caller-owned storage).
+  std::unordered_map<const SimApp*, std::shared_ptr<const std::vector<double>>>
+      rank_cache_;
 
   std::vector<Instance> instances_;
   std::vector<Worker> workers_;

@@ -276,6 +276,22 @@ void render(const json::Value& doc, const std::string& stats_line,
                     : 0);
   }
 
+  // --- instance lifecycle ---------------------------------------------------
+  // Template-cache gauges are refreshed by the daemon on every METRICS
+  // reply (docs/runtime_lifecycle.md); hits/misses cover both lanes since
+  // the socket and shm paths share one process-wide cache.
+  if (gauges != nullptr &&
+      gauges->find("runtime.template_cache_hits") != nullptr) {
+    const double hits = gauges->get_double("runtime.template_cache_hits", 0.0);
+    const double misses =
+        gauges->get_double("runtime.template_cache_misses", 0.0);
+    const double lookups = hits + misses;
+    std::printf("lifecycle: template cache %6.0f hits / %5.0f misses "
+                "(%5.1f%% hit)  evictions=%0.f\n\n",
+                hits, misses, lookups > 0.0 ? 100.0 * hits / lookups : 0.0,
+                gauges->get_double("runtime.template_cache_evictions", 0.0));
+  }
+
   // --- latency histograms ---------------------------------------------------
   std::printf("%-24s %10s %9s %9s %9s %9s %11s %11s\n", "latency (us)",
               "count", "mean", "p50", "p95", "p99", "rate/s", "int.mean");
@@ -286,7 +302,7 @@ void render(const json::Value& doc, const std::string& stats_line,
       std::vector<HistRow> rows;
       for (const char* key :
            {"queue_delay_us", "service_time_us", "sched_decision_us",
-            "sched_lock_wait_us"}) {
+            "sched_lock_wait_us", "instantiate_us", "complete_publish_us"}) {
         if (const json::Value* hist = hists->find(key)) {
           rows.push_back(parse_hist(key, *hist, cursors, interval_s));
         }

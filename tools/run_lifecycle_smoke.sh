@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Fast-path lifecycle smoke (docs/runtime_lifecycle.md): a short
+# shared-memory-lane run of fig_ipc_throughput must clear a conservative
+# submits/s floor. This is a regression tripwire for the app-instance fast
+# path — template cache, slab-recycled instances, batched submission and
+# completion publication — not a benchmark: the floor is far below the
+# recorded BENCH_ipc.json numbers so machine noise never fails CI, while a
+# collapse back to per-record compile/lock costs (an order of magnitude)
+# still trips it.
+#
+# Writes its JSON to a temp path, never to the checked-in BENCH_ipc.json.
+#
+# usage: run_lifecycle_smoke.sh [BUILD_DIR]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/fig_ipc_throughput"
+
+if [ ! -e "$BENCH" ]; then
+  echo "missing $BENCH (build with CEDR_BUILD_BENCH=ON first)" >&2
+  exit 1
+fi
+
+# Floor: the seed (pre-fast-path) runtime sustained ~56k submits/s over
+# this lane on the 1-core bench host with 2 s phases; 25k leaves headroom
+# for short phases and loaded CI machines.
+FLOOR=25000
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+"$BENCH" --lane shm --clients 8 --seconds 0.5 \
+    --json "$WORK_DIR/bench.json" > "$WORK_DIR/bench.log"
+tail -n 5 "$WORK_DIR/bench.log"
+
+python3 - "$WORK_DIR/bench.json" "$FLOOR" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+floor = float(sys.argv[2])
+
+# write_with_baseline(): fresh numbers live under "current" once a baseline
+# exists, else under "baseline" (first run against the temp path).
+block = doc.get("current") or doc.get("baseline") or {}
+shm = [p for p in block.get("points", []) if p.get("phase") == "shm"]
+if not shm:
+    sys.exit("no shm-phase points in the bench report")
+widest = max(shm, key=lambda p: p.get("clients", 0))
+rate = widest.get("submits_per_sec", 0.0)
+print(f"shm SUBMITDAG at {widest.get('clients')} clients: "
+      f"{rate:,.0f} submits/s (floor {floor:,.0f})")
+if rate < floor:
+    sys.exit(f"lifecycle fast path regressed: {rate:,.0f} < {floor:,.0f}")
+EOF
+
+echo "lifecycle smoke passed"
