@@ -11,6 +11,8 @@
 // overhead as a fraction of execution time (paper: <=0.1% ZCU102, <=0.5%
 // Jetson).
 
+#include <limits>
+
 #include "bench_util.h"
 
 using namespace cedr;
@@ -100,42 +102,113 @@ int main(int argc, char** argv) {
   // judged against the pre-refactor numbers.
   {
     bench::JsonReport report("fig10_scalability");
-    bench::Table table(
-        "Decision-time scaling - sched_decision_us p95 vs PE count, "
-        "ZCU102-style mixed pool, 500 Mbps, DAG-based",
-        "pe_count", {"RR", "EFT", "ETF", "HEFT_RT"});
-    for (const std::size_t pes : {4ul, 8ul, 16ul, 24ul, 32ul}) {
-      std::vector<double> row;
-      for (const char* scheduler : bench::kSchedulers) {
-        obs::QuantileHistogram decision_us;
-        sim::SimConfig config;
-        config.platform =
-            platform::zcu102(pes / 2, pes / 4, pes - pes / 2 - pes / 4);
-        config.scheduler = scheduler;
-        config.model = sim::ProgrammingModel::kDagBased;
-        config.sched_decision_us = &decision_us;
-        auto result =
-            workload::run_point(config, streams, 500.0, opts.trials, 42);
-        if (!result.ok()) {
-          std::fprintf(stderr, "fig10 decision sweep: %s\n",
-                       result.status().to_string().c_str());
-          return 1;
+    {
+      bench::Table table(
+          "Decision-time scaling - sched_decision_us p95 vs PE count, "
+          "ZCU102-style mixed pool, 500 Mbps, DAG-based",
+          "pe_count", {"RR", "EFT", "ETF", "HEFT_RT"});
+      for (const std::size_t pes : {4ul, 8ul, 16ul, 24ul, 32ul}) {
+        std::vector<double> row;
+        for (const char* scheduler : bench::kSchedulers) {
+          obs::QuantileHistogram decision_us;
+          sim::SimConfig config;
+          config.platform =
+              platform::zcu102(pes / 2, pes / 4, pes - pes / 2 - pes / 4);
+          config.scheduler = scheduler;
+          config.model = sim::ProgrammingModel::kDagBased;
+          config.sched_decision_us = &decision_us;
+          auto result =
+              workload::run_point(config, streams, 500.0, opts.trials, 42);
+          if (!result.ok()) {
+            std::fprintf(stderr, "fig10 decision sweep: %s\n",
+                         result.status().to_string().c_str());
+            return 1;
+          }
+          row.push_back(decision_us.quantile(0.95));
+          json::Object point;
+          point.emplace("platform", "zcu102");
+          point.emplace("pes", pes);
+          point.emplace("scheduler", scheduler);
+          point.emplace("makespan_ms", result->mean.makespan * 1e3);
+          point.emplace("exec_ms", result->mean.avg_execution_time * 1e3);
+          point.emplace("total_comparisons", result->mean.total_comparisons);
+          point.emplace("sched_decision_us",
+                        bench::histogram_summary(decision_us));
+          report.add_point(std::move(point));
         }
-        row.push_back(decision_us.quantile(0.95));
-        json::Object point;
-        point.emplace("platform", "zcu102");
-        point.emplace("pes", pes);
-        point.emplace("scheduler", scheduler);
-        point.emplace("makespan_ms", result->mean.makespan * 1e3);
-        point.emplace("exec_ms", result->mean.avg_execution_time * 1e3);
-        point.emplace("total_comparisons", result->mean.total_comparisons);
-        point.emplace("sched_decision_us",
-                      bench::histogram_summary(decision_us));
-        report.add_point(std::move(point));
+        table.add_row(static_cast<double>(pes), std::move(row));
       }
-      table.add_row(static_cast<double>(pes), std::move(row));
+      table.print();
     }
-    table.print();
+
+    // Frontier lookahead sweep (docs/scheduling.md "Lookahead rounds"): the
+    // decision *cost* a workload pays is per-round decision time times the
+    // number of rounds. Lookahead rounds are individually pricier (they
+    // place a whole window) but reservations let released successors skip
+    // rounds entirely, so the product drops. Points carry a "sweep":
+    // "lookahead" tag plus rounds / reservation counters so the JSON is
+    // self-contained for cross-PR comparison.
+    {
+      static constexpr const char* kLookaheadSweep[] = {"HEFT_RT", "HEFT_LA",
+                                                        "EFT_LA"};
+      bench::Table table(
+          "Lookahead decision cost - sched_decision_us p95 x rounds (us) vs "
+          "PE count, ZCU102-style mixed pool, 500 Mbps, DAG-based",
+          "pe_count", {"HEFT_RT", "HEFT_LA", "EFT_LA"});
+      double worst_ratio = std::numeric_limits<double>::infinity();
+      for (const std::size_t pes : {4ul, 8ul, 16ul, 24ul, 32ul}) {
+        std::vector<double> row;
+        double heft_rt_cost = 0.0;
+        for (const char* scheduler : kLookaheadSweep) {
+          obs::QuantileHistogram decision_us;
+          sim::SimConfig config;
+          config.platform =
+              platform::zcu102(pes / 2, pes / 4, pes - pes / 2 - pes / 4);
+          config.scheduler = scheduler;
+          config.model = sim::ProgrammingModel::kDagBased;
+          config.sched_decision_us = &decision_us;
+          auto result =
+              workload::run_point(config, streams, 500.0, opts.trials, 42);
+          if (!result.ok()) {
+            std::fprintf(stderr, "fig10 lookahead sweep: %s\n",
+                         result.status().to_string().c_str());
+            return 1;
+          }
+          const double rounds =
+              static_cast<double>(result->mean.sched_rounds);
+          const double cost = decision_us.quantile(0.95) * rounds;
+          if (scheduler == kLookaheadSweep[0]) {
+            heft_rt_cost = cost;
+          } else if (pes >= 16 && heft_rt_cost > 0.0 && cost > 0.0) {
+            worst_ratio = std::min(worst_ratio, heft_rt_cost / cost);
+          }
+          row.push_back(cost);
+          json::Object point;
+          point.emplace("platform", "zcu102");
+          point.emplace("sweep", "lookahead");
+          point.emplace("pes", pes);
+          point.emplace("scheduler", scheduler);
+          point.emplace("makespan_ms", result->mean.makespan * 1e3);
+          point.emplace("exec_ms", result->mean.avg_execution_time * 1e3);
+          point.emplace("rounds", result->mean.sched_rounds);
+          point.emplace("total_comparisons", result->mean.total_comparisons);
+          point.emplace("reservation_hits", result->mean.reservation_hits);
+          point.emplace("reservation_stale", result->mean.reservation_stale);
+          point.emplace("decision_cost_us", cost);
+          point.emplace("sched_decision_us",
+                        bench::histogram_summary(decision_us));
+          report.add_point(std::move(point));
+        }
+        table.add_row(static_cast<double>(pes), std::move(row));
+      }
+      table.print();
+      std::printf(
+          "\nHeadline: lookahead decision-cost advantage at >=16 PEs: "
+          "%.2fx lower than HEFT_RT (worst case across HEFT_LA/EFT_LA; "
+          "target >=1.5x)\n",
+          worst_ratio);
+    }
+
     if (const Status s = report.write_with_baseline("BENCH_fig10.json");
         !s.ok()) {
       std::fprintf(stderr, "fig10 json: %s\n", s.to_string().c_str());

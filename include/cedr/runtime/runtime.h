@@ -39,6 +39,10 @@
 #include "cedr/task/task.h"
 #include "cedr/trace/trace.h"
 
+namespace cedr::sched {
+class LookaheadScheduler;
+}
+
 namespace cedr::rt {
 
 class Runtime;
@@ -124,6 +128,12 @@ struct RuntimeConfig {
   /// default; when enabled the schedulers consume continuously refined
   /// cost tables instead of the static platform presets.
   adapt::AdaptConfig adapt;
+  /// Frontier lookahead depth for the lookahead schedulers (HEFT_LA /
+  /// EFT_LA): how many DAG generations beyond the ready set one scheduling
+  /// round may place as reservations (docs/scheduling.md "Lookahead
+  /// rounds"). 0 restricts lookahead rounds to the ready snapshot; ignored
+  /// by the classic per-ready-set heuristics.
+  std::size_t lookahead_depth = 2;
 
   /// Serialization to/from the JSON runtime-configuration file the paper's
   /// daemon consumes ("Runtime Configuration" input of Fig. 1).
@@ -296,6 +306,11 @@ class Runtime {
 
   RuntimeConfig config_;
   std::unique_ptr<sched::Scheduler> scheduler_;
+  /// scheduler_ downcast, set once in start(): non-null iff the configured
+  /// heuristic places whole lookahead windows (docs/scheduling.md
+  /// "Lookahead rounds"). Rounds then widen the snapshot into a
+  /// sched::Frontier and lookahead placements become reservations.
+  sched::LookaheadScheduler* lookahead_ = nullptr;
   trace::TraceLog trace_;
   trace::CounterSet counters_;
   obs::SpanTracer tracer_;
@@ -314,6 +329,9 @@ class Runtime {
   /// flush.
   obs::QuantileHistogram* instantiate_us_ = nullptr;
   obs::QuantileHistogram* complete_publish_us_ = nullptr;
+  /// Wall time of one whole lookahead round: frontier build + window
+  /// placement + reservation bookkeeping (lookahead schedulers only).
+  obs::QuantileHistogram* lookahead_round_us_ = nullptr;
   /// Scheduler-round span label ("sched <heuristic>"), built once.
   std::string sched_span_name_;
   /// Non-null when the fault plan injects anything. Per-PE streams are only

@@ -196,6 +196,14 @@ class CandidateView {
     return class_estimate(q, pe.cls) / pe.speed;
   }
 
+  /// All per-class estimates of task q's kind at once — one kind lookup for
+  /// a whole PE scan instead of one per slot. Entries for inadmissible
+  /// classes are +infinity; cost_eligible() already excludes their slots.
+  [[nodiscard]] const std::array<double, platform::kNumPeClasses>&
+  class_estimates(std::size_t q) const {
+    return kind_costs(q).est;
+  }
+
   /// Finish time of task q started on `pe` no earlier than ctx().now.
   [[nodiscard]] double finish_time_on(std::size_t q, const PeState& pe) const;
 
@@ -276,9 +284,12 @@ class Scheduler {
   /// assign every assignable task (CEDR drains its ready queue each round).
   /// Builds an unrestricted CandidateView and runs the heuristic over it;
   /// assignments and `comparisons` are identical to the historical
-  /// direct-scan implementations.
-  ScheduleResult schedule(std::span<const ReadyTask> ready,
-                          std::span<PeState> pes, const ScheduleContext& ctx) {
+  /// direct-scan implementations. Virtual so a heuristic that never reads
+  /// the view's cost side (RR) can skip building it entirely — overrides
+  /// must keep assignments and comparisons bit-identical to this path.
+  virtual ScheduleResult schedule(std::span<const ReadyTask> ready,
+                                  std::span<PeState> pes,
+                                  const ScheduleContext& ctx) {
     // One warm workspace per scheduling thread: after the first rounds the
     // view's buffers reach steady-state capacity and a round allocates
     // nothing. Heuristics never re-enter schedule() from schedule(view).

@@ -132,6 +132,10 @@ struct SimMetrics {
   std::size_t pes_quarantined = 0;     ///< quarantine transitions
   std::size_t pes_reinstated = 0;      ///< probe-driven reinstatements
   std::size_t tasks_lost = 0;          ///< retries exhausted (terminal)
+  // Lookahead metrics (zero unless the scheduler is a LookaheadScheduler —
+  // HEFT_LA / EFT_LA; docs/scheduling.md "Lookahead rounds").
+  std::size_t reservation_hits = 0;    ///< tasks dispatched from a reservation
+  std::size_t reservation_stale = 0;   ///< reservations invalidated at release
 };
 
 /// Emulator configuration.
@@ -145,6 +149,12 @@ struct SimConfig {
   platform::FaultPlan faults;
   /// Safety valve: abort the run if the virtual clock passes this horizon.
   double max_virtual_time_s = 3600.0;
+  /// How many DAG levels past the ready snapshot a lookahead scheduler
+  /// (HEFT_LA / EFT_LA) may see per round. 0 restricts lookahead rounds to
+  /// the ready snapshot (no reservations). Ignored by classic heuristics —
+  /// their rounds stay bit-identical regardless of this knob, which is what
+  /// keeps the golden scenario bands gating.
+  std::size_t lookahead_depth = 3;
   /// Optional span sink. When non-null the engine emits the same span
   /// stream as the threaded runtime — scheduling rounds, task executions,
   /// enqueue->dispatch->execute flows, fault instants, app lifecycle — with

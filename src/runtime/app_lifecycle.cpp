@@ -40,12 +40,16 @@ StatusOr<std::shared_ptr<const DagPlan>> Runtime::Impl::plan_for(
   plan->pred_counts.resize(n);
   plan->ranks.resize(n);
   plan->successors.resize(n);
+  plan->preds.resize(n);
   const auto rank_map = sched::upward_ranks(graph, platform);
   for (std::size_t i = 0; i < n; ++i) {
     const task::Task& t = graph.tasks()[i];
-    const std::size_t preds = graph.predecessors(t.id).size();
-    plan->pred_counts[i] = static_cast<std::uint32_t>(preds);
-    if (preds == 0) plan->heads.push_back(static_cast<std::uint32_t>(i));
+    const auto& pred_ids = graph.predecessors(t.id);
+    plan->pred_counts[i] = static_cast<std::uint32_t>(pred_ids.size());
+    if (pred_ids.empty()) plan->heads.push_back(static_cast<std::uint32_t>(i));
+    for (const task::TaskId pred : pred_ids) {
+      plan->preds[i].push_back(static_cast<std::uint32_t>(graph.index_of(pred)));
+    }
     plan->ranks[i] = rank_map.at(t.id);
     for (const task::TaskId succ : graph.successors(t.id)) {
       plan->successors[i].push_back(

@@ -91,10 +91,52 @@ void Runtime::run_scheduling_round() {
   const sched::ScheduleContext ctx{
       .now = t_now,
       .costs = learned != nullptr ? learned.get() : &config_.platform.costs};
-  Stopwatch decision;
-  const sched::ScheduleResult result =
-      scheduler_->schedule(snap.views, pe_states, ctx);
-  const double decision_time = decision.elapsed();
+  sched::ScheduleResult result;
+  double decision_time = 0.0;
+  if (lookahead_ != nullptr) {
+    // Frontier round (docs/scheduling.md "Lookahead rounds"): widen the
+    // snapshot into the visible DAG window, place it in one pass, dispatch
+    // the ready prefix now and remember the rest as reservations.
+    Stopwatch round_watch;
+    // A cost-table change (adapt snapshot publish) invalidates every
+    // outstanding reservation: they were priced against the old table.
+    if (ctx.costs != impl_->last_cost_table) {
+      if (impl_->last_cost_table != nullptr) ++impl_->reservation_epoch;
+      impl_->last_cost_table = ctx.costs;
+    }
+    sched::Frontier& frontier = impl_->frontier;
+    frontier.reset(pe_states, ctx);
+    for (const sched::ReadyTask& view : snap.views) frontier.add_ready(view);
+    impl_->frontier_meta.clear();
+    if (config_.lookahead_depth > 0) {
+      impl_->build_lookahead_window(*this, snap, t_now);
+    }
+    Stopwatch decision;
+    sched::FrontierResult window = lookahead_->schedule_window(frontier);
+    decision_time = decision.elapsed();
+    result.assignments = std::move(window.assignments);
+    result.comparisons = window.comparisons;
+    // Reservations overwrite earlier rounds' decisions for the same task —
+    // the freshest window saw the freshest PE availability.
+    for (const sched::Reservation& r : window.reservations) {
+      impl_->reservations[Impl::reservation_key(
+          impl_->frontier_meta[r.window_index - snap.size()].first,
+          impl_->frontier_meta[r.window_index - snap.size()].second)] =
+          Impl::ReservationEntry{
+              .pe_index = r.pe_index,
+              .predicted_finish = r.predicted_finish,
+              .epoch = impl_->reservation_epoch,
+          };
+    }
+    count("sched.reservations_made", window.reservations.size());
+    metrics_.set_gauge("sched.frontier_size",
+                       static_cast<double>(frontier.size()));
+    lookahead_round_us_->record(round_watch.elapsed_us());
+  } else {
+    Stopwatch decision;
+    result = scheduler_->schedule(snap.views, pe_states, ctx);
+    decision_time = decision.elapsed();
+  }
   trace_.add_sched(trace::SchedRecord{
       .time = t_now,
       .ready_tasks = snap.size(),
@@ -166,6 +208,99 @@ void Runtime::run_scheduling_round() {
     impl_->sched_blocked = true;
     impl_->sched_blocked_epoch = pre_snapshot_epoch;
     impl_->sched_blocked_until = until;
+  }
+}
+
+namespace {
+/// Bound on lookahead tasks added per round, so a wide burst of deep DAGs
+/// cannot make one round's window (and its placement cost) unbounded.
+constexpr std::size_t kMaxLookaheadTasks = 512;
+}  // namespace
+
+void Runtime::Impl::build_lookahead_window(
+    Runtime& rt, const sched::ReadyQueueShards::Snapshot& snap, double t_now) {
+  // Level-by-level BFS from the ready DAG tasks over each app's cached
+  // DagPlan. A successor joins the window only when *every* uncompleted
+  // predecessor is already inside it (in-window predecessor count ==
+  // remaining_preds) — a predecessor that is executing, deferred on a retry
+  // backoff, or beyond the depth bound keeps it out, so a reservation is
+  // never made for a task whose readiness this window cannot predict.
+  //
+  // Runs under app_mutex (level 0, taken alone): it reads per-instance
+  // remaining_preds/impls and the shared plans. The window is bounded by
+  // lookahead_depth and kMaxLookaheadTasks, so the hold is short.
+  window_of.clear();
+  struct LevelItem {
+    AppInstance* app;
+    std::uint32_t dag_index;
+  };
+  std::vector<LevelItem> level;
+  std::vector<LevelItem> next;
+  std::vector<std::size_t> pred_window;
+  std::lock_guard lock(app_mutex);
+  for (std::size_t i = 0; i < snap.entries.size(); ++i) {
+    const auto* task =
+        static_cast<const InFlightTask*>(snap.entries[i].payload.get());
+    if (!task->is_dag) continue;
+    const auto it = apps.find(task->app_instance_id);
+    if (it == apps.end()) continue;
+    window_of[reservation_key(task->app_instance_id, task->dag_task_index)] = i;
+    level.push_back({it->second.get(), task->dag_task_index});
+  }
+  for (std::uint32_t depth = 1;
+       depth <= rt.config_.lookahead_depth && !level.empty(); ++depth) {
+    next.clear();
+    for (const LevelItem& item : level) {
+      const DagPlan& plan = *item.app->plan;
+      for (const std::uint32_t succ : plan.successors[item.dag_index]) {
+        const std::uint64_t key = reservation_key(item.app->id, succ);
+        if (window_of.find(key) != window_of.end()) continue;
+        // Reserve once: a fresh reservation from an earlier round stands
+        // until honored or invalidated. Re-placing the same successor every
+        // round while its predecessors wait in a backlogged queue would
+        // make lookahead rounds quadratically more expensive than the
+        // rounds they replace. (Its own successors stay out of the window
+        // too — their predecessor is no longer inside it.)
+        const auto held = reservations.find(key);
+        if (held != reservations.end() &&
+            held->second.epoch == reservation_epoch) {
+          continue;
+        }
+        const std::uint32_t remaining = item.app->remaining_preds[succ];
+        if (remaining == 0) continue;  // released while this round ran
+        pred_window.clear();
+        for (const std::uint32_t pred : plan.preds[succ]) {
+          const auto w = window_of.find(reservation_key(item.app->id, pred));
+          if (w != window_of.end()) pred_window.push_back(w->second);
+        }
+        if (pred_window.size() != remaining) continue;
+        const task::Task& t = item.app->dag->graph.tasks()[succ];
+        // Same class-mask derivation as ready_item(): classes with a bound
+        // implementation; a fresh task has no failed classes to narrow by.
+        std::uint32_t mask = 0;
+        for (std::size_t c = 0; c < platform::kNumPeClasses; ++c) {
+          if (item.app->impls[succ][c]) mask |= 1u << c;
+        }
+        if (mask == 0) mask = 0xffffffffu;
+        const std::size_t window_index = frontier.add_lookahead(
+            sched::ReadyTask{
+                .task_key = 0,  // not yet in flight; identity via frontier_meta
+                .app_instance_id = item.app->id,
+                .kernel = t.kernel,
+                .problem_size = t.problem_size,
+                .data_bytes = t.data_bytes,
+                .ready_time = t_now,
+                .rank = plan.ranks[succ],
+                .class_mask = mask,
+            },
+            depth, pred_window);
+        window_of[key] = window_index;
+        frontier_meta.emplace_back(item.app->id, succ);
+        next.push_back({item.app, succ});
+        if (frontier_meta.size() >= kMaxLookaheadTasks) return;
+      }
+    }
+    level.swap(next);
   }
 }
 

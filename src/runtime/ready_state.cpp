@@ -63,6 +63,10 @@ void Runtime::process_completions() {
   }
   Stopwatch overhead;
   bool any_app_finished = false;
+  // Released tasks with a still-valid reservation bypass the ready queue:
+  // collected here per worker across the whole batch, dispatched with one
+  // push_batch per touched worker after the loop (no re-decision round).
+  std::vector<std::vector<std::shared_ptr<InFlightTask>>> reserved_batches;
   const platform::FaultPolicy& policy = config_.fault_plan.policy;
   for (Impl::CompletionRecord& rec : batch) {
     // Every completion changes PE health or releases work: any blocked
@@ -96,6 +100,8 @@ void Runtime::process_completions() {
             worker.probe_inflight = false;
             worker.probe_at = t_now + policy.probe_period_s;
             ++worker.quarantines;
+            // Reservations priced this PE as healthy: all stale now.
+            ++impl_->reservation_epoch;
             count("pes_quarantined");
             tracer_.instant(obs::Category::kFault, "pe_quarantined", 0,
                             1 + worker.pe_index, t_now, "consecutive_faults",
@@ -148,6 +154,9 @@ void Runtime::process_completions() {
         worker.probe_inflight = false;
         if (worker.quarantined) {
           worker.quarantined = false;
+          // The PE pool changed under outstanding reservations: windows
+          // placed without this PE would have decided differently.
+          ++impl_->reservation_epoch;
           count("pes_reinstated");
           tracer_.instant(obs::Category::kFault, "pe_reinstated", 0,
                           1 + worker.pe_index, t_now);
@@ -212,8 +221,47 @@ void Runtime::process_completions() {
       tracer_.flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
                    next->name.c_str(), 1 + next->app_instance_id, 0,
                    next->enqueue_time, next->key);
+      // Honor a lookahead reservation if one exists and is still fresh
+      // (same epoch, target PE not quarantined since); otherwise — or when
+      // it has gone stale — the task takes the normal ready path and the
+      // next round re-decides it.
+      if (lookahead_ != nullptr && !impl_->reservations.empty()) {
+        const auto it = impl_->reservations.find(Impl::reservation_key(
+            next->app_instance_id, next->dag_task_index));
+        if (it != impl_->reservations.end()) {
+          const Impl::ReservationEntry entry = it->second;
+          impl_->reservations.erase(it);
+          bool fresh = entry.epoch == impl_->reservation_epoch;
+          if (fresh) {
+            std::lock_guard health(impl_->health_mutex);
+            fresh = !impl_->workers[entry.pe_index]->quarantined;
+          }
+          if (fresh) {
+            if (reserved_batches.empty()) {
+              reserved_batches.resize(impl_->workers.size());
+            }
+            // The reserved PE is committed to this work: fold the predicted
+            // finish into the availability estimate later rounds price with.
+            impl_->pe_available[entry.pe_index] = std::max(
+                impl_->pe_available[entry.pe_index], entry.predicted_finish);
+            reserved_batches[entry.pe_index].push_back(std::move(next));
+            count("sched.reservation_hits");
+            continue;
+          }
+          count("sched.reservation_stale");
+        }
+      }
       impl_->push_ready(std::move(next));
     }
+  }
+  for (std::size_t pe = 0; pe < reserved_batches.size(); ++pe) {
+    auto& batch = reserved_batches[pe];
+    if (batch.empty()) continue;
+    for (const auto& task : batch) {
+      tracer_.flow(obs::EventKind::kFlowStep, obs::Category::kSched,
+                   "dispatch_reserved", 0, 0, now(), task->key);
+    }
+    impl_->workers[pe]->mailbox.push_batch(std::span(batch));
   }
   if (finish_idle_api_apps()) any_app_finished = true;
   {

@@ -85,6 +85,7 @@ json::Value RuntimeConfig::to_json() const {
       {"fault_plan", fault_plan.to_json()},
       {"obs", obs.to_json()},
       {"adapt", adapt.to_json()},
+      {"lookahead_depth", json::Value(static_cast<std::int64_t>(lookahead_depth))},
   };
 }
 
@@ -131,6 +132,11 @@ StatusOr<RuntimeConfig> RuntimeConfig::from_json(const json::Value& value) {
     if (!parsed.ok()) return parsed.status();
     config.adapt = *std::move(parsed);
   }
+  const std::int64_t lookahead = value.get_int("lookahead_depth", 2);
+  if (lookahead < 0) {
+    return InvalidArgument("lookahead_depth must be >= 0");
+  }
+  config.lookahead_depth = static_cast<std::size_t>(lookahead);
   return config;
 }
 
@@ -152,6 +158,7 @@ Runtime::Runtime(RuntimeConfig config)
   sched_decision_us_ = &metrics_.histogram("sched_decision_us");
   instantiate_us_ = &metrics_.histogram("instantiate_us");
   complete_publish_us_ = &metrics_.histogram("complete_publish_us");
+  lookahead_round_us_ = &metrics_.histogram("lookahead_round_us");
   sched_span_name_ = "sched " + config_.scheduler;
   // The sharded ready queue times contended shard-lock acquisitions into
   // this histogram (docs/observability.md); metrics_ outlives impl_.
@@ -272,6 +279,12 @@ Status Runtime::start() {
   auto scheduler = sched::make_scheduler(config_.scheduler);
   if (!scheduler.ok()) return scheduler.status();
   scheduler_ = *std::move(scheduler);
+  lookahead_ = dynamic_cast<sched::LookaheadScheduler*>(scheduler_.get());
+  if (lookahead_ != nullptr) {
+    CEDR_LOG(kInfo, kLogTag) << "frontier lookahead enabled: scheduler="
+                             << config_.scheduler << " depth="
+                             << config_.lookahead_depth;
+  }
   if (!config_.fault_plan.empty()) {
     fault_injector_ = std::make_unique<platform::FaultInjector>(
         config_.fault_plan, config_.platform.pes);

@@ -40,6 +40,7 @@
 
 #include "cedr/common/stopwatch.h"
 #include "cedr/runtime/runtime.h"
+#include "cedr/sched/frontier.h"
 #include "cedr/sched/ready_queue.h"
 
 namespace cedr::rt {
@@ -139,6 +140,10 @@ struct DagPlan {
   std::vector<std::uint32_t> pred_counts;  ///< in-degree by index
   std::vector<double> ranks;               ///< HEFT upward ranks by index
   std::vector<std::vector<std::uint32_t>> successors;  ///< index lists
+  /// Predecessor index lists — the lookahead frontier builder walks these
+  /// to decide whether a successor's uncompleted predecessors are all
+  /// inside the window (docs/scheduling.md "Lookahead rounds").
+  std::vector<std::vector<std::uint32_t>> preds;
 };
 
 /// A task in flight through the runtime (one DAG node or one API call).
@@ -401,6 +406,46 @@ struct Runtime::Impl {
   std::uint64_t sched_blocked_epoch = 0;
   double sched_blocked_until = 0.0;
   std::vector<double> pe_available;  ///< scheduler availability estimates
+
+  // --- Main-loop private: frontier lookahead reservations ------------------
+  // (docs/scheduling.md "Lookahead rounds"). Only populated when the
+  // configured heuristic is a LookaheadScheduler. A reservation is a
+  // placement decided for a not-yet-ready DAG task; when its predecessors
+  // complete, the release path dispatches straight to the reserved worker
+  // unless the reservation has gone stale (epoch mismatch or the target PE
+  // quarantined since).
+  struct ReservationEntry {
+    std::size_t pe_index = 0;
+    double predicted_finish = 0.0;
+    std::uint64_t epoch = 0;  ///< reservation_epoch when decided
+  };
+  /// Composite (app instance, dag task index) key. Instance ids are
+  /// sequential from 1, so the shift only aliases after 2^32 submissions —
+  /// and an alias merely invalidates or redirects one reservation, which
+  /// the normal ready path absorbs.
+  [[nodiscard]] static std::uint64_t reservation_key(
+      std::uint64_t app_instance_id, std::uint32_t dag_task_index) noexcept {
+    return (app_instance_id << 32) | dag_task_index;
+  }
+  std::unordered_map<std::uint64_t, ReservationEntry> reservations;
+  /// Bumped on every quarantine/reinstatement transition and whenever the
+  /// round's cost table changes (adapt snapshot publish); any outstanding
+  /// reservation decided under an older epoch is stale.
+  std::uint64_t reservation_epoch = 0;
+  const void* last_cost_table = nullptr;  ///< table the last round priced with
+  sched::Frontier frontier;               ///< reused across lookahead rounds
+  /// (app instance, dag index) identity of window entries past the ready
+  /// prefix, aligned with Frontier indices - ready_count.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> frontier_meta;
+  std::unordered_map<std::uint64_t, std::size_t> window_of;  ///< build scratch
+
+  /// Widens the current round's window beyond the ready snapshot: BFS over
+  /// each ready DAG task's cached plan, admitting a successor once every
+  /// uncompleted predecessor is inside the window, up to
+  /// RuntimeConfig::lookahead_depth generations. Defined in dispatch.cpp.
+  void build_lookahead_window(Runtime& rt,
+                              const sched::ReadyQueueShards::Snapshot& snap,
+                              double t_now);
 
   // --- Cross-thread atomics. -----------------------------------------------
   std::atomic<bool> stopping{false};

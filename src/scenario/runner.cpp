@@ -147,6 +147,7 @@ StatusOr<ScenarioResult> run_scenario(const CompiledScenario& compiled) {
          rtov_per_app = 0;
   double faults_injected = 0, tasks_retried = 0, pes_quarantined = 0,
          pes_reinstated = 0, tasks_lost = 0;
+  double reservation_hits = 0, reservation_stale = 0;
   std::vector<double> exec_times;
   exec_times.reserve(compiled.trials);
 
@@ -175,6 +176,8 @@ StatusOr<ScenarioResult> run_scenario(const CompiledScenario& compiled) {
     pes_quarantined += static_cast<double>(m.pes_quarantined);
     pes_reinstated += static_cast<double>(m.pes_reinstated);
     tasks_lost += static_cast<double>(m.tasks_lost);
+    reservation_hits += static_cast<double>(m.reservation_hits);
+    reservation_stale += static_cast<double>(m.reservation_stale);
     exec_times.push_back(m.avg_execution_time);
   }
   const double n = static_cast<double>(compiled.trials);
@@ -201,6 +204,8 @@ StatusOr<ScenarioResult> run_scenario(const CompiledScenario& compiled) {
   mean.pes_quarantined = static_cast<std::size_t>(pes_quarantined / n);
   mean.pes_reinstated = static_cast<std::size_t>(pes_reinstated / n);
   mean.tasks_lost = static_cast<std::size_t>(tasks_lost / n);
+  mean.reservation_hits = static_cast<std::size_t>(reservation_hits / n);
+  mean.reservation_stale = static_cast<std::size_t>(reservation_stale / n);
 
   MetricSummary& s = result.summary;
   s["makespan_ms"] = makespan / n * 1e3;
@@ -224,6 +229,14 @@ StatusOr<ScenarioResult> run_scenario(const CompiledScenario& compiled) {
     s["pes_quarantined"] = pes_quarantined / n;
     s["pes_reinstated"] = pes_reinstated / n;
     s["tasks_lost"] = tasks_lost / n;
+  }
+  // Gated on the scheduler, not the observed counts: golden bands fail on
+  // *new* metrics, so classic-heuristic scenarios must not grow keys — and
+  // a lookahead scenario must keep its keys even in a zero-hit trial.
+  if (compiled.config.scheduler == "HEFT_LA" ||
+      compiled.config.scheduler == "EFT_LA") {
+    s["reservation_hits"] = reservation_hits / n;
+    s["reservation_stale"] = reservation_stale / n;
   }
   if (estimator != nullptr) {
     s["adapt_observations"] =

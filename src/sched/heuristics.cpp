@@ -1,6 +1,8 @@
 #include "cedr/sched/heuristics.h"
 
 #include <algorithm>
+
+#include "cedr/sched/frontier.h"
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -54,6 +56,45 @@ ScheduleResult RoundRobinScheduler::schedule(CandidateView& view) {
     pe.available_time =
         std::max(ctx.now, pe.available_time) + view.exec_estimate(q, pe);
     result.assignments.push_back({q, pe.pe_index});
+  }
+  return result;
+}
+
+ScheduleResult RoundRobinScheduler::schedule(std::span<const ReadyTask> ready,
+                                             std::span<PeState> pes,
+                                             const ScheduleContext& ctx) {
+  // Direct probe loop, no CandidateView: RR decides from nominal kernel
+  // support only, so the view's cost memoization buys nothing and its
+  // construction cost (~1 µs) is pure overhead on an otherwise flat ~10 µs
+  // round. Probing slots cursor, cursor+1, ... is exactly the view path's
+  // "first eligible slot at/after the cursor, wrapping" with one comparison
+  // charged per probe, so both paths stay bit-identical.
+  ScheduleResult result;
+  const std::size_t p_count = pes.size();
+  if (p_count == 0) return result;
+  for (std::size_t q = 0; q < ready.size(); ++q) {
+    const ReadyTask& t = ready[q];
+    const std::size_t cursor = next_pe_ % p_count;
+    bool placed = false;
+    for (std::size_t probe = 0; probe < p_count; ++probe) {
+      const std::size_t slot = (cursor + probe) % p_count;
+      PeState& pe = pes[slot];
+      if (pe.quarantined || !t.allowed_on(pe.cls) ||
+          !platform::pe_class_supports(pe.cls, t.kernel)) {
+        continue;
+      }
+      result.comparisons += probe + 1;
+      next_pe_ = (slot + 1) % p_count;
+      const double exec =
+          ctx.costs->estimate(t.kernel, pe.cls, t.problem_size, t.data_bytes) /
+          pe.speed;
+      pe.available_time = std::max(ctx.now, pe.available_time) + exec;
+      result.assignments.push_back({q, pe.pe_index});
+      placed = true;
+      break;
+    }
+    // A full fruitless rotation: P probes, cursor back where it started.
+    if (!placed) result.comparisons += p_count;
   }
   return result;
 }
@@ -253,15 +294,18 @@ StatusOr<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name) {
   if (name == "EFT") return std::unique_ptr<Scheduler>(new EftScheduler);
   if (name == "ETF") return std::unique_ptr<Scheduler>(new EtfScheduler);
   if (name == "HEFT_RT") return std::unique_ptr<Scheduler>(new HeftRtScheduler);
+  if (name == "HEFT_LA") return std::unique_ptr<Scheduler>(new HeftLaScheduler);
+  if (name == "EFT_LA") return std::unique_ptr<Scheduler>(new EftLaScheduler);
   if (name == "MET") return std::unique_ptr<Scheduler>(new MetScheduler);
   if (name == "RANDOM") return std::unique_ptr<Scheduler>(new RandomScheduler);
   return NotFound("unknown scheduler: " + std::string(name));
 }
 
 std::span<const std::string_view> scheduler_names() noexcept {
-  // The paper's four first, then the ecosystem baselines.
-  static constexpr std::string_view kNames[] = {"RR",  "EFT",    "ETF",
-                                                "HEFT_RT", "MET", "RANDOM"};
+  // The paper's four first, then the frontier-lookahead pair
+  // (docs/scheduling.md "Lookahead rounds"), then the ecosystem baselines.
+  static constexpr std::string_view kNames[] = {
+      "RR", "EFT", "ETF", "HEFT_RT", "HEFT_LA", "EFT_LA", "MET", "RANDOM"};
   return kNames;
 }
 

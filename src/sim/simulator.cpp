@@ -14,6 +14,7 @@
 #endif
 
 #include "cedr/common/stopwatch.h"
+#include "cedr/sched/frontier.h"
 #include "cedr/sched/ready_queue.h"
 #include "cedr/sched/scheduler.h"
 
@@ -22,6 +23,11 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;
+
+/// Per-round ceiling on the lookahead window, matching the threaded
+/// runtime's cap (src/runtime/dispatch.cpp): bounds the O(W^2) HEFT_LA
+/// placement cost however deep the visible DAG is.
+constexpr std::size_t kMaxLookaheadTasks = 512;
 
 /// Reference-core nanoseconds per second of glue work (GENERIC problem
 /// size is expressed in ~1 GHz reference nanoseconds).
@@ -136,6 +142,9 @@ class Engine {
     auto scheduler = sched::make_scheduler(config_.scheduler);
     if (!scheduler.ok()) return scheduler.status();
     scheduler_ = *std::move(scheduler);
+    // Same detection the threaded runtime uses (src/runtime/runtime.cpp):
+    // lookahead rounds only for schedulers that can place a whole window.
+    lookahead_ = dynamic_cast<sched::LookaheadScheduler*>(scheduler_.get());
     sched_span_name_ = "sched " + config_.scheduler;
     if (tr() != nullptr) {
       tr()->instant(obs::Category::kRuntime, "runtime_start", 0, 0, now_);
@@ -457,9 +466,9 @@ class Engine {
     const SimSegment& seg = inst.model->segments[segment];
     const double rank = (*inst.ranks)[segment];
     auto push_one = [&](platform::KernelId kernel, std::size_t size,
-                        std::size_t bytes) {
+                        std::size_t bytes, std::size_t ordinal) {
       const std::uint64_t key = next_key_++;
-      push_ready(SimTask{
+      SimTask task{
           .key = key,
           .instance = instance_idx,
           .segment = segment,
@@ -469,22 +478,49 @@ class Engine {
           .rank = rank,
           .ready_time = now_,
           .class_mask = class_mask_for(kernel, size),
-      });
+      };
       if (tr() != nullptr) {
         tr()->flow(obs::EventKind::kFlowBegin, obs::Category::kApp,
                    platform::kernel_name(kernel).data(), 1 + instance_idx, 0,
                    now_, key);
       }
+      // A fresh reservation from an earlier lookahead round short-circuits
+      // the ready queue: the placement was already decided, so the task goes
+      // straight to its reserved PE with no further scheduling round — the
+      // same honor path as the threaded runtime (src/runtime/ready_state.cpp).
+      if (lookahead_ != nullptr && !reservations_.empty()) {
+        const auto it = reservations_.find(
+            reservation_key(instance_idx, segment, ordinal));
+        if (it != reservations_.end()) {
+          const SimReservation entry = it->second;
+          reservations_.erase(it);
+          const bool fresh = entry.epoch == reservation_epoch_ &&
+                             !workers_[entry.pe_index].quarantined;
+          if (fresh) {
+            ++reservation_hits_;
+            pe_available_[entry.pe_index] = std::max(
+                pe_available_[entry.pe_index], entry.predicted_finish);
+            if (tr() != nullptr) {
+              tr()->flow(obs::EventKind::kFlowStep, obs::Category::kSched,
+                         "dispatch_reserved", 0, 0, now_, key);
+            }
+            dispatch_to_worker(entry.pe_index, std::move(task));
+            return;
+          }
+          ++reservation_stale_;
+        }
+      }
+      push_ready(std::move(task));
     };
     if (seg.kind == SimSegment::Kind::kCpuGlue) {
       push_one(platform::KernelId::kGeneric,
                static_cast<std::size_t>(seg.glue_work_s *
                                         kGenericUnitsPerSecond),
-               0);
+               0, 0);
       inst.outstanding = 1;
     } else {
       for (std::size_t i = 0; i < seg.count; ++i) {
-        push_one(seg.kernel, seg.problem_size, seg.data_bytes);
+        push_one(seg.kernel, seg.problem_size, seg.data_bytes, i);
       }
       inst.outstanding = seg.count;
     }
@@ -606,6 +642,9 @@ class Engine {
           w.quarantined = true;
           w.probe_inflight = false;
           w.probe_at = now_ + policy.probe_period_s;
+          // Health transition: outstanding lookahead reservations assumed
+          // this PE's availability; invalidate them all.
+          ++reservation_epoch_;
           ++pes_quarantined_;
           if (tr() != nullptr) {
             tr()->instant(obs::Category::kFault, "pe_quarantined", 0,
@@ -641,6 +680,7 @@ class Engine {
       w.probe_inflight = false;
       if (w.quarantined) {
         w.quarantined = false;
+        ++reservation_epoch_;  // capacity changed under the reservations
         ++pes_reinstated_;
         if (tr() != nullptr) {
           tr()->instant(obs::Category::kFault, "pe_reinstated", 0,
@@ -880,11 +920,42 @@ class Engine {
         : config_.sched_costs != nullptr ? config_.sched_costs
                                          : &config_.platform.costs;
     const sched::ScheduleContext ctx{.now = now_, .costs = sched_view};
-    Stopwatch decision_clock;
-    const sched::ScheduleResult result =
-        scheduler_->schedule(views, pe_states, ctx);
-    if (config_.sched_decision_us != nullptr) {
-      config_.sched_decision_us->record(decision_clock.elapsed_us());
+    sched::ScheduleResult result;
+    if (lookahead_ != nullptr) {
+      // Cost-snapshot staleness: a new published table invalidates every
+      // outstanding reservation (its predicted finishes no longer hold).
+      if (static_cast<const void*>(ctx.costs) != last_cost_table_) {
+        if (last_cost_table_ != nullptr) ++reservation_epoch_;
+        last_cost_table_ = ctx.costs;
+      }
+      frontier_.reset(pe_states, ctx);
+      for (const sched::ReadyTask& v : round_snapshot_.views) {
+        frontier_.add_ready(v);
+      }
+      frontier_meta_.clear();
+      if (config_.model == ProgrammingModel::kDagBased &&
+          config_.lookahead_depth > 0) {
+        build_lookahead_window();
+      }
+      Stopwatch decision_clock;
+      sched::FrontierResult window = lookahead_->schedule_window(frontier_);
+      if (config_.sched_decision_us != nullptr) {
+        config_.sched_decision_us->record(decision_clock.elapsed_us());
+      }
+      result.assignments = std::move(window.assignments);
+      result.comparisons = window.comparisons;
+      for (const sched::Reservation& r : window.reservations) {
+        // Overwrite semantics: a window task re-seen next round (its
+        // predecessors still queued) takes the newest placement.
+        reservations_[frontier_meta_[r.window_index - views.size()]] =
+            SimReservation{r.pe_index, r.predicted_finish, reservation_epoch_};
+      }
+    } else {
+      Stopwatch decision_clock;
+      result = scheduler_->schedule(views, pe_states, ctx);
+      if (config_.sched_decision_us != nullptr) {
+        config_.sched_decision_us->record(decision_clock.elapsed_us());
+      }
     }
     total_comparisons_ += result.comparisons;
     for (const sched::PeState& pe : pe_states) {
@@ -925,6 +996,103 @@ class Engine {
     main_busy_ = true;
     main_item_is_sched_ = true;
     main_remaining_ = duration;
+  }
+
+  /// Reservation identity: DAG-mode segment tasks are pushed in a fixed
+  /// order, so (instance, segment, ordinal-within-segment) names the same
+  /// task at reservation time and at release time. Instances are bounded by
+  /// the arrival list and segments/ordinals by the model, so the packed key
+  /// never collides within a run.
+  [[nodiscard]] static std::uint64_t reservation_key(
+      std::size_t instance, std::size_t segment, std::size_t ordinal) noexcept {
+    return (static_cast<std::uint64_t>(instance) << 32) |
+           (static_cast<std::uint64_t>(segment & 0xffffu) << 16) |
+           static_cast<std::uint64_t>(ordinal & 0xffffu);
+  }
+
+  /// Widens the in-flight round's frontier past the ready snapshot: for
+  /// every instance whose *entire* current segment sits in the snapshot
+  /// (nothing executing, nothing deferred on retry backoff), the next
+  /// `lookahead_depth` segments join the window as lookahead tasks whose
+  /// in-window predecessors are the full prior level — the emulator's
+  /// segment-chain analogue of the runtime's DagPlan-driven window
+  /// (src/runtime/dispatch.cpp build_lookahead_window).
+  void build_lookahead_window() {
+    // Group the snapshot's current-segment tasks per instance, preserving
+    // first-seen snapshot order so the window layout is deterministic.
+    std::unordered_map<std::size_t, std::size_t> group_pos;
+    std::vector<std::pair<std::size_t, std::vector<std::size_t>>> groups;
+    for (std::size_t i = 0; i < round_snapshot_.entries.size(); ++i) {
+      const auto* t = static_cast<const SimTask*>(
+          round_snapshot_.entries[i].payload.get());
+      const Instance& inst = instances_[t->instance];
+      if (inst.terminated || t->segment != inst.segment) continue;
+      const auto [it, inserted] =
+          group_pos.emplace(t->instance, groups.size());
+      if (inserted) groups.emplace_back(t->instance, std::vector<std::size_t>{});
+      groups[it->second].second.push_back(i);
+    }
+    std::vector<std::size_t> level;
+    for (auto& [instance_idx, prev] : groups) {
+      const Instance& inst = instances_[instance_idx];
+      // Partial visibility (tasks already executing, or parked on retry
+      // backoff) means predicted finishes for the level are unknowable:
+      // skip, exactly as the runtime skips successors with out-of-window
+      // predecessors.
+      if (prev.size() != inst.outstanding) continue;
+      for (std::size_t d = 1; d <= config_.lookahead_depth; ++d) {
+        const std::size_t seg_idx = inst.segment + d;
+        if (seg_idx >= inst.model->segments.size()) break;
+        if (frontier_.size() >= kMaxLookaheadTasks) return;
+        // Reserve once: a fresh reservation from an earlier round stands
+        // until honored or invalidated — re-placing the same level every
+        // round while its predecessors wait in a backlogged queue is pure
+        // O(window^2) waste, the cost the lookahead exists to remove.
+        // Levels are reserved atomically (ordinal 0 stands in for all),
+        // and deeper levels were reserved by the same earlier round.
+        const auto held = reservations_.find(
+            reservation_key(instance_idx, seg_idx, 0));
+        if (held != reservations_.end() &&
+            held->second.epoch == reservation_epoch_) {
+          break;
+        }
+        const SimSegment& seg = inst.model->segments[seg_idx];
+        const bool glue = seg.kind == SimSegment::Kind::kCpuGlue;
+        const platform::KernelId kernel =
+            glue ? platform::KernelId::kGeneric : seg.kernel;
+        const std::size_t size =
+            glue ? static_cast<std::size_t>(seg.glue_work_s *
+                                            kGenericUnitsPerSecond)
+                 : seg.problem_size;
+        const std::size_t bytes = glue ? 0 : seg.data_bytes;
+        const std::size_t count = glue ? 1 : seg.count;
+        level.clear();
+        // Segment levels are barriers: every task in this level depends on
+        // the whole previous level. Stage that set once — a 128-wide FFT
+        // level then costs one predecessor copy and one earliest-start
+        // scan, not 128 of each.
+        const std::uint32_t pred_set = frontier_.stage_preds(prev);
+        for (std::size_t ordinal = 0; ordinal < count; ++ordinal) {
+          if (frontier_.size() >= kMaxLookaheadTasks) return;
+          const std::size_t idx = frontier_.add_lookahead_staged(
+              sched::ReadyTask{
+                  .task_key = 0,
+                  .app_instance_id = instance_idx,
+                  .kernel = kernel,
+                  .problem_size = size,
+                  .data_bytes = bytes,
+                  .ready_time = now_,
+                  .rank = (*inst.ranks)[seg_idx],
+                  .class_mask = class_mask_for(kernel, size),
+              },
+              static_cast<std::uint32_t>(d), pred_set);
+          frontier_meta_.push_back(
+              reservation_key(instance_idx, seg_idx, ordinal));
+          level.push_back(idx);
+        }
+        prev = level;
+      }
+    }
   }
 
   void complete_main_item() {
@@ -1038,6 +1206,8 @@ class Engine {
     m.pes_quarantined = pes_quarantined_;
     m.pes_reinstated = pes_reinstated_;
     m.tasks_lost = tasks_lost_;
+    m.reservation_hits = reservation_hits_;
+    m.reservation_stale = reservation_stale_;
     return m;
   }
 
@@ -1047,8 +1217,26 @@ class Engine {
   double cores_;
   double cpu_speed_factor_ = 1.0;
   std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Non-null iff scheduler_ is a LookaheadScheduler (owned by scheduler_).
+  sched::LookaheadScheduler* lookahead_ = nullptr;
   std::unique_ptr<platform::FaultInjector> injector_;
   std::string sched_span_name_;
+
+  // ---- lookahead round state (all untouched for classic heuristics) ----
+  struct SimReservation {
+    std::size_t pe_index = 0;
+    double predicted_finish = 0.0;
+    std::uint64_t epoch = 0;
+  };
+  sched::Frontier frontier_;
+  /// Reservation key per lookahead window entry, aligned so that
+  /// frontier_meta_[window_index - ready_count] names the entry.
+  std::vector<std::uint64_t> frontier_meta_;
+  std::unordered_map<std::uint64_t, SimReservation> reservations_;
+  std::uint64_t reservation_epoch_ = 0;
+  const void* last_cost_table_ = nullptr;
+  std::size_t reservation_hits_ = 0;
+  std::size_t reservation_stale_ = 0;
 
   std::vector<Arrival> arrivals_;
   std::size_t arrival_idx_ = 0;

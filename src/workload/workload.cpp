@@ -232,6 +232,8 @@ StatusOr<TrialResult> run_point(const sim::SimConfig& config,
     acc.pes_quarantined += m.pes_quarantined;
     acc.pes_reinstated += m.pes_reinstated;
     acc.tasks_lost += m.tasks_lost;
+    acc.reservation_hits += m.reservation_hits;
+    acc.reservation_stale += m.reservation_stale;
     if (acc.pe_busy.size() < m.pe_busy.size()) {
       acc.pe_busy.resize(m.pe_busy.size(), 0.0);
     }
@@ -264,6 +266,10 @@ StatusOr<TrialResult> run_point(const sim::SimConfig& config,
       static_cast<std::size_t>(static_cast<double>(acc.pes_reinstated) * inv);
   acc.tasks_lost =
       static_cast<std::size_t>(static_cast<double>(acc.tasks_lost) * inv);
+  acc.reservation_hits = static_cast<std::size_t>(
+      static_cast<double>(acc.reservation_hits) * inv);
+  acc.reservation_stale = static_cast<std::size_t>(
+      static_cast<double>(acc.reservation_stale) * inv);
   for (double& busy : acc.pe_busy) busy *= inv;
   out.exec_time_stddev = stddev(exec_samples);
   return out;

@@ -127,7 +127,7 @@ TEST(SchedulerFactory, RejectsUnknownName) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
   // The error must name the offender so a config typo is diagnosable.
   EXPECT_NE(result.status().to_string().find("FIFO"), std::string::npos);
-  EXPECT_EQ(scheduler_names().size(), 6u);
+  EXPECT_EQ(scheduler_names().size(), 8u);
 }
 
 // ---------------------------------------------------------------------------

@@ -6,7 +6,8 @@
 //
 // usage: cedr_daemon <socket-path> [--platform host|zcu102|jetson]
 //                    [--cpus N] [--ffts N] [--mmults N] [--gpus N]
-//                    [--scheduler RR|EFT|ETF|HEFT_RT] [--trace PATH]
+//                    [--scheduler RR|EFT|ETF|HEFT_RT|HEFT_LA|EFT_LA]
+//                    [--trace PATH]
 //                    [--fault-plan JSON] [--metrics-interval SECONDS]
 //                    [--trace-out CHROME_JSON] [--adapt]
 //                    [--adapt-half-life SAMPLES] [--adapt-min-samples N]

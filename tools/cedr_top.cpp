@@ -237,7 +237,29 @@ void render(const json::Value& doc, const std::string& stats_line,
                     value.as_double());
       }
     }
-    std::printf("\n\n");
+    std::printf("\n");
+    // Lookahead scheduler row (docs/scheduling.md "Lookahead rounds"):
+    // window width of the latest frontier round and how reservations fare
+    // at release — honored straight to a PE vs invalidated back to the
+    // normal ready path by the staleness check.
+    if (gauges->find("sched.frontier_size") != nullptr) {
+      const double hits =
+          counters != nullptr
+              ? static_cast<double>(
+                    counters->get_int("sched.reservation_hits", 0))
+              : 0.0;
+      const double stale =
+          counters != nullptr
+              ? static_cast<double>(
+                    counters->get_int("sched.reservation_stale", 0))
+              : 0.0;
+      const double released = hits + stale;
+      std::printf("scheduler: frontier %4.0f wide   reservations %6.0f "
+                  "honored / %5.0f stale (%5.1f%% hit)\n",
+                  gauges->get_double("sched.frontier_size", 0.0), hits, stale,
+                  released > 0.0 ? 100.0 * hits / released : 0.0);
+    }
+    std::printf("\n");
   }
 
   // --- shared-memory lane ---------------------------------------------------
@@ -302,7 +324,8 @@ void render(const json::Value& doc, const std::string& stats_line,
       std::vector<HistRow> rows;
       for (const char* key :
            {"queue_delay_us", "service_time_us", "sched_decision_us",
-            "sched_lock_wait_us", "instantiate_us", "complete_publish_us"}) {
+            "sched_lock_wait_us", "lookahead_round_us", "instantiate_us",
+            "complete_publish_us"}) {
         if (const json::Value* hist = hists->find(key)) {
           rows.push_back(parse_hist(key, *hist, cursors, interval_s));
         }

@@ -28,8 +28,8 @@ BUILD_DIR="${ROOT}/build-${SANITIZER}"
 # cursors shared across threads, doorbell arming, drain workers).
 TARGETS=(test_runtime test_faults test_stress test_properties test_api
          test_ipc test_ipc_concurrency test_obs test_trace_segments
-         test_adapt test_sched test_scenario test_shm_ring
-         test_dag_template)
+         test_adapt test_sched test_sched_lookahead test_scenario
+         test_shm_ring test_dag_template)
 
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCEDR_SANITIZE="${SANITIZER}" \
